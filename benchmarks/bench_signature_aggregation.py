@@ -1,0 +1,99 @@
+"""Section 5.2 ablation: aggregated vs individual signatures per query result.
+
+The paper observes that signature verification is ~100x more expensive than
+hashing, so condensing the |Q| chain signatures into one aggregate both shrinks
+the VO by (|Q| - 1) * Msign bits and cuts verification to a single signature
+operation.  The benchmark compares the two transports end to end.
+"""
+
+import pytest
+
+from conftest import format_table, report
+from repro.core.cost_model import CostParameters
+from repro.core.publisher import Publisher
+from repro.core.verifier import ResultVerifier
+from repro.db.query import Conjunction, Query, RangeCondition
+from repro.db.workload import generate_employees
+
+# Run the table-regeneration tests under --benchmark-only as well: they are
+# what actually reproduces the paper's figures.
+pytestmark = pytest.mark.usefixtures("benchmark")
+
+PARAMS = CostParameters()
+RESULT_SIZES = (1, 10, 50, 200)
+
+
+@pytest.fixture(scope="module")
+def world(owner):
+    relation = generate_employees(400, seed=77, photo_bytes=8)
+    signed = owner.publish_relation(relation)
+    return (
+        relation,
+        Publisher({"employees": signed}, aggregate=True),
+        Publisher({"employees": signed}, aggregate=False),
+        ResultVerifier({"employees": signed.manifest}),
+    )
+
+
+def _query(relation, size):
+    keys = relation.keys()
+    return Query(
+        "employees",
+        Conjunction((RangeCondition("salary", keys[100], keys[100 + size - 1]),)),
+    )
+
+
+def test_report_aggregation_savings(world):
+    relation, aggregated_pub, individual_pub, verifier = world
+    rows = []
+    for size in RESULT_SIZES:
+        query = _query(relation, size)
+        aggregated = aggregated_pub.answer(query)
+        individual = individual_pub.answer(query)
+        aggregated_report = verifier.verify(query, aggregated.rows, aggregated.proof)
+        individual_report = verifier.verify(query, individual.rows, individual.proof)
+        rows.append(
+            (
+                size,
+                aggregated.proof.signature_count,
+                individual.proof.signature_count,
+                aggregated.proof.size_bytes(PARAMS.m_digest_bytes, PARAMS.m_sign_bytes),
+                individual.proof.size_bytes(PARAMS.m_digest_bytes, PARAMS.m_sign_bytes),
+                aggregated_report.signature_verifications,
+                individual_report.signature_verifications,
+            )
+        )
+    report(
+        "signature_aggregation",
+        format_table(
+            (
+                "|Q|",
+                "agg sigs",
+                "indiv sigs",
+                "agg VO bytes",
+                "indiv VO bytes",
+                "agg verify ops",
+                "indiv verify ops",
+            ),
+            rows,
+        ),
+    )
+    last = rows[-1]
+    assert last[1] == 1 and last[2] == RESULT_SIZES[-1]
+    assert last[4] - last[3] == (RESULT_SIZES[-1] - 1) * PARAMS.m_sign_bytes
+
+
+@pytest.mark.parametrize("size", (10, 200))
+def test_verify_aggregated(benchmark, world, size):
+    relation, aggregated_pub, _, verifier = world
+    query = _query(relation, size)
+    result = aggregated_pub.answer(query)
+    benchmark(verifier.verify, query, result.rows, result.proof)
+
+
+@pytest.mark.parametrize("size", (10, 200))
+def test_verify_individual_signatures(benchmark, world, size):
+    relation, _, individual_pub, verifier = world
+    query = _query(relation, size)
+    result = individual_pub.answer(query)
+    benchmark(verifier.verify, query, result.rows, result.proof)

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. offline environments where ``pip install -e .`` cannot build an
+editable wheel).  When the package *is* installed, the installed version takes
+precedence only if it shadows the same path; inserting ``src`` first keeps the
+checked-out sources authoritative during development.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

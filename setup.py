@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments without the ``wheel`` package
+(legacy editable installs: ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — a reproduction of Pang et al., "Verifying Completeness of Relational
+Query Results in Data Publishing" (SIGMOD 2005).
+
+The library implements the full data-publishing pipeline of the paper:
+
+* the trusted **data owner** signs relations with neighbour-chained digests
+  built from iterated hash chains (:class:`repro.DataOwner`),
+* the untrusted **publisher** answers range, projection, multipoint and PK-FK
+  join queries and attaches verification objects (:class:`repro.Publisher`),
+* the **user** verifies completeness, authenticity and precision of every
+  result using only the owner's public key (:class:`repro.ResultVerifier`),
+
+together with the cryptographic substrate (hash chains, RSA, condensed
+signatures, Merkle trees), a small relational engine, the analytical cost model
+of the paper's Section 6 and the Devanbu et al. baseline it compares against.
+
+Quickstart
+----------
+
+>>> from repro import DataOwner, Publisher, ResultVerifier
+>>> from repro.db import workload, query
+>>> relation = workload.figure1_employee_relation()
+>>> owner = DataOwner(key_bits=512)
+>>> database = owner.publish_database({"employees": relation})
+>>> publisher = Publisher(database.relations)
+>>> q = query.Query("employees", query.Conjunction(
+...     (query.RangeCondition("salary", None, 9999),)))
+>>> result = publisher.answer(q)
+>>> verifier = ResultVerifier(database.manifests)
+>>> report = verifier.verify(q, result.rows, result.proof)
+>>> report.result_rows
+3
+"""
+
+from repro.core import (
+    AuthenticityError,
+    CheatingAttemptError,
+    CompletenessError,
+    CostParameters,
+    DataOwner,
+    ListPublisher,
+    ListVerifier,
+    PolicyViolationError,
+    ProofConstructionError,
+    PublishedDatabase,
+    PublishedResult,
+    Publisher,
+    ReproError,
+    ResultVerifier,
+    SignedRelation,
+    SignedValueList,
+    VerificationError,
+    VerificationReport,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticityError",
+    "CheatingAttemptError",
+    "CompletenessError",
+    "CostParameters",
+    "DataOwner",
+    "ListPublisher",
+    "ListVerifier",
+    "PolicyViolationError",
+    "ProofConstructionError",
+    "PublishedDatabase",
+    "PublishedResult",
+    "Publisher",
+    "ReproError",
+    "ResultVerifier",
+    "SignedRelation",
+    "SignedValueList",
+    "VerificationError",
+    "VerificationReport",
+    "__version__",
+]

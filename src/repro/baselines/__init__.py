@@ -1,0 +1,16 @@
+"""Baseline authentication schemes the paper compares against.
+
+* :mod:`repro.baselines.devanbu` — Devanbu et al. [10]: a Merkle hash tree per
+  sort order, completeness via exposed boundary tuples.  The only prior scheme
+  with completeness guarantees, and the paper's main comparison point.
+* :mod:`repro.baselines.naive` — per-tuple signatures: authenticity only, used
+  as a lower bound and to quantify the benefit of signature aggregation.
+* :mod:`repro.baselines.vbtree` — a VB-tree-flavoured hierarchy of *signed*
+  node digests [20]: authenticity only, used in the update-cost comparison.
+"""
+
+from repro.baselines.devanbu import DevanbuMHT, DevanbuProof
+from repro.baselines.naive import NaiveSignedRelation
+from repro.baselines.vbtree import VBTree
+
+__all__ = ["DevanbuMHT", "DevanbuProof", "NaiveSignedRelation", "VBTree"]

@@ -1,0 +1,267 @@
+"""The Devanbu et al. baseline: Merkle-hash-tree authenticated range queries.
+
+Devanbu, Gertz, Martel and Stubblebine ("Authentic Data Publication over the
+Internet", 2000) — reference [10] of the paper — authenticate query results by
+building a Merkle hash tree over every sort order of a table and signing the
+root.  To prove completeness of a range query the publisher must *expand* the
+result with the tuples immediately beyond its left and right boundaries and
+ship the sibling digests up to the root.
+
+The paper criticises the scheme on five counts (Section 2.3); this
+implementation exists so the benchmarks can quantify them:
+
+1. one MHT per sort order (same as the proposed scheme, so not benchmarked),
+2. the VO grows logarithmically with the *table* size (``bench_vo_scaling``),
+3. projected-out attributes must still be shipped (``bench_precision_comparison``),
+4. the boundary tuples are exposed in full, potentially violating row-level
+   access control (``bench_precision_comparison``),
+5. range queries on unsorted attributes are not supported (no equivalent of
+   the multipoint machinery exists here).
+
+Updates must recompute every digest on the leaf-to-root path and re-sign the
+root (``bench_update_cost``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.encoding import encode_many
+from repro.crypto.hashing import HashFunction, default_hash
+from repro.crypto.signature import SignatureScheme
+from repro.db.records import Record
+from repro.db.relation import Relation
+
+__all__ = ["DevanbuProof", "DevanbuMHT", "DevanbuVerifier"]
+
+
+def _record_payload(record_values: Dict[str, object], attribute_order: Sequence[str]) -> bytes:
+    """Canonical encoding of a full tuple (all attributes, in schema order)."""
+    flattened: List[object] = []
+    for name in attribute_order:
+        flattened.append(name)
+        flattened.append(record_values[name])
+    return encode_many(flattened)
+
+
+@dataclass(frozen=True)
+class DevanbuProof:
+    """Verification object of the Devanbu scheme for one range query.
+
+    Attributes
+    ----------
+    expanded_rows:
+        The result tuples *plus* the boundary tuples just outside the range,
+        each with every attribute (no projection is possible).
+    sibling_digests:
+        Digests of the maximal subtrees not overlapping the expanded range, in
+        the deterministic order the verifier's recursion consumes them.
+    root_signature:
+        The owner's signature over the root digest.
+    left_is_table_start, right_is_table_end:
+        True when the expanded range abuts the corresponding end of the table
+        (no boundary tuple exists on that side).
+    """
+
+    expanded_rows: Tuple[Dict[str, object], ...]
+    sibling_digests: Tuple[bytes, ...]
+    root_signature: int
+    leaf_range: Tuple[int, int]
+    table_size: int
+    left_is_table_start: bool
+    right_is_table_end: bool
+
+    @property
+    def digest_count(self) -> int:
+        return len(self.sibling_digests)
+
+    @property
+    def signature_count(self) -> int:
+        return 1
+
+    @property
+    def boundary_rows_exposed(self) -> int:
+        """How many out-of-range tuples the user gets to see."""
+        return (0 if self.left_is_table_start else 1) + (
+            0 if self.right_is_table_end else 1
+        )
+
+    def size_bytes(self, digest_bytes: int, signature_bytes: int) -> int:
+        return self.digest_count * digest_bytes + self.signature_count * signature_bytes
+
+
+class DevanbuMHT:
+    """Owner/publisher side of the Devanbu scheme for one sorted relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        self.relation = relation
+        self.schema = relation.schema
+        self.hash_function = hash_function or default_hash()
+        self._signature_scheme = signature_scheme
+        self.last_update_hashes = 0
+        self.last_update_signatures = 0
+        self._rebuild()
+
+    # -- tree construction ------------------------------------------------------------
+
+    def _leaf_digest(self, record: Record) -> bytes:
+        payload = _record_payload(record.as_dict(), self.schema.attribute_names)
+        return self.hash_function.digest(b"devanbu-leaf|" + payload)
+
+    def _node_digest(self, left: bytes, right: bytes) -> bytes:
+        return self.hash_function.digest(b"devanbu-node|" + left + right)
+
+    def _rebuild(self) -> None:
+        self._leaves = [self._leaf_digest(record) for record in self.relation]
+        self.root = self._subtree_digest(0, len(self._leaves))
+        self.root_signature = self._signature_scheme.sign(self.root)
+
+    def _subtree_digest(self, start: int, stop: int) -> bytes:
+        if stop - start == 0:
+            return self.hash_function.digest(b"devanbu-empty")
+        if stop - start == 1:
+            return self._leaves[start]
+        mid = (start + stop + 1) // 2
+        return self._node_digest(
+            self._subtree_digest(start, mid), self._subtree_digest(mid, stop)
+        )
+
+    @property
+    def height(self) -> int:
+        """Tree height (number of internal levels)."""
+        size = max(1, len(self._leaves))
+        height = 0
+        while size > 1:
+            size = (size + 1) // 2
+            height += 1
+        return height
+
+    # -- query answering -------------------------------------------------------------------
+
+    def answer_range(self, low: int, high: int) -> Tuple[List[Dict[str, object]], DevanbuProof]:
+        """Answer ``low <= key <= high`` with the expanded result and its VO."""
+        start, stop = self.relation.range_indices(low, high)
+        expanded_start = max(0, start - 1)
+        expanded_stop = min(len(self._leaves), stop + 1)
+        rows = [
+            self.relation[index].as_dict()
+            for index in range(expanded_start, expanded_stop)
+        ]
+        siblings: List[bytes] = []
+        self._collect_siblings(0, len(self._leaves), expanded_start, expanded_stop, siblings)
+        proof = DevanbuProof(
+            expanded_rows=tuple(rows),
+            sibling_digests=tuple(siblings),
+            root_signature=self.root_signature,
+            leaf_range=(expanded_start, expanded_stop),
+            table_size=len(self._leaves),
+            left_is_table_start=start == 0,
+            right_is_table_end=stop == len(self._leaves),
+        )
+        result_rows = [self.relation[index].as_dict() for index in range(start, stop)]
+        return result_rows, proof
+
+    def _collect_siblings(
+        self, start: int, stop: int, lo: int, hi: int, out: List[bytes]
+    ) -> None:
+        """Digests of maximal subtrees outside ``[lo, hi)``, left to right."""
+        if stop <= lo or start >= hi or start >= stop:
+            if start < stop:
+                out.append(self._subtree_digest(start, stop))
+            return
+        if stop - start == 1:
+            return  # in-range leaf: the verifier recomputes it from the tuple
+        mid = (start + stop + 1) // 2
+        self._collect_siblings(start, mid, lo, hi, out)
+        self._collect_siblings(mid, stop, lo, hi, out)
+
+    # -- updates ----------------------------------------------------------------------------------
+
+    def update_record(self, old: Record, new) -> Tuple[int, int]:
+        """Replace a record; returns (digests recomputed, signatures recomputed).
+
+        Every node on the leaf-to-root path must be re-hashed and the root
+        re-signed — the locking hot-spot the paper's Section 6.3 points out.
+        """
+        self.relation.update(old, new)
+        path_length = self.height + 1
+        self._rebuild()
+        self.last_update_hashes = path_length
+        self.last_update_signatures = 1
+        return path_length, 1
+
+
+class DevanbuVerifier:
+    """User-side verification for the Devanbu scheme."""
+
+    def __init__(
+        self,
+        attribute_order: Sequence[str],
+        key_attribute: str,
+        public_key,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        self.attribute_order = list(attribute_order)
+        self.key_attribute = key_attribute
+        self.public_key = public_key
+        self.hash_function = hash_function or default_hash()
+
+    def verify_range(
+        self, low: int, high: int, rows: Sequence[Dict[str, object]], proof: DevanbuProof
+    ) -> bool:
+        """Check an expanded range result against the signed root."""
+        expanded = list(proof.expanded_rows)
+        inner = [
+            row for row in expanded if low <= row[self.key_attribute] <= high
+        ]
+        if [row[self.key_attribute] for row in inner] != [
+            row[self.key_attribute] for row in rows
+        ]:
+            return False
+        if not proof.left_is_table_start:
+            if expanded and expanded[0][self.key_attribute] >= low:
+                return False
+        if not proof.right_is_table_end:
+            if expanded and expanded[-1][self.key_attribute] > high:
+                pass  # expected: the right boundary tuple exceeds the range
+            elif expanded:
+                return False
+        leaf_digests = [
+            self.hash_function.digest(
+                b"devanbu-leaf|" + _record_payload(row, self.attribute_order)
+            )
+            for row in expanded
+        ]
+        siblings = list(proof.sibling_digests)
+        root = self._reconstruct(
+            0, proof.table_size, proof.leaf_range[0], proof.leaf_range[1], leaf_digests, siblings
+        )
+        if siblings or leaf_digests:
+            return False
+        return self.public_key.verify(root, proof.root_signature)
+
+    def _reconstruct(
+        self,
+        start: int,
+        stop: int,
+        lo: int,
+        hi: int,
+        leaf_digests: List[bytes],
+        siblings: List[bytes],
+    ) -> bytes:
+        if stop <= lo or start >= hi or start >= stop:
+            if start < stop:
+                return siblings.pop(0)
+            return self.hash_function.digest(b"devanbu-empty")
+        if stop - start == 1:
+            return leaf_digests.pop(0)
+        mid = (start + stop + 1) // 2
+        left = self._reconstruct(start, mid, lo, hi, leaf_digests, siblings)
+        right = self._reconstruct(mid, stop, lo, hi, leaf_digests, siblings)
+        return self.hash_function.digest(b"devanbu-node|" + left + right)

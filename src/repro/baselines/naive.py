@@ -1,0 +1,119 @@
+"""Naive baseline: one signature per tuple, authenticity only.
+
+This is the strawman the related-work section starts from: the owner signs the
+digest of every tuple, the publisher returns the matching tuples with their
+signatures, and the user verifies each signature individually.  The scheme
+proves authenticity but says nothing about completeness, and its verification
+cost is dominated by one signature verification per result tuple — which is
+what Section 5.2's aggregation (and the Ma et al. scheme) set out to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.aggregate import AggregateSignature, aggregate_signatures, verify_aggregate
+from repro.crypto.encoding import encode_many
+from repro.crypto.hashing import HashFunction, default_hash
+from repro.crypto.signature import SignatureScheme
+from repro.db.records import Record
+from repro.db.relation import Relation
+
+__all__ = ["NaiveProof", "NaiveSignedRelation"]
+
+
+def _tuple_message(values: Dict[str, object], attribute_order: Sequence[str]) -> bytes:
+    flattened: List[object] = []
+    for name in attribute_order:
+        flattened.append(name)
+        flattened.append(values[name])
+    return encode_many(flattened)
+
+
+@dataclass(frozen=True)
+class NaiveProof:
+    """Per-tuple signatures (or one condensed signature) for a result."""
+
+    signatures: Tuple[int, ...] = ()
+    aggregate: Optional[AggregateSignature] = None
+
+    @property
+    def signature_count(self) -> int:
+        return 1 if self.aggregate is not None else len(self.signatures)
+
+    def size_bytes(self, signature_bytes: int) -> int:
+        return self.signature_count * signature_bytes
+
+
+class NaiveSignedRelation:
+    """Owner + publisher side of the per-tuple-signature scheme."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        self.relation = relation
+        self.schema = relation.schema
+        self.hash_function = hash_function or default_hash()
+        self._signature_scheme = signature_scheme
+        self._signatures = [
+            signature_scheme.sign(
+                _tuple_message(record.as_dict(), self.schema.attribute_names)
+            )
+            for record in relation
+        ]
+
+    @property
+    def public_key(self):
+        return self._signature_scheme.verifier
+
+    def answer_range(
+        self, low: int, high: int, aggregate: bool = False
+    ) -> Tuple[List[Dict[str, object]], NaiveProof]:
+        """Return matching tuples and their signatures; no completeness proof exists."""
+        start, stop = self.relation.range_indices(low, high)
+        rows = [self.relation[index].as_dict() for index in range(start, stop)]
+        signatures = self._signatures[start:stop]
+        if aggregate and signatures:
+            messages = [
+                _tuple_message(row, self.schema.attribute_names) for row in rows
+            ]
+            return rows, NaiveProof(
+                aggregate=aggregate_signatures(
+                    signatures, self._signature_scheme.verifier, messages
+                )
+            )
+        return rows, NaiveProof(signatures=tuple(signatures))
+
+    def verify(self, rows: Sequence[Dict[str, object]], proof: NaiveProof) -> bool:
+        """User-side check: every returned tuple carries a valid owner signature."""
+        messages = [
+            _tuple_message(dict(row), self.schema.attribute_names) for row in rows
+        ]
+        if proof.aggregate is not None:
+            return verify_aggregate(
+                proof.aggregate, messages, self._signature_scheme.verifier
+            )
+        if len(messages) != len(proof.signatures):
+            return False
+        return all(
+            self._signature_scheme.verify(message, signature)
+            for message, signature in zip(messages, proof.signatures)
+        )
+
+    def update_record(self, old: Record, new) -> Tuple[int, int]:
+        """Replace a record; exactly one signature is recomputed."""
+        position_old = self.relation.delete(old)
+        del self._signatures[position_old]
+        position_new = self.relation.insert(new)
+        inserted = self.relation[position_new]
+        self._signatures.insert(
+            position_new,
+            self._signature_scheme.sign(
+                _tuple_message(inserted.as_dict(), self.schema.attribute_names)
+            ),
+        )
+        return 0, 1

@@ -1,0 +1,66 @@
+"""Core of the reproduction: the completeness-verification scheme itself.
+
+* :mod:`repro.core.basic_scheme` — Section 3: greater-than queries over sorted
+  value lists.
+* :mod:`repro.core.relational` / :mod:`repro.core.publisher` /
+  :mod:`repro.core.verifier` — Section 4: select-project-join and multipoint
+  queries over relations.
+* :mod:`repro.core.digest` and :mod:`repro.core.polynomial` — the iterated-hash
+  digests of formulas (2)/(3) and their Section 5.1 optimisation.
+* :mod:`repro.core.owner` — the trusted data owner role.
+* :mod:`repro.core.cost_model` — the Section 6 analytical cost model.
+"""
+
+from repro.core.basic_scheme import ListManifest, ListPublisher, ListVerifier, SignedValueList
+from repro.core.cost_model import CostParameters
+from repro.core.digest import ConceptualChainScheme, OptimizedChainScheme
+from repro.core.errors import (
+    AuthenticityError,
+    CheatingAttemptError,
+    CompletenessError,
+    PolicyViolationError,
+    ProofConstructionError,
+    ReproError,
+    VerificationError,
+)
+from repro.core.owner import DataOwner, PublishedDatabase
+from repro.core.proof import (
+    GreaterThanProof,
+    JoinQueryProof,
+    RangeQueryProof,
+    SignatureBundle,
+)
+from repro.core.publisher import PublishedJoinResult, PublishedResult, Publisher
+from repro.core.relational import RelationManifest, SignedRelation
+from repro.core.report import VerificationReport
+from repro.core.verifier import ResultVerifier
+
+__all__ = [
+    "ListManifest",
+    "ListPublisher",
+    "ListVerifier",
+    "SignedValueList",
+    "CostParameters",
+    "ConceptualChainScheme",
+    "OptimizedChainScheme",
+    "AuthenticityError",
+    "CheatingAttemptError",
+    "CompletenessError",
+    "PolicyViolationError",
+    "ProofConstructionError",
+    "ReproError",
+    "VerificationError",
+    "DataOwner",
+    "PublishedDatabase",
+    "GreaterThanProof",
+    "JoinQueryProof",
+    "RangeQueryProof",
+    "SignatureBundle",
+    "PublishedJoinResult",
+    "PublishedResult",
+    "Publisher",
+    "RelationManifest",
+    "SignedRelation",
+    "VerificationReport",
+    "ResultVerifier",
+]

@@ -1,0 +1,202 @@
+"""Analytical cost model from Section 6 of the paper.
+
+The evaluation section of the paper is an analytical study: Table 1 fixes the
+cost parameters, formula (4) gives the authentication traffic ``Muser`` shipped
+from publisher to user, and formula (5) gives the user-side computation cost
+``Cuser``.  Figures 9 and 10 plot those formulas.  This module reproduces the
+formulas verbatim so the benchmark harness can print the paper's curves next to
+the values *measured* from the actual implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "CostParameters",
+    "digits_m",
+    "user_traffic_bits",
+    "user_traffic_bytes",
+    "user_traffic_overhead_percent",
+    "user_computation_seconds",
+    "figure9_series",
+    "figure10_series",
+    "section_6_2_worked_examples",
+    "optimal_base",
+]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Table 1 of the paper: cost parameters and their defaults.
+
+    ``c_hash`` and ``c_sign`` are the 2005-era measurements the paper borrows
+    from Rivest & Shamir's PayWord work; the benchmarks also report the values
+    measured on the current machine.
+    """
+
+    #: Computation cost of one hash operation (seconds); Table 1: 50 microseconds.
+    c_hash: float = 50e-6
+    #: Computation cost of verifying one signature (seconds); Table 1: 5 ms.
+    c_sign: float = 5e-3
+    #: Size of a hash digest in bits; Table 1: 128.
+    m_digest_bits: int = 128
+    #: Size of a signature in bits; Table 1: 1024.
+    m_sign_bits: int = 1024
+
+    @property
+    def m_digest_bytes(self) -> int:
+        return self.m_digest_bits // 8
+
+    @property
+    def m_sign_bytes(self) -> int:
+        return self.m_sign_bits // 8
+
+
+#: Default 32-bit integer key domain used throughout Section 6.
+DEFAULT_DOMAIN_WIDTH = 2**32
+
+
+def digits_m(base: int, domain_width: int = DEFAULT_DOMAIN_WIDTH) -> int:
+    """``m = ceil(log_B(U - L))`` — the number of polynomial digits."""
+    if base < 2:
+        raise ValueError("the polynomial base B must be at least 2")
+    if domain_width < 2:
+        raise ValueError("domain width must be at least 2")
+    return max(1, math.ceil(math.log(domain_width, base)))
+
+
+def user_traffic_bits(
+    result_size: int,
+    base: int = 2,
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    parameters: CostParameters = CostParameters(),
+) -> float:
+    """Formula (4): authentication traffic (bits) shipped to the user.
+
+    ``Muser = [m + 4 + 3(n - a + 1) + ceil(log2 m)] * Mdigest + Msign``
+    where ``n - a + 1`` is the result size.
+    """
+    if result_size < 0:
+        raise ValueError("result size cannot be negative")
+    m = digits_m(base, domain_width)
+    digest_count = m + 4 + 3 * result_size + math.ceil(math.log2(m)) if m > 1 else (
+        m + 4 + 3 * result_size
+    )
+    return digest_count * parameters.m_digest_bits + parameters.m_sign_bits
+
+
+def user_traffic_bytes(
+    result_size: int,
+    base: int = 2,
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    parameters: CostParameters = CostParameters(),
+) -> float:
+    """Formula (4) expressed in bytes."""
+    return user_traffic_bits(result_size, base, domain_width, parameters) / 8
+
+
+def user_traffic_overhead_percent(
+    result_size: int,
+    record_bytes: int,
+    base: int = 2,
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    parameters: CostParameters = CostParameters(),
+) -> float:
+    """Figure 9's y-axis: ``Muser / (|Q| * Mr)`` as a percentage."""
+    if record_bytes <= 0:
+        raise ValueError("record size must be positive")
+    if result_size <= 0:
+        raise ValueError("overhead is defined for at least one result entry")
+    traffic = user_traffic_bytes(result_size, base, domain_width, parameters)
+    return 100.0 * traffic / (result_size * record_bytes)
+
+
+def user_computation_seconds(
+    result_size: int,
+    base: int = 2,
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    parameters: CostParameters = CostParameters(),
+) -> float:
+    """Formula (5): user-side verification cost in seconds.
+
+    ``Cuser = [2(n-a+1)(B(m+1) + 2) + B(m+1) + ceil(log2 m) + 3] * Chash + Csign``
+    """
+    if result_size < 0:
+        raise ValueError("result size cannot be negative")
+    m = digits_m(base, domain_width)
+    log_term = math.ceil(math.log2(m)) if m > 1 else 0
+    hashes = (
+        2 * result_size * (base * (m + 1) + 2)
+        + base * (m + 1)
+        + log_term
+        + 3
+    )
+    return hashes * parameters.c_hash + parameters.c_sign
+
+
+def figure9_series(
+    record_sizes: Sequence[int] = (64, 128, 256, 512, 1024, 1536, 2048),
+    result_sizes: Sequence[int] = (1, 2, 5, 10, 100),
+    base: int = 2,
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    parameters: CostParameters = CostParameters(),
+) -> Dict[int, List[float]]:
+    """The data behind Figure 9: traffic overhead (%) per record size, per |Q|."""
+    return {
+        result_size: [
+            user_traffic_overhead_percent(
+                result_size, record_bytes, base, domain_width, parameters
+            )
+            for record_bytes in record_sizes
+        ]
+        for result_size in result_sizes
+    }
+
+
+def figure10_series(
+    bases: Sequence[int] = tuple(range(2, 11)),
+    result_sizes: Sequence[int] = (1, 5, 10),
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    parameters: CostParameters = CostParameters(),
+) -> Dict[int, List[float]]:
+    """The data behind Figure 10: user computation (ms) per base B, per result size."""
+    return {
+        result_size: [
+            1000.0
+            * user_computation_seconds(result_size, base, domain_width, parameters)
+            for base in bases
+        ]
+        for result_size in result_sizes
+    }
+
+
+def section_6_2_worked_examples(
+    parameters: CostParameters = CostParameters(),
+) -> Dict[int, float]:
+    """The worked numbers of Section 6.2: Cuser (seconds) for |Q| = 1, 100 and 1000.
+
+    With ``B = 2`` and a 32-bit key the paper reports roughly 15.5 ms, 689 ms
+    and 6.81 s.
+    """
+    return {
+        size: user_computation_seconds(size, base=2, parameters=parameters)
+        for size in (1, 100, 1000)
+    }
+
+
+def optimal_base(
+    result_size: int,
+    domain_width: int = DEFAULT_DOMAIN_WIDTH,
+    candidate_bases: Iterable[int] = range(2, 17),
+    parameters: CostParameters = CostParameters(),
+) -> int:
+    """The base ``B`` minimising formula (5); the paper shows it is 2 or 3."""
+    return min(
+        candidate_bases,
+        key=lambda base: user_computation_seconds(
+            result_size, base, domain_width, parameters
+        ),
+    )

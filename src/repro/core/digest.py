@@ -1,0 +1,330 @@
+"""Chain digest schemes: the ``g(r)`` building blocks of formulas (2) and (3).
+
+A *chain digest scheme* commits to an integer value ``v`` through an iterated
+hash whose exponent is the distance of ``v`` from a domain bound:
+
+* an **upper chain** with exponent ``delta_t = U - v - 1`` lets the publisher
+  prove ``v < alpha`` by releasing the intermediate digest at exponent
+  ``delta_e = alpha - v - 1``; the verifier walks it ``delta_c = U - alpha``
+  further steps and compares against the committed digest,
+* a **lower chain** with exponent ``delta_t = v - L - 1`` symmetrically proves
+  ``v > beta`` (release exponent ``v - beta - 1``; the verifier walks
+  ``beta - L`` steps).
+
+Both directions share the same machinery, parameterised by a *namespace* so the
+two chains of one record can never be confused for each other.
+
+Two interchangeable implementations are provided:
+
+* :class:`ConceptualChainScheme` — the direct construction of formula (2);
+  O(domain width) hashing, fine for small domains, teaching and tests,
+* :class:`OptimizedChainScheme` — the Section 5.1 construction; the exponent is
+  decomposed in base ``B``, one short chain per digit, the ``m`` preferred
+  non-canonical representations are committed under a Merkle tree, and hashing
+  drops to O(B · log_B(domain width)).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core import polynomial
+from repro.core.errors import CheatingAttemptError
+from repro.crypto.encoding import encode_many
+from repro.crypto.hashing import HashFunction, IteratedHasher, default_hash
+from repro.crypto.merkle import MerkleProof, MerkleTree
+
+__all__ = [
+    "EntryAssist",
+    "BoundaryAssist",
+    "ChainDigestScheme",
+    "ConceptualChainScheme",
+    "OptimizedChainScheme",
+]
+
+_EMPTY_REPRESENTATION_SENTINEL = b"__no_preferred_representations__"
+
+
+@dataclass(frozen=True)
+class EntryAssist:
+    """Publisher-supplied help for recomputing the chain digest of a *known* value.
+
+    The conceptual scheme needs no help (the verifier re-hashes from the value
+    itself); the optimized scheme ships the root of the Merkle tree over the
+    non-canonical representations, which the verifier cannot derive from the
+    value alone without recomputing every representation.
+    """
+
+    mht_root: Optional[bytes] = None
+
+    @property
+    def digest_count(self) -> int:
+        """Number of digests transmitted (for VO size accounting)."""
+        return 0 if self.mht_root is None else 1
+
+
+@dataclass(frozen=True)
+class BoundaryAssist:
+    """Publisher-supplied proof that a *hidden* value lies beyond a query bound.
+
+    Contents depend on the scheme:
+
+    * conceptual — a single intermediate digest at exponent ``delta_e``;
+    * optimized — one intermediate digest per base-``B`` digit, plus either the
+      Merkle root over the unused non-canonical representations (when the
+      canonical representation was selected) or the canonical representation's
+      digest together with a Merkle path covering the unused representations.
+    """
+
+    intermediate_digests: Tuple[bytes, ...]
+    used_canonical: bool = True
+    mht_root: Optional[bytes] = None
+    canonical_digest: Optional[bytes] = None
+    mht_proof: Optional[MerkleProof] = None
+
+    @property
+    def digest_count(self) -> int:
+        """Number of digests transmitted (for VO size accounting)."""
+        count = len(self.intermediate_digests)
+        if self.mht_root is not None:
+            count += 1
+        if self.canonical_digest is not None:
+            count += 1
+        if self.mht_proof is not None:
+            count += self.mht_proof.digest_count
+        return count
+
+
+class ChainDigestScheme(abc.ABC):
+    """Interface shared by the conceptual and optimized chain digest schemes."""
+
+    def __init__(
+        self,
+        domain_width: int,
+        namespace: str,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        if domain_width < 2:
+            raise ValueError("domain width must be at least 2")
+        self.domain_width = domain_width
+        self.namespace = namespace
+        self.hash_function = hash_function or default_hash()
+        self.hasher = IteratedHasher(self.hash_function)
+
+    # -- anchors -----------------------------------------------------------------
+
+    def _anchor(self, value: int) -> bytes:
+        """Canonical anchor pre-image binding the namespace and the value."""
+        return encode_many([self.namespace, int(value)])
+
+    # -- abstract API ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def commitment(self, value: int, total: int) -> bytes:
+        """The digest the owner folds into ``g(r)`` for chain exponent ``total``."""
+
+    @abc.abstractmethod
+    def entry_assist(self, value: int, total: int) -> EntryAssist:
+        """What the publisher ships for a result entry whose value the user knows."""
+
+    @abc.abstractmethod
+    def recompute_from_value(
+        self, value: int, total: int, assist: EntryAssist
+    ) -> bytes:
+        """Verifier side: rebuild the commitment from the (known) value."""
+
+    @abc.abstractmethod
+    def boundary_proof(self, value: int, total: int, delta_c: int) -> BoundaryAssist:
+        """Publisher side: prove the hidden value's chain without revealing it.
+
+        ``delta_c`` is the verifier-known part of the exponent
+        (``U - alpha`` for upper chains, ``beta - L`` for lower chains).
+        Raises :class:`CheatingAttemptError` when the claim is false, i.e. when
+        ``total < delta_c`` — an honest publisher cannot fabricate the proof.
+        """
+
+    @abc.abstractmethod
+    def recompute_from_boundary(self, delta_c: int, assist: BoundaryAssist) -> bytes:
+        """Verifier side: rebuild the commitment from a boundary proof."""
+
+
+class ConceptualChainScheme(ChainDigestScheme):
+    """Formula (2): ``g`` component is the full iterated hash ``h^{total}(value)``.
+
+    Simple and exactly what Section 3.1 describes, but the number of hash
+    invocations is linear in the domain width — use only for small domains.
+    """
+
+    def commitment(self, value: int, total: int) -> bytes:
+        if total < 0:
+            raise ValueError("chain exponent must be non-negative")
+        return self.hasher.iterate(self._anchor(value), total, suffix=0)
+
+    def entry_assist(self, value: int, total: int) -> EntryAssist:
+        return EntryAssist(mht_root=None)
+
+    def recompute_from_value(
+        self, value: int, total: int, assist: EntryAssist
+    ) -> bytes:
+        return self.commitment(value, total)
+
+    def boundary_proof(self, value: int, total: int, delta_c: int) -> BoundaryAssist:
+        delta_e = total - delta_c
+        if delta_e < 0:
+            raise CheatingAttemptError(
+                f"h^{{{delta_e}}} is undefined: the value does not satisfy the claimed bound"
+            )
+        intermediate = self.hasher.iterate(self._anchor(value), delta_e, suffix=0)
+        return BoundaryAssist(intermediate_digests=(intermediate,), used_canonical=True)
+
+    def recompute_from_boundary(self, delta_c: int, assist: BoundaryAssist) -> bytes:
+        if len(assist.intermediate_digests) != 1:
+            raise ValueError("conceptual boundary proofs carry exactly one digest")
+        return self.hasher.extend(assist.intermediate_digests[0], delta_c)
+
+
+class OptimizedChainScheme(ChainDigestScheme):
+    """Section 5.1: base-``B`` decomposition of the chain exponent.
+
+    Parameters
+    ----------
+    domain_width:
+        ``U - L`` of the underlying key domain.
+    namespace:
+        Chain namespace (``"upper"``, ``"lower"`` …).
+    base:
+        The polynomial base ``B``; the paper shows user computation is
+        minimised for ``B`` in {2, 3}.
+    """
+
+    def __init__(
+        self,
+        domain_width: int,
+        namespace: str,
+        base: int = 2,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        super().__init__(domain_width, namespace, hash_function)
+        if base < 2:
+            raise ValueError("the polynomial base B must be at least 2")
+        self.base = base
+        self.num_digits = polynomial.num_digits_for(domain_width, base)
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _digit_digest(self, anchor: bytes, exponent: int, position: int) -> bytes:
+        """``h^{exponent}(value | position)`` for one digit chain."""
+        return self.hasher.iterate(anchor, exponent, suffix=position)
+
+    def _representation_digest(
+        self, anchor: bytes, representation: polynomial.Representation
+    ) -> bytes:
+        """Digest of one representation: hash of its concatenated digit chains."""
+        parts = [
+            self._digit_digest(anchor, representation.digits[position], position)
+            for position in representation.included_positions()
+        ]
+        return self.hash_function.combine(*parts)
+
+    def _canonical_digest(self, anchor: bytes, total: int) -> bytes:
+        canonical = polynomial.canonical_representation(total, self.base, self.num_digits)
+        return self._representation_digest(anchor, canonical)
+
+    def _representation_tree(self, anchor: bytes, total: int) -> MerkleTree:
+        representations = polynomial.all_preferred_representations(
+            total, self.base, self.num_digits
+        )
+        leaves = [
+            self._representation_digest(anchor, representation)
+            for representation in representations
+        ]
+        if not leaves:
+            leaves = [_EMPTY_REPRESENTATION_SENTINEL]
+        return MerkleTree(leaves, self.hash_function)
+
+    # -- owner side ----------------------------------------------------------------
+
+    def commitment(self, value: int, total: int) -> bytes:
+        if total < 0:
+            raise ValueError("chain exponent must be non-negative")
+        anchor = self._anchor(value)
+        canonical_digest = self._canonical_digest(anchor, total)
+        tree = self._representation_tree(anchor, total)
+        return self.hash_function.combine(canonical_digest, tree.root)
+
+    # -- publisher side ---------------------------------------------------------------
+
+    def entry_assist(self, value: int, total: int) -> EntryAssist:
+        anchor = self._anchor(value)
+        tree = self._representation_tree(anchor, total)
+        return EntryAssist(mht_root=tree.root)
+
+    def boundary_proof(self, value: int, total: int, delta_c: int) -> BoundaryAssist:
+        if total < delta_c:
+            raise CheatingAttemptError(
+                "the value does not satisfy the claimed bound; "
+                "no valid representation of the intermediate exponent exists"
+            )
+        anchor = self._anchor(value)
+        c_digits = polynomial.to_canonical_digits(delta_c, self.base, self.num_digits)
+        selected = polynomial.select_boundary_representation(
+            total, delta_c, self.base, self.num_digits
+        )
+        delta_e_digits = polynomial.subtract_digitwise(selected.digits, c_digits)
+        intermediates = tuple(
+            self._digit_digest(anchor, delta_e_digits[position], position)
+            for position in range(self.num_digits)
+        )
+        tree = self._representation_tree(anchor, total)
+        if selected.is_canonical:
+            return BoundaryAssist(
+                intermediate_digests=intermediates,
+                used_canonical=True,
+                mht_root=tree.root,
+            )
+        assert selected.index is not None
+        return BoundaryAssist(
+            intermediate_digests=intermediates,
+            used_canonical=False,
+            canonical_digest=self._canonical_digest(anchor, total),
+            mht_proof=tree.prove(selected.index),
+        )
+
+    # -- verifier side ---------------------------------------------------------------
+
+    def recompute_from_value(
+        self, value: int, total: int, assist: EntryAssist
+    ) -> bytes:
+        if assist.mht_root is None:
+            raise ValueError(
+                "the optimized scheme needs the representation-tree root to verify an entry"
+            )
+        anchor = self._anchor(value)
+        canonical_digest = self._canonical_digest(anchor, total)
+        return self.hash_function.combine(canonical_digest, assist.mht_root)
+
+    def recompute_from_boundary(self, delta_c: int, assist: BoundaryAssist) -> bytes:
+        if len(assist.intermediate_digests) != self.num_digits:
+            raise ValueError(
+                "boundary proof carries the wrong number of intermediate digests"
+            )
+        c_digits = polynomial.to_canonical_digits(delta_c, self.base, self.num_digits)
+        advanced = [
+            self.hasher.extend(digest, c_digits[position])
+            for position, digest in enumerate(assist.intermediate_digests)
+        ]
+        representation_digest = self.hash_function.combine(*advanced)
+        if assist.used_canonical:
+            if assist.mht_root is None:
+                raise ValueError("canonical boundary proof is missing the tree root")
+            return self.hash_function.combine(representation_digest, assist.mht_root)
+        if assist.canonical_digest is None or assist.mht_proof is None:
+            raise ValueError(
+                "non-canonical boundary proof needs the canonical digest and a Merkle path"
+            )
+        root = MerkleTree.root_from_payload(
+            representation_digest, assist.mht_proof, self.hash_function
+        )
+        return self.hash_function.combine(assist.canonical_digest, root)

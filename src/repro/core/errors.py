@@ -1,0 +1,61 @@
+"""Exception hierarchy for the completeness-verification core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "VerificationError",
+    "CompletenessError",
+    "AuthenticityError",
+    "ProofConstructionError",
+    "CheatingAttemptError",
+    "PolicyViolationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class VerificationError(ReproError):
+    """A query result failed verification.
+
+    The ``reason`` attribute carries a short machine-readable tag (e.g.
+    ``"signature-mismatch"``, ``"key-out-of-range"``) used by tests and by the
+    examples to explain *why* a result was rejected.
+    """
+
+    def __init__(self, message: str, reason: str = "verification-failed") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class CompletenessError(VerificationError):
+    """The result is provably missing qualifying records (or cannot prove otherwise)."""
+
+    def __init__(self, message: str, reason: str = "incomplete-result") -> None:
+        super().__init__(message, reason)
+
+
+class AuthenticityError(VerificationError):
+    """The result contains values that do not originate from the owner."""
+
+    def __init__(self, message: str, reason: str = "tampered-result") -> None:
+        super().__init__(message, reason)
+
+
+class ProofConstructionError(ReproError):
+    """The publisher could not build a proof for the supplied (honest) result."""
+
+
+class CheatingAttemptError(ProofConstructionError):
+    """An honest publisher refused to fabricate a proof for a false claim.
+
+    Raised, for example, when asked to produce the intermediate digest
+    ``h^{alpha - r - 1}(r)`` for a record with ``r >= alpha``: the exponent is
+    negative and the digest is undefined (Section 3.2, case 1).
+    """
+
+
+class PolicyViolationError(ReproError):
+    """An operation would contradict the access-control policy."""

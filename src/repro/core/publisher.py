@@ -1,0 +1,416 @@
+"""The untrusted publisher: answers relational queries and builds proofs.
+
+The publisher hosts one or more :class:`~repro.core.relational.SignedRelation`
+objects (records + chain signatures, but never the owner's private key),
+rewrites incoming queries according to the access-control policy, evaluates
+them and attaches a :class:`~repro.core.proof.RangeQueryProof` (or
+:class:`~repro.core.proof.JoinQueryProof`) that the user can check against the
+owner's public key.
+
+An honest publisher physically cannot fabricate proofs for incorrect results:
+the boundary digests it would need are undefined
+(:class:`~repro.core.errors.CheatingAttemptError`).  The test suite contains a
+*dishonest* publisher that tries anyway, to demonstrate that verification
+catches every manipulation of Section 3.2's case analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import PolicyViolationError, ProofConstructionError
+from repro.core.proof import (
+    BoundaryEntryProof,
+    FilteredEntryProof,
+    JoinQueryProof,
+    MatchedEntryProof,
+    RangeQueryProof,
+    SignatureBundle,
+)
+from repro.core.relational import SignedRelation
+from repro.crypto.aggregate import aggregate_signatures
+from repro.crypto.merkle import MerkleTree
+from repro.db.access_control import AccessControlPolicy, visibility_column_name
+from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondition
+from repro.db.records import Record
+from repro.db.schema import Schema
+
+__all__ = ["PublishedResult", "PublishedJoinResult", "Publisher"]
+
+
+@dataclass
+class PublishedResult:
+    """What the publisher ships back for a select-project query."""
+
+    relation_name: str
+    rows: List[Dict[str, object]]
+    proof: Optional[RangeQueryProof]
+    rewritten_query: Query
+
+    @property
+    def is_vacuous(self) -> bool:
+        """True when the query range was empty and no proof is required."""
+        return self.proof is None
+
+
+@dataclass
+class PublishedJoinResult:
+    """What the publisher ships back for a PK-FK join query."""
+
+    rows: List[Dict[str, object]]
+    proof: Optional[JoinQueryProof]
+    rewritten_query: JoinQuery
+    left_rows: List[Dict[str, object]]
+
+    @property
+    def is_vacuous(self) -> bool:
+        """True when the (rewritten) key range was empty and no proof is required."""
+        return self.proof is None
+
+
+class Publisher:
+    """Hosts signed relations and answers queries with completeness proofs."""
+
+    def __init__(
+        self,
+        database: Mapping[str, SignedRelation],
+        policy: Optional[AccessControlPolicy] = None,
+        aggregate: bool = True,
+    ) -> None:
+        self.database: Dict[str, SignedRelation] = dict(database)
+        self.policy = policy
+        self.aggregate = aggregate
+
+    # -- helpers ------------------------------------------------------------------
+
+    def signed_relation(self, name: str) -> SignedRelation:
+        try:
+            return self.database[name]
+        except KeyError as error:
+            raise KeyError(f"publisher does not host relation {name!r}") from error
+
+    def _rewrite(
+        self, query: Query, role: Optional[str], schema: Schema
+    ) -> Tuple[Query, Tuple[object, ...]]:
+        """Apply access-control rewriting; returns (rewritten query, role conditions)."""
+        if role is None or self.policy is None:
+            return query, ()
+        role_object = self.policy.role(role)
+        rewritten = self.policy.rewrite(query, role, schema)
+        return rewritten, tuple(role_object.row_conditions)
+
+    # -- range / multipoint / projection queries ----------------------------------------
+
+    def answer(
+        self, query: Query, role: Optional[str] = None
+    ) -> PublishedResult:
+        """Answer a select-project(-multipoint) query with a completeness proof."""
+        signed = self.signed_relation(query.relation_name)
+        schema = signed.schema
+        domain = signed.domain
+        rewritten, role_conditions = self._rewrite(query, role, schema)
+
+        key_condition = rewritten.where.key_condition(schema)
+        if key_condition is None:
+            key_condition = RangeCondition(schema.key, None, None)
+        alpha, beta = key_condition.bounds(domain)
+        if alpha > beta:
+            return PublishedResult(query.relation_name, [], None, rewritten)
+
+        start, stop = signed.relation.range_indices(alpha, beta)
+        scanned = signed.relation.records[start:stop]
+        non_key_conditions = rewritten.where.non_key_conditions(schema)
+
+        lower_boundary = self._lower_boundary_proof(signed, start, alpha)
+        upper_boundary = self._upper_boundary_proof(signed, stop, beta)
+
+        rows: List[Dict[str, object]] = []
+        entries: List[object] = []
+        seen_projected: set = set()
+        projection = rewritten.projection
+        projected_names = projection.effective_attributes(schema)
+        dropped_names = projection.dropped_attributes(schema)
+
+        for offset, record in enumerate(scanned):
+            chain_index = signed.record_chain_index(start + offset)
+            matches = all(condition.matches(record) for condition in non_key_conditions)
+            if matches:
+                row = record.project(projected_names)
+                row_signature = tuple(sorted(row.items(), key=lambda item: str(item[0])))
+                if projection.distinct and row_signature in seen_projected:
+                    entries.append(
+                        self._matched_entry(
+                            signed,
+                            chain_index,
+                            record,
+                            dropped_names,
+                            eliminated_duplicate=True,
+                            revealed=row,
+                        )
+                    )
+                    continue
+                seen_projected.add(row_signature)
+                rows.append(row)
+                entries.append(
+                    self._matched_entry(signed, chain_index, record, dropped_names)
+                )
+            else:
+                entries.append(
+                    self._filtered_entry(
+                        signed,
+                        chain_index,
+                        record,
+                        non_key_conditions,
+                        role_conditions,
+                        role,
+                    )
+                )
+
+        bundle, outer_digest = self._signature_bundle(signed, start, stop)
+        proof = RangeQueryProof(
+            key_low=alpha,
+            key_high=beta,
+            lower_boundary=lower_boundary,
+            upper_boundary=upper_boundary,
+            entries=tuple(entries),
+            signatures=bundle,
+            outer_neighbor_digest=outer_digest,
+        )
+        return PublishedResult(query.relation_name, rows, proof, rewritten)
+
+    # -- proof building blocks ---------------------------------------------------------
+
+    def _lower_boundary_proof(
+        self, signed: SignedRelation, start: int, alpha: int
+    ) -> BoundaryEntryProof:
+        """Proof for the entry immediately below the query range."""
+        chain_index = start  # record at relation position start-1, or the left delimiter
+        entry = signed.entry(chain_index)
+        upper, lower, attribute_root = signed.components(chain_index)
+        assist = signed.upper_scheme.boundary_proof(
+            entry.key,
+            signed.domain.upper - entry.key - 1,
+            signed.domain.upper - alpha,
+        )
+        return BoundaryEntryProof(
+            side="lower",
+            chain_boundary=assist,
+            other_chain_digest=lower,
+            attribute_root=attribute_root,
+        )
+
+    def _upper_boundary_proof(
+        self, signed: SignedRelation, stop: int, beta: int
+    ) -> BoundaryEntryProof:
+        """Proof for the entry immediately above the query range."""
+        chain_index = stop + 1
+        entry = signed.entry(chain_index)
+        upper, lower, attribute_root = signed.components(chain_index)
+        assist = signed.lower_scheme.boundary_proof(
+            entry.key,
+            entry.key - signed.domain.lower - 1,
+            beta - signed.domain.lower,
+        )
+        return BoundaryEntryProof(
+            side="upper",
+            chain_boundary=assist,
+            other_chain_digest=upper,
+            attribute_root=attribute_root,
+        )
+
+    def _matched_entry(
+        self,
+        signed: SignedRelation,
+        chain_index: int,
+        record: Record,
+        dropped_names: Sequence[str],
+        eliminated_duplicate: bool = False,
+        revealed: Optional[Dict[str, object]] = None,
+    ) -> MatchedEntryProof:
+        """Proof material for a record returned to the user (or a DISTINCT duplicate)."""
+        domain = signed.domain
+        upper_assist = signed.upper_scheme.entry_assist(
+            record.key, domain.upper - record.key - 1
+        )
+        lower_assist = signed.lower_scheme.entry_assist(
+            record.key, record.key - domain.lower - 1
+        )
+        dropped_digests = self._attribute_leaf_digests(signed, record, dropped_names)
+        return MatchedEntryProof(
+            upper_assist=upper_assist,
+            lower_assist=lower_assist,
+            dropped_attribute_digests=dropped_digests,
+            eliminated_duplicate=eliminated_duplicate,
+            revealed_attributes=dict(revealed or {}),
+            key=record.key if eliminated_duplicate else None,
+        )
+
+    def _filtered_entry(
+        self,
+        signed: SignedRelation,
+        chain_index: int,
+        record: Record,
+        non_key_conditions: Sequence[object],
+        role_conditions: Sequence[object],
+        role: Optional[str],
+    ) -> FilteredEntryProof:
+        """Proof material for an in-range record the query filters out (Section 4.4)."""
+        schema = signed.schema
+        failed_role = [
+            condition
+            for condition in role_conditions
+            if condition in non_key_conditions and not condition.matches(record)
+        ]
+        failed_query = [
+            condition
+            for condition in non_key_conditions
+            if condition not in role_conditions and not condition.matches(record)
+        ]
+        revealed: Dict[str, object] = {}
+        reason = "predicate"
+        if failed_role:
+            if role is None:
+                raise ProofConstructionError(
+                    "a role is required to justify access-control filtering"
+                )
+            column = visibility_column_name(role)
+            if not schema.has_attribute(column):
+                raise PolicyViolationError(
+                    "cannot hide a record filtered by access control without a "
+                    f"visibility column; add {column!r} via add_visibility_columns()"
+                )
+            revealed[column] = record[column]
+            reason = "access-control"
+        elif failed_query:
+            for condition in failed_query:
+                revealed[condition.attribute] = record[condition.attribute]
+        else:  # pragma: no cover - caller only passes non-matching records
+            raise ProofConstructionError("record unexpectedly satisfies every condition")
+
+        hidden = [
+            attribute.name
+            for attribute in schema.non_key_attributes
+            if attribute.name not in revealed
+        ]
+        leaf_digests = self._attribute_leaf_digests(signed, record, hidden)
+        upper, lower, _ = signed.components(chain_index)
+        return FilteredEntryProof(
+            revealed_attributes=revealed,
+            attribute_leaf_digests=leaf_digests,
+            upper_chain_digest=upper,
+            lower_chain_digest=lower,
+            reason=reason,
+        )
+
+    def _attribute_leaf_digests(
+        self, signed: SignedRelation, record: Record, names: Sequence[str]
+    ) -> Dict[str, bytes]:
+        """Leaf digests of the per-record attribute Merkle tree for ``names``."""
+        if not names:
+            return {}
+        order = [attribute.name for attribute in record.schema.non_key_attributes]
+        leaves = record.attribute_leaves()
+        digests = {}
+        for name in names:
+            position = order.index(name)
+            digests[name] = MerkleTree.leaf_digest_of(
+                leaves[position], signed.hash_function
+            )
+        return digests
+
+    def _signature_bundle(
+        self, signed: SignedRelation, start: int, stop: int
+    ) -> Tuple[SignatureBundle, Optional[bytes]]:
+        """Signatures covering the scanned range (or the boundary pair when empty)."""
+        if stop > start:
+            indices = [signed.record_chain_index(position) for position in range(start, stop)]
+            outer_digest = None
+        else:
+            indices = [start]  # the lower-boundary entry's chain index
+            outer_digest = (
+                signed.manifest.left_anchor()
+                if start == 0
+                else signed.entry_digest(start - 1)
+            )
+        raw = [signed.signatures[index] for index in indices]
+        messages = [signed.chain_message(index) for index in indices]
+        if self.aggregate:
+            bundle = SignatureBundle(
+                aggregate=aggregate_signatures(
+                    raw, signed.manifest.public_key, messages
+                )
+            )
+        else:
+            bundle = SignatureBundle(individual=tuple(raw))
+        return bundle, outer_digest
+
+    # -- joins ---------------------------------------------------------------------------
+
+    def answer_join(
+        self, join: JoinQuery, role: Optional[str] = None
+    ) -> PublishedJoinResult:
+        """Answer a PK-FK join (Section 4.3) with completeness and authenticity proofs.
+
+        Completeness is proven on the foreign-key side (the left relation,
+        which must be signed in foreign-key sort order); each joined
+        primary-key record is additionally proven authentic and unique through
+        a point-query proof on the right relation.
+        """
+        left_signed = self.signed_relation(join.left_relation)
+        right_signed = self.signed_relation(join.right_relation)
+        if left_signed.schema.key != join.foreign_key:
+            raise ProofConstructionError(
+                "the left relation must be signed in foreign-key order for join proofs"
+            )
+        if right_signed.schema.key != join.primary_key:
+            raise ProofConstructionError(
+                "the right relation must be signed in primary-key order for join proofs"
+            )
+        selection = Query(join.left_relation, join.where, join.projection)
+        left_result = self.answer(selection, role)
+        if left_result.proof is None:
+            return PublishedJoinResult([], None, join, [])
+
+        right_point_proofs: Dict[int, RangeQueryProof] = {}
+        right_rows_by_key: Dict[int, Dict[str, object]] = {}
+        foreign_values = sorted(
+            {row[join.foreign_key] for row in left_result.rows}
+        )
+        for value in foreign_values:
+            point_query = Query(
+                join.right_relation,
+                Conjunction((RangeCondition(join.primary_key, value, value),)),
+                Projection(),
+            )
+            point_result = self.answer(point_query, role=None)
+            if point_result.proof is None or len(point_result.rows) != 1:
+                raise ProofConstructionError(
+                    f"referential integrity violation: {join.foreign_key}={value} has "
+                    f"{len(point_result.rows)} matches in {join.right_relation!r}"
+                )
+            right_point_proofs[value] = point_result.proof
+            right_rows_by_key[value] = point_result.rows[0]
+
+        joined_rows = []
+        for left_row in left_result.rows:
+            right_row = right_rows_by_key[left_row[join.foreign_key]]
+            combined = {
+                f"{join.left_relation}.{name}": value for name, value in left_row.items()
+            }
+            combined.update(
+                {
+                    f"{join.right_relation}.{name}": value
+                    for name, value in right_row.items()
+                }
+            )
+            joined_rows.append(combined)
+        proof = JoinQueryProof(
+            left_proof=left_result.proof, right_point_proofs=right_point_proofs
+        )
+        return PublishedJoinResult(
+            rows=joined_rows,
+            proof=proof,
+            rewritten_query=join,
+            left_rows=left_result.rows,
+        )

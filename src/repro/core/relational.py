@@ -1,0 +1,310 @@
+"""The relational extension of the scheme (Section 4): signed relations.
+
+A :class:`SignedRelation` is the owner-side artefact for one relation and one
+sort order: the sorted records flanked by two delimiters, the per-entry digest
+
+``g(r) = h^{U-r.K-1}(r.K) | h^{r.K-L-1}(r.K) | MHT(r.A)``   (formula 3)
+
+and one chain signature per entry (formula 1).  Compared to the Section 3
+scheme, ``g`` gains a *lower* hash chain (so the publisher can prove that the
+record just above the query range exceeds ``beta``) and the Merkle root over
+the record's non-key attributes (which both disambiguates records sharing a key
+value and provides authenticity for every attribute).
+
+Following the paper's footnote, the delimiters sit at the domain bounds ``L``
+and ``U``.  The chain that would have a negative exponent for a delimiter (the
+lower chain of the left delimiter, the upper chain of the right delimiter) is
+replaced by a distinguished constant digest: those chains are never the subject
+of a boundary proof, so nothing is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.digest import (
+    ChainDigestScheme,
+    ConceptualChainScheme,
+    OptimizedChainScheme,
+)
+from repro.crypto.encoding import concat_digests, encode_many
+from repro.crypto.hashing import HashFunction, default_hash
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.signature import SignatureScheme
+from repro.db.records import Record
+from repro.db.relation import Relation
+from repro.db.schema import KeyDomain, Schema
+
+__all__ = ["RelationManifest", "ChainEntry", "SignedRelation", "UpdateReceipt"]
+
+_LEFT_DELIMITER = "left-delimiter"
+_RIGHT_DELIMITER = "right-delimiter"
+_RECORD = "record"
+
+
+def build_chain_schemes(
+    kind: str,
+    domain: KeyDomain,
+    base: int,
+    hash_function: HashFunction,
+) -> Tuple[ChainDigestScheme, ChainDigestScheme]:
+    """The (upper, lower) chain digest schemes for a key domain."""
+    if kind == "conceptual":
+        return (
+            ConceptualChainScheme(domain.width, "upper", hash_function),
+            ConceptualChainScheme(domain.width, "lower", hash_function),
+        )
+    if kind == "optimized":
+        return (
+            OptimizedChainScheme(domain.width, "upper", base, hash_function),
+            OptimizedChainScheme(domain.width, "lower", base, hash_function),
+        )
+    raise ValueError(f"unknown digest scheme kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class RelationManifest:
+    """Public metadata a user needs to verify results over one signed relation.
+
+    The manifest is what the owner distributes (alongside its public key); it
+    carries no record data.
+    """
+
+    schema: Schema
+    scheme_kind: str
+    base: int
+    hash_name: str
+    public_key: object  # RSAPublicKey
+
+    @property
+    def domain(self) -> KeyDomain:
+        return self.schema.key_domain
+
+    def hash_function(self) -> HashFunction:
+        return HashFunction(self.hash_name)
+
+    def chain_schemes(self) -> Tuple[ChainDigestScheme, ChainDigestScheme]:
+        return build_chain_schemes(
+            self.scheme_kind, self.domain, self.base, self.hash_function()
+        )
+
+    def left_anchor(self) -> bytes:
+        """Digest standing in for the left neighbour of the left delimiter."""
+        return self.hash_function().digest(encode_many(["anchor", self.domain.lower]))
+
+    def right_anchor(self) -> bytes:
+        """Digest standing in for the right neighbour of the right delimiter."""
+        return self.hash_function().digest(encode_many(["anchor", self.domain.upper]))
+
+
+@dataclass(frozen=True)
+class ChainEntry:
+    """One entry of the signed chain: a record or one of the two delimiters."""
+
+    kind: str
+    key: int
+    record: Optional[Record] = None
+
+    @property
+    def is_record(self) -> bool:
+        return self.kind == _RECORD
+
+
+@dataclass(frozen=True)
+class UpdateReceipt:
+    """What an insert/delete/update cost the owner (Section 6.3 accounting)."""
+
+    signatures_recomputed: int
+    digests_recomputed: int
+    entries_affected: Tuple[int, ...]
+
+
+class SignedRelation:
+    """A relation published with per-record chain signatures for one sort order."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        scheme_kind: str = "optimized",
+        base: int = 2,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        self.relation = relation
+        self.schema: Schema = relation.schema
+        self.domain: KeyDomain = self.schema.key_domain
+        self.hash_function = hash_function or default_hash()
+        self.scheme_kind = scheme_kind
+        self.base = base
+        self._signature_scheme = signature_scheme
+        self.upper_scheme, self.lower_scheme = build_chain_schemes(
+            scheme_kind, self.domain, base, self.hash_function
+        )
+        self._entries: List[ChainEntry] = []
+        self._components: List[Tuple[bytes, bytes, bytes]] = []
+        self.signatures: List[int] = []
+        self._rebuild_all()
+
+    # -- manifest -------------------------------------------------------------------
+
+    @property
+    def manifest(self) -> RelationManifest:
+        """The public verification metadata for this relation."""
+        return RelationManifest(
+            schema=self.schema,
+            scheme_kind=self.scheme_kind,
+            base=self.base,
+            hash_name=self.hash_function.name,
+            public_key=self._signature_scheme.verifier,
+        )
+
+    # -- chain structure -----------------------------------------------------------------
+
+    @property
+    def entries(self) -> List[ChainEntry]:
+        """All chain entries (delimiters included), in sort order."""
+        return list(self._entries)
+
+    def entry_count(self) -> int:
+        """Number of chain entries including the two delimiters."""
+        return len(self._entries)
+
+    def record_chain_index(self, record_position: int) -> int:
+        """Chain index of the record at ``record_position`` in the relation."""
+        return record_position + 1
+
+    def entry(self, index: int) -> ChainEntry:
+        return self._entries[index]
+
+    def components(self, index: int) -> Tuple[bytes, bytes, bytes]:
+        """The (upper-chain, lower-chain, attribute-root) digests of entry ``index``."""
+        return self._components[index]
+
+    def entry_digest(self, index: int) -> bytes:
+        """The full ``g`` digest of entry ``index`` (the three components concatenated)."""
+        return concat_digests(*self._components[index])
+
+    def chain_message(self, index: int) -> bytes:
+        """The signed byte string of entry ``index`` (formula (1))."""
+        manifest = self.manifest
+        previous = (
+            manifest.left_anchor() if index == 0 else self.entry_digest(index - 1)
+        )
+        following = (
+            manifest.right_anchor()
+            if index == len(self._entries) - 1
+            else self.entry_digest(index + 1)
+        )
+        return self.hash_function.combine(previous, self.entry_digest(index), following)
+
+    # -- digest construction ----------------------------------------------------------------
+
+    def _delimiter_attribute_root(self, kind: str) -> bytes:
+        return self.hash_function.digest(encode_many(["delimiter-attributes", kind]))
+
+    def _sentinel_digest(self, tag: str, bound: int) -> bytes:
+        return self.hash_function.digest(encode_many([tag, bound]))
+
+    def _entry_components(self, entry: ChainEntry) -> Tuple[bytes, bytes, bytes]:
+        domain = self.domain
+        if entry.kind == _LEFT_DELIMITER:
+            upper = self.upper_scheme.commitment(entry.key, domain.upper - entry.key - 1)
+            lower = self._sentinel_digest("left-delimiter-lower", domain.lower)
+            attribute_root = self._delimiter_attribute_root(entry.kind)
+        elif entry.kind == _RIGHT_DELIMITER:
+            upper = self._sentinel_digest("right-delimiter-upper", domain.upper)
+            lower = self.lower_scheme.commitment(entry.key, entry.key - domain.lower - 1)
+            attribute_root = self._delimiter_attribute_root(entry.kind)
+        else:
+            assert entry.record is not None
+            upper = self.upper_scheme.commitment(entry.key, domain.upper - entry.key - 1)
+            lower = self.lower_scheme.commitment(entry.key, entry.key - domain.lower - 1)
+            attribute_root = entry.record.attribute_root(self.hash_function)
+        return upper, lower, attribute_root
+
+    def _build_entries(self) -> List[ChainEntry]:
+        entries = [ChainEntry(_LEFT_DELIMITER, self.domain.lower)]
+        entries.extend(
+            ChainEntry(_RECORD, record.key, record) for record in self.relation
+        )
+        entries.append(ChainEntry(_RIGHT_DELIMITER, self.domain.upper))
+        return entries
+
+    def _rebuild_all(self) -> None:
+        self._entries = self._build_entries()
+        self._components = [self._entry_components(entry) for entry in self._entries]
+        self.signatures = [
+            self._signature_scheme.sign(self.chain_message(index))
+            for index in range(len(self._entries))
+        ]
+
+    # -- updates (Section 6.3) -----------------------------------------------------------------
+
+    def _resign_window(self, centre: int) -> UpdateReceipt:
+        """Re-sign the entries whose chain message involves entry ``centre``."""
+        affected = [
+            index
+            for index in (centre - 1, centre, centre + 1)
+            if 0 <= index < len(self._entries)
+        ]
+        for index in affected:
+            self.signatures[index] = self._signature_scheme.sign(self.chain_message(index))
+        return UpdateReceipt(
+            signatures_recomputed=len(affected),
+            digests_recomputed=1,
+            entries_affected=tuple(affected),
+        )
+
+    def insert_record(self, record) -> UpdateReceipt:
+        """Insert a record and refresh the three affected signatures."""
+        position = self.relation.insert(record)
+        chain_index = self.record_chain_index(position)
+        inserted = self.relation[position]
+        entry = ChainEntry(_RECORD, inserted.key, inserted)
+        self._entries.insert(chain_index, entry)
+        self._components.insert(chain_index, self._entry_components(entry))
+        self.signatures.insert(chain_index, 0)
+        return self._resign_window(chain_index)
+
+    def delete_record(self, record: Record) -> UpdateReceipt:
+        """Delete a record and refresh the two signatures around the gap."""
+        position = self.relation.delete(record)
+        chain_index = self.record_chain_index(position)
+        del self._entries[chain_index]
+        del self._components[chain_index]
+        del self.signatures[chain_index]
+        affected = [
+            index
+            for index in (chain_index - 1, chain_index)
+            if 0 <= index < len(self._entries)
+        ]
+        for index in affected:
+            self.signatures[index] = self._signature_scheme.sign(self.chain_message(index))
+        return UpdateReceipt(
+            signatures_recomputed=len(affected),
+            digests_recomputed=0,
+            entries_affected=tuple(affected),
+        )
+
+    def update_record(self, old: Record, new) -> UpdateReceipt:
+        """Replace ``old`` with ``new``; affected signatures are refreshed."""
+        delete_receipt = self.delete_record(old)
+        insert_receipt = self.insert_record(new)
+        return UpdateReceipt(
+            signatures_recomputed=delete_receipt.signatures_recomputed
+            + insert_receipt.signatures_recomputed,
+            digests_recomputed=delete_receipt.digests_recomputed
+            + insert_receipt.digests_recomputed,
+            entries_affected=delete_receipt.entries_affected
+            + insert_receipt.entries_affected,
+        )
+
+    # -- verification convenience ------------------------------------------------------------------
+
+    def verify_internal_consistency(self) -> bool:
+        """Owner-side self-check: every stored signature matches its chain message."""
+        return all(
+            self._signature_scheme.verify(self.chain_message(index), signature)
+            for index, signature in enumerate(self.signatures)
+        )

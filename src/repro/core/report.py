@@ -1,0 +1,40 @@
+"""Verification reports returned on successful verification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["VerificationReport"]
+
+
+@dataclass
+class VerificationReport:
+    """Summary of a successful verification.
+
+    Verification functions *raise* :class:`repro.core.errors.VerificationError`
+    when anything is wrong; when they return, they return one of these so the
+    caller (and the benchmarks) can see how much work was done.
+    """
+
+    #: How many chain signatures (or aggregated messages) were checked.
+    checked_messages: int = 0
+    #: How many signature verification operations were performed (1 if aggregated).
+    signature_verifications: int = 0
+    #: Number of primitive hash invocations measured during verification.
+    hash_operations: int = 0
+    #: Number of result rows covered by the verification.
+    result_rows: int = 0
+    #: Free-form details (e.g. per-range breakdowns for multi-range queries).
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        """Combine two reports (used by join and multi-range verification)."""
+        return VerificationReport(
+            checked_messages=self.checked_messages + other.checked_messages,
+            signature_verifications=self.signature_verifications
+            + other.signature_verifications,
+            hash_operations=self.hash_operations + other.hash_operations,
+            result_rows=self.result_rows + other.result_rows,
+            details={**self.details, **other.details},
+        )

@@ -1,0 +1,550 @@
+"""User-side verification of relational query results.
+
+The verifier holds only what the owner distributed through an authenticated
+channel: per-relation :class:`~repro.core.relational.RelationManifest` objects
+(schema, key domain, digest-scheme configuration) and the owner's public key.
+From those, plus the query it issued and the rows and proof the publisher
+returned, it reconstructs every ``g`` digest and chain message and checks them
+against the owner's signatures.
+
+Verification raises a :class:`~repro.core.errors.VerificationError` subclass
+describing the problem; on success it returns a
+:class:`~repro.core.report.VerificationReport` with cost accounting used by the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import (
+    AuthenticityError,
+    CompletenessError,
+    VerificationError,
+)
+from repro.core.proof import (
+    BoundaryEntryProof,
+    FilteredEntryProof,
+    JoinQueryProof,
+    MatchedEntryProof,
+    RangeQueryProof,
+    SignatureBundle,
+)
+from repro.core.relational import RelationManifest
+from repro.core.report import VerificationReport
+from repro.crypto.aggregate import verify_aggregate
+from repro.crypto.encoding import concat_digests, encode_many
+from repro.crypto.hashing import HASH_COUNTER
+from repro.crypto.merkle import MerkleTree
+from repro.db.access_control import AccessControlPolicy, visibility_column_name
+from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondition
+from repro.db.schema import Schema
+
+__all__ = ["ResultVerifier"]
+
+
+class ResultVerifier:
+    """Verifies relational query results against owner-signed chains."""
+
+    def __init__(
+        self,
+        manifests: Mapping[str, RelationManifest],
+        policy: Optional[AccessControlPolicy] = None,
+    ) -> None:
+        self.manifests: Dict[str, RelationManifest] = dict(manifests)
+        self.policy = policy
+
+    @classmethod
+    def for_relation(
+        cls, name: str, manifest: RelationManifest, policy=None
+    ) -> "ResultVerifier":
+        """Convenience constructor for a single relation."""
+        return cls({name: manifest}, policy)
+
+    def manifest(self, relation_name: str) -> RelationManifest:
+        try:
+            return self.manifests[relation_name]
+        except KeyError as error:
+            raise VerificationError(
+                f"no manifest available for relation {relation_name!r}",
+                reason="unknown-relation",
+            ) from error
+
+    # -- range / multipoint / projection queries ------------------------------------------
+
+    def verify(
+        self,
+        query: Query,
+        rows: Sequence[Mapping[str, object]],
+        proof: Optional[RangeQueryProof],
+        role: Optional[str] = None,
+    ) -> VerificationReport:
+        """Verify a select-project(-multipoint) result.
+
+        ``query`` is the query as the *user* issued it; when a ``role`` and a
+        policy are available the verifier applies the same rewriting the
+        publisher is supposed to apply, so a publisher that ignores access
+        control is caught as well.
+        """
+        start_hashes = HASH_COUNTER.count
+        manifest = self.manifest(query.relation_name)
+        schema = manifest.schema
+        rewritten = (
+            self.policy.rewrite(query, role, schema)
+            if role is not None and self.policy is not None
+            else query
+        )
+        key_condition = rewritten.where.key_condition(schema)
+        if key_condition is None:
+            key_condition = RangeCondition(schema.key, None, None)
+        alpha, beta = key_condition.bounds(manifest.domain)
+
+        if alpha > beta:
+            if rows or proof is not None:
+                raise VerificationError(
+                    "the query range is empty, yet the publisher returned data",
+                    reason="vacuous-range",
+                )
+            return VerificationReport(result_rows=0)
+        if proof is None:
+            raise CompletenessError(
+                "the publisher did not attach a completeness proof",
+                reason="missing-proof",
+            )
+        if proof.key_low != alpha or proof.key_high != beta:
+            raise VerificationError(
+                "the proof speaks about a different key range than the query",
+                reason="range-mismatch",
+            )
+
+        upper_scheme, lower_scheme = manifest.chain_schemes()
+        hash_function = manifest.hash_function()
+        domain = manifest.domain
+
+        lower_digest = self._boundary_digest(
+            proof.lower_boundary, "lower", alpha, beta, manifest
+        )
+        upper_digest = self._boundary_digest(
+            proof.upper_boundary, "upper", alpha, beta, manifest
+        )
+
+        non_key_conditions = rewritten.where.non_key_conditions(schema)
+        projection = rewritten.projection
+        entry_digests: List[bytes] = []
+        row_iterator = iter(rows)
+        consumed_rows = 0
+
+        for entry in proof.entries:
+            if isinstance(entry, MatchedEntryProof):
+                if entry.eliminated_duplicate:
+                    digest = self._duplicate_entry_digest(
+                        entry, rows, alpha, beta, manifest, projection
+                    )
+                else:
+                    try:
+                        row = next(row_iterator)
+                    except StopIteration:
+                        raise CompletenessError(
+                            "the proof covers more matched records than rows returned",
+                            reason="row-count-mismatch",
+                        ) from None
+                    consumed_rows += 1
+                    digest = self._matched_entry_digest(
+                        entry,
+                        row,
+                        alpha,
+                        beta,
+                        manifest,
+                        projection,
+                        non_key_conditions,
+                    )
+            elif isinstance(entry, FilteredEntryProof):
+                digest = self._filtered_entry_digest(
+                    entry, manifest, non_key_conditions, role
+                )
+            else:  # pragma: no cover - defensive
+                raise VerificationError("unknown proof entry type")
+            entry_digests.append(digest)
+
+        if consumed_rows != len(rows):
+            raise VerificationError(
+                "the publisher returned rows that the proof does not cover",
+                reason="row-count-mismatch",
+            )
+
+        messages = self._chain_messages(
+            proof, lower_digest, upper_digest, entry_digests, hash_function
+        )
+        self._check_signatures(messages, proof.signatures, manifest)
+        return VerificationReport(
+            checked_messages=len(messages),
+            signature_verifications=1
+            if proof.signatures.is_aggregated
+            else len(messages),
+            hash_operations=HASH_COUNTER.count - start_hashes,
+            result_rows=len(rows),
+        )
+
+    # -- digest reconstruction -------------------------------------------------------------
+
+    def _boundary_digest(
+        self,
+        boundary: BoundaryEntryProof,
+        expected_side: str,
+        alpha: int,
+        beta: int,
+        manifest: RelationManifest,
+    ) -> bytes:
+        """Reassemble ``g`` for a boundary record from its boundary proof."""
+        if boundary.side != expected_side:
+            raise VerificationError(
+                f"expected a {expected_side!r} boundary proof, got {boundary.side!r}",
+                reason="boundary-side-mismatch",
+            )
+        upper_scheme, lower_scheme = manifest.chain_schemes()
+        domain = manifest.domain
+        if expected_side == "lower":
+            derived = upper_scheme.recompute_from_boundary(
+                domain.upper - alpha, boundary.chain_boundary
+            )
+            return concat_digests(
+                derived, boundary.other_chain_digest, boundary.attribute_root
+            )
+        derived = lower_scheme.recompute_from_boundary(
+            beta - domain.lower, boundary.chain_boundary
+        )
+        return concat_digests(
+            boundary.other_chain_digest, derived, boundary.attribute_root
+        )
+
+    def _entry_chain_digests(
+        self, key: int, entry: MatchedEntryProof, manifest: RelationManifest
+    ) -> Tuple[bytes, bytes]:
+        upper_scheme, lower_scheme = manifest.chain_schemes()
+        domain = manifest.domain
+        upper = upper_scheme.recompute_from_value(
+            key, domain.upper - key - 1, entry.upper_assist
+        )
+        lower = lower_scheme.recompute_from_value(
+            key, key - domain.lower - 1, entry.lower_assist
+        )
+        return upper, lower
+
+    def _matched_entry_digest(
+        self,
+        entry: MatchedEntryProof,
+        row: Mapping[str, object],
+        alpha: int,
+        beta: int,
+        manifest: RelationManifest,
+        projection: Projection,
+        non_key_conditions: Sequence[object],
+    ) -> bytes:
+        schema = manifest.schema
+        key_name = schema.key
+        if key_name not in row:
+            raise VerificationError(
+                "result rows must include the sort-key attribute",
+                reason="missing-key",
+            )
+        key = row[key_name]
+        if not isinstance(key, int) or not (alpha <= key <= beta):
+            raise CompletenessError(
+                f"result row key {key!r} falls outside the query range",
+                reason="key-out-of-range",
+            )
+        expected_names = set(projection.effective_attributes(schema))
+        if set(row.keys()) != expected_names:
+            raise VerificationError(
+                "result row attributes do not match the query projection",
+                reason="projection-mismatch",
+            )
+        for condition in non_key_conditions:
+            attribute = getattr(condition, "attribute", None)
+            if attribute in row and not condition.matches(_RowView(row)):
+                raise VerificationError(
+                    f"result row violates the query condition on {attribute!r}",
+                    reason="spurious-row",
+                )
+        attribute_root = self._attribute_root(
+            row, entry.dropped_attribute_digests, manifest
+        )
+        upper, lower = self._entry_chain_digests(key, entry, manifest)
+        return concat_digests(upper, lower, attribute_root)
+
+    def _duplicate_entry_digest(
+        self,
+        entry: MatchedEntryProof,
+        rows: Sequence[Mapping[str, object]],
+        alpha: int,
+        beta: int,
+        manifest: RelationManifest,
+        projection: Projection,
+    ) -> bytes:
+        """Digest of an eliminated DISTINCT duplicate (Section 4.2)."""
+        if not projection.distinct:
+            raise VerificationError(
+                "the proof eliminates duplicates although the query did not ask for DISTINCT",
+                reason="unexpected-duplicate",
+            )
+        if entry.key is None:
+            raise VerificationError(
+                "an eliminated duplicate must disclose its key value",
+                reason="missing-key",
+            )
+        if not (alpha <= entry.key <= beta):
+            raise CompletenessError(
+                "an eliminated duplicate's key falls outside the query range",
+                reason="key-out-of-range",
+            )
+        revealed = dict(entry.revealed_attributes)
+        matches_existing = any(
+            all(row.get(name) == value for name, value in revealed.items())
+            for row in rows
+        )
+        if not matches_existing:
+            raise CompletenessError(
+                "a record was eliminated as a duplicate but matches no returned row",
+                reason="false-duplicate",
+            )
+        attribute_root = self._attribute_root(
+            revealed, entry.dropped_attribute_digests, manifest
+        )
+        upper, lower = self._entry_chain_digests(entry.key, entry, manifest)
+        return concat_digests(upper, lower, attribute_root)
+
+    def _filtered_entry_digest(
+        self,
+        entry: FilteredEntryProof,
+        manifest: RelationManifest,
+        non_key_conditions: Sequence[object],
+        role: Optional[str],
+    ) -> bytes:
+        """Digest of an in-range record the query filters out (Section 4.4)."""
+        revealed = dict(entry.revealed_attributes)
+        if not revealed:
+            raise CompletenessError(
+                "a filtered record must justify its exclusion",
+                reason="unjustified-filtering",
+            )
+        if entry.reason == "access-control":
+            if role is None:
+                raise VerificationError(
+                    "the proof hides records behind access control, but no role was given",
+                    reason="missing-role",
+                )
+            column = visibility_column_name(role)
+            if revealed.get(column) is not False:
+                raise CompletenessError(
+                    "a record was hidden for access-control reasons although the "
+                    "visibility column does not say so",
+                    reason="unjustified-filtering",
+                )
+        elif entry.reason == "predicate":
+            justified = False
+            for condition in non_key_conditions:
+                attribute = getattr(condition, "attribute", None)
+                if attribute in revealed and not condition.matches(_RowView(revealed)):
+                    justified = True
+                    break
+            if not justified:
+                raise CompletenessError(
+                    "a filtered record's revealed attributes satisfy every query condition",
+                    reason="unjustified-filtering",
+                )
+        else:
+            raise VerificationError(
+                f"unknown filtering reason {entry.reason!r}", reason="bad-proof"
+            )
+        attribute_root = self._attribute_root(
+            revealed, entry.attribute_leaf_digests, manifest
+        )
+        return concat_digests(
+            entry.upper_chain_digest, entry.lower_chain_digest, attribute_root
+        )
+
+    def _attribute_root(
+        self,
+        revealed: Mapping[str, object],
+        provided_digests: Mapping[str, bytes],
+        manifest: RelationManifest,
+    ) -> bytes:
+        """Rebuild ``MHT(r.A)`` from revealed values and provided leaf digests."""
+        schema = manifest.schema
+        hash_function = manifest.hash_function()
+        leaf_digests: List[bytes] = []
+        non_key = schema.non_key_attributes
+        if not non_key:
+            return MerkleTree(
+                [b"__no_non_key_attributes__"], hash_function
+            ).root
+        for attribute in non_key:
+            name = attribute.name
+            if name in revealed:
+                payload = encode_many([name, revealed[name]])
+                leaf_digests.append(MerkleTree.leaf_digest_of(payload, hash_function))
+            elif name in provided_digests:
+                leaf_digests.append(provided_digests[name])
+            else:
+                raise VerificationError(
+                    f"the proof provides neither value nor digest for attribute {name!r}",
+                    reason="missing-attribute-digest",
+                )
+        return MerkleTree.root_from_leaf_digests(leaf_digests, hash_function)
+
+    # -- chain messages and signatures --------------------------------------------------------
+
+    def _chain_messages(
+        self,
+        proof: RangeQueryProof,
+        lower_digest: bytes,
+        upper_digest: bytes,
+        entry_digests: List[bytes],
+        hash_function,
+    ) -> List[bytes]:
+        if entry_digests:
+            chain = [lower_digest] + entry_digests + [upper_digest]
+            return [
+                hash_function.combine(chain[i - 1], chain[i], chain[i + 1])
+                for i in range(1, len(chain) - 1)
+            ]
+        if proof.outer_neighbor_digest is None:
+            raise CompletenessError(
+                "an empty result needs the outer neighbour digest of the boundary pair",
+                reason="missing-outer-digest",
+            )
+        return [
+            hash_function.combine(
+                proof.outer_neighbor_digest, lower_digest, upper_digest
+            )
+        ]
+
+    def _check_signatures(
+        self,
+        messages: List[bytes],
+        bundle: SignatureBundle,
+        manifest: RelationManifest,
+    ) -> None:
+        public_key = manifest.public_key
+        if bundle.is_aggregated:
+            assert bundle.aggregate is not None
+            if not verify_aggregate(bundle.aggregate, messages, public_key):
+                raise CompletenessError(
+                    "the aggregated signature does not match the reconstructed chain",
+                    reason="signature-mismatch",
+                )
+            return
+        if len(bundle.individual) != len(messages):
+            raise CompletenessError(
+                "the number of signatures does not match the reconstructed chain",
+                reason="signature-count-mismatch",
+            )
+        for message, signature in zip(messages, bundle.individual):
+            if not public_key.verify(message, signature):
+                raise CompletenessError(
+                    "a chain signature does not match the reconstructed digests",
+                    reason="signature-mismatch",
+                )
+
+    # -- joins ------------------------------------------------------------------------------
+
+    def verify_join(
+        self,
+        join: JoinQuery,
+        rows: Sequence[Mapping[str, object]],
+        proof: Optional[JoinQueryProof],
+        left_rows: Sequence[Mapping[str, object]],
+        role: Optional[str] = None,
+    ) -> VerificationReport:
+        """Verify a PK-FK join result (Section 4.3)."""
+        left_query = Query(join.left_relation, join.where, join.projection)
+        if proof is None:
+            report = self.verify(left_query, left_rows, None, role)
+            if rows:
+                raise VerificationError(
+                    "vacuous join reported rows", reason="vacuous-range"
+                )
+            return report
+        report = self.verify(left_query, left_rows, proof.left_proof, role)
+
+        right_manifest = self.manifest(join.right_relation)
+        joined: List[Dict[str, object]] = []
+        verified_right: Dict[int, Mapping[str, object]] = {}
+        for left_row in left_rows:
+            value = left_row.get(join.foreign_key)
+            if value not in proof.right_point_proofs:
+                raise CompletenessError(
+                    f"no authenticity proof for joined key {value!r}",
+                    reason="missing-join-proof",
+                )
+            if value not in verified_right:
+                point_query = Query(
+                    join.right_relation,
+                    Conjunction((RangeCondition(join.primary_key, value, value),)),
+                    Projection(),
+                )
+                right_row = self._verify_point_lookup(
+                    point_query, proof.right_point_proofs[value], rows, value
+                )
+                verified_right[value] = right_row
+                report = report.merge(
+                    VerificationReport(checked_messages=1, result_rows=1)
+                )
+            combined = {
+                f"{join.left_relation}.{name}": item for name, item in left_row.items()
+            }
+            combined.update(
+                {
+                    f"{join.right_relation}.{name}": item
+                    for name, item in verified_right[value].items()
+                }
+            )
+            joined.append(combined)
+
+        if [dict(row) for row in rows] != joined:
+            raise VerificationError(
+                "the joined rows do not match the verified left and right partitions",
+                reason="join-mismatch",
+            )
+        return report
+
+    def _verify_point_lookup(
+        self,
+        point_query: Query,
+        point_proof: RangeQueryProof,
+        all_rows: Sequence[Mapping[str, object]],
+        value: int,
+    ) -> Mapping[str, object]:
+        """Verify a single-key lookup on the primary-key side of a join."""
+        prefix = f"{point_query.relation_name}."
+        candidate_rows = []
+        for row in all_rows:
+            key_attr = prefix + self.manifest(point_query.relation_name).schema.key
+            if row.get(key_attr) == value:
+                candidate = {
+                    name[len(prefix) :]: item
+                    for name, item in row.items()
+                    if name.startswith(prefix)
+                }
+                if candidate not in candidate_rows:
+                    candidate_rows.append(candidate)
+        if len(candidate_rows) != 1:
+            raise CompletenessError(
+                f"expected exactly one primary-key record for key {value!r}",
+                reason="join-cardinality",
+            )
+        self.verify(point_query, candidate_rows, point_proof, role=None)
+        return candidate_rows[0]
+
+
+class _RowView:
+    """Adapts a plain mapping to the ``record.get`` interface conditions expect."""
+
+    def __init__(self, values: Mapping[str, object]) -> None:
+        self._values = values
+
+    def get(self, name: str, default=None):
+        return self._values.get(name, default)
+
+    def __getitem__(self, name: str):
+        return self._values[name]

@@ -1,0 +1,45 @@
+"""Cryptographic substrate for the completeness-verification scheme.
+
+The paper (Pang et al., SIGMOD 2005) builds on four primitives, all of which are
+implemented here from scratch so the library has no external dependencies:
+
+* one-way and *iterated* hash functions (:mod:`repro.crypto.hashing`),
+* RSA digital signatures with full-domain hashing (:mod:`repro.crypto.rsa`),
+* same-signer signature aggregation, i.e. condensed-RSA
+  (:mod:`repro.crypto.aggregate`),
+* Merkle hash trees with verification objects (:mod:`repro.crypto.merkle`).
+"""
+
+from repro.crypto.aggregate import (
+    AggregateSignature,
+    aggregate_signatures,
+    verify_aggregate,
+)
+from repro.crypto.hashing import (
+    HashChain,
+    HashFunction,
+    IteratedHasher,
+    default_hash,
+)
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
+from repro.crypto.signature import SignatureScheme, Signer, Verifier
+
+__all__ = [
+    "AggregateSignature",
+    "aggregate_signatures",
+    "verify_aggregate",
+    "HashChain",
+    "HashFunction",
+    "IteratedHasher",
+    "default_hash",
+    "MerkleProof",
+    "MerkleTree",
+    "RSAKeyPair",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "generate_keypair",
+    "SignatureScheme",
+    "Signer",
+    "Verifier",
+]

@@ -1,0 +1,81 @@
+"""Byte-level encoding helpers shared by the cryptographic modules.
+
+The paper manipulates integers (key values, hash-chain exponents) and variable
+length attribute values.  Everything that ends up inside a hash or a signature
+must first be serialised to bytes in a canonical, unambiguous way; this module
+centralises those conversions so that the owner, publisher and user all hash
+exactly the same byte strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+Encodable = Union[bytes, bytearray, memoryview, str, int, float, bool, None]
+
+#: Separator used when joining multiple encoded fields.  Length-prefixing (see
+#: :func:`encode_many`) already guarantees unambiguity; the separator merely aids
+#: debugging of raw byte strings.
+_FIELD_TAG_BYTES = 1
+
+
+def int_to_bytes(value: int) -> bytes:
+    """Serialise a (possibly negative) integer to a minimal big-endian encoding.
+
+    A sign byte is prepended so that ``-1`` and ``255`` never encode to the same
+    byte string.
+    """
+    sign = b"\x01" if value < 0 else b"\x00"
+    magnitude = abs(value)
+    length = max(1, (magnitude.bit_length() + 7) // 8)
+    return sign + magnitude.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Invert :func:`int_to_bytes`."""
+    if not data:
+        raise ValueError("cannot decode an integer from empty bytes")
+    sign = -1 if data[0] == 1 else 1
+    return sign * int.from_bytes(data[1:], "big")
+
+
+def encode_value(value: Encodable) -> bytes:
+    """Canonically encode a single scalar value as bytes.
+
+    Each supported type gets a distinct one-byte tag so that, for instance, the
+    integer ``1`` and the string ``"1"`` hash differently.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):  # bool must be tested before int
+        return b"B" + (b"\x01" if value else b"\x00")
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return b"Y" + bytes(value)
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, int):
+        return b"I" + int_to_bytes(value)
+    if isinstance(value, float):
+        return b"F" + repr(value).encode("ascii")
+    raise TypeError(f"cannot canonically encode value of type {type(value)!r}")
+
+
+def encode_many(values: Iterable[Encodable]) -> bytes:
+    """Encode a sequence of values with length prefixes.
+
+    Length-prefixing makes the encoding injective: no two distinct sequences of
+    values can produce the same byte string, which is required for the
+    collision-resistance arguments in the paper to carry over to the
+    implementation.
+    """
+    parts = []
+    for value in values:
+        encoded = encode_value(value)
+        parts.append(len(encoded).to_bytes(4, "big"))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def concat_digests(*digests: bytes) -> bytes:
+    """Concatenate digests, as the ``|`` operator in the paper's formulas."""
+    return b"".join(digests)

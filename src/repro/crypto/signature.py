@@ -1,0 +1,80 @@
+"""Signature scheme interfaces.
+
+The core library never talks to RSA directly; it goes through the small
+``Signer`` / ``Verifier`` protocol defined here, so an alternative signature
+algorithm (e.g. DSA, BLS) could be dropped in without touching the scheme
+logic.  ``SignatureScheme`` bundles a signer and verifier with metadata used by
+the cost model (signature size in bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
+
+__all__ = ["Signer", "Verifier", "SignatureScheme", "rsa_scheme"]
+
+
+@runtime_checkable
+class Signer(Protocol):
+    """Anything that can sign a byte string and report its signature size."""
+
+    def sign(self, message: bytes) -> int:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class Verifier(Protocol):
+    """Anything that can verify a signature over a byte string."""
+
+    def verify(self, message: bytes, signature: int) -> bool:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class SignatureScheme:
+    """A concrete signature scheme: the owner's signer plus the public verifier.
+
+    Attributes
+    ----------
+    signer:
+        Held by the data owner; never shipped to publishers or users.
+    verifier:
+        The owner's public key, distributed to users via an authenticated
+        channel.
+    signature_bits:
+        Size of one signature (``Msign`` in the paper's Table 1).
+    """
+
+    signer: RSAPrivateKey
+    verifier: RSAPublicKey
+    signature_bits: int
+
+    def sign(self, message: bytes) -> int:
+        """Sign ``message`` with the owner's private key."""
+        return self.signer.sign(message)
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Verify ``signature`` over ``message`` with the owner's public key."""
+        return self.verifier.verify(message, signature)
+
+
+def rsa_scheme(bits: int = 1024, hash_name: str = "sha256") -> SignatureScheme:
+    """Create a fresh RSA-based :class:`SignatureScheme`."""
+    keypair: RSAKeyPair = generate_keypair(bits=bits, hash_name=hash_name)
+    return SignatureScheme(
+        signer=keypair.private_key,
+        verifier=keypair.public_key,
+        signature_bits=keypair.public_key.bits,
+    )
+
+
+def scheme_from_keypair(keypair: RSAKeyPair) -> SignatureScheme:
+    """Wrap an existing key pair (useful for sharing one key across fixtures)."""
+    return SignatureScheme(
+        signer=keypair.private_key,
+        verifier=keypair.public_key,
+        signature_bits=keypair.public_key.bits,
+    )

@@ -1,0 +1,137 @@
+"""Role-based access control and query rewriting.
+
+The motivating example of the paper (Figure 1): an HR executive may only see
+employee records with ``Salary < 9000``, while the HR manager sees everything.
+The access control mechanism rewrites the user's query to add the role's row
+predicate; the publisher then answers the *rewritten* query, and the
+completeness scheme must be able to prove completeness of the rewritten result
+without leaking the out-of-scope rows — which is exactly where the Devanbu
+boundary-tuple approach breaks down and this paper's contribution starts.
+
+Section 4.4 (case 2) additionally introduces *visibility columns*: one boolean
+column per user group stating whether the group may see the record.  For
+multipoint queries the publisher returns ``visibility = False`` plus digests
+for the remaining attributes of a filtered record, revealing only the number of
+hidden records, never their contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.query import Conjunction, EqualityCondition, Query, RangeCondition
+from repro.db.records import Record
+from repro.db.relation import Relation
+from repro.db.schema import Attribute, AttributeType, Schema
+
+__all__ = [
+    "Role",
+    "AccessControlPolicy",
+    "visibility_column_name",
+    "add_visibility_columns",
+]
+
+
+def visibility_column_name(role_name: str) -> str:
+    """Name of the visibility column for a user group (Section 4.4 case 2)."""
+    return f"__visible_{role_name}"
+
+
+@dataclass(frozen=True)
+class Role:
+    """A user group with row- and column-level restrictions.
+
+    Attributes
+    ----------
+    name:
+        Role name (e.g. ``"hr_manager"``).
+    row_conditions:
+        Conditions conjoined to every query this role issues.  An empty tuple
+        means the role can see all rows.
+    visible_attributes:
+        If not ``None``, the only attributes this role may read; projections
+        are intersected with this set.
+    """
+
+    name: str
+    row_conditions: Tuple[object, ...] = ()
+    visible_attributes: Optional[Tuple[str, ...]] = None
+
+    def can_see(self, record: Record) -> bool:
+        """Row-level check: may this role see ``record``?"""
+        return all(condition.matches(record) for condition in self.row_conditions)
+
+    def allowed_attributes(self, schema: Schema) -> List[str]:
+        """Attributes this role may read (always includes the sort key)."""
+        if self.visible_attributes is None:
+            return schema.attribute_names
+        allowed = [
+            name for name in schema.attribute_names if name in self.visible_attributes
+        ]
+        if schema.key not in allowed:
+            allowed.insert(0, schema.key)
+        return allowed
+
+
+@dataclass
+class AccessControlPolicy:
+    """A set of roles governing access to one relation."""
+
+    roles: Dict[str, Role] = field(default_factory=dict)
+
+    def add_role(self, role: Role) -> None:
+        """Register (or replace) a role."""
+        self.roles[role.name] = role
+
+    def role(self, name: str) -> Role:
+        """Look up a role by name."""
+        try:
+            return self.roles[name]
+        except KeyError as error:
+            raise KeyError(f"unknown role {name!r}") from error
+
+    def rewrite(self, query: Query, role_name: str, schema: Schema) -> Query:
+        """Rewrite ``query`` so it complies with ``role_name``'s policy.
+
+        * row predicates are conjoined to the WHERE clause;
+        * the projection is intersected with the role's visible attributes.
+        """
+        role = self.role(role_name)
+        rewritten = query.rewritten(role.row_conditions)
+        allowed = set(role.allowed_attributes(schema))
+        projection = rewritten.projection
+        effective = projection.effective_attributes(schema)
+        restricted = tuple(name for name in effective if name in allowed)
+        if set(restricted) != set(effective):
+            rewritten = Query(
+                rewritten.relation_name,
+                rewritten.where,
+                type(projection)(attributes=restricted, distinct=projection.distinct),
+            )
+        return rewritten
+
+
+def add_visibility_columns(
+    relation: Relation, policy: AccessControlPolicy
+) -> Relation:
+    """Materialise the Section 4.4 (case 2) visibility columns.
+
+    Returns a new relation whose schema carries one boolean column per role,
+    set per record according to the role's row predicate.  The owner signs this
+    augmented relation; the publisher can then prove to a user that a filtered
+    record inside a multipoint result range was hidden *because the policy says
+    so*, by revealing only that boolean plus digests of everything else.
+    """
+    extra = [
+        Attribute(visibility_column_name(role.name), AttributeType.BOOLEAN, size_hint=1)
+        for role in policy.roles.values()
+    ]
+    augmented_schema = relation.schema.with_extra_attributes(extra)
+    rows = []
+    for record in relation:
+        row = record.as_dict()
+        for role in policy.roles.values():
+            row[visibility_column_name(role.name)] = role.can_see(record)
+        rows.append(row)
+    return Relation.from_rows(augmented_schema, rows)

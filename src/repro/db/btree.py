@@ -1,0 +1,330 @@
+"""A B+-tree that stores per-record signatures in its leaf nodes.
+
+Section 6.3 of the paper argues that the proposed scheme fits naturally into a
+B+-tree: the signature of each record is stored next to the record's entry in
+the leaf level, so an update touches at most the leaf containing the record and
+(in the worst case) one adjoining leaf — unlike Merkle-hash-tree schemes which
+must re-hash every node on the path to the root and re-sign the root, a locking
+hot-spot.
+
+This module implements a textbook B+-tree (insert, delete, point and range
+search, leaf chaining) extended with:
+
+* a signature slot per leaf entry,
+* an :class:`AccessStatistics` collector counting node reads/writes and
+  signature recomputations, which the update-cost benchmark
+  (``benchmarks/bench_update_cost.py``) reads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["AccessStatistics", "BPlusTree", "LeafNode", "InternalNode"]
+
+V = TypeVar("V")
+
+
+@dataclass
+class AccessStatistics:
+    """Counters describing the I/O-like cost of B+-tree operations."""
+
+    node_reads: int = 0
+    node_writes: int = 0
+    leaf_splits: int = 0
+    leaf_merges: int = 0
+    signatures_recomputed: int = 0
+    leaves_touched_last_update: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.node_reads = 0
+        self.node_writes = 0
+        self.leaf_splits = 0
+        self.leaf_merges = 0
+        self.signatures_recomputed = 0
+        self.leaves_touched_last_update = 0
+
+
+class _Node:
+    """Base class for B+-tree nodes."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+
+    @property
+    def is_leaf(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class LeafNode(_Node, Generic[V]):
+    """Leaf node: keys, values and the signature attached to each entry."""
+
+    __slots__ = ("values", "signatures", "next_leaf", "prev_leaf")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: List[V] = []
+        self.signatures: List[Optional[int]] = []
+        self.next_leaf: Optional["LeafNode[V]"] = None
+        self.prev_leaf: Optional["LeafNode[V]"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+class InternalNode(_Node):
+    """Internal node: separator keys and child pointers."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: List[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class BPlusTree(Generic[V]):
+    """An order-``fanout`` B+-tree mapping integer keys to values plus signatures.
+
+    Parameters
+    ----------
+    fanout:
+        Maximum number of keys per node.  The paper notes a node "typically
+        contains hundreds of entries"; the default of 128 keeps that spirit
+        while remaining fast in pure Python.
+    """
+
+    def __init__(self, fanout: int = 128) -> None:
+        if fanout < 3:
+            raise ValueError("B+-tree fanout must be at least 3")
+        self.fanout = fanout
+        self.root: _Node = LeafNode()
+        self.statistics = AccessStatistics()
+        self._size = 0
+
+    # -- basic properties -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels in the tree (1 for a lone leaf)."""
+        levels = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            levels += 1
+        return levels
+
+    # -- search -------------------------------------------------------------------
+
+    def _find_leaf(self, key: int) -> Tuple[LeafNode, List[InternalNode]]:
+        """Descend to the leaf responsible for ``key``; also return the path."""
+        path: List[InternalNode] = []
+        node = self.root
+        self.statistics.node_reads += 1
+        while not node.is_leaf:
+            internal = node  # type: ignore[assignment]
+            path.append(internal)
+            index = bisect.bisect_right(internal.keys, key)
+            node = internal.children[index]
+            self.statistics.node_reads += 1
+        return node, path  # type: ignore[return-value]
+
+    def search(self, key: int) -> Optional[V]:
+        """Point lookup; returns the value or ``None``."""
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return None
+
+    def signature_of(self, key: int) -> Optional[int]:
+        """The signature stored alongside ``key``, if present."""
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.signatures[index]
+        return None
+
+    def range_search(self, low: int, high: int) -> List[Tuple[int, V]]:
+        """All ``(key, value)`` pairs with ``low <= key <= high``, in key order."""
+        results: List[Tuple[int, V]] = []
+        leaf, _ = self._find_leaf(low)
+        while leaf is not None:
+            for key, value in zip(leaf.keys, leaf.values):
+                if key < low:
+                    continue
+                if key > high:
+                    return results
+                results.append((key, value))
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                self.statistics.node_reads += 1
+        return results
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        """Iterate over all entries in key order."""
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        leaf: Optional[LeafNode] = node  # type: ignore[assignment]
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def keys(self) -> List[int]:
+        """All keys in order."""
+        return [key for key, _ in self.items()]
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, key: int, value: V, signature: Optional[int] = None) -> None:
+        """Insert ``key``; duplicate keys are rejected."""
+        leaf, path = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            raise KeyError(f"duplicate key {key} in B+-tree")
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        leaf.signatures.insert(index, signature)
+        self.statistics.node_writes += 1
+        self._size += 1
+        if len(leaf.keys) > self.fanout:
+            self._split_leaf(leaf, path)
+
+    def _split_leaf(self, leaf: LeafNode, path: List[InternalNode]) -> None:
+        middle = len(leaf.keys) // 2
+        sibling: LeafNode = LeafNode()
+        sibling.keys = leaf.keys[middle:]
+        sibling.values = leaf.values[middle:]
+        sibling.signatures = leaf.signatures[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        leaf.signatures = leaf.signatures[:middle]
+        sibling.next_leaf = leaf.next_leaf
+        if sibling.next_leaf is not None:
+            sibling.next_leaf.prev_leaf = sibling
+        sibling.prev_leaf = leaf
+        leaf.next_leaf = sibling
+        self.statistics.leaf_splits += 1
+        self.statistics.node_writes += 2
+        self._insert_into_parent(leaf, sibling.keys[0], sibling, path)
+
+    def _insert_into_parent(
+        self, left: _Node, key: int, right: _Node, path: List[InternalNode]
+    ) -> None:
+        if not path:
+            new_root = InternalNode()
+            new_root.keys = [key]
+            new_root.children = [left, right]
+            self.root = new_root
+            self.statistics.node_writes += 1
+            return
+        parent = path[-1]
+        index = bisect.bisect_right(parent.keys, key)
+        parent.keys.insert(index, key)
+        parent.children.insert(index + 1, right)
+        self.statistics.node_writes += 1
+        if len(parent.keys) > self.fanout:
+            self._split_internal(parent, path[:-1])
+
+    def _split_internal(self, node: InternalNode, path: List[InternalNode]) -> None:
+        middle = len(node.keys) // 2
+        promoted = node.keys[middle]
+        sibling = InternalNode()
+        sibling.keys = node.keys[middle + 1 :]
+        sibling.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        self.statistics.node_writes += 2
+        self._insert_into_parent(node, promoted, sibling, path)
+
+    # -- deletion (simple variant: no rebalancing below minimum occupancy) ---------
+
+    def delete(self, key: int) -> V:
+        """Delete ``key`` and return its value.
+
+        For the purposes of the update-cost experiments a simple deletion
+        (without aggressive rebalancing) is sufficient; empty leaves are
+        unlinked lazily.
+        """
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            raise KeyError(f"key {key} not found")
+        leaf.keys.pop(index)
+        value = leaf.values.pop(index)
+        leaf.signatures.pop(index)
+        self.statistics.node_writes += 1
+        self._size -= 1
+        if not leaf.keys and leaf.prev_leaf is not None:
+            leaf.prev_leaf.next_leaf = leaf.next_leaf
+            if leaf.next_leaf is not None:
+                leaf.next_leaf.prev_leaf = leaf.prev_leaf
+            self.statistics.leaf_merges += 1
+        return value
+
+    # -- signature maintenance (Section 6.3) -----------------------------------------
+
+    def set_signature(self, key: int, signature: int) -> None:
+        """Attach (or replace) the signature stored with ``key``."""
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            raise KeyError(f"key {key} not found")
+        leaf.signatures[index] = signature
+        self.statistics.node_writes += 1
+        self.statistics.signatures_recomputed += 1
+
+    def neighbours(self, key: int) -> Tuple[Optional[int], Optional[int]]:
+        """Keys immediately before and after ``key`` in the leaf chain."""
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            raise KeyError(f"key {key} not found")
+        if index > 0:
+            previous = leaf.keys[index - 1]
+        elif leaf.prev_leaf is not None and leaf.prev_leaf.keys:
+            previous = leaf.prev_leaf.keys[-1]
+        else:
+            previous = None
+        if index + 1 < len(leaf.keys):
+            following = leaf.keys[index + 1]
+        elif leaf.next_leaf is not None and leaf.next_leaf.keys:
+            following = leaf.next_leaf.keys[0]
+        else:
+            following = None
+        return previous, following
+
+    def update_with_signatures(
+        self, key: int, value: V, signer
+    ) -> int:
+        """Insert ``key`` and recompute the three affected signatures.
+
+        ``signer`` is a callable ``(prev_key, key, next_key) -> int`` supplied
+        by the owner; the tree records how many leaves the maintenance touched
+        (the quantity the Section 6.3 argument bounds by 2).
+        """
+        self.insert(key, value)
+        previous, following = self.neighbours(key)
+        touched_leaves = set()
+        for target in (previous, key, following):
+            if target is None:
+                continue
+            leaf, _ = self._find_leaf(target)
+            touched_leaves.add(id(leaf))
+            left, right = self.neighbours(target)
+            self.set_signature(target, signer(left, target, right))
+        self.statistics.leaves_touched_last_update = len(touched_leaves)
+        return len(touched_leaves)

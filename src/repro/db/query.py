@@ -1,0 +1,236 @@
+"""Query model: selections, projections and primary key-foreign key joins.
+
+Section 4.1 of the paper observes that any comparison selection on the sort key
+reduces to range selection ``alpha <= K <= beta``:
+
+* ``K = a``   is ``a <= K <= a``,
+* ``K < a``   is ``L < K <= a - 1`` (integer domains),
+* ``K >= a``  is ``a <= K < U``,
+* ``K != a``  is the union ``(L < K < a) OR (a < K < U)`` — two ranges.
+
+:class:`RangeCondition` therefore is the canonical form; the comparison helpers
+below produce it.  Conditions on *other* attributes (not the sort key) make the
+query a *multipoint query* (Section 4.4): the result is still a contiguous key
+range, but some records inside it are filtered out.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.db.records import Record
+from repro.db.schema import KeyDomain, Schema
+
+__all__ = [
+    "ComparisonOperator",
+    "RangeCondition",
+    "EqualityCondition",
+    "Conjunction",
+    "Projection",
+    "Query",
+    "JoinQuery",
+    "comparison_to_ranges",
+]
+
+
+class ComparisonOperator(enum.Enum):
+    """The comparison operators the paper's selection definition allows."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class RangeCondition:
+    """Closed range condition ``low <= attribute <= high`` on an integer attribute.
+
+    ``low``/``high`` of ``None`` mean unbounded on that side (clamped to the
+    key domain when the condition targets the sort key).  A range with
+    ``low > high`` is *empty*: it matches no record — such conditions arise
+    naturally when intersecting several range predicates, and queries carrying
+    them are answered with a trivially empty (vacuous) result.
+    """
+
+    attribute: str
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no value can satisfy the condition."""
+        return self.low is not None and self.high is not None and self.low > self.high
+
+    def matches(self, record: Record) -> bool:
+        """Whether ``record`` satisfies the condition."""
+        value = record.get(self.attribute)
+        if value is None:
+            return False
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def bounds(self, domain: KeyDomain) -> Tuple[int, int]:
+        """Closed bounds after clamping to the key domain."""
+        return domain.clamp_range(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class EqualityCondition:
+    """Equality on an arbitrary attribute (any type), e.g. ``Dept = 1``."""
+
+    attribute: str
+    value: object
+
+    def matches(self, record: Record) -> bool:
+        return record.get(self.attribute) == self.value
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of simple conditions (the WHERE clause)."""
+
+    conditions: Tuple[object, ...] = ()
+
+    def matches(self, record: Record) -> bool:
+        return all(condition.matches(record) for condition in self.conditions)
+
+    def key_condition(self, schema: Schema) -> Optional[RangeCondition]:
+        """The (single) range condition on the sort key, if any.
+
+        Multiple key ranges in one conjunction are intersected.
+        """
+        low: Optional[int] = None
+        high: Optional[int] = None
+        found = False
+        for condition in self.conditions:
+            if isinstance(condition, RangeCondition) and condition.attribute == schema.key:
+                found = True
+                if condition.low is not None:
+                    low = condition.low if low is None else max(low, condition.low)
+                if condition.high is not None:
+                    high = condition.high if high is None else min(high, condition.high)
+        if not found:
+            return None
+        return RangeCondition(schema.key, low, high)
+
+    def non_key_conditions(self, schema: Schema) -> List[object]:
+        """Conditions on attributes other than the sort key."""
+        remaining = []
+        for condition in self.conditions:
+            if isinstance(condition, RangeCondition) and condition.attribute == schema.key:
+                continue
+            remaining.append(condition)
+        return remaining
+
+    def with_condition(self, condition) -> "Conjunction":
+        """A copy with one more condition appended (used by query rewriting)."""
+        return Conjunction(self.conditions + (condition,))
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Projection list.  ``None`` attribute list means ``SELECT *``.
+
+    The sort key is always implicitly retained: the paper notes the user needs
+    ``K`` to test the result for completeness (Section 4.2).
+    """
+
+    attributes: Optional[Tuple[str, ...]] = None
+    distinct: bool = False
+
+    def effective_attributes(self, schema: Schema) -> List[str]:
+        """The attributes actually returned (always including the sort key)."""
+        if self.attributes is None:
+            return schema.attribute_names
+        ordered = list(self.attributes)
+        if schema.key not in ordered:
+            ordered.insert(0, schema.key)
+        return ordered
+
+    def dropped_attributes(self, schema: Schema) -> List[str]:
+        """Attributes filtered out by this projection."""
+        kept = set(self.effective_attributes(schema))
+        return [name for name in schema.attribute_names if name not in kept]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project query over a single relation."""
+
+    relation_name: str
+    where: Conjunction = field(default_factory=Conjunction)
+    projection: Projection = field(default_factory=Projection)
+
+    def is_multipoint(self, schema: Schema) -> bool:
+        """True if the query filters on attributes other than the sort key."""
+        return bool(self.where.non_key_conditions(schema))
+
+    def rewritten(self, extra_conditions: Sequence[object]) -> "Query":
+        """A copy with extra conditions (access-control rewriting) appended."""
+        where = self.where
+        for condition in extra_conditions:
+            where = where.with_condition(condition)
+        return Query(self.relation_name, where, self.projection)
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A primary key-foreign key join ``R.foreign_key = S.primary_key``.
+
+    Section 4.3: completeness of the join result is checked with respect to the
+    *foreign-key side* ``R`` (referential integrity guarantees no R-tuple drops
+    out because of the join itself), so the owner signs a sort order of ``R``
+    on the foreign-key attribute.
+    """
+
+    left_relation: str
+    right_relation: str
+    foreign_key: str
+    primary_key: str
+    where: Conjunction = field(default_factory=Conjunction)
+    projection: Projection = field(default_factory=Projection)
+
+
+def comparison_to_ranges(
+    attribute: str,
+    operator: ComparisonOperator,
+    value: int,
+    domain: KeyDomain,
+) -> List[RangeCondition]:
+    """Translate ``attribute OP value`` into one or two canonical range conditions.
+
+    This is the reduction described at the start of Section 4.1; the ``!=``
+    operator is the only one producing two ranges.
+    """
+    smallest = domain.lower + 1
+    largest = domain.upper - 1
+    if operator is ComparisonOperator.EQ:
+        return [RangeCondition(attribute, value, value)]
+    if operator is ComparisonOperator.LT:
+        if value - 1 < smallest:
+            return []
+        return [RangeCondition(attribute, smallest, value - 1)]
+    if operator is ComparisonOperator.LE:
+        return [RangeCondition(attribute, smallest, min(value, largest))]
+    if operator is ComparisonOperator.GT:
+        if value + 1 > largest:
+            return []
+        return [RangeCondition(attribute, value + 1, largest)]
+    if operator is ComparisonOperator.GE:
+        return [RangeCondition(attribute, max(value, smallest), largest)]
+    if operator is ComparisonOperator.NE:
+        ranges = []
+        if value - 1 >= smallest:
+            ranges.append(RangeCondition(attribute, smallest, value - 1))
+        if value + 1 <= largest:
+            ranges.append(RangeCondition(attribute, value + 1, largest))
+        return ranges
+    raise ValueError(f"unsupported operator {operator!r}")  # pragma: no cover

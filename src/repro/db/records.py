@@ -1,0 +1,123 @@
+"""Immutable records (tuples) of a relation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.crypto.encoding import encode_many, encode_value
+from repro.crypto.hashing import HashFunction, default_hash
+from repro.crypto.merkle import MerkleTree
+from repro.db.schema import Schema
+
+__all__ = ["Record"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single tuple of a relation.
+
+    Records are immutable: updates at the relation level replace records rather
+    than mutating them, which keeps signature bookkeeping straightforward (a
+    replaced record invalidates exactly the three chain signatures the paper's
+    Section 6.3 describes).
+
+    Attributes
+    ----------
+    schema:
+        The owning relation's schema.
+    values:
+        Mapping from attribute name to value.  Exposed read-only.
+    """
+
+    schema: Schema
+    values: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        materialised: Dict[str, object] = dict(self.values)
+        self.schema.validate_values(materialised)
+        object.__setattr__(self, "values", MappingProxyType(materialised))
+
+    # -- value access -------------------------------------------------------
+
+    def __getitem__(self, name: str):
+        return self.values[name]
+
+    def get(self, name: str, default=None):
+        """Dictionary-style access with a default."""
+        return self.values.get(name, default)
+
+    @property
+    def key(self) -> int:
+        """The sort-key value of this record."""
+        return self.values[self.schema.key]  # type: ignore[return-value]
+
+    def non_key_items(self) -> List[Tuple[str, object]]:
+        """(name, value) pairs for non-key attributes, in schema order."""
+        return [
+            (attribute.name, self.values[attribute.name])
+            for attribute in self.schema.non_key_attributes
+        ]
+
+    def project(self, attribute_names: Iterable[str]) -> Dict[str, object]:
+        """Return only the named attributes as a plain dictionary."""
+        names = list(attribute_names)
+        for name in names:
+            if not self.schema.has_attribute(name):
+                raise KeyError(f"cannot project unknown attribute {name!r}")
+        return {name: self.values[name] for name in names}
+
+    def replace(self, **updates) -> "Record":
+        """A copy of this record with some attribute values replaced."""
+        merged = dict(self.values)
+        merged.update(updates)
+        return Record(schema=self.schema, values=merged)
+
+    # -- hashing ------------------------------------------------------------
+
+    def attribute_leaves(self) -> List[bytes]:
+        """Canonical leaf payloads for the per-record attribute Merkle tree.
+
+        One leaf per non-key attribute, in schema order; each leaf binds the
+        attribute *name* and its value so that swapping two values between
+        columns is detected (the authenticity example in the paper's
+        introduction).
+        """
+        return [
+            encode_many([name, value]) for name, value in self.non_key_items()
+        ]
+
+    def attribute_tree(self, hash_function: Optional[HashFunction] = None) -> MerkleTree:
+        """The Merkle tree over the non-key attributes, ``MHT(r.A)``."""
+        leaves = self.attribute_leaves()
+        if not leaves:
+            # A relation with only the key attribute still needs a well-defined
+            # digest; hash a fixed sentinel so g(r) remains computable.
+            leaves = [b"__no_non_key_attributes__"]
+        return MerkleTree(leaves, hash_function or default_hash())
+
+    def attribute_root(self, hash_function: Optional[HashFunction] = None) -> bytes:
+        """Root digest of :meth:`attribute_tree` — the ``MHT(r.A)`` term."""
+        return self.attribute_tree(hash_function).root
+
+    def fingerprint(self, hash_function: Optional[HashFunction] = None) -> bytes:
+        """A digest of the full record (key and payload), for deterministic ordering.
+
+        Relations sort duplicate keys by this fingerprint so that the owner,
+        publisher and tests all agree on a single total order.
+        """
+        hasher = hash_function or default_hash()
+        return hasher.digest(
+            encode_value(self.key) + b"|" + self.attribute_root(hasher)
+        )
+
+    # -- misc ----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain mutable copy of the record's values."""
+        return dict(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        return f"Record({self.schema.name}: {rendered})"

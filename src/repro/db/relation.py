@@ -1,0 +1,168 @@
+"""Sorted in-memory relations.
+
+A :class:`Relation` keeps its records ordered on the schema's sort key (ties on
+the key are broken by the record fingerprint, so everyone — owner, publisher,
+verifier, tests — agrees on one total order).  The owner signs this order; the
+publisher evaluates queries against it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.records import Record
+from repro.db.schema import Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An in-memory relation sorted on its schema's key attribute.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema; fixes the sort key and its domain.
+    records:
+        Optional initial records (any iterable of :class:`Record` or plain
+        dictionaries of values).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Optional[Iterable] = None,
+    ) -> None:
+        self.schema = schema
+        self._records: List[Record] = []
+        self._sort_keys: List[Tuple[int, bytes]] = []
+        if records is not None:
+            for record in records:
+                self.insert(record)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[Dict[str, object]]) -> "Relation":
+        """Build a relation from plain dictionaries of attribute values."""
+        return cls(schema, (Record(schema, row) for row in rows))
+
+    def _coerce(self, record) -> Record:
+        if isinstance(record, Record):
+            if record.schema is not self.schema and record.schema != self.schema:
+                raise ValueError("record schema does not match relation schema")
+            return record
+        if isinstance(record, dict):
+            return Record(self.schema, record)
+        raise TypeError(f"cannot insert object of type {type(record)!r} into a relation")
+
+    def _sort_key(self, record: Record) -> Tuple[int, bytes]:
+        return (record.key, record.fingerprint())
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, record) -> int:
+        """Insert a record, keeping sort order; returns its position."""
+        materialised = self._coerce(record)
+        key = self._sort_key(materialised)
+        position = bisect.bisect_left(self._sort_keys, key)
+        if (
+            position < len(self._sort_keys)
+            and self._sort_keys[position] == key
+        ):
+            raise ValueError(
+                "refusing to insert an exact duplicate record (key and payload identical); "
+                "disambiguate duplicates with a replica attribute"
+            )
+        self._records.insert(position, materialised)
+        self._sort_keys.insert(position, key)
+        return position
+
+    def delete_at(self, position: int) -> Record:
+        """Remove and return the record at ``position``."""
+        record = self._records.pop(position)
+        self._sort_keys.pop(position)
+        return record
+
+    def delete(self, record: Record) -> int:
+        """Remove a specific record; returns the position it occupied."""
+        key = self._sort_key(record)
+        position = bisect.bisect_left(self._sort_keys, key)
+        if position >= len(self._records) or self._sort_keys[position] != key:
+            raise KeyError("record not found in relation")
+        self.delete_at(position)
+        return position
+
+    def update(self, old: Record, new) -> Tuple[int, int]:
+        """Replace ``old`` with ``new``; returns (old_position, new_position).
+
+        The pair of positions is what the Section 6.3 update-cost analysis
+        needs: the signatures of the records adjacent to both positions must be
+        regenerated.
+        """
+        old_position = self.delete(old)
+        new_position = self.insert(new)
+        return old_position, new_position
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[Record]:
+        """All records in sort order (a copy; mutating it does not affect the relation)."""
+        return list(self._records)
+
+    def keys(self) -> List[int]:
+        """All sort-key values, in order."""
+        return [record.key for record in self._records]
+
+    def position_of(self, record: Record) -> int:
+        """Index of ``record`` in the sorted order."""
+        key = self._sort_key(record)
+        position = bisect.bisect_left(self._sort_keys, key)
+        if position >= len(self._records) or self._sort_keys[position] != key:
+            raise KeyError("record not found in relation")
+        return position
+
+    # -- range scans -------------------------------------------------------------
+
+    def range_indices(self, low: int, high: int) -> Tuple[int, int]:
+        """Half-open index range ``[start, stop)`` of records with ``low <= key <= high``."""
+        start = bisect.bisect_left(self._sort_keys, (low, b""))
+        stop = bisect.bisect_right(self._sort_keys, (high, b"\xff" * 33))
+        return start, stop
+
+    def range_scan(self, low: int, high: int) -> List[Record]:
+        """Records with key in the closed interval ``[low, high]``, in order."""
+        start, stop = self.range_indices(low, high)
+        return self._records[start:stop]
+
+    def select(self, predicate: Callable[[Record], bool]) -> List[Record]:
+        """Full-scan selection with an arbitrary predicate (used for unsorted attributes)."""
+        return [record for record in self._records if predicate(record)]
+
+    def neighbors(self, position: int) -> Tuple[Optional[Record], Optional[Record]]:
+        """The records immediately before and after ``position`` (None at the ends)."""
+        left = self._records[position - 1] if position > 0 else None
+        right = self._records[position + 1] if position + 1 < len(self._records) else None
+        return left, right
+
+    def resorted(self, key: str) -> "Relation":
+        """A copy of this relation sorted on a different integer attribute.
+
+        This is how the owner materialises an additional "interesting sort
+        order" to sign (e.g. ordering on a foreign-key attribute before a
+        PK-FK join, Section 4.3).
+        """
+        new_schema = self.schema.with_key(key)
+        rows = [record.as_dict() for record in self._records]
+        return Relation.from_rows(new_schema, rows)

@@ -1,0 +1,232 @@
+"""Synthetic workload generators for tests, examples and benchmarks.
+
+The paper evaluates its scheme analytically, using an employee table as the
+running example (Figure 1) and motivating scenarios from financial data
+publishing.  This module generates:
+
+* the exact Figure 1 employee table,
+* larger randomised employee tables with access-control roles,
+* historical stock-price tables (the financial-information-provider scenario
+  from the introduction),
+* customer/order relation pairs for the PK-FK join experiments,
+* plain sorted integer lists for the Section 3 basic scheme.
+
+All generators take an explicit seed so benchmarks and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.access_control import AccessControlPolicy, Role
+from repro.db.query import RangeCondition
+from repro.db.relation import Relation
+from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
+
+__all__ = [
+    "figure1_employee_relation",
+    "figure1_policy",
+    "employee_schema",
+    "generate_employees",
+    "stock_schema",
+    "generate_stock_prices",
+    "customer_order_schemas",
+    "generate_customers_and_orders",
+    "generate_sorted_values",
+]
+
+_SALARY_DOMAIN = KeyDomain(0, 100_000)
+
+
+def employee_schema(
+    salary_domain: KeyDomain = _SALARY_DOMAIN, photo_bytes: int = 256
+) -> Schema:
+    """Schema of the employee table from Figure 1 (sorted on Salary)."""
+    return Schema.build(
+        "employees",
+        [
+            Attribute("salary", AttributeType.INTEGER, domain=salary_domain, size_hint=4),
+            Attribute("emp_id", AttributeType.STRING, size_hint=8),
+            Attribute("name", AttributeType.STRING, size_hint=24),
+            Attribute("dept", AttributeType.INTEGER, size_hint=4),
+            Attribute("photo", AttributeType.BLOB, size_hint=photo_bytes),
+        ],
+        key="salary",
+    )
+
+
+def figure1_employee_relation() -> Relation:
+    """The exact five-row employee table of Figure 1."""
+    schema = employee_schema()
+    rows = [
+        {"emp_id": "005", "name": "A", "salary": 2000, "dept": 1, "photo": b"photo-A"},
+        {"emp_id": "002", "name": "C", "salary": 3500, "dept": 2, "photo": b"photo-C"},
+        {"emp_id": "001", "name": "D", "salary": 8010, "dept": 1, "photo": b"photo-D"},
+        {"emp_id": "004", "name": "B", "salary": 12100, "dept": 3, "photo": b"photo-B"},
+        {"emp_id": "003", "name": "E", "salary": 25000, "dept": 2, "photo": b"photo-E"},
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def figure1_policy() -> AccessControlPolicy:
+    """The access-control policy of Figure 1.
+
+    * the HR manager sees all records,
+    * the HR executive sees only records with ``salary < 9000``.
+    """
+    policy = AccessControlPolicy()
+    policy.add_role(Role("hr_manager"))
+    policy.add_role(
+        Role("hr_executive", row_conditions=(RangeCondition("salary", None, 8999),))
+    )
+    return policy
+
+
+def generate_employees(
+    count: int,
+    seed: int = 7,
+    salary_domain: KeyDomain = _SALARY_DOMAIN,
+    departments: int = 8,
+    photo_bytes: int = 256,
+) -> Relation:
+    """A randomised employee table with ``count`` rows and distinct salaries."""
+    rng = random.Random(seed)
+    schema = employee_schema(salary_domain, photo_bytes)
+    salaries = rng.sample(range(salary_domain.lower + 1, salary_domain.upper), count)
+    rows = []
+    for index, salary in enumerate(salaries):
+        rows.append(
+            {
+                "salary": salary,
+                "emp_id": f"{index:06d}",
+                "name": "".join(rng.choices(string.ascii_uppercase, k=8)),
+                "dept": rng.randrange(1, departments + 1),
+                "photo": bytes(rng.getrandbits(8) for _ in range(photo_bytes)),
+            }
+        )
+    return Relation.from_rows(schema, rows)
+
+
+def stock_schema(price_domain: Optional[KeyDomain] = None) -> Schema:
+    """Schema for historical stock prices, sorted on the (integer) trade day."""
+    return Schema.build(
+        "stock_prices",
+        [
+            Attribute(
+                "trade_day",
+                AttributeType.INTEGER,
+                domain=price_domain or KeyDomain(0, 20_000),
+                size_hint=4,
+            ),
+            Attribute("symbol", AttributeType.STRING, size_hint=8),
+            Attribute("open", AttributeType.FLOAT, size_hint=8),
+            Attribute("close", AttributeType.FLOAT, size_hint=8),
+            Attribute("volume", AttributeType.INTEGER, size_hint=8),
+        ],
+        key="trade_day",
+    )
+
+
+def generate_stock_prices(
+    days: int, symbol: str = "ACME", seed: int = 11, start_price: float = 100.0
+) -> Relation:
+    """A random-walk price history with one row per trading day."""
+    rng = random.Random(seed)
+    schema = stock_schema()
+    price = start_price
+    rows = []
+    for day in range(1, days + 1):
+        drift = rng.gauss(0, 1.5)
+        open_price = max(1.0, price)
+        close_price = max(1.0, open_price + drift)
+        rows.append(
+            {
+                "trade_day": day,
+                "symbol": symbol,
+                "open": round(open_price, 2),
+                "close": round(close_price, 2),
+                "volume": rng.randrange(10_000, 1_000_000),
+            }
+        )
+        price = close_price
+    return Relation.from_rows(schema, rows)
+
+
+def customer_order_schemas(
+    customer_count: int, order_count: int
+) -> Tuple[Schema, Schema]:
+    """Schemas for the customers (PK side) and orders (FK side) relations.
+
+    The orders relation is sorted on ``customer_id`` — the foreign key — which
+    is the sort order the owner must sign for join verification (Section 4.3).
+    """
+    customer_domain = KeyDomain(0, customer_count * 10 + 1)
+    customers = Schema.build(
+        "customers",
+        [
+            Attribute("customer_id", AttributeType.INTEGER, domain=customer_domain, size_hint=4),
+            Attribute("name", AttributeType.STRING, size_hint=24),
+            Attribute("region", AttributeType.STRING, size_hint=12),
+        ],
+        key="customer_id",
+    )
+    orders = Schema.build(
+        "orders",
+        [
+            Attribute("customer_id", AttributeType.INTEGER, domain=customer_domain, size_hint=4),
+            Attribute("order_id", AttributeType.STRING, size_hint=12),
+            Attribute("amount", AttributeType.INTEGER, size_hint=8),
+            Attribute("status", AttributeType.STRING, size_hint=10),
+        ],
+        key="customer_id",
+    )
+    return customers, orders
+
+
+def generate_customers_and_orders(
+    customer_count: int, order_count: int, seed: int = 13
+) -> Tuple[Relation, Relation]:
+    """Customers and orders honouring referential integrity.
+
+    Orders may share a ``customer_id`` (duplicates on the sort key), which
+    exercises the duplicate-handling path of the scheme.
+    """
+    rng = random.Random(seed)
+    customer_schema, order_schema = customer_order_schemas(customer_count, order_count)
+    customer_ids = sorted(
+        rng.sample(range(1, customer_count * 10), customer_count)
+    )
+    regions = ["north", "south", "east", "west"]
+    customer_rows = [
+        {
+            "customer_id": customer_id,
+            "name": f"customer-{customer_id}",
+            "region": rng.choice(regions),
+        }
+        for customer_id in customer_ids
+    ]
+    statuses = ["open", "shipped", "returned"]
+    order_rows = [
+        {
+            "customer_id": rng.choice(customer_ids),
+            "order_id": f"ord-{index:06d}",
+            "amount": rng.randrange(10, 10_000),
+            "status": rng.choice(statuses),
+        }
+        for index in range(order_count)
+    ]
+    return (
+        Relation.from_rows(customer_schema, customer_rows),
+        Relation.from_rows(order_schema, order_rows),
+    )
+
+
+def generate_sorted_values(
+    count: int, domain: KeyDomain = KeyDomain(0, 100_000), seed: int = 3
+) -> List[int]:
+    """Distinct sorted integers strictly inside ``domain`` (for the Section 3 scheme)."""
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(domain.lower + 1, domain.upper), count))

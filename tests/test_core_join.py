@@ -1,0 +1,143 @@
+"""Tests for primary key-foreign key join verification (Section 4.3)."""
+
+import pytest
+
+from repro.core.errors import CompletenessError, ProofConstructionError, VerificationError
+from repro.core.proof import JoinQueryProof
+from repro.core.publisher import Publisher
+from repro.core.verifier import ResultVerifier
+from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondition
+from repro.db.workload import generate_customers_and_orders
+
+
+@pytest.fixture(scope="module")
+def join_setup(customers_orders):
+    customers, orders, database = customers_orders
+    publisher = Publisher(database.relations)
+    verifier = ResultVerifier(database.manifests)
+    return customers, orders, publisher, verifier
+
+
+def _join(where=Conjunction()):
+    return JoinQuery("orders", "customers", "customer_id", "customer_id", where)
+
+
+class TestJoinAnswering:
+    def test_full_join_row_count(self, join_setup):
+        customers, orders, publisher, _ = join_setup
+        result = publisher.answer_join(_join())
+        assert len(result.rows) == len(orders)
+
+    def test_join_rows_combine_both_sides(self, join_setup):
+        _, _, publisher, _ = join_setup
+        result = publisher.answer_join(_join())
+        sample = result.rows[0]
+        assert "orders.order_id" in sample
+        assert "customers.name" in sample
+        assert sample["orders.customer_id"] == sample["customers.customer_id"]
+
+    def test_join_with_selection(self, join_setup):
+        customers, orders, publisher, verifier = join_setup
+        cutoff = sorted({o["customer_id"] for o in orders})[len(customers) // 2]
+        join = _join(Conjunction((RangeCondition("customer_id", None, cutoff),)))
+        result = publisher.answer_join(join)
+        assert all(row["orders.customer_id"] <= cutoff for row in result.rows)
+        verifier.verify_join(join, result.rows, result.proof, result.left_rows)
+
+    def test_join_proof_has_point_proof_per_distinct_fk(self, join_setup):
+        _, orders, publisher, _ = join_setup
+        result = publisher.answer_join(_join())
+        distinct_fks = {o["customer_id"] for o in orders}
+        assert set(result.proof.right_point_proofs) == distinct_fks
+
+    def test_vacuous_join(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join(
+            Conjunction(
+                (
+                    RangeCondition("customer_id", 1, 5),
+                    RangeCondition("customer_id", 200, 240),
+                )
+            )
+        )
+        result = publisher.answer_join(join)
+        assert result.is_vacuous and result.rows == []
+        verifier.verify_join(join, result.rows, result.proof, result.left_rows)
+
+    def test_join_requires_fk_sort_order(self, join_setup, owner):
+        customers, orders, publisher, _ = join_setup
+        bad_join = JoinQuery("customers", "orders", "region", "order_id")
+        with pytest.raises(ProofConstructionError):
+            publisher.answer_join(bad_join)
+
+
+class TestJoinVerification:
+    def test_full_join_verifies(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join()
+        result = publisher.answer_join(join)
+        report = verifier.verify_join(join, result.rows, result.proof, result.left_rows)
+        assert report.result_rows >= len(result.left_rows)
+
+    def test_dropped_joined_row_detected(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join()
+        result = publisher.answer_join(join)
+        with pytest.raises(VerificationError):
+            verifier.verify_join(
+                join, result.rows[:-1], result.proof, result.left_rows[:-1]
+            )
+
+    def test_tampered_right_side_value_detected(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join()
+        result = publisher.answer_join(join)
+        tampered = [dict(row) for row in result.rows]
+        tampered[0]["customers.name"] = "Mallory Corp"
+        with pytest.raises(VerificationError):
+            verifier.verify_join(join, tampered, result.proof, result.left_rows)
+
+    def test_tampered_left_side_value_detected(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join()
+        result = publisher.answer_join(join)
+        tampered_left = [dict(row) for row in result.left_rows]
+        tampered_left[0]["amount"] = 999_999
+        with pytest.raises(VerificationError):
+            verifier.verify_join(join, result.rows, result.proof, tampered_left)
+
+    def test_missing_point_proof_detected(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join()
+        result = publisher.answer_join(join)
+        some_key = next(iter(result.proof.right_point_proofs))
+        pruned = JoinQueryProof(
+            left_proof=result.proof.left_proof,
+            right_point_proofs={
+                key: proof
+                for key, proof in result.proof.right_point_proofs.items()
+                if key != some_key
+            },
+        )
+        with pytest.raises(CompletenessError):
+            verifier.verify_join(join, result.rows, pruned, result.left_rows)
+
+    def test_mismatched_join_output_detected(self, join_setup):
+        _, _, publisher, verifier = join_setup
+        join = _join()
+        result = publisher.answer_join(join)
+        shuffled = list(reversed(result.rows))
+        if shuffled == result.rows:
+            pytest.skip("result too small to shuffle")
+        with pytest.raises(VerificationError):
+            verifier.verify_join(join, shuffled, result.proof, result.left_rows)
+
+    def test_referential_integrity_violation_blocks_proof(self, owner):
+        customers, orders = generate_customers_and_orders(8, 20, seed=17)
+        victim_key = orders[0]["customer_id"]
+        victim = next(c for c in customers if c["customer_id"] == victim_key)
+        customers.delete(victim)
+        database = owner.publish_database({"customers": customers, "orders": orders})
+        publisher = Publisher(database.relations)
+        with pytest.raises(ProofConstructionError):
+            publisher.answer_join(_join())

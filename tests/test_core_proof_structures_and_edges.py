@@ -1,0 +1,251 @@
+"""Edge cases: proof data structures, reports, empty relations, comparison queries."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.proof import (
+    BoundaryEntryProof,
+    FilteredEntryProof,
+    MatchedEntryProof,
+    SignatureBundle,
+)
+from repro.core.publisher import Publisher
+from repro.core.report import VerificationReport
+from repro.core.verifier import ResultVerifier
+from repro.crypto.aggregate import AggregateSignature
+from repro.core.digest import BoundaryAssist, EntryAssist
+from repro.db.query import (
+    ComparisonOperator,
+    Conjunction,
+    Projection,
+    Query,
+    RangeCondition,
+    comparison_to_ranges,
+)
+from repro.db.relation import Relation
+from repro.db.workload import employee_schema, generate_employees
+
+
+class TestSignatureBundle:
+    def test_requires_exactly_one_transport(self):
+        with pytest.raises(ValueError):
+            SignatureBundle()
+        with pytest.raises(ValueError):
+            SignatureBundle(individual=(1,), aggregate=AggregateSignature(1, 1))
+
+    def test_individual_counts(self):
+        bundle = SignatureBundle(individual=(1, 2, 3))
+        assert not bundle.is_aggregated
+        assert bundle.signature_count == 3
+        assert bundle.covered_messages == 3
+
+    def test_aggregate_counts(self):
+        bundle = SignatureBundle(aggregate=AggregateSignature(value=5, count=7))
+        assert bundle.is_aggregated
+        assert bundle.signature_count == 1
+        assert bundle.covered_messages == 7
+
+
+class TestProofAccounting:
+    def test_boundary_entry_proof_counts(self):
+        proof = BoundaryEntryProof(
+            side="lower",
+            chain_boundary=BoundaryAssist(intermediate_digests=(b"a", b"b")),
+            other_chain_digest=b"x",
+            attribute_root=b"y",
+        )
+        assert proof.digest_count == 4
+
+    def test_boundary_side_validated(self):
+        with pytest.raises(ValueError):
+            BoundaryEntryProof(
+                side="middle",
+                chain_boundary=BoundaryAssist(intermediate_digests=(b"a",)),
+                other_chain_digest=b"x",
+                attribute_root=b"y",
+            )
+
+    def test_matched_entry_counts(self):
+        entry = MatchedEntryProof(
+            upper_assist=EntryAssist(mht_root=b"r"),
+            lower_assist=EntryAssist(mht_root=b"r"),
+            dropped_attribute_digests={"photo": b"d", "dept": b"d"},
+        )
+        assert entry.digest_count == 4
+
+    def test_filtered_entry_counts(self):
+        entry = FilteredEntryProof(
+            revealed_attributes={"dept": 2},
+            attribute_leaf_digests={"name": b"d"},
+            upper_chain_digest=b"u",
+            lower_chain_digest=b"l",
+        )
+        assert entry.digest_count == 3
+
+    def test_range_proof_size_formula(self, figure1_publisher):
+        query = Query("employees", Conjunction((RangeCondition("salary", None, 9999),)))
+        proof = figure1_publisher.answer(query, role="hr_manager").proof
+        assert proof.size_bytes(16, 128) == proof.digest_count * 16 + 128
+        assert proof.size_bytes(32, 64) == proof.digest_count * 32 + 64
+
+
+class TestVerificationReport:
+    def test_merge_adds_counters(self):
+        left = VerificationReport(checked_messages=2, signature_verifications=1, result_rows=3)
+        right = VerificationReport(checked_messages=5, hash_operations=7, details={"a": 1})
+        merged = left.merge(right)
+        assert merged.checked_messages == 7
+        assert merged.signature_verifications == 1
+        assert merged.hash_operations == 7
+        assert merged.result_rows == 3
+        assert merged.details == {"a": 1}
+
+    def test_default_report_is_zeroed(self):
+        report = VerificationReport()
+        assert report.checked_messages == 0
+        assert report.result_rows == 0
+
+
+class TestEmptyRelation:
+    @pytest.fixture(scope="class")
+    def empty_world(self, owner):
+        relation = Relation(employee_schema())
+        signed = owner.publish_relation(relation)
+        return (
+            Publisher({"employees": signed}),
+            ResultVerifier({"employees": signed.manifest}),
+        )
+
+    def test_signed_empty_relation_has_only_delimiters(self, owner):
+        signed = owner.publish_relation(Relation(employee_schema()))
+        assert signed.entry_count() == 2
+        assert signed.verify_internal_consistency()
+
+    def test_any_query_is_provably_empty(self, empty_world):
+        publisher, verifier = empty_world
+        for low, high in ((None, None), (1, 50_000), (99_000, None)):
+            query = Query(
+                "employees", Conjunction((RangeCondition("salary", low, high),))
+            )
+            result = publisher.answer(query)
+            assert result.rows == []
+            report = verifier.verify(query, result.rows, result.proof)
+            assert report.checked_messages == 1
+
+    def test_claimed_rows_against_empty_relation_rejected(self, empty_world):
+        publisher, verifier = empty_world
+        query = Query("employees")
+        result = publisher.answer(query)
+        fake_row = {
+            "salary": 1000,
+            "emp_id": "x",
+            "name": "X",
+            "dept": 1,
+            "photo": b"",
+        }
+        with pytest.raises(VerificationError):
+            verifier.verify(query, [fake_row], result.proof)
+
+
+class TestComparisonQueriesEndToEnd:
+    """The Section 4.1 reduction: every comparison operator verifies via ranges."""
+
+    @pytest.fixture(scope="class")
+    def world(self, owner):
+        relation = generate_employees(30, seed=13, photo_bytes=2)
+        signed = owner.publish_relation(relation)
+        return (
+            relation,
+            Publisher({"employees": signed}),
+            ResultVerifier({"employees": signed.manifest}),
+        )
+
+    @pytest.mark.parametrize(
+        "operator",
+        [
+            ComparisonOperator.EQ,
+            ComparisonOperator.LT,
+            ComparisonOperator.LE,
+            ComparisonOperator.GT,
+            ComparisonOperator.GE,
+            ComparisonOperator.NE,
+        ],
+    )
+    def test_operator_round_trip(self, world, operator):
+        relation, publisher, verifier = world
+        pivot = relation.keys()[len(relation) // 2]
+        domain = relation.schema.key_domain
+        ranges = comparison_to_ranges("salary", operator, pivot, domain)
+        collected = []
+        for condition in ranges:
+            query = Query("employees", Conjunction((condition,)))
+            result = publisher.answer(query)
+            verifier.verify(query, result.rows, result.proof)
+            collected.extend(row["salary"] for row in result.rows)
+        expected = {
+            ComparisonOperator.EQ: [k for k in relation.keys() if k == pivot],
+            ComparisonOperator.LT: [k for k in relation.keys() if k < pivot],
+            ComparisonOperator.LE: [k for k in relation.keys() if k <= pivot],
+            ComparisonOperator.GT: [k for k in relation.keys() if k > pivot],
+            ComparisonOperator.GE: [k for k in relation.keys() if k >= pivot],
+            ComparisonOperator.NE: [k for k in relation.keys() if k != pivot],
+        }[operator]
+        assert sorted(collected) == expected
+
+
+class TestProjectionEdgeCases:
+    def test_projection_of_key_only(self, figure1_publisher, figure1_verifier):
+        query = Query(
+            "employees",
+            Conjunction((RangeCondition("salary", None, 9999),)),
+            Projection(attributes=("salary",)),
+        )
+        result = figure1_publisher.answer(query, role="hr_manager")
+        assert all(set(row) == {"salary"} for row in result.rows)
+        figure1_verifier.verify(query, result.rows, result.proof, role="hr_manager")
+
+    def test_column_restricted_role(self, owner, figure1_relation):
+        from repro.db.access_control import AccessControlPolicy, Role
+
+        policy = AccessControlPolicy()
+        policy.add_role(Role("payroll", visible_attributes=("salary", "emp_id")))
+        database = owner.publish_database({"employees": figure1_relation})
+        publisher = Publisher(database.relations, policy=policy)
+        verifier = ResultVerifier(database.manifests, policy=policy)
+        query = Query("employees")
+        result = publisher.answer(query, role="payroll")
+        assert all(set(row) == {"salary", "emp_id"} for row in result.rows)
+        verifier.verify(query, result.rows, result.proof, role="payroll")
+
+    def test_verifier_rejects_wrong_projection_shape(
+        self, figure1_publisher, figure1_verifier
+    ):
+        query = Query(
+            "employees",
+            Conjunction((RangeCondition("salary", None, 9999),)),
+            Projection(attributes=("name",)),
+        )
+        result = figure1_publisher.answer(query, role="hr_manager")
+        narrowed = [{"salary": row["salary"]} for row in result.rows]
+        with pytest.raises(VerificationError):
+            figure1_verifier.verify(query, narrowed, result.proof, role="hr_manager")
+
+
+class TestMultipleSortOrders:
+    def test_second_sort_order_verifies_independently(self, owner):
+        from repro.db.workload import generate_customers_and_orders
+
+        customers, orders = generate_customers_and_orders(12, 40, seed=21)
+        # orders is already keyed on customer_id; publish it also keyed on amount
+        # is impossible (amount lacks a domain), so publish two relations keyed on
+        # customer_id under different names to model separate sort orders.
+        database = owner.publish_database({"orders_by_fk": orders, "customers": customers})
+        publisher = Publisher(database.relations)
+        verifier = ResultVerifier(database.manifests)
+        pivot = sorted(customers.keys())[6]
+        query = Query(
+            "orders_by_fk", Conjunction((RangeCondition("customer_id", None, pivot),))
+        )
+        result = publisher.answer(query)
+        verifier.verify(query, result.rows, result.proof)
+        assert all(row["customer_id"] <= pivot for row in result.rows)

@@ -1,0 +1,307 @@
+"""Security tests: the Section 3.2 case analysis against a *dishonest* publisher.
+
+The honest :class:`~repro.core.publisher.Publisher` refuses to fabricate proofs
+for false claims (``CheatingAttemptError``).  These tests go further and play
+the adversary directly: they splice together forged verification objects from
+legitimate material (old proofs, proofs for other queries, mutated digests) and
+check that the verifier rejects every one of them.
+"""
+
+import pytest
+
+from repro.core.digest import BoundaryAssist
+from repro.core.errors import (
+    CheatingAttemptError,
+    CompletenessError,
+    VerificationError,
+)
+from repro.core.proof import (
+    BoundaryEntryProof,
+    MatchedEntryProof,
+    RangeQueryProof,
+    SignatureBundle,
+)
+from repro.core.publisher import Publisher
+from repro.core.verifier import ResultVerifier
+from repro.crypto.aggregate import aggregate_signatures
+from repro.db.query import Conjunction, Query, RangeCondition
+from repro.db.workload import generate_employees
+
+
+@pytest.fixture(scope="module")
+def world(owner):
+    relation = generate_employees(40, seed=99, photo_bytes=4)
+    signed = owner.publish_relation(relation)
+    publisher = Publisher({"employees": signed})
+    verifier = ResultVerifier({"employees": signed.manifest})
+    return relation, signed, publisher, verifier
+
+
+def _query(low, high):
+    return Query("employees", Conjunction((RangeCondition("salary", low, high),)))
+
+
+def _replace(proof: RangeQueryProof, **changes) -> RangeQueryProof:
+    fields = dict(
+        key_low=proof.key_low,
+        key_high=proof.key_high,
+        lower_boundary=proof.lower_boundary,
+        upper_boundary=proof.upper_boundary,
+        entries=proof.entries,
+        signatures=proof.signatures,
+        outer_neighbor_digest=proof.outer_neighbor_digest,
+    )
+    fields.update(changes)
+    return RangeQueryProof(**fields)
+
+
+class TestCase1WrongOrigin:
+    """Case 1: the record before the result does not actually precede alpha."""
+
+    def test_honest_publisher_refuses_false_boundary(self, world):
+        relation, signed, publisher, _ = world
+        keys = relation.keys()
+        alpha = keys[5]
+        # Claiming that keys[10] (>= alpha) precedes the result is a false claim.
+        with pytest.raises(CheatingAttemptError):
+            signed.upper_scheme.boundary_proof(
+                keys[10],
+                signed.domain.upper - keys[10] - 1,
+                signed.domain.upper - alpha,
+            )
+
+    def test_forged_boundary_digests_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[10])
+        honest = publisher.answer(query)
+        forged_boundary = BoundaryEntryProof(
+            side="lower",
+            chain_boundary=BoundaryAssist(
+                intermediate_digests=tuple(
+                    b"\x13" * 32
+                    for _ in honest.proof.lower_boundary.chain_boundary.intermediate_digests
+                ),
+                used_canonical=True,
+                mht_root=b"\x13" * 32,
+            ),
+            other_chain_digest=honest.proof.lower_boundary.other_chain_digest,
+            attribute_root=honest.proof.lower_boundary.attribute_root,
+        )
+        # Claim a *smaller* result for a wider query by reusing the rest.
+        with pytest.raises(CompletenessError):
+            verifier.verify(
+                query, honest.rows, _replace(honest.proof, lower_boundary=forged_boundary)
+            )
+
+
+class TestCase2FalseEmptyResult:
+    """Case 2: claiming the result is empty when records qualify."""
+
+    def test_reusing_gap_proof_for_populated_range_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        # Find a genuine gap and get its honest empty-result proof.
+        gap = next(
+            (a + 1, b - 1) for a, b in zip(keys, keys[1:]) if b - a > 2
+        )
+        empty_query = _query(*gap)
+        empty = publisher.answer(empty_query)
+        assert empty.rows == []
+        # Try to use it to claim a populated range is empty.
+        populated_query = _query(keys[3], keys[8])
+        forged = _replace(empty.proof, key_low=keys[3], key_high=keys[8])
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(populated_query, [], forged)
+
+
+class TestCase3WrongTerminal:
+    """Case 3: silently truncating the top of the result."""
+
+    def test_truncated_result_with_truncated_proof_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[10])
+        honest = publisher.answer(query)
+        truncated_entries = honest.proof.entries[:-1]
+        truncated_rows = honest.rows[:-1]
+        signatures = [
+            signed.signatures[signed.record_chain_index(position)]
+            for position in range(5, 10)
+        ]
+        messages = [
+            signed.chain_message(signed.record_chain_index(position))
+            for position in range(5, 10)
+        ]
+        forged = _replace(
+            honest.proof,
+            entries=truncated_entries,
+            signatures=SignatureBundle(
+                aggregate=aggregate_signatures(
+                    signatures, signed.manifest.public_key, messages
+                )
+            ),
+        )
+        with pytest.raises(CompletenessError):
+            verifier.verify(query, truncated_rows, forged)
+
+
+class TestCase4NonContiguousResult:
+    """Case 4: omitting records from the middle of the result."""
+
+    def test_middle_omission_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[12])
+        honest = publisher.answer(query)
+        victim = 3  # omit the record at offset 3 of the result
+        rows = honest.rows[:victim] + honest.rows[victim + 1 :]
+        entries = honest.proof.entries[:victim] + honest.proof.entries[victim + 1 :]
+        remaining_positions = [p for p in range(5, 13) if p != 5 + victim]
+        signatures = [
+            signed.signatures[signed.record_chain_index(p)] for p in remaining_positions
+        ]
+        messages = [
+            signed.chain_message(signed.record_chain_index(p)) for p in remaining_positions
+        ]
+        forged = _replace(
+            honest.proof,
+            entries=entries,
+            signatures=SignatureBundle(
+                aggregate=aggregate_signatures(
+                    signatures, signed.manifest.public_key, messages
+                )
+            ),
+        )
+        with pytest.raises(CompletenessError):
+            verifier.verify(query, rows, forged)
+
+    def test_row_omission_without_proof_surgery_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[12])
+        honest = publisher.answer(query)
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query, honest.rows[:-2], honest.proof)
+
+
+class TestCase5SpuriousRecords:
+    """Case 5: introducing records that the owner never signed."""
+
+    def test_injected_row_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[10])
+        honest = publisher.answer(query)
+        fake_row = dict(honest.rows[0])
+        fake_row["salary"] = honest.rows[0]["salary"] + 1
+        fake_row["name"] = "GHOST"
+        rows = [honest.rows[0], fake_row] + honest.rows[1:]
+        entries = (
+            honest.proof.entries[:1] + (honest.proof.entries[0],) + honest.proof.entries[1:]
+        )
+        forged = _replace(honest.proof, entries=entries)
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query, rows, forged)
+
+    def test_value_tampering_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[10])
+        honest = publisher.answer(query)
+        rows = [dict(row) for row in honest.rows]
+        rows[2]["name"] = "Mallory"
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query, rows, honest.proof)
+
+    def test_key_tampering_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[10])
+        honest = publisher.answer(query)
+        rows = [dict(row) for row in honest.rows]
+        rows[2]["salary"] = rows[2]["salary"] + 1
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query, rows, honest.proof)
+
+    def test_column_swap_rejected(self, world):
+        """The introduction's attack: swapping values between two records."""
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query = _query(keys[5], keys[10])
+        honest = publisher.answer(query)
+        rows = [dict(row) for row in honest.rows]
+        rows[0]["name"], rows[1]["name"] = rows[1]["name"], rows[0]["name"]
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query, rows, honest.proof)
+
+
+class TestProofSplicing:
+    """Replay and cross-query splicing attacks."""
+
+    def test_signature_bundle_from_other_query_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query_a = _query(keys[5], keys[10])
+        query_b = _query(keys[20], keys[25])
+        result_a = publisher.answer(query_a)
+        result_b = publisher.answer(query_b)
+        forged = _replace(result_a.proof, signatures=result_b.proof.signatures)
+        with pytest.raises(CompletenessError):
+            verifier.verify(query_a, result_a.rows, forged)
+
+    def test_boundary_from_other_query_rejected(self, world):
+        relation, signed, publisher, verifier = world
+        keys = relation.keys()
+        query_a = _query(keys[5], keys[10])
+        query_b = _query(keys[6], keys[10])
+        result_a = publisher.answer(query_a)
+        result_b = publisher.answer(query_b)
+        # Splice query_b's lower boundary (which skips keys[5]) into query_a's proof.
+        forged = _replace(
+            result_a.proof,
+            lower_boundary=result_b.proof.lower_boundary,
+            entries=result_b.proof.entries,
+            signatures=result_b.proof.signatures,
+        )
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query_a, result_b.rows, forged)
+
+    def test_fresh_proof_required_after_update_for_new_data(self, owner):
+        """Updates invalidate the publisher's cached proof material.
+
+        Note the scheme (like the paper) does not provide *freshness*: a proof
+        that was valid against an older database version still verifies, since
+        the owner's old signatures remain genuine.  What the test pins down is
+        that after an update the publisher can immediately produce a valid
+        proof for the new state (only three signatures were refreshed) and that
+        mixing new rows with the old proof fails.
+        """
+        relation = generate_employees(20, seed=55, photo_bytes=4)
+        signed = owner.publish_relation(relation)
+        publisher = Publisher({"employees": signed})
+        verifier = ResultVerifier({"employees": signed.manifest})
+        keys = relation.keys()
+        query = _query(keys[2], keys[8])
+        stale = publisher.answer(query)
+        new_key = next(
+            candidate
+            for candidate in range(keys[2] + 1, keys[8])
+            if candidate not in keys
+        )
+        receipt = signed.insert_record(
+            {
+                "salary": new_key,
+                "emp_id": "zzz",
+                "name": "NEW",
+                "dept": 1,
+                "photo": b"",
+            }
+        )
+        assert receipt.signatures_recomputed == 3
+        fresh = publisher.answer(query)
+        assert len(fresh.rows) == len(stale.rows) + 1
+        verifier.verify(query, fresh.rows, fresh.proof)
+        # New rows cannot ride on the stale proof.
+        with pytest.raises((CompletenessError, VerificationError)):
+            verifier.verify(query, fresh.rows, stale.proof)

@@ -1,0 +1,97 @@
+"""Unit tests for condensed-RSA signature aggregation (Section 5.2)."""
+
+import pytest
+
+from repro.crypto.aggregate import aggregate_signatures, verify_aggregate
+
+
+@pytest.fixture(scope="module")
+def signed_messages(signature_scheme):
+    messages = [f"chain-message-{i}".encode() for i in range(8)]
+    signatures = [signature_scheme.sign(message) for message in messages]
+    return messages, signatures
+
+
+class TestAggregation:
+    def test_aggregate_verifies(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures, signature_scheme.verifier, messages)
+        assert verify_aggregate(aggregate, messages, signature_scheme.verifier)
+
+    def test_single_signature_aggregate(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures[:1], signature_scheme.verifier)
+        assert verify_aggregate(aggregate, messages[:1], signature_scheme.verifier)
+
+    def test_aggregate_size_is_one_signature(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures, signature_scheme.verifier, messages)
+        assert aggregate.size_bits <= signature_scheme.verifier.bits
+        assert aggregate.count == len(signatures)
+
+    def test_empty_aggregation_rejected(self, signature_scheme):
+        with pytest.raises(ValueError):
+            aggregate_signatures([], signature_scheme.verifier)
+
+    def test_duplicate_messages_rejected(self, signature_scheme):
+        signature = signature_scheme.sign(b"m")
+        with pytest.raises(ValueError):
+            aggregate_signatures(
+                [signature, signature], signature_scheme.verifier, [b"m", b"m"]
+            )
+
+    def test_length_mismatch_rejected(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        with pytest.raises(ValueError):
+            aggregate_signatures(signatures, signature_scheme.verifier, messages[:-1])
+
+    def test_out_of_range_signature_rejected(self, signature_scheme):
+        with pytest.raises(ValueError):
+            aggregate_signatures(
+                [signature_scheme.verifier.modulus + 1], signature_scheme.verifier
+            )
+
+
+class TestAggregateVerification:
+    def test_missing_message_detected(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures, signature_scheme.verifier, messages)
+        assert not verify_aggregate(aggregate, messages[:-1], signature_scheme.verifier)
+
+    def test_extra_message_detected(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures, signature_scheme.verifier, messages)
+        assert not verify_aggregate(
+            aggregate, messages + [b"sneaky"], signature_scheme.verifier
+        )
+
+    def test_swapped_message_detected(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures, signature_scheme.verifier, messages)
+        altered = list(messages)
+        altered[0] = b"not-the-original"
+        assert not verify_aggregate(aggregate, altered, signature_scheme.verifier)
+
+    def test_forged_aggregate_rejected(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(signatures, signature_scheme.verifier, messages)
+        forged = type(aggregate)(value=aggregate.value + 1, count=aggregate.count)
+        assert not verify_aggregate(forged, messages, signature_scheme.verifier)
+
+    def test_duplicate_claimed_messages_rejected(self, signature_scheme, signed_messages):
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(
+            signatures[:2], signature_scheme.verifier, messages[:2]
+        )
+        assert not verify_aggregate(
+            aggregate, [messages[0], messages[0]], signature_scheme.verifier
+        )
+
+    def test_subset_aggregation_cannot_pose_as_full(self, signature_scheme, signed_messages):
+        # Immutability-style check: an aggregate over a strict subset of
+        # messages must not verify against the full message list.
+        messages, signatures = signed_messages
+        aggregate = aggregate_signatures(
+            signatures[:4], signature_scheme.verifier, messages[:4]
+        )
+        assert not verify_aggregate(aggregate, messages, signature_scheme.verifier)

@@ -1,0 +1,81 @@
+"""Unit tests for the canonical byte encodings."""
+
+import pytest
+
+from repro.crypto import encoding
+
+
+class TestIntToBytes:
+    def test_round_trip_positive(self):
+        for value in (0, 1, 7, 255, 256, 2**31, 2**64 + 3):
+            assert encoding.bytes_to_int(encoding.int_to_bytes(value)) == value
+
+    def test_round_trip_negative(self):
+        for value in (-1, -255, -256, -(2**40)):
+            assert encoding.bytes_to_int(encoding.int_to_bytes(value)) == value
+
+    def test_sign_disambiguation(self):
+        assert encoding.int_to_bytes(-1) != encoding.int_to_bytes(1)
+        assert encoding.int_to_bytes(-255) != encoding.int_to_bytes(255)
+
+    def test_zero_has_explicit_encoding(self):
+        assert encoding.int_to_bytes(0) == b"\x00\x00"
+
+    def test_empty_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            encoding.bytes_to_int(b"")
+
+
+class TestEncodeValue:
+    def test_type_tags_distinguish_types(self):
+        assert encoding.encode_value(1) != encoding.encode_value("1")
+        assert encoding.encode_value(True) != encoding.encode_value(1)
+        assert encoding.encode_value(b"1") != encoding.encode_value("1")
+        assert encoding.encode_value(None) != encoding.encode_value("")
+
+    def test_none_supported(self):
+        assert encoding.encode_value(None) == b"N"
+
+    def test_bytes_like_variants(self):
+        assert encoding.encode_value(bytearray(b"ab")) == encoding.encode_value(b"ab")
+        assert encoding.encode_value(memoryview(b"ab")) == encoding.encode_value(b"ab")
+
+    def test_float_encoding_is_deterministic(self):
+        assert encoding.encode_value(1.5) == encoding.encode_value(1.5)
+        assert encoding.encode_value(1.5) != encoding.encode_value(1.25)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encoding.encode_value(object())
+
+    def test_string_unicode(self):
+        assert encoding.encode_value("héllo") == b"S" + "héllo".encode("utf-8")
+
+
+class TestEncodeMany:
+    def test_injective_on_boundaries(self):
+        # Without length prefixes these two sequences would collide.
+        assert encoding.encode_many(["ab", "c"]) != encoding.encode_many(["a", "bc"])
+
+    def test_injective_on_arity(self):
+        assert encoding.encode_many(["a", "b"]) != encoding.encode_many(["ab"])
+
+    def test_empty_sequence(self):
+        assert encoding.encode_many([]) == b""
+
+    def test_mixed_types(self):
+        blob = encoding.encode_many(["name", 42, b"\x00\x01", None])
+        assert isinstance(blob, bytes)
+        assert len(blob) > 8
+
+    def test_deterministic(self):
+        values = ["salary", 2000, "dept", 1]
+        assert encoding.encode_many(values) == encoding.encode_many(list(values))
+
+
+class TestConcatDigests:
+    def test_concatenation_order_matters(self):
+        assert encoding.concat_digests(b"a", b"b") != encoding.concat_digests(b"b", b"a")
+
+    def test_concatenation_joins_all(self):
+        assert encoding.concat_digests(b"a", b"b", b"c") == b"abc"

@@ -1,0 +1,123 @@
+"""Unit tests for one-way and iterated hash functions."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    HASH_COUNTER,
+    HashChain,
+    HashFunction,
+    IteratedHasher,
+    default_hash,
+    make_hash,
+)
+
+
+class TestHashFunction:
+    def test_default_is_sha256(self):
+        assert default_hash().name == "sha256"
+        assert default_hash().digest_size == 32
+        assert default_hash().digest_bits == 256
+
+    def test_md5_matches_paper_digest_size(self):
+        # Table 1 assumes 128-bit digests; MD5 provides them.
+        assert HashFunction("md5").digest_bits == 128
+
+    def test_digest_is_deterministic(self):
+        h = default_hash()
+        assert h.digest(b"abc") == h.digest(b"abc")
+
+    def test_digest_differs_for_different_inputs(self):
+        h = default_hash()
+        assert h.digest(b"abc") != h.digest(b"abd")
+
+    def test_hash_value_uses_canonical_encoding(self):
+        h = default_hash()
+        assert h.hash_value(1) != h.hash_value("1")
+
+    def test_combine_equals_digest_of_concatenation(self):
+        h = default_hash()
+        assert h.combine(b"ab", b"cd") == h.digest(b"abcd")
+
+    def test_counter_increments(self):
+        h = default_hash()
+        before = HASH_COUNTER.count
+        h.digest(b"x")
+        h.digest(b"y")
+        assert HASH_COUNTER.count == before + 2
+
+    def test_counter_reset_returns_previous(self):
+        h = default_hash()
+        HASH_COUNTER.reset()
+        h.digest(b"x")
+        assert HASH_COUNTER.reset() == 1
+        assert HASH_COUNTER.count == 0
+
+    def test_make_hash_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_hash("definitely-not-a-hash")
+
+    def test_make_hash_accepts_known(self):
+        assert make_hash("sha1").digest_size == 20
+
+
+class TestIteratedHasher:
+    def test_zero_iterations_is_base(self):
+        hasher = IteratedHasher()
+        assert hasher.iterate(42, 0) == hasher.base(42)
+
+    def test_iterate_composes(self):
+        hasher = IteratedHasher()
+        assert hasher.iterate(42, 5) == hasher.extend(hasher.iterate(42, 2), 3)
+
+    def test_negative_iterations_rejected(self):
+        hasher = IteratedHasher()
+        with pytest.raises(ValueError):
+            hasher.iterate(42, -1)
+        with pytest.raises(ValueError):
+            hasher.extend(b"x" * 32, -1)
+
+    def test_suffix_separates_chains(self):
+        hasher = IteratedHasher()
+        assert hasher.iterate(42, 3, suffix=0) != hasher.iterate(42, 3, suffix=1)
+
+    def test_values_separate_chains(self):
+        hasher = IteratedHasher()
+        assert hasher.iterate(42, 3) != hasher.iterate(43, 3)
+
+    def test_chain_output_never_equals_chain_input(self):
+        # The paper requires h^{-1}(r) != r; domain separation guarantees the
+        # digest of the tagged anchor differs from the raw value's digest.
+        hasher = IteratedHasher()
+        h = hasher.hash_function
+        assert hasher.base(7) != h.hash_value(7)
+
+    def test_hash_count_linear_in_iterations(self):
+        hasher = IteratedHasher()
+        HASH_COUNTER.reset()
+        hasher.iterate(9, 10)
+        assert HASH_COUNTER.reset() == 11  # 1 base + 10 extensions
+
+
+class TestHashChain:
+    def test_positions_match_iterated_hasher(self):
+        chain = HashChain(123)
+        hasher = chain.hasher
+        assert chain.at(0) == hasher.base(123)
+        assert chain.at(7) == hasher.iterate(123, 7)
+
+    def test_memoisation_is_consistent(self):
+        chain = HashChain(5)
+        first = chain.at(10)
+        assert chain.at(10) == first
+        assert chain.at(4) == chain.hasher.iterate(5, 4)
+
+    def test_advance_matches_direct(self):
+        chain = HashChain(5)
+        assert chain.advance(chain.at(3), 4) == chain.at(7)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            HashChain(5).at(-1)
+
+    def test_suffix_distinguishes_chains(self):
+        assert HashChain(5, suffix=0).at(3) != HashChain(5, suffix=1).at(3)

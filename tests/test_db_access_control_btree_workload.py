@@ -1,0 +1,201 @@
+"""Unit tests for access control, the B+-tree and the workload generators."""
+
+import pytest
+
+from repro.db.access_control import (
+    AccessControlPolicy,
+    Role,
+    add_visibility_columns,
+    visibility_column_name,
+)
+from repro.db.btree import BPlusTree
+from repro.db.query import Conjunction, EqualityCondition, Projection, Query, RangeCondition
+from repro.db.workload import (
+    figure1_employee_relation,
+    figure1_policy,
+    generate_customers_and_orders,
+    generate_employees,
+    generate_sorted_values,
+    generate_stock_prices,
+)
+
+
+class TestRolesAndPolicy:
+    def test_role_row_visibility(self):
+        relation = figure1_employee_relation()
+        executive = figure1_policy().role("hr_executive")
+        visible = [r for r in relation if executive.can_see(r)]
+        assert [r["name"] for r in visible] == ["A", "C", "D"]
+
+    def test_manager_sees_everything(self):
+        relation = figure1_employee_relation()
+        manager = figure1_policy().role("hr_manager")
+        assert all(manager.can_see(r) for r in relation)
+
+    def test_allowed_attributes_always_include_key(self):
+        relation = figure1_employee_relation()
+        role = Role("narrow", visible_attributes=("name",))
+        allowed = role.allowed_attributes(relation.schema)
+        assert "salary" in allowed and "name" in allowed and "photo" not in allowed
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(KeyError):
+            figure1_policy().role("intern")
+
+    def test_rewrite_adds_row_conditions(self):
+        relation = figure1_employee_relation()
+        policy = figure1_policy()
+        query = Query("employees", Conjunction((RangeCondition("salary", None, 9999),)))
+        rewritten = policy.rewrite(query, "hr_executive", relation.schema)
+        key_condition = rewritten.where.key_condition(relation.schema)
+        assert key_condition.high == 8999  # the tighter of 9999 and the policy bound
+
+    def test_rewrite_restricts_projection(self):
+        relation = figure1_employee_relation()
+        policy = AccessControlPolicy()
+        policy.add_role(Role("restricted", visible_attributes=("name", "salary")))
+        query = Query("employees", projection=Projection())
+        rewritten = policy.rewrite(query, "restricted", relation.schema)
+        assert set(rewritten.projection.effective_attributes(relation.schema)) == {
+            "salary",
+            "name",
+        }
+
+    def test_rewrite_noop_for_unrestricted_role(self):
+        relation = figure1_employee_relation()
+        policy = figure1_policy()
+        query = Query("employees")
+        rewritten = policy.rewrite(query, "hr_manager", relation.schema)
+        assert rewritten.where.conditions == ()
+
+
+class TestVisibilityColumns:
+    def test_columns_added_per_role(self):
+        relation = figure1_employee_relation()
+        policy = figure1_policy()
+        augmented = add_visibility_columns(relation, policy)
+        assert augmented.schema.has_attribute(visibility_column_name("hr_manager"))
+        assert augmented.schema.has_attribute(visibility_column_name("hr_executive"))
+        assert len(augmented) == len(relation)
+
+    def test_column_values_reflect_policy(self):
+        relation = figure1_employee_relation()
+        augmented = add_visibility_columns(relation, figure1_policy())
+        column = visibility_column_name("hr_executive")
+        values = {record["name"]: record[column] for record in augmented}
+        assert values == {"A": True, "C": True, "D": True, "B": False, "E": False}
+
+    def test_original_relation_untouched(self):
+        relation = figure1_employee_relation()
+        add_visibility_columns(relation, figure1_policy())
+        assert not relation.schema.has_attribute(visibility_column_name("hr_manager"))
+
+
+class TestBPlusTree:
+    def test_insert_and_search(self):
+        tree = BPlusTree(fanout=4)
+        for key in [5, 1, 9, 3, 7, 2, 8, 6, 4, 0]:
+            tree.insert(key, f"v{key}")
+        assert len(tree) == 10
+        assert tree.search(7) == "v7"
+        assert tree.search(42) is None
+        assert tree.keys() == sorted(range(10))
+
+    def test_duplicate_insert_rejected(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(1, "a")
+        with pytest.raises(KeyError):
+            tree.insert(1, "b")
+
+    def test_range_search(self):
+        tree = BPlusTree(fanout=4)
+        for key in range(100):
+            tree.insert(key, key * 2)
+        results = tree.range_search(10, 20)
+        assert [k for k, _ in results] == list(range(10, 21))
+        assert [v for _, v in results] == [k * 2 for k in range(10, 21)]
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(fanout=8)
+        for key in range(512):
+            tree.insert(key, None)
+        assert 3 <= tree.height <= 5
+
+    def test_delete(self):
+        tree = BPlusTree(fanout=4)
+        for key in range(20):
+            tree.insert(key, key)
+        assert tree.delete(10) == 10
+        assert tree.search(10) is None
+        assert len(tree) == 19
+        with pytest.raises(KeyError):
+            tree.delete(10)
+
+    def test_neighbours_within_and_across_leaves(self):
+        tree = BPlusTree(fanout=4)
+        for key in range(30):
+            tree.insert(key, key)
+        assert tree.neighbours(15) == (14, 16)
+        assert tree.neighbours(0) == (None, 1)
+        assert tree.neighbours(29) == (28, None)
+
+    def test_signatures_stored_with_entries(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, "v", signature=123)
+        assert tree.signature_of(5) == 123
+        tree.set_signature(5, 456)
+        assert tree.signature_of(5) == 456
+        with pytest.raises(KeyError):
+            tree.set_signature(6, 1)
+
+    def test_update_with_signatures_touches_at_most_two_leaves(self):
+        tree = BPlusTree(fanout=16)
+        for key in range(0, 2000, 2):
+            tree.insert(key, key)
+        touched = tree.update_with_signatures(1001, "new", lambda a, b, c: hash((a, b, c)))
+        assert touched <= 2
+        assert tree.statistics.leaves_touched_last_update <= 2
+        assert tree.statistics.signatures_recomputed == 3
+
+    def test_statistics_reset(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(1, "a")
+        tree.statistics.reset()
+        assert tree.statistics.node_writes == 0
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(fanout=2)
+
+
+class TestWorkloads:
+    def test_figure1_table_matches_paper(self):
+        relation = figure1_employee_relation()
+        assert [r["name"] for r in relation] == ["A", "C", "D", "B", "E"]
+        assert relation.keys() == [2000, 3500, 8010, 12100, 25000]
+
+    def test_generate_employees_is_deterministic(self):
+        first = generate_employees(20, seed=9, photo_bytes=4)
+        second = generate_employees(20, seed=9, photo_bytes=4)
+        assert first.keys() == second.keys()
+        assert len(first) == 20
+
+    def test_generate_employees_distinct_salaries(self):
+        relation = generate_employees(200, seed=1, photo_bytes=1)
+        assert len(set(relation.keys())) == 200
+
+    def test_stock_prices_one_row_per_day(self):
+        relation = generate_stock_prices(50)
+        assert relation.keys() == list(range(1, 51))
+        assert all(record["close"] >= 1.0 for record in relation)
+
+    def test_customers_orders_referential_integrity(self):
+        customers, orders = generate_customers_and_orders(15, 60, seed=2)
+        customer_ids = set(customers.keys())
+        assert all(order["customer_id"] in customer_ids for order in orders)
+        assert len(orders) == 60
+
+    def test_sorted_values_distinct_and_sorted(self):
+        values = generate_sorted_values(100, seed=4)
+        assert values == sorted(values)
+        assert len(set(values)) == 100

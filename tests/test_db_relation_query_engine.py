@@ -1,0 +1,313 @@
+"""Unit tests for relations, the query model and the reference engine."""
+
+import pytest
+
+from repro.db.engine import QueryEngine
+from repro.db.query import (
+    ComparisonOperator,
+    Conjunction,
+    EqualityCondition,
+    JoinQuery,
+    Projection,
+    Query,
+    RangeCondition,
+    comparison_to_ranges,
+)
+from repro.db.records import Record
+from repro.db.relation import Relation
+from repro.db.schema import KeyDomain
+from repro.db.workload import (
+    employee_schema,
+    figure1_employee_relation,
+    generate_customers_and_orders,
+    generate_employees,
+)
+
+
+@pytest.fixture
+def employees():
+    return figure1_employee_relation()
+
+
+class TestRelation:
+    def test_records_sorted_by_key(self, employees):
+        assert employees.keys() == [2000, 3500, 8010, 12100, 25000]
+
+    def test_insert_keeps_order(self, employees):
+        employees.insert(
+            {"salary": 5000, "emp_id": "009", "name": "F", "dept": 1, "photo": b"x"}
+        )
+        assert employees.keys() == [2000, 3500, 5000, 8010, 12100, 25000]
+
+    def test_len_and_iteration(self, employees):
+        assert len(employees) == 5
+        assert [record.key for record in employees] == employees.keys()
+
+    def test_exact_duplicate_rejected(self, employees):
+        row = employees[0].as_dict()
+        with pytest.raises(ValueError):
+            employees.insert(row)
+
+    def test_same_key_different_payload_allowed(self, employees):
+        employees.insert(
+            {"salary": 2000, "emp_id": "099", "name": "Z", "dept": 4, "photo": b"z"}
+        )
+        assert len(employees) == 6
+        assert employees.keys().count(2000) == 2
+
+    def test_delete_and_position(self, employees):
+        record = employees[2]
+        position = employees.delete(record)
+        assert position == 2
+        assert len(employees) == 4
+        with pytest.raises(KeyError):
+            employees.delete(record)
+
+    def test_update_returns_positions(self, employees):
+        old = employees[0]
+        new = old.replace(salary=30000)
+        old_pos, new_pos = employees.update(old, new)
+        assert (old_pos, new_pos) == (0, 4)
+
+    def test_range_scan(self, employees):
+        keys = [record.key for record in employees.range_scan(3000, 13000)]
+        assert keys == [3500, 8010, 12100]
+
+    def test_range_scan_empty(self, employees):
+        assert employees.range_scan(26000, 30000) == []
+
+    def test_range_indices_bounds(self, employees):
+        assert employees.range_indices(0, 99999) == (0, 5)
+        assert employees.range_indices(2000, 2000) == (0, 1)
+
+    def test_neighbors(self, employees):
+        left, right = employees.neighbors(0)
+        assert left is None and right.key == 3500
+        left, right = employees.neighbors(4)
+        assert left.key == 12100 and right is None
+
+    def test_select_full_scan(self, employees):
+        dept1 = employees.select(lambda r: r["dept"] == 1)
+        assert [r["name"] for r in dept1] == ["A", "D"]
+
+    def test_wrong_schema_record_rejected(self, employees):
+        other_schema = employee_schema(KeyDomain(0, 50))
+        record = Record(
+            other_schema,
+            {"salary": 10, "emp_id": "x", "name": "x", "dept": 1, "photo": b""},
+        )
+        with pytest.raises(ValueError):
+            employees.insert(record)
+
+    def test_from_rows_and_records_copy(self, employees):
+        snapshot = employees.records
+        snapshot.pop()
+        assert len(employees) == 5
+
+    def test_position_of(self, employees):
+        assert employees.position_of(employees[3]) == 3
+
+
+class TestQueryModel:
+    def test_range_condition_matching(self, employees):
+        condition = RangeCondition("salary", 3000, 9000)
+        assert condition.matches(employees[1])
+        assert not condition.matches(employees[0])
+
+    def test_empty_range_condition_matches_nothing(self, employees):
+        condition = RangeCondition("salary", 10, 5)
+        assert condition.is_empty
+        assert not any(condition.matches(record) for record in employees)
+
+    def test_range_condition_none_attribute_value(self, employees):
+        assert not RangeCondition("missing", 0, 10).matches(employees[0])
+
+    def test_equality_condition(self, employees):
+        assert EqualityCondition("dept", 1).matches(employees[0])
+        assert not EqualityCondition("dept", 3).matches(employees[0])
+
+    def test_conjunction_key_condition_intersection(self):
+        schema = employee_schema()
+        where = Conjunction(
+            (
+                RangeCondition("salary", 1000, 9000),
+                RangeCondition("salary", 2000, 20000),
+                EqualityCondition("dept", 1),
+            )
+        )
+        key_condition = where.key_condition(schema)
+        assert (key_condition.low, key_condition.high) == (2000, 9000)
+        assert len(where.non_key_conditions(schema)) == 1
+
+    def test_conjunction_without_key_condition(self):
+        schema = employee_schema()
+        where = Conjunction((EqualityCondition("dept", 1),))
+        assert where.key_condition(schema) is None
+
+    def test_projection_always_keeps_key(self):
+        schema = employee_schema()
+        projection = Projection(attributes=("name",))
+        assert projection.effective_attributes(schema) == ["salary", "name"]
+        assert "photo" in projection.dropped_attributes(schema)
+
+    def test_projection_select_star(self):
+        schema = employee_schema()
+        assert Projection().effective_attributes(schema) == schema.attribute_names
+        assert Projection().dropped_attributes(schema) == []
+
+    def test_query_is_multipoint(self):
+        schema = employee_schema()
+        range_only = Query("employees", Conjunction((RangeCondition("salary", 0, 10_000),)))
+        multipoint = Query(
+            "employees",
+            Conjunction((RangeCondition("salary", 0, 10_000), EqualityCondition("dept", 1))),
+        )
+        assert not range_only.is_multipoint(schema)
+        assert multipoint.is_multipoint(schema)
+
+    def test_query_rewritten_appends_conditions(self):
+        query = Query("employees")
+        rewritten = query.rewritten([RangeCondition("salary", None, 8999)])
+        assert len(rewritten.where.conditions) == 1
+        assert len(query.where.conditions) == 0
+
+
+class TestComparisonToRanges:
+    @pytest.fixture
+    def domain(self):
+        return KeyDomain(0, 100)
+
+    def test_equality(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.EQ, 50, domain)
+        assert [(r.low, r.high) for r in ranges] == [(50, 50)]
+
+    def test_less_than(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.LT, 50, domain)
+        assert [(r.low, r.high) for r in ranges] == [(1, 49)]
+
+    def test_less_equal(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.LE, 50, domain)
+        assert [(r.low, r.high) for r in ranges] == [(1, 50)]
+
+    def test_greater_than(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.GT, 50, domain)
+        assert [(r.low, r.high) for r in ranges] == [(51, 99)]
+
+    def test_greater_equal(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.GE, 50, domain)
+        assert [(r.low, r.high) for r in ranges] == [(50, 99)]
+
+    def test_not_equal_is_two_ranges(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.NE, 50, domain)
+        assert [(r.low, r.high) for r in ranges] == [(1, 49), (51, 99)]
+
+    def test_not_equal_at_domain_edge(self, domain):
+        ranges = comparison_to_ranges("k", ComparisonOperator.NE, 1, domain)
+        assert [(r.low, r.high) for r in ranges] == [(2, 99)]
+
+    def test_degenerate_less_than_smallest(self, domain):
+        assert comparison_to_ranges("k", ComparisonOperator.LT, 1, domain) == []
+
+    def test_degenerate_greater_than_largest(self, domain):
+        assert comparison_to_ranges("k", ComparisonOperator.GT, 99, domain) == []
+
+
+class TestQueryEngine:
+    @pytest.fixture
+    def engine(self, employees):
+        engine = QueryEngine()
+        engine.register("employees", employees)
+        return engine
+
+    def test_pure_range_query(self, engine):
+        query = Query("employees", Conjunction((RangeCondition("salary", None, 9999),)))
+        result = engine.execute(query)
+        assert [r.key for r in result.matching_records] == [2000, 3500, 8010]
+        assert not result.is_multipoint
+
+    def test_multipoint_query(self, engine):
+        query = Query(
+            "employees",
+            Conjunction((RangeCondition("salary", None, 9999), EqualityCondition("dept", 1))),
+        )
+        result = engine.execute(query)
+        assert result.is_multipoint
+        assert [r.key for r in result.matching_records] == [2000, 8010]
+        assert result.matches == [True, False, True]
+
+    def test_unbounded_query_scans_everything(self, engine):
+        result = engine.execute(Query("employees"))
+        assert len(result.records) == 5
+
+    def test_empty_key_range(self, engine):
+        query = Query("employees", Conjunction((RangeCondition("salary", 50000, 60000),)))
+        result = engine.execute(query)
+        assert result.records == []
+
+    def test_projection_rows(self, engine):
+        query = Query(
+            "employees",
+            Conjunction((RangeCondition("salary", None, 9999),)),
+            Projection(attributes=("name",)),
+        )
+        rows = engine.execute(query).projected_rows()
+        assert rows == [
+            {"salary": 2000, "name": "A"},
+            {"salary": 3500, "name": "C"},
+            {"salary": 8010, "name": "D"},
+        ]
+
+    def test_distinct_projection(self, engine):
+        query = Query(
+            "employees",
+            Conjunction((EqualityCondition("dept", 1),)),
+            Projection(attributes=("dept",), distinct=True),
+        )
+        rows = engine.execute(query).projected_rows()
+        # Both dept-1 employees project to distinct rows because the key is kept.
+        assert len(rows) == 2
+
+    def test_unknown_relation(self, engine):
+        with pytest.raises(KeyError):
+            engine.execute(Query("nope"))
+
+    def test_pk_fk_join(self):
+        customers, orders = generate_customers_and_orders(10, 30, seed=3)
+        engine = QueryEngine({"customers": customers, "orders": orders})
+        join = JoinQuery("orders", "customers", "customer_id", "customer_id")
+        result = engine.execute_join(join)
+        assert len(result.joined_rows) == 30
+        sample = result.joined_rows[0]
+        assert "orders.order_id" in sample and "customers.name" in sample
+
+    def test_join_requires_fk_sort_order(self):
+        customers, orders = generate_customers_and_orders(10, 30, seed=3)
+        engine = QueryEngine({"customers": customers, "orders": orders})
+        join = JoinQuery("customers", "orders", "region", "order_id")
+        with pytest.raises(ValueError):
+            engine.execute_join(join)
+
+    def test_join_detects_dangling_foreign_key(self):
+        customers, orders = generate_customers_and_orders(10, 10, seed=3)
+        # Remove the customer referenced by the first order.
+        first_fk = orders[0]["customer_id"]
+        victim = next(c for c in customers if c["customer_id"] == first_fk)
+        customers.delete(victim)
+        engine = QueryEngine({"customers": customers, "orders": orders})
+        join = JoinQuery("orders", "customers", "customer_id", "customer_id")
+        with pytest.raises(ValueError):
+            engine.execute_join(join)
+
+    def test_join_with_selection(self):
+        customers, orders = generate_customers_and_orders(10, 40, seed=3)
+        engine = QueryEngine({"customers": customers, "orders": orders})
+        mid = sorted({r["customer_id"] for r in orders})[5]
+        join = JoinQuery(
+            "orders",
+            "customers",
+            "customer_id",
+            "customer_id",
+            Conjunction((RangeCondition("customer_id", None, mid),)),
+        )
+        result = engine.execute_join(join)
+        assert all(row["orders.customer_id"] <= mid for row in result.joined_rows)

@@ -1,0 +1,205 @@
+"""Unit tests for schemas, key domains and records."""
+
+import pytest
+
+from repro.db.records import Record
+from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
+from repro.db.workload import employee_schema
+
+
+class TestKeyDomain:
+    def test_width(self):
+        assert KeyDomain(0, 100).width == 100
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            KeyDomain(10, 10)
+        with pytest.raises(ValueError):
+            KeyDomain(10, 5)
+
+    def test_contains_is_open_interval(self):
+        domain = KeyDomain(0, 10)
+        assert domain.contains(1)
+        assert domain.contains(9)
+        assert not domain.contains(0)
+        assert not domain.contains(10)
+
+    def test_require_rejects_bounds_and_non_integers(self):
+        domain = KeyDomain(0, 10)
+        with pytest.raises(ValueError):
+            domain.require(0)
+        with pytest.raises(ValueError):
+            domain.require(10)
+        with pytest.raises(ValueError):
+            domain.require(True)
+        with pytest.raises(ValueError):
+            domain.require("5")
+        assert domain.require(5) == 5
+
+    def test_distances(self):
+        domain = KeyDomain(0, 100)
+        assert domain.distance_to_upper(60) == 39
+        assert domain.distance_to_lower(60) == 59
+        assert domain.distance_to_upper(99) == 0
+        assert domain.distance_to_lower(1) == 0
+
+    def test_clamp_range(self):
+        domain = KeyDomain(0, 100)
+        assert domain.clamp_range(None, None) == (1, 99)
+        assert domain.clamp_range(-5, 200) == (1, 99)
+        assert domain.clamp_range(10, 20) == (10, 20)
+
+
+class TestAttributeTypes:
+    def test_integer_validation(self):
+        assert AttributeType.INTEGER.validate(5)
+        assert not AttributeType.INTEGER.validate(True)
+        assert not AttributeType.INTEGER.validate("5")
+        assert AttributeType.INTEGER.validate(None)
+
+    def test_boolean_validation(self):
+        assert AttributeType.BOOLEAN.validate(True)
+        assert not AttributeType.BOOLEAN.validate(1)
+
+    def test_blob_validation(self):
+        assert AttributeType.BLOB.validate(b"abc")
+        assert AttributeType.BLOB.validate(bytearray(b"abc"))
+        assert not AttributeType.BLOB.validate("abc")
+
+    def test_float_accepts_int(self):
+        assert AttributeType.FLOAT.validate(3)
+        assert AttributeType.FLOAT.validate(3.5)
+
+    def test_attribute_validate_with_domain(self):
+        attribute = Attribute("salary", AttributeType.INTEGER, domain=KeyDomain(0, 100))
+        attribute.validate(50)
+        with pytest.raises(ValueError):
+            attribute.validate(150)
+
+
+class TestSchema:
+    def test_key_must_be_integer_with_domain(self):
+        with pytest.raises(ValueError):
+            Schema.build("t", [Attribute("k", AttributeType.STRING)], key="k")
+        with pytest.raises(ValueError):
+            Schema.build("t", [Attribute("k", AttributeType.INTEGER)], key="k")
+
+    def test_duplicate_attribute_names_rejected(self):
+        attributes = [
+            Attribute("k", AttributeType.INTEGER, domain=KeyDomain(0, 10)),
+            Attribute("k", AttributeType.STRING),
+        ]
+        with pytest.raises(ValueError):
+            Schema.build("t", attributes, key="k")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            Schema.build(
+                "t",
+                [Attribute("k", AttributeType.INTEGER, domain=KeyDomain(0, 10))],
+                key="missing",
+            )
+
+    def test_non_key_attributes_order(self):
+        schema = employee_schema()
+        assert [a.name for a in schema.non_key_attributes] == [
+            "emp_id",
+            "name",
+            "dept",
+            "photo",
+        ]
+
+    def test_validate_values_detects_missing_and_unknown(self):
+        schema = employee_schema()
+        with pytest.raises(ValueError):
+            schema.validate_values({"salary": 10})
+        values = {
+            "salary": 10,
+            "emp_id": "1",
+            "name": "x",
+            "dept": 1,
+            "photo": b"",
+            "extra": 1,
+        }
+        with pytest.raises(ValueError):
+            schema.validate_values(values)
+
+    def test_record_size_bytes_uses_hints(self):
+        schema = employee_schema(photo_bytes=100)
+        assert schema.record_size_bytes() == 4 + 8 + 24 + 4 + 100
+
+    def test_with_key_requires_domain_on_new_key(self):
+        schema = employee_schema()
+        # dept has no KeyDomain, so re-keying on it must fail immediately.
+        with pytest.raises(ValueError):
+            schema.with_key("dept")
+
+    def test_with_extra_attributes(self):
+        schema = employee_schema()
+        extended = schema.with_extra_attributes(
+            [Attribute("flag", AttributeType.BOOLEAN)]
+        )
+        assert extended.has_attribute("flag")
+        assert not schema.has_attribute("flag")
+
+
+class TestRecord:
+    @pytest.fixture
+    def record(self):
+        schema = employee_schema()
+        return Record(
+            schema,
+            {"salary": 2000, "emp_id": "005", "name": "A", "dept": 1, "photo": b"p"},
+        )
+
+    def test_key_property(self, record):
+        assert record.key == 2000
+
+    def test_values_are_read_only(self, record):
+        with pytest.raises(TypeError):
+            record.values["salary"] = 1  # type: ignore[index]
+
+    def test_getitem_and_get(self, record):
+        assert record["name"] == "A"
+        assert record.get("missing", 7) == 7
+
+    def test_invalid_values_rejected(self):
+        schema = employee_schema()
+        with pytest.raises(ValueError):
+            Record(schema, {"salary": "high", "emp_id": "1", "name": "x", "dept": 1, "photo": b""})
+
+    def test_project(self, record):
+        assert record.project(["name", "salary"]) == {"name": "A", "salary": 2000}
+        with pytest.raises(KeyError):
+            record.project(["nope"])
+
+    def test_replace_returns_new_record(self, record):
+        updated = record.replace(name="Z")
+        assert updated["name"] == "Z"
+        assert record["name"] == "A"
+
+    def test_attribute_root_changes_with_any_attribute(self, record):
+        baseline = record.attribute_root()
+        assert record.replace(name="Z").attribute_root() != baseline
+        assert record.replace(photo=b"other").attribute_root() != baseline
+
+    def test_attribute_root_detects_swapped_columns(self, record):
+        # The introduction's authenticity example: swapping two values between
+        # columns must change the digest.
+        swapped = record.replace(emp_id="A", name="005")
+        assert swapped.attribute_root() != record.attribute_root()
+
+    def test_attribute_root_independent_of_key(self, record):
+        # The key is covered by the hash chains, not by MHT(r.A).
+        assert record.replace(salary=3000).attribute_root() == record.attribute_root()
+
+    def test_fingerprint_distinguishes_same_key_records(self, record):
+        other = record.replace(name="B")
+        assert record.fingerprint() != other.fingerprint()
+
+    def test_attribute_leaves_align_with_schema(self, record):
+        assert len(record.attribute_leaves()) == len(record.schema.non_key_attributes)
+
+    def test_as_dict_round_trip(self, record):
+        clone = Record(record.schema, record.as_dict())
+        assert clone.fingerprint() == record.fingerprint()
