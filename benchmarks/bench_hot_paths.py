@@ -1,0 +1,70 @@
+"""Perf-regression harness for the memoized proof-engine fast path.
+
+Writes ``BENCH_hot_paths.json`` at the repository root (override with
+``--output``): ops/sec for owner signing, publisher range/join answering and
+verifier checking, cached vs. a faithful replica of the uncached seed path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py            # full run
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke    # quick run
+
+The same workloads run (in smoke mode) inside tier-1 via
+``tests/test_bench_hot_paths_smoke.py``, so a regression that breaks the
+cached/uncached proof equivalence fails every ordinary ``pytest`` run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.hot_paths import (  # noqa: E402
+    SMOKE_CONFIG,
+    HotPathConfig,
+    run_hot_path_benchmarks,
+)
+
+_DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_hot_paths.json",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the scaled-down smoke workloads"
+    )
+    parser.add_argument(
+        "--output", default=_DEFAULT_OUTPUT, help="where to write the JSON report"
+    )
+    args = parser.parse_args(argv)
+
+    config = SMOKE_CONFIG if args.smoke else HotPathConfig()
+    report = run_hot_path_benchmarks(config)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for name, entry in report["workloads"].items():
+        print(
+            f"  {name:28s} uncached {entry['uncached_ops_per_sec']:>10.1f}/s"
+            f"  cached {entry['cached_ops_per_sec']:>10.1f}/s"
+            f"  speedup {entry['speedup']:>6.2f}x"
+        )
+    print(f"  proofs identical: {report['proofs_identical']}")
+    print(f"  targets met: {report['targets_met']}")
+    return 0 if report["proofs_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

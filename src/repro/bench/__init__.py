@@ -1,0 +1,13 @@
+"""Reusable performance harnesses.
+
+Unlike :mod:`benchmarks` (the pytest-based experiment scripts that regenerate
+the paper's tables), this package holds importable benchmark logic that both
+the CLI runners under ``benchmarks/`` and the tier-1 smoke tests share, so the
+reported numbers stay reproducible from either entry point.
+"""
+
+from repro.bench.hot_paths import (  # noqa: F401
+    SMOKE_CONFIG,
+    HotPathConfig,
+    run_hot_path_benchmarks,
+)

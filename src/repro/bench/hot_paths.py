@@ -1,0 +1,354 @@
+"""Hot-path throughput benchmarks for the memoized proof-engine fast path.
+
+This harness measures the four hot paths the PR-1 fast path optimises and
+compares each against a faithful replica of the seed (uncached) code path:
+
+* **owner bulk signing** — signing one batch of chain messages per
+  "re-publication round" (the owner distributing the same signed chain to
+  several publishers, or re-signing after a no-op refresh).  The fast path
+  combines precomputed CRT constants, the FDH representative cache and the
+  deterministic-signature memo; the seed path recomputed the CRT constants and
+  the full-domain hash for every single signature.
+* **crt single-shot signing** — signing fresh, never-before-seen messages,
+  isolating the CRT-precompute + FDH-cache win without the signature memo.
+* **publisher repeated range queries** — a fixed set of hot ranges queried
+  over and over.  The fast path serves boundary proofs, entry assists and
+  signature bundles from the keyed VO-fragment cache and representation
+  Merkle trees from the digest-scheme memos; the seed path rebuilt everything
+  per query.
+* **publisher PK-FK joins** and **verifier checking** — same repetition
+  pattern on the join path (batched point proofs + fragment cache) and the
+  user-side verifier (persistent chain schemes vs. rebuilt-per-check).
+
+Cached and uncached configurations produce byte-identical proofs — the
+harness asserts this for every workload before timing anything, and the
+property tests in ``tests/test_cache_consistency.py`` check it independently.
+
+Baseline fidelity: the module-level LRU memos (polynomial representations, FDH
+representatives) are global and not governed by the ``memoize``/``vo_cache``
+flags, so they are cleared immediately before every uncached timing.  The
+first uncached round re-warms the cheap pure-integer polynomial memos — the
+seed had none at all — so the reported uncached throughput is, if anything, a
+slight *over*-estimate and the speedups a conservative lower bound.
+
+Run ``python benchmarks/bench_hot_paths.py`` to write ``BENCH_hot_paths.json``
+at the repository root; the tier-1 suite runs the same code in smoke mode
+(:data:`SMOKE_CONFIG`) so regressions surface in every test run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core import polynomial
+from repro.core.publisher import Publisher
+from repro.core.relational import SignedRelation
+from repro.core.verifier import ResultVerifier
+from repro.crypto.primes import modular_inverse
+from repro.crypto.rsa import RSAPrivateKey, _full_domain_hash_cached
+from repro.crypto.signature import SignatureScheme, rsa_scheme
+from repro.db import workload
+from repro.db.query import Conjunction, JoinQuery, Query, RangeCondition
+
+__all__ = ["HotPathConfig", "SMOKE_CONFIG", "run_hot_path_benchmarks"]
+
+#: Uncached MGF1 expansion — the exact function the seed called per signature.
+_fdh_uncached = _full_domain_hash_cached.__wrapped__
+
+
+def _clear_global_memos() -> None:
+    """Reset the module-level LRU memos so uncached timings start cold."""
+    _full_domain_hash_cached.cache_clear()
+    polynomial.num_digits_for.cache_clear()
+    polynomial.to_canonical_digits.cache_clear()
+    polynomial.canonical_representation.cache_clear()
+    polynomial.preferred_representation.cache_clear()
+    polynomial._all_preferred_representations_cached.cache_clear()
+
+
+@dataclass(frozen=True)
+class HotPathConfig:
+    """Workload sizes for one benchmark run."""
+
+    key_bits: int = 512
+    table_rows: int = 300
+    distinct_ranges: int = 8
+    range_width: int = 4_000
+    range_rounds: int = 10
+    signing_messages: int = 150
+    signing_rounds: int = 3
+    join_customers: int = 30
+    join_orders: int = 120
+    join_rounds: int = 10
+    verify_rounds: int = 10
+
+
+#: Scaled-down configuration the tier-1 smoke test runs on every ``pytest``.
+SMOKE_CONFIG = HotPathConfig(
+    table_rows=48,
+    distinct_ranges=3,
+    range_width=6_000,
+    range_rounds=3,
+    signing_messages=24,
+    signing_rounds=2,
+    join_customers=8,
+    join_orders=24,
+    join_rounds=2,
+    verify_rounds=3,
+)
+
+
+def _sign_seed_path(signer: RSAPrivateKey, message: bytes) -> int:
+    """Replica of the seed's ``RSAPrivateKey.sign``.
+
+    Recomputes the CRT constants (including the modular inverse) and the
+    full-domain hash on every call, exactly as the pre-fast-path code did, so
+    the "uncached" timings measure the historical behaviour rather than a
+    strawman.
+    """
+    representative = _fdh_uncached(message, signer.modulus, signer.hash_name)
+    d_p = signer.private_exponent % (signer.prime_p - 1)
+    d_q = signer.private_exponent % (signer.prime_q - 1)
+    q_inv = modular_inverse(signer.prime_q, signer.prime_p)
+    s_p = pow(representative % signer.prime_p, d_p, signer.prime_p)
+    s_q = pow(representative % signer.prime_q, d_q, signer.prime_q)
+    h = (q_inv * (s_p - s_q)) % signer.prime_p
+    return (s_q + h * signer.prime_q) % signer.modulus
+
+
+def _timed(operation: Callable[[], None]) -> float:
+    start = time.perf_counter()
+    operation()
+    return time.perf_counter() - start
+
+
+def _workload_entry(
+    uncached_ops: int,
+    uncached_elapsed: float,
+    cached_ops: int,
+    cached_elapsed: float,
+) -> Dict[str, float]:
+    uncached_rate = uncached_ops / uncached_elapsed if uncached_elapsed else float("inf")
+    cached_rate = cached_ops / cached_elapsed if cached_elapsed else float("inf")
+    return {
+        "uncached_ops_per_sec": round(uncached_rate, 2),
+        "cached_ops_per_sec": round(cached_rate, 2),
+        "speedup": round(cached_rate / uncached_rate, 2) if uncached_rate else 0.0,
+    }
+
+
+# -- owner-side workloads -----------------------------------------------------
+
+
+def _bench_owner_signing(
+    scheme: SignatureScheme, config: HotPathConfig
+) -> Dict[str, Dict[str, float]]:
+    signer = scheme.signer
+    messages = [b"chain-message|%08d" % index for index in range(config.signing_messages)]
+    rounds = config.signing_rounds
+
+    # Correctness first: both paths must produce identical signatures.
+    assert [signer.sign(m) for m in messages[:4]] == [
+        _sign_seed_path(signer, m) for m in messages[:4]
+    ], "fast-path signatures diverge from the seed path"
+
+    ops = len(messages) * rounds
+    _clear_global_memos()
+    uncached = _timed(
+        lambda: [
+            _sign_seed_path(signer, message)
+            for _ in range(rounds)
+            for message in messages
+        ]
+    )
+    cached = _timed(
+        lambda: [scheme.sign_batch(messages) for _ in range(rounds)]
+    )
+    bulk = _workload_entry(ops, uncached, ops, cached)
+    bulk["messages"] = len(messages)
+    bulk["rounds"] = rounds
+
+    # Fresh messages every time: isolates the CRT-precompute + FDH-cache win.
+    fresh_a = [b"fresh-a|%08d" % index for index in range(config.signing_messages)]
+    fresh_b = [b"fresh-b|%08d" % index for index in range(config.signing_messages)]
+    _clear_global_memos()
+    uncached_fresh = _timed(lambda: [_sign_seed_path(signer, m) for m in fresh_a])
+    cached_fresh = _timed(lambda: scheme.sign_batch(fresh_b))
+    single = _workload_entry(len(fresh_a), uncached_fresh, len(fresh_b), cached_fresh)
+    return {"owner_bulk_signing": bulk, "crt_single_shot_signing": single}
+
+
+# -- publisher / verifier workloads -------------------------------------------
+
+
+def _employee_world(
+    scheme: SignatureScheme, config: HotPathConfig, memoize: bool
+) -> Tuple[SignedRelation, Publisher, ResultVerifier]:
+    relation = workload.generate_employees(config.table_rows, seed=21, photo_bytes=32)
+    signed = SignedRelation(relation, scheme, memoize=memoize)
+    publisher = Publisher({"employees": signed}, vo_cache=memoize)
+    verifier = ResultVerifier({"employees": signed.manifest})
+    return signed, publisher, verifier
+
+
+def _range_queries(config: HotPathConfig) -> List[Query]:
+    domain_low, domain_high = 1, 99_999
+    span = domain_high - domain_low - config.range_width
+    queries = []
+    for index in range(config.distinct_ranges):
+        low = domain_low + (span * index) // max(1, config.distinct_ranges - 1)
+        queries.append(
+            Query(
+                "employees",
+                Conjunction(
+                    (RangeCondition("salary", low, low + config.range_width),)
+                ),
+            )
+        )
+    return queries
+
+
+def _bench_publisher_ranges(
+    scheme: SignatureScheme, config: HotPathConfig
+) -> Tuple[Dict[str, float], bool]:
+    _, cold_publisher, _ = _employee_world(scheme, config, memoize=False)
+    _, hot_publisher, verifier = _employee_world(scheme, config, memoize=True)
+    queries = _range_queries(config)
+
+    # Correctness pass: byte-identical proofs, and the verifier accepts both.
+    identical = True
+    for query in queries:
+        cold = cold_publisher.answer(query)
+        hot = hot_publisher.answer(query)
+        repeat = hot_publisher.answer(query)  # served from the fragment cache
+        identical = identical and cold.proof == hot.proof == repeat.proof
+        identical = identical and cold.rows == hot.rows
+        verifier.verify(query, hot.rows, hot.proof)
+
+    ops = len(queries) * config.range_rounds
+    _clear_global_memos()
+    uncached = _timed(
+        lambda: [
+            cold_publisher.answer(query)
+            for _ in range(config.range_rounds)
+            for query in queries
+        ]
+    )
+    cached = _timed(
+        lambda: [
+            hot_publisher.answer(query)
+            for _ in range(config.range_rounds)
+            for query in queries
+        ]
+    )
+    entry = _workload_entry(ops, uncached, ops, cached)
+    entry["distinct_ranges"] = len(queries)
+    entry["rounds"] = config.range_rounds
+    entry["table_rows"] = config.table_rows
+    return entry, identical
+
+
+def _join_world(
+    scheme: SignatureScheme, config: HotPathConfig, memoize: bool
+) -> Tuple[Publisher, ResultVerifier]:
+    customers, orders = workload.generate_customers_and_orders(
+        config.join_customers, config.join_orders, seed=9
+    )
+    signed_customers = SignedRelation(customers, scheme, memoize=memoize)
+    signed_orders = SignedRelation(orders, scheme, memoize=memoize)
+    database = {"customers": signed_customers, "orders": signed_orders}
+    publisher = Publisher(database, vo_cache=memoize)
+    verifier = ResultVerifier(
+        {name: signed.manifest for name, signed in database.items()}
+    )
+    return publisher, verifier
+
+
+def _bench_publisher_join(
+    scheme: SignatureScheme, config: HotPathConfig
+) -> Tuple[Dict[str, float], bool]:
+    cold_publisher, _ = _join_world(scheme, config, memoize=False)
+    hot_publisher, verifier = _join_world(scheme, config, memoize=True)
+    join = JoinQuery("orders", "customers", "customer_id", "customer_id")
+
+    cold = cold_publisher.answer_join(join)
+    hot = hot_publisher.answer_join(join)
+    identical = cold.proof == hot.proof and cold.rows == hot.rows
+    verifier.verify_join(join, hot.rows, hot.proof, hot.left_rows)
+
+    ops = config.join_rounds
+    _clear_global_memos()
+    uncached = _timed(
+        lambda: [cold_publisher.answer_join(join) for _ in range(ops)]
+    )
+    cached = _timed(
+        lambda: [hot_publisher.answer_join(join) for _ in range(ops)]
+    )
+    entry = _workload_entry(ops, uncached, ops, cached)
+    entry["rounds"] = ops
+    entry["orders"] = config.join_orders
+    return entry, identical
+
+
+def _bench_verifier(
+    scheme: SignatureScheme, config: HotPathConfig
+) -> Dict[str, float]:
+    signed, publisher, _ = _employee_world(scheme, config, memoize=True)
+    queries = _range_queries(config)
+    answers = [(query, publisher.answer(query)) for query in queries]
+    manifests = {"employees": signed.manifest}
+
+    def verify_fresh() -> None:
+        # Seed behaviour: chain schemes were rebuilt inside every verify call.
+        for query, result in answers:
+            ResultVerifier(manifests).verify(query, result.rows, result.proof)
+
+    persistent = ResultVerifier(manifests)
+
+    def verify_persistent() -> None:
+        for query, result in answers:
+            persistent.verify(query, result.rows, result.proof)
+
+    verify_persistent()  # warm the scheme memos before timing
+    ops = len(answers) * config.verify_rounds
+    _clear_global_memos()
+    uncached = _timed(lambda: [verify_fresh() for _ in range(config.verify_rounds)])
+    cached = _timed(
+        lambda: [verify_persistent() for _ in range(config.verify_rounds)]
+    )
+    entry = _workload_entry(ops, uncached, ops, cached)
+    entry["rounds"] = config.verify_rounds
+    return entry
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def run_hot_path_benchmarks(config: HotPathConfig = HotPathConfig()) -> Dict:
+    """Run every hot-path workload and return the report dictionary."""
+    scheme = rsa_scheme(bits=config.key_bits)
+    report: Dict = {
+        "benchmark": "hot_paths",
+        "config": asdict(config),
+        "workloads": {},
+        "targets": {
+            "publisher_repeated_range_speedup_min": 5.0,
+            "owner_bulk_signing_speedup_min": 2.0,
+        },
+    }
+    report["workloads"].update(_bench_owner_signing(scheme, config))
+    range_entry, ranges_identical = _bench_publisher_ranges(scheme, config)
+    report["workloads"]["publisher_repeated_range"] = range_entry
+    join_entry, join_identical = _bench_publisher_join(scheme, config)
+    report["workloads"]["publisher_join"] = join_entry
+    report["workloads"]["verifier_repeated_check"] = _bench_verifier(scheme, config)
+    report["proofs_identical"] = bool(ranges_identical and join_identical)
+    report["targets_met"] = {
+        "publisher_repeated_range": range_entry["speedup"]
+        >= report["targets"]["publisher_repeated_range_speedup_min"],
+        "owner_bulk_signing": report["workloads"]["owner_bulk_signing"]["speedup"]
+        >= report["targets"]["owner_bulk_signing_speedup_min"],
+    }
+    return report

@@ -1,0 +1,25 @@
+"""Shared bounded-cache primitive used by the memoization fast path.
+
+Every memo in the library (signature memo, hash-chain memo, digest-scheme
+memos, the publisher's VO-fragment cache) bounds its size the same way:
+insertion-order FIFO eviction once a cap is reached.  Centralising the
+eviction here keeps the policy identical everywhere and gives one place to
+change it (e.g. to LRU) later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+__all__ = ["bounded_put"]
+
+
+def bounded_put(cache: Dict[K, V], key: K, value: V, max_size: int) -> V:
+    """Insert ``key -> value``, evicting the oldest entry at the size bound."""
+    if len(cache) >= max_size:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+    return value

@@ -109,6 +109,7 @@ class SignedValueList:
         self.scheme_kind = scheme_kind
         self.base = base
         self._signature_scheme = signature_scheme
+        self._manifest: Optional[ListManifest] = None
         self.chain_scheme = _build_chain_scheme(
             scheme_kind, domain, base, self.hash_function
         )
@@ -130,14 +131,16 @@ class SignedValueList:
 
     @property
     def manifest(self) -> ListManifest:
-        """The public metadata users need for verification."""
-        return ListManifest(
-            domain=self.domain,
-            scheme_kind=self.scheme_kind,
-            base=self.base,
-            hash_name=self.hash_function.name,
-            public_key=self._signature_scheme.verifier,
-        )
+        """The public metadata users need for verification (built once)."""
+        if self._manifest is None:
+            self._manifest = ListManifest(
+                domain=self.domain,
+                scheme_kind=self.scheme_kind,
+                base=self.base,
+                hash_name=self.hash_function.name,
+                public_key=self._signature_scheme.verifier,
+            )
+        return self._manifest
 
     def entry_count(self) -> int:
         """Number of chain entries including the two delimiters."""
@@ -180,10 +183,8 @@ class SignedValueList:
 
     def _resign_all(self) -> None:
         self._digests = [self._compute_digest(i) for i in range(self.entry_count())]
-        self.signatures = [
-            self._signature_scheme.sign(self.chain_message(i))
-            for i in range(self.entry_count())
-        ]
+        messages = [self.chain_message(i) for i in range(self.entry_count())]
+        self.signatures = self._signature_scheme.sign_batch(messages)
 
     # -- updates (Section 6.3) -------------------------------------------------------
 

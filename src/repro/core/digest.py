@@ -30,6 +30,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.cache import bounded_put
 from repro.core import polynomial
 from repro.core.errors import CheatingAttemptError
 from repro.crypto.encoding import encode_many
@@ -97,21 +98,35 @@ class BoundaryAssist:
         return count
 
 
+#: Bound on each per-scheme memo (representation trees, canonical digests,
+#: commitments).  Entries are evicted in insertion order once the bound is hit.
+_SCHEME_CACHE_MAX = 8192
+
+
 class ChainDigestScheme(abc.ABC):
-    """Interface shared by the conceptual and optimized chain digest schemes."""
+    """Interface shared by the conceptual and optimized chain digest schemes.
+
+    ``memoize`` (default True) turns on the digest caches: the per-anchor hash
+    chain memo of :class:`~repro.crypto.hashing.IteratedHasher` and, for the
+    optimized scheme, per-``(value, total)`` memos of representation Merkle
+    trees, canonical digests and commitments.  Cached and uncached schemes
+    produce byte-identical digests — the caches only skip recomputation.
+    """
 
     def __init__(
         self,
         domain_width: int,
         namespace: str,
         hash_function: Optional[HashFunction] = None,
+        memoize: bool = True,
     ) -> None:
         if domain_width < 2:
             raise ValueError("domain width must be at least 2")
         self.domain_width = domain_width
         self.namespace = namespace
         self.hash_function = hash_function or default_hash()
-        self.hasher = IteratedHasher(self.hash_function)
+        self.memoize = memoize
+        self.hasher = IteratedHasher(self.hash_function, memoize=memoize)
 
     # -- anchors -----------------------------------------------------------------
 
@@ -205,14 +220,25 @@ class OptimizedChainScheme(ChainDigestScheme):
         namespace: str,
         base: int = 2,
         hash_function: Optional[HashFunction] = None,
+        memoize: bool = True,
     ) -> None:
-        super().__init__(domain_width, namespace, hash_function)
+        super().__init__(domain_width, namespace, hash_function, memoize)
         if base < 2:
             raise ValueError("the polynomial base B must be at least 2")
         self.base = base
         self.num_digits = polynomial.num_digits_for(domain_width, base)
+        # (anchor, total) -> MerkleTree / canonical digest / commitment memos.
+        # The owner commits, the publisher builds assists and boundary proofs
+        # for the *same* (value, total) pairs over and over; each memo turns
+        # that repeated Merkle/chain work into a dictionary lookup.
+        self._tree_cache: dict = {}
+        self._canonical_cache: dict = {}
+        self._commitment_cache: dict = {}
 
     # -- internal helpers -------------------------------------------------------
+
+    def _cache_put(self, cache: dict, key, value):
+        return bounded_put(cache, key, value, _SCHEME_CACHE_MAX)
 
     def _digit_digest(self, anchor: bytes, exponent: int, position: int) -> bytes:
         """``h^{exponent}(value | position)`` for one digit chain."""
@@ -229,10 +255,21 @@ class OptimizedChainScheme(ChainDigestScheme):
         return self.hash_function.combine(*parts)
 
     def _canonical_digest(self, anchor: bytes, total: int) -> bytes:
+        if self.memoize:
+            cached = self._canonical_cache.get((anchor, total))
+            if cached is not None:
+                return cached
         canonical = polynomial.canonical_representation(total, self.base, self.num_digits)
-        return self._representation_digest(anchor, canonical)
+        digest = self._representation_digest(anchor, canonical)
+        if self.memoize:
+            self._cache_put(self._canonical_cache, (anchor, total), digest)
+        return digest
 
     def _representation_tree(self, anchor: bytes, total: int) -> MerkleTree:
+        if self.memoize:
+            cached = self._tree_cache.get((anchor, total))
+            if cached is not None:
+                return cached
         representations = polynomial.all_preferred_representations(
             total, self.base, self.num_digits
         )
@@ -242,17 +279,27 @@ class OptimizedChainScheme(ChainDigestScheme):
         ]
         if not leaves:
             leaves = [_EMPTY_REPRESENTATION_SENTINEL]
-        return MerkleTree(leaves, self.hash_function)
+        tree = MerkleTree(leaves, self.hash_function)
+        if self.memoize:
+            self._cache_put(self._tree_cache, (anchor, total), tree)
+        return tree
 
     # -- owner side ----------------------------------------------------------------
 
     def commitment(self, value: int, total: int) -> bytes:
         if total < 0:
             raise ValueError("chain exponent must be non-negative")
+        if self.memoize:
+            cached = self._commitment_cache.get((value, total))
+            if cached is not None:
+                return cached
         anchor = self._anchor(value)
         canonical_digest = self._canonical_digest(anchor, total)
         tree = self._representation_tree(anchor, total)
-        return self.hash_function.combine(canonical_digest, tree.root)
+        digest = self.hash_function.combine(canonical_digest, tree.root)
+        if self.memoize:
+            self._cache_put(self._commitment_cache, (value, total), digest)
+        return digest
 
     # -- publisher side ---------------------------------------------------------------
 

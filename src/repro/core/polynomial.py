@@ -23,6 +23,7 @@ the representations, the validity rules and the selection lemma.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def num_digits_for(width: int, base: int) -> int:
     """Number of digits needed to represent every exponent below ``width``.
 
@@ -56,6 +58,7 @@ def num_digits_for(width: int, base: int) -> int:
     return digits
 
 
+@lru_cache(maxsize=65536)
 def to_canonical_digits(value: int, base: int, num_digits: int) -> Tuple[int, ...]:
     """Canonical (least-significant-first) base-``base`` digits of ``value``."""
     if value < 0:
@@ -126,6 +129,7 @@ class Representation:
         )
 
 
+@lru_cache(maxsize=65536)
 def canonical_representation(value: int, base: int, num_digits: int) -> Representation:
     """The canonical representation of ``value``."""
     return Representation(
@@ -133,6 +137,7 @@ def canonical_representation(value: int, base: int, num_digits: int) -> Represen
     )
 
 
+@lru_cache(maxsize=65536)
 def preferred_representation(
     value: int, base: int, num_digits: int, index: int
 ) -> Representation:
@@ -165,14 +170,26 @@ def preferred_representation(
     )
 
 
+@lru_cache(maxsize=65536)
+def _all_preferred_representations_cached(
+    value: int, base: int, num_digits: int
+) -> Tuple[Representation, ...]:
+    return tuple(
+        preferred_representation(value, base, num_digits, index)
+        for index in range(num_digits - 1)
+    )
+
+
 def all_preferred_representations(
     value: int, base: int, num_digits: int
 ) -> List[Representation]:
-    """All ``num_digits - 1`` preferred non-canonical representations of ``value``."""
-    return [
-        preferred_representation(value, base, num_digits, index)
-        for index in range(num_digits - 1)
-    ]
+    """All ``num_digits - 1`` preferred non-canonical representations of ``value``.
+
+    The representations are memoised (they are pure functions of the
+    arguments); a fresh list over the cached tuple is returned so callers may
+    mutate their copy freely.
+    """
+    return list(_all_preferred_representations_cached(value, base, num_digits))
 
 
 def subtract_digitwise(

@@ -16,9 +16,11 @@ catches every manipulation of Section 3.2's case analysis.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.cache import bounded_put
 from repro.core.errors import PolicyViolationError, ProofConstructionError
 from repro.core.proof import (
     BoundaryEntryProof,
@@ -30,7 +32,6 @@ from repro.core.proof import (
 )
 from repro.core.relational import SignedRelation
 from repro.crypto.aggregate import aggregate_signatures
-from repro.crypto.merkle import MerkleTree
 from repro.db.access_control import AccessControlPolicy, visibility_column_name
 from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondition
 from repro.db.records import Record
@@ -69,26 +70,124 @@ class PublishedJoinResult:
         return self.proof is None
 
 
+#: Bound on the publisher's verification-object fragment cache.
+_VO_CACHE_MAX = 16384
+
+
 class Publisher:
-    """Hosts signed relations and answers queries with completeness proofs."""
+    """Hosts signed relations and answers queries with completeness proofs.
+
+    ``vo_cache`` (default True) enables the keyed verification-object fragment
+    cache: boundary proofs, entry-assist pairs and signature bundles for hot
+    key ranges are built once and served from the cache afterwards.  Cache
+    entries are content-keyed (entry key + query bound), so cached and uncached
+    publishers ship byte-identical proofs; ``insert_record`` / ``delete_record``
+    / ``update_record`` on a hosted relation evict exactly the fragments whose
+    entry keys the mutation touched (signature bundles are version-keyed and
+    flushed wholesale, since any mutation moves the chain).
+    """
 
     def __init__(
         self,
         database: Mapping[str, SignedRelation],
         policy: Optional[AccessControlPolicy] = None,
         aggregate: bool = True,
+        vo_cache: bool = True,
     ) -> None:
         self.database: Dict[str, SignedRelation] = dict(database)
         self.policy = policy
         self.aggregate = aggregate
+        self.vo_cache_enabled = vo_cache
+        self._vo_cache: Dict[tuple, object] = {}
+        self.vo_cache_hits = 0
+        self.vo_cache_misses = 0
+        # Cache keys carry the *hosting* name of a relation (the database key
+        # the query used, threaded through every proof-building helper), so
+        # the invalidation listeners and the cache writers agree on keys even
+        # when one relation object is hosted under several names.
+        # name -> currently registered relation object (strong ref, so a live
+        # registration can never be confused with a recycled id), and
+        # relation -> names we already subscribed a listener for (weak keys, so
+        # dead relations drop out instead of pinning memory or recycled ids).
+        self._registered: Dict[str, SignedRelation] = {}
+        self._subscribed: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        for name, signed in self.database.items():
+            self._ensure_registered(name, signed)
+
+    # -- VO fragment cache --------------------------------------------------------
+
+    def _ensure_registered(self, name: str, signed: SignedRelation) -> None:
+        """Bind ``signed`` to hosting ``name`` for caching and invalidation.
+
+        Called on construction and again on every lookup, so a relation that
+        is swapped into (or added to) ``self.database`` after construction gets
+        its listener registered and any cache entries left by the previous
+        occupant of the name are flushed instead of being served stale.
+        """
+        if self._registered.get(name) is signed:
+            return
+        if name in self._registered:
+            self._flush_relation(name)
+        self._registered[name] = signed
+        if self.vo_cache_enabled:
+            register = getattr(signed, "add_invalidation_listener", None)
+            if register is not None:
+                subscribed_names = self._subscribed.setdefault(signed, set())
+                if name not in subscribed_names:
+                    register(self._invalidator_for(name))
+                    subscribed_names.add(name)
+
+    def _flush_relation(self, relation_name: str) -> None:
+        for key in [key for key in self._vo_cache if key[0] == relation_name]:
+            del self._vo_cache[key]
+
+    def _invalidator_for(self, relation_name: str):
+        # The listener outlives this publisher inside the SignedRelation, so it
+        # holds only a weak reference; once the publisher is gone it returns
+        # False, which asks the relation to deregister it (no leak, and dead
+        # publishers cost mutations nothing).
+        self_ref = weakref.ref(self)
+
+        def _invalidate(version: int, affected_keys: Tuple[int, ...]):
+            publisher = self_ref()
+            if publisher is None:
+                return False
+            affected = set(affected_keys)
+            stale = [
+                key
+                for key in publisher._vo_cache
+                if key[0] == relation_name
+                and (key[1] == "bundle" or key[2] in affected)
+            ]
+            for key in stale:
+                del publisher._vo_cache[key]
+            return True
+
+        return _invalidate
+
+    def _vo_cache_get(self, key: tuple):
+        if not self.vo_cache_enabled:
+            return None
+        cached = self._vo_cache.get(key)
+        if cached is not None:
+            self.vo_cache_hits += 1
+        return cached
+
+    def _vo_cache_put(self, key: tuple, value):
+        if not self.vo_cache_enabled:
+            return value
+        self.vo_cache_misses += 1
+        return bounded_put(self._vo_cache, key, value, _VO_CACHE_MAX)
 
     # -- helpers ------------------------------------------------------------------
 
     def signed_relation(self, name: str) -> SignedRelation:
         try:
-            return self.database[name]
+            signed = self.database[name]
         except KeyError as error:
             raise KeyError(f"publisher does not host relation {name!r}") from error
+        self._ensure_registered(name, signed)
+        return signed
 
     def _rewrite(
         self, query: Query, role: Optional[str], schema: Schema
@@ -119,11 +218,29 @@ class Publisher:
             return PublishedResult(query.relation_name, [], None, rewritten)
 
         start, stop = signed.relation.range_indices(alpha, beta)
+        return self._build_range_result(
+            signed, rewritten, role_conditions, role, alpha, beta, start, stop
+        )
+
+    def _build_range_result(
+        self,
+        signed: SignedRelation,
+        rewritten: Query,
+        role_conditions: Tuple[object, ...],
+        role: Optional[str],
+        alpha: int,
+        beta: int,
+        start: int,
+        stop: int,
+    ) -> PublishedResult:
+        """Assemble rows and proof for an already-located key range."""
+        schema = signed.schema
+        relation_name = rewritten.relation_name
         scanned = signed.relation.records[start:stop]
         non_key_conditions = rewritten.where.non_key_conditions(schema)
 
-        lower_boundary = self._lower_boundary_proof(signed, start, alpha)
-        upper_boundary = self._upper_boundary_proof(signed, stop, beta)
+        lower_boundary = self._lower_boundary_proof(signed, relation_name, start, alpha)
+        upper_boundary = self._upper_boundary_proof(signed, relation_name, stop, beta)
 
         rows: List[Dict[str, object]] = []
         entries: List[object] = []
@@ -142,7 +259,7 @@ class Publisher:
                     entries.append(
                         self._matched_entry(
                             signed,
-                            chain_index,
+                            relation_name,
                             record,
                             dropped_names,
                             eliminated_duplicate=True,
@@ -153,7 +270,7 @@ class Publisher:
                 seen_projected.add(row_signature)
                 rows.append(row)
                 entries.append(
-                    self._matched_entry(signed, chain_index, record, dropped_names)
+                    self._matched_entry(signed, relation_name, record, dropped_names)
                 )
             else:
                 entries.append(
@@ -167,7 +284,7 @@ class Publisher:
                     )
                 )
 
-        bundle, outer_digest = self._signature_bundle(signed, start, stop)
+        bundle, outer_digest = self._signature_bundle(signed, relation_name, start, stop)
         proof = RangeQueryProof(
             key_low=alpha,
             key_high=beta,
@@ -177,65 +294,90 @@ class Publisher:
             signatures=bundle,
             outer_neighbor_digest=outer_digest,
         )
-        return PublishedResult(query.relation_name, rows, proof, rewritten)
+        return PublishedResult(rewritten.relation_name, rows, proof, rewritten)
 
     # -- proof building blocks ---------------------------------------------------------
 
     def _lower_boundary_proof(
-        self, signed: SignedRelation, start: int, alpha: int
+        self, signed: SignedRelation, relation_name: str, start: int, alpha: int
     ) -> BoundaryEntryProof:
-        """Proof for the entry immediately below the query range."""
+        """Proof for the entry immediately below the query range.
+
+        Cached per (entry key, ``delta_c``): the proof depends only on the
+        boundary entry itself and on how far ``alpha`` sits from the domain
+        edge, so hot range bounds are served from the fragment cache.
+        ``relation_name`` is the hosting name the query looked the relation up
+        under — the same name the invalidation listener evicts by.
+        """
         chain_index = start  # record at relation position start-1, or the left delimiter
         entry = signed.entry(chain_index)
+        delta_c = signed.domain.upper - alpha
+        cache_key = (
+            relation_name,
+            "boundary",
+            entry.key,
+            "lower",
+            delta_c,
+        )
+        cached = self._vo_cache_get(cache_key)
+        if cached is not None:
+            return cached
         upper, lower, attribute_root = signed.components(chain_index)
         assist = signed.upper_scheme.boundary_proof(
             entry.key,
             signed.domain.upper - entry.key - 1,
-            signed.domain.upper - alpha,
+            delta_c,
         )
-        return BoundaryEntryProof(
+        proof = BoundaryEntryProof(
             side="lower",
             chain_boundary=assist,
             other_chain_digest=lower,
             attribute_root=attribute_root,
         )
+        return self._vo_cache_put(cache_key, proof)
 
     def _upper_boundary_proof(
-        self, signed: SignedRelation, stop: int, beta: int
+        self, signed: SignedRelation, relation_name: str, stop: int, beta: int
     ) -> BoundaryEntryProof:
-        """Proof for the entry immediately above the query range."""
+        """Proof for the entry immediately above the query range (cached)."""
         chain_index = stop + 1
         entry = signed.entry(chain_index)
+        delta_c = beta - signed.domain.lower
+        cache_key = (
+            relation_name,
+            "boundary",
+            entry.key,
+            "upper",
+            delta_c,
+        )
+        cached = self._vo_cache_get(cache_key)
+        if cached is not None:
+            return cached
         upper, lower, attribute_root = signed.components(chain_index)
         assist = signed.lower_scheme.boundary_proof(
             entry.key,
             entry.key - signed.domain.lower - 1,
-            beta - signed.domain.lower,
+            delta_c,
         )
-        return BoundaryEntryProof(
+        proof = BoundaryEntryProof(
             side="upper",
             chain_boundary=assist,
             other_chain_digest=upper,
             attribute_root=attribute_root,
         )
+        return self._vo_cache_put(cache_key, proof)
 
     def _matched_entry(
         self,
         signed: SignedRelation,
-        chain_index: int,
+        relation_name: str,
         record: Record,
         dropped_names: Sequence[str],
         eliminated_duplicate: bool = False,
         revealed: Optional[Dict[str, object]] = None,
     ) -> MatchedEntryProof:
         """Proof material for a record returned to the user (or a DISTINCT duplicate)."""
-        domain = signed.domain
-        upper_assist = signed.upper_scheme.entry_assist(
-            record.key, domain.upper - record.key - 1
-        )
-        lower_assist = signed.lower_scheme.entry_assist(
-            record.key, record.key - domain.lower - 1
-        )
+        upper_assist, lower_assist = self._entry_assists(signed, relation_name, record.key)
         dropped_digests = self._attribute_leaf_digests(signed, record, dropped_names)
         return MatchedEntryProof(
             upper_assist=upper_assist,
@@ -245,6 +387,23 @@ class Publisher:
             revealed_attributes=dict(revealed or {}),
             key=record.key if eliminated_duplicate else None,
         )
+
+    def _entry_assists(self, signed: SignedRelation, relation_name: str, key: int):
+        """The (upper, lower) chain-scheme assists for a result entry.
+
+        Assists depend only on the key value and the chain schemes, so records
+        sharing a key share the cache slot; mutations touching the key evict it.
+        """
+        cache_key = (relation_name, "assist", key)
+        cached = self._vo_cache_get(cache_key)
+        if cached is not None:
+            return cached
+        domain = signed.domain
+        assists = (
+            signed.upper_scheme.entry_assist(key, domain.upper - key - 1),
+            signed.lower_scheme.entry_assist(key, key - domain.lower - 1),
+        )
+        return self._vo_cache_put(cache_key, assists)
 
     def _filtered_entry(
         self,
@@ -309,20 +468,29 @@ class Publisher:
         """Leaf digests of the per-record attribute Merkle tree for ``names``."""
         if not names:
             return {}
-        order = [attribute.name for attribute in record.schema.non_key_attributes]
-        leaves = record.attribute_leaves()
-        digests = {}
-        for name in names:
-            position = order.index(name)
-            digests[name] = MerkleTree.leaf_digest_of(
-                leaves[position], signed.hash_function
-            )
-        return digests
+        positions = record.schema.non_key_positions
+        tree = record.attribute_tree(signed.hash_function)
+        return {name: tree.leaf_digest(positions[name]) for name in names}
 
     def _signature_bundle(
-        self, signed: SignedRelation, start: int, stop: int
+        self, signed: SignedRelation, relation_name: str, start: int, stop: int
     ) -> Tuple[SignatureBundle, Optional[bytes]]:
-        """Signatures covering the scanned range (or the boundary pair when empty)."""
+        """Signatures covering the scanned range (or the boundary pair when empty).
+
+        Cached per (relation version, scanned index range): the bundle depends
+        on the chain contents, so the version in the key makes every mutation
+        start a fresh slot (old versions are flushed by the invalidator).
+        """
+        cache_key = (
+            relation_name,
+            "bundle",
+            getattr(signed, "version", 0),
+            start,
+            stop,
+        )
+        cached = self._vo_cache_get(cache_key)
+        if cached is not None:
+            return cached
         if stop > start:
             indices = [signed.record_chain_index(position) for position in range(start, stop)]
             outer_digest = None
@@ -343,7 +511,7 @@ class Publisher:
             )
         else:
             bundle = SignatureBundle(individual=tuple(raw))
-        return bundle, outer_digest
+        return self._vo_cache_put(cache_key, (bundle, outer_digest))
 
     # -- joins ---------------------------------------------------------------------------
 
@@ -377,13 +545,9 @@ class Publisher:
         foreign_values = sorted(
             {row[join.foreign_key] for row in left_result.rows}
         )
+        point_results = self._answer_points_batch(join, foreign_values)
         for value in foreign_values:
-            point_query = Query(
-                join.right_relation,
-                Conjunction((RangeCondition(join.primary_key, value, value),)),
-                Projection(),
-            )
-            point_result = self.answer(point_query, role=None)
+            point_result = point_results[value]
             if point_result.proof is None or len(point_result.rows) != 1:
                 raise ProofConstructionError(
                     f"referential integrity violation: {join.foreign_key}={value} has "
@@ -414,3 +578,38 @@ class Publisher:
             rewritten_query=join,
             left_rows=left_result.rows,
         )
+
+    def _answer_points_batch(
+        self, join: JoinQuery, values: Sequence[int]
+    ) -> Dict[int, PublishedResult]:
+        """Point proofs on the primary-key side for all foreign keys of a join.
+
+        All point ranges are located by one shared left-to-right scan over the
+        relation's sorted key index (``values`` is sorted ascending, each
+        bisect resumes where the previous one stopped); each located range is
+        then assembled through the exact same :meth:`_build_range_result` path
+        an individual point query would take, so the resulting proofs are
+        byte-identical to per-value answers.
+        """
+        right_signed = self.signed_relation(join.right_relation)
+        domain = right_signed.domain
+        in_domain = [value for value in values if domain.contains(value)]
+        indices = right_signed.relation.point_indices_batch(in_domain)
+        results: Dict[int, PublishedResult] = {}
+        for value in values:
+            point_query = Query(
+                join.right_relation,
+                Conjunction((RangeCondition(join.primary_key, value, value),)),
+                Projection(),
+            )
+            alpha, beta = domain.clamp_range(value, value)
+            if alpha > beta:
+                results[value] = PublishedResult(
+                    join.right_relation, [], None, point_query
+                )
+                continue
+            start, stop = indices[value]
+            results[value] = self._build_range_result(
+                right_signed, point_query, (), None, alpha, beta, start, stop
+            )
+        return results

@@ -21,7 +21,8 @@ of a boundary proof, so nothing is lost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.digest import (
     ChainDigestScheme,
@@ -48,17 +49,18 @@ def build_chain_schemes(
     domain: KeyDomain,
     base: int,
     hash_function: HashFunction,
+    memoize: bool = True,
 ) -> Tuple[ChainDigestScheme, ChainDigestScheme]:
     """The (upper, lower) chain digest schemes for a key domain."""
     if kind == "conceptual":
         return (
-            ConceptualChainScheme(domain.width, "upper", hash_function),
-            ConceptualChainScheme(domain.width, "lower", hash_function),
+            ConceptualChainScheme(domain.width, "upper", hash_function, memoize),
+            ConceptualChainScheme(domain.width, "lower", hash_function, memoize),
         )
     if kind == "optimized":
         return (
-            OptimizedChainScheme(domain.width, "upper", base, hash_function),
-            OptimizedChainScheme(domain.width, "lower", base, hash_function),
+            OptimizedChainScheme(domain.width, "upper", base, hash_function, memoize),
+            OptimizedChainScheme(domain.width, "lower", base, hash_function, memoize),
         )
     raise ValueError(f"unknown digest scheme kind {kind!r}")
 
@@ -84,18 +86,35 @@ class RelationManifest:
     def hash_function(self) -> HashFunction:
         return HashFunction(self.hash_name)
 
-    def chain_schemes(self) -> Tuple[ChainDigestScheme, ChainDigestScheme]:
+    def chain_schemes(
+        self, memoize: bool = True
+    ) -> Tuple[ChainDigestScheme, ChainDigestScheme]:
+        """Fresh (upper, lower) chain schemes for this relation.
+
+        ``memoize=False`` yields schemes without digest memos — used by the
+        cost-model benchmarks, which count the hash operations a from-scratch
+        verification performs.
+        """
         return build_chain_schemes(
-            self.scheme_kind, self.domain, self.base, self.hash_function()
+            self.scheme_kind, self.domain, self.base, self.hash_function(), memoize
+        )
+
+    @cached_property
+    def _anchors(self) -> Tuple[bytes, bytes]:
+        """(left, right) end-of-chain anchors, hashed once per manifest."""
+        hash_function = self.hash_function()
+        return (
+            hash_function.digest(encode_many(["anchor", self.domain.lower])),
+            hash_function.digest(encode_many(["anchor", self.domain.upper])),
         )
 
     def left_anchor(self) -> bytes:
         """Digest standing in for the left neighbour of the left delimiter."""
-        return self.hash_function().digest(encode_many(["anchor", self.domain.lower]))
+        return self._anchors[0]
 
     def right_anchor(self) -> bytes:
         """Digest standing in for the right neighbour of the right delimiter."""
-        return self.hash_function().digest(encode_many(["anchor", self.domain.upper]))
+        return self._anchors[1]
 
 
 @dataclass(frozen=True)
@@ -113,11 +132,20 @@ class ChainEntry:
 
 @dataclass(frozen=True)
 class UpdateReceipt:
-    """What an insert/delete/update cost the owner (Section 6.3 accounting)."""
+    """What an insert/delete/update cost the owner (Section 6.3 accounting).
+
+    ``digests_recomputed`` counts ``g`` digests actually (re)computed: 1 for an
+    insert (the new entry's digest; neighbour digests are unchanged), 0 for a
+    delete.  ``chain_messages_recomputed`` counts the formula-(1) chain
+    messages re-derived before re-signing — for a delete this is non-zero even
+    though no ``g`` digest changes, because the entries flanking the gap now
+    reference each other.
+    """
 
     signatures_recomputed: int
     digests_recomputed: int
     entries_affected: Tuple[int, ...]
+    chain_messages_recomputed: int = 0
 
 
 class SignedRelation:
@@ -130,6 +158,7 @@ class SignedRelation:
         scheme_kind: str = "optimized",
         base: int = 2,
         hash_function: Optional[HashFunction] = None,
+        memoize: bool = True,
     ) -> None:
         self.relation = relation
         self.schema: Schema = relation.schema
@@ -137,27 +166,73 @@ class SignedRelation:
         self.hash_function = hash_function or default_hash()
         self.scheme_kind = scheme_kind
         self.base = base
+        self.memoize = memoize
         self._signature_scheme = signature_scheme
         self.upper_scheme, self.lower_scheme = build_chain_schemes(
-            scheme_kind, self.domain, base, self.hash_function
+            scheme_kind, self.domain, base, self.hash_function, memoize
         )
+        self._manifest: Optional[RelationManifest] = None
         self._entries: List[ChainEntry] = []
         self._components: List[Tuple[bytes, bytes, bytes]] = []
+        self._digests: List[bytes] = []
         self.signatures: List[int] = []
+        self._version = 0
+        self._listeners: List[Callable[[int, Tuple[int, ...]], None]] = []
         self._rebuild_all()
 
     # -- manifest -------------------------------------------------------------------
 
     @property
     def manifest(self) -> RelationManifest:
-        """The public verification metadata for this relation."""
-        return RelationManifest(
-            schema=self.schema,
-            scheme_kind=self.scheme_kind,
-            base=self.base,
-            hash_name=self.hash_function.name,
-            public_key=self._signature_scheme.verifier,
+        """The public verification metadata for this relation.
+
+        Built once and cached: every field is immutable for the lifetime of the
+        signed relation, and ``chain_message`` consults the manifest's anchors
+        for every end-of-chain message.
+        """
+        if self._manifest is None:
+            self._manifest = RelationManifest(
+                schema=self.schema,
+                scheme_kind=self.scheme_kind,
+                base=self.base,
+                hash_name=self.hash_function.name,
+                public_key=self._signature_scheme.verifier,
+            )
+        return self._manifest
+
+    # -- cache coordination --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every insert/delete/update."""
+        return self._version
+
+    def add_invalidation_listener(
+        self, listener: Callable[[int, Tuple[int, ...]], object]
+    ) -> None:
+        """Register ``listener(version, affected_keys)`` to run after each mutation.
+
+        Publishers use this to evict derived verification-object fragments for
+        exactly the entry keys a mutation touched.  A listener that returns
+        ``False`` is deregistered — publishers register weakly-bound listeners
+        that answer ``False`` once their owner has been garbage-collected, so a
+        long-lived relation does not accumulate dead subscribers.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, affected_indices: Sequence[int], extra_keys: Sequence[int] = ()) -> None:
+        self._version += 1
+        keys = tuple(
+            sorted(
+                {self._entries[index].key for index in affected_indices}
+                | set(extra_keys)
+            )
         )
+        self._listeners = [
+            listener
+            for listener in self._listeners
+            if listener(self._version, keys) is not False
+        ]
 
     # -- chain structure -----------------------------------------------------------------
 
@@ -182,21 +257,20 @@ class SignedRelation:
         return self._components[index]
 
     def entry_digest(self, index: int) -> bytes:
-        """The full ``g`` digest of entry ``index`` (the three components concatenated)."""
-        return concat_digests(*self._components[index])
+        """The full ``g`` digest of entry ``index`` (precomputed at build time)."""
+        return self._digests[index]
 
     def chain_message(self, index: int) -> bytes:
         """The signed byte string of entry ``index`` (formula (1))."""
         manifest = self.manifest
-        previous = (
-            manifest.left_anchor() if index == 0 else self.entry_digest(index - 1)
-        )
+        digests = self._digests
+        previous = manifest.left_anchor() if index == 0 else digests[index - 1]
         following = (
             manifest.right_anchor()
             if index == len(self._entries) - 1
-            else self.entry_digest(index + 1)
+            else digests[index + 1]
         )
-        return self.hash_function.combine(previous, self.entry_digest(index), following)
+        return self.hash_function.combine(previous, digests[index], following)
 
     # -- digest construction ----------------------------------------------------------------
 
@@ -234,26 +308,29 @@ class SignedRelation:
     def _rebuild_all(self) -> None:
         self._entries = self._build_entries()
         self._components = [self._entry_components(entry) for entry in self._entries]
-        self.signatures = [
-            self._signature_scheme.sign(self.chain_message(index))
-            for index in range(len(self._entries))
-        ]
+        self._digests = [concat_digests(*components) for components in self._components]
+        messages = [self.chain_message(index) for index in range(len(self._entries))]
+        self.signatures = self._signature_scheme.sign_batch(messages)
 
     # -- updates (Section 6.3) -----------------------------------------------------------------
 
-    def _resign_window(self, centre: int) -> UpdateReceipt:
-        """Re-sign the entries whose chain message involves entry ``centre``."""
+    def _resign_window(
+        self, candidates: Sequence[int], digests_recomputed: int
+    ) -> UpdateReceipt:
+        """Re-sign the in-range ``candidates`` whose chain messages moved."""
         affected = [
-            index
-            for index in (centre - 1, centre, centre + 1)
-            if 0 <= index < len(self._entries)
+            index for index in candidates if 0 <= index < len(self._entries)
         ]
-        for index in affected:
-            self.signatures[index] = self._signature_scheme.sign(self.chain_message(index))
+        messages = [self.chain_message(index) for index in affected]
+        for index, signature in zip(
+            affected, self._signature_scheme.sign_batch(messages)
+        ):
+            self.signatures[index] = signature
         return UpdateReceipt(
             signatures_recomputed=len(affected),
-            digests_recomputed=1,
+            digests_recomputed=digests_recomputed,
             entries_affected=tuple(affected),
+            chain_messages_recomputed=len(affected),
         )
 
     def insert_record(self, record) -> UpdateReceipt:
@@ -262,30 +339,35 @@ class SignedRelation:
         chain_index = self.record_chain_index(position)
         inserted = self.relation[position]
         entry = ChainEntry(_RECORD, inserted.key, inserted)
+        components = self._entry_components(entry)
         self._entries.insert(chain_index, entry)
-        self._components.insert(chain_index, self._entry_components(entry))
+        self._components.insert(chain_index, components)
+        self._digests.insert(chain_index, concat_digests(*components))
         self.signatures.insert(chain_index, 0)
-        return self._resign_window(chain_index)
+        # Exactly one g digest is computed: the new entry's.  The neighbours
+        # keep their digests; only their chain messages (and signatures) move.
+        receipt = self._resign_window(
+            (chain_index - 1, chain_index, chain_index + 1), digests_recomputed=1
+        )
+        self._notify(receipt.entries_affected)
+        return receipt
 
     def delete_record(self, record: Record) -> UpdateReceipt:
         """Delete a record and refresh the two signatures around the gap."""
         position = self.relation.delete(record)
         chain_index = self.record_chain_index(position)
+        removed_key = self._entries[chain_index].key
         del self._entries[chain_index]
         del self._components[chain_index]
+        del self._digests[chain_index]
         del self.signatures[chain_index]
-        affected = [
-            index
-            for index in (chain_index - 1, chain_index)
-            if 0 <= index < len(self._entries)
-        ]
-        for index in affected:
-            self.signatures[index] = self._signature_scheme.sign(self.chain_message(index))
-        return UpdateReceipt(
-            signatures_recomputed=len(affected),
-            digests_recomputed=0,
-            entries_affected=tuple(affected),
+        # No g digest changes on delete — the gap's neighbours keep their
+        # digests and only re-derive the chain messages binding them.
+        receipt = self._resign_window(
+            (chain_index - 1, chain_index), digests_recomputed=0
         )
+        self._notify(receipt.entries_affected, extra_keys=(removed_key,))
+        return receipt
 
     def update_record(self, old: Record, new) -> UpdateReceipt:
         """Replace ``old`` with ``new``; affected signatures are refreshed."""
@@ -298,6 +380,8 @@ class SignedRelation:
             + insert_receipt.digests_recomputed,
             entries_affected=delete_receipt.entries_affected
             + insert_receipt.entries_affected,
+            chain_messages_recomputed=delete_receipt.chain_messages_recomputed
+            + insert_receipt.chain_messages_recomputed,
         )
 
     # -- verification convenience ------------------------------------------------------------------

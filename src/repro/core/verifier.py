@@ -50,9 +50,25 @@ class ResultVerifier:
         self,
         manifests: Mapping[str, RelationManifest],
         policy: Optional[AccessControlPolicy] = None,
+        memoize: bool = True,
     ) -> None:
         self.manifests: Dict[str, RelationManifest] = dict(manifests)
         self.policy = policy
+        self.memoize = memoize
+        # Chain schemes (and their digest memos) are kept per manifest instead
+        # of being rebuilt for every verification, so a verifier checking many
+        # results over the same relation re-uses already-walked hash chains.
+        # ``memoize=False`` keeps the schemes but strips their memos, so cost
+        # benchmarks can count the hashes of a from-scratch verification.
+        self._scheme_cache: Dict[RelationManifest, tuple] = {}
+
+    def _chain_schemes(self, manifest: RelationManifest) -> tuple:
+        """The manifest's (upper, lower) chain schemes, built once per manifest."""
+        cached = self._scheme_cache.get(manifest)
+        if cached is None:
+            cached = manifest.chain_schemes(self.memoize)
+            self._scheme_cache[manifest] = cached
+        return cached
 
     @classmethod
     def for_relation(
@@ -117,7 +133,7 @@ class ResultVerifier:
                 reason="range-mismatch",
             )
 
-        upper_scheme, lower_scheme = manifest.chain_schemes()
+        upper_scheme, lower_scheme = self._chain_schemes(manifest)
         hash_function = manifest.hash_function()
         domain = manifest.domain
 
@@ -201,7 +217,7 @@ class ResultVerifier:
                 f"expected a {expected_side!r} boundary proof, got {boundary.side!r}",
                 reason="boundary-side-mismatch",
             )
-        upper_scheme, lower_scheme = manifest.chain_schemes()
+        upper_scheme, lower_scheme = self._chain_schemes(manifest)
         domain = manifest.domain
         if expected_side == "lower":
             derived = upper_scheme.recompute_from_boundary(
@@ -220,7 +236,7 @@ class ResultVerifier:
     def _entry_chain_digests(
         self, key: int, entry: MatchedEntryProof, manifest: RelationManifest
     ) -> Tuple[bytes, bytes]:
-        upper_scheme, lower_scheme = manifest.chain_schemes()
+        upper_scheme, lower_scheme = self._chain_schemes(manifest)
         domain = manifest.domain
         upper = upper_scheme.recompute_from_value(
             key, domain.upper - key - 1, entry.upper_assist

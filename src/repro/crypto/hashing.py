@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.cache import bounded_put
 from repro.crypto.encoding import encode_value, int_to_bytes
 
 __all__ = [
@@ -102,6 +103,13 @@ def default_hash() -> HashFunction:
     return HashFunction("sha256")
 
 
+#: Bounds on the per-hasher chain memo: number of distinct anchors remembered,
+#: and the longest chain stored step-by-step (longer walks bypass the memo so a
+#: huge conceptual-scheme domain cannot exhaust memory).
+_MAX_MEMO_CHAINS = 4096
+_MAX_MEMO_STEPS = 1024
+
+
 @dataclass(frozen=True)
 class IteratedHasher:
     """Computes the iterated hashes ``h^i(r | suffix)`` used by formula (2)/(3).
@@ -115,9 +123,19 @@ class IteratedHasher:
     ----------
     hash_function:
         Underlying one-way hash.
+    memoize:
+        When True (the default), every chain walked through :meth:`iterate` is
+        remembered digest-by-digest, so overlapping prefixes — the owner
+        committing, the publisher later proving boundaries for the same value —
+        are hashed exactly once.  The memo only ever *removes* hash
+        invocations; the digests themselves are identical either way.
     """
 
     hash_function: HashFunction = field(default_factory=default_hash)
+    memoize: bool = True
+    _chains: Dict[Tuple[object, Optional[int]], list] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def base(self, value, suffix: Optional[int] = None) -> bytes:
         """Return ``h^0(value | suffix)``: the digest of the tagged pre-image."""
@@ -150,7 +168,31 @@ class IteratedHasher:
         """
         if times < 0:
             raise ValueError(f"h^i is undefined for negative i (got i={times})")
+        if self.memoize:
+            try:
+                if times <= _MAX_MEMO_STEPS:
+                    return self._iterate_memoized(value, times, suffix)
+                # Long walks: serve the bounded prefix from the memo and hash
+                # only the tail, so repeated long chains still share work.
+                prefix = self._iterate_memoized(value, _MAX_MEMO_STEPS, suffix)
+                return self.extend(prefix, times - _MAX_MEMO_STEPS)
+            except TypeError:  # unhashable anchor value — fall through
+                pass
         return self.extend(self.base(value, suffix), times)
+
+    def _iterate_memoized(self, value, times: int, suffix: Optional[int]) -> bytes:
+        """Serve ``h^{times}(value | suffix)`` from the per-anchor chain memo."""
+        key = (value, suffix)
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = bounded_put(
+                self._chains, key, [self.base(value, suffix)], _MAX_MEMO_CHAINS
+            )
+        digest = chain[-1]
+        while len(chain) <= times:
+            digest = self.hash_function.digest(digest)
+            chain.append(digest)
+        return chain[times]
 
 
 @dataclass

@@ -10,7 +10,7 @@ the cost model (signature size in bits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import List, Protocol, Sequence, runtime_checkable
 
 from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
 
@@ -55,6 +55,13 @@ class SignatureScheme:
     def sign(self, message: bytes) -> int:
         """Sign ``message`` with the owner's private key."""
         return self.signer.sign(message)
+
+    def sign_batch(self, messages: Sequence[bytes]) -> List[int]:
+        """Sign many messages at once, using the signer's batch path if it has one."""
+        batch = getattr(self.signer, "sign_batch", None)
+        if batch is not None:
+            return list(batch(messages))
+        return [self.signer.sign(message) for message in messages]
 
     def verify(self, message: bytes, signature: int) -> bool:
         """Verify ``signature`` over ``message`` with the owner's public key."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -76,26 +77,50 @@ class Record:
 
     # -- hashing ------------------------------------------------------------
 
+    @cached_property
+    def _leaf_payloads(self) -> Tuple[bytes, ...]:
+        """Computed once — records are immutable.  (``cached_property`` writes
+        to ``__dict__`` directly, which is why it works on a frozen dataclass.)
+        """
+        return tuple(
+            encode_many([name, value]) for name, value in self.non_key_items()
+        )
+
+    @cached_property
+    def _digest_caches(self) -> Tuple[Dict[str, MerkleTree], Dict[str, bytes]]:
+        """Per-hash-algorithm memos: (attribute trees, fingerprints)."""
+        return ({}, {})
+
     def attribute_leaves(self) -> List[bytes]:
         """Canonical leaf payloads for the per-record attribute Merkle tree.
 
         One leaf per non-key attribute, in schema order; each leaf binds the
         attribute *name* and its value so that swapping two values between
         columns is detected (the authenticity example in the paper's
-        introduction).
+        introduction).  A fresh list over the cached payloads is returned.
         """
-        return [
-            encode_many([name, value]) for name, value in self.non_key_items()
-        ]
+        return list(self._leaf_payloads)
 
     def attribute_tree(self, hash_function: Optional[HashFunction] = None) -> MerkleTree:
-        """The Merkle tree over the non-key attributes, ``MHT(r.A)``."""
-        leaves = self.attribute_leaves()
-        if not leaves:
-            # A relation with only the key attribute still needs a well-defined
-            # digest; hash a fixed sentinel so g(r) remains computable.
-            leaves = [b"__no_non_key_attributes__"]
-        return MerkleTree(leaves, hash_function or default_hash())
+        """The Merkle tree over the non-key attributes, ``MHT(r.A)``.
+
+        Cached per hash algorithm: the tree is consulted for every query that
+        touches the record (projection leaf digests, the ``g`` digest), and the
+        record can never change underneath it.
+        """
+        hasher = hash_function or default_hash()
+        cache = self._digest_caches[0]
+        tree = cache.get(hasher.name)
+        if tree is None:
+            leaves = self.attribute_leaves()
+            if not leaves:
+                # A relation with only the key attribute still needs a
+                # well-defined digest; hash a fixed sentinel so g(r) remains
+                # computable.
+                leaves = [b"__no_non_key_attributes__"]
+            tree = MerkleTree(leaves, hasher)
+            cache[hasher.name] = tree
+        return tree
 
     def attribute_root(self, hash_function: Optional[HashFunction] = None) -> bytes:
         """Root digest of :meth:`attribute_tree` — the ``MHT(r.A)`` term."""
@@ -105,12 +130,18 @@ class Record:
         """A digest of the full record (key and payload), for deterministic ordering.
 
         Relations sort duplicate keys by this fingerprint so that the owner,
-        publisher and tests all agree on a single total order.
+        publisher and tests all agree on a single total order.  Cached per hash
+        algorithm (the sort comparator calls this repeatedly).
         """
         hasher = hash_function or default_hash()
-        return hasher.digest(
-            encode_value(self.key) + b"|" + self.attribute_root(hasher)
-        )
+        cache = self._digest_caches[1]
+        digest = cache.get(hasher.name)
+        if digest is None:
+            digest = hasher.digest(
+                encode_value(self.key) + b"|" + self.attribute_root(hasher)
+            )
+            cache[hasher.name] = digest
+        return digest
 
     # -- misc ----------------------------------------------------------------
 

@@ -16,6 +16,10 @@ from repro.db.schema import Schema
 
 __all__ = ["Relation"]
 
+#: Sort-key sentinel strictly greater than any 32-byte record fingerprint,
+#: shared by every bisect over the (key, fingerprint) index.
+_MAX_FINGERPRINT = b"\xff" * 33
+
 
 class Relation:
     """An in-memory relation sorted on its schema's key attribute.
@@ -138,8 +142,25 @@ class Relation:
     def range_indices(self, low: int, high: int) -> Tuple[int, int]:
         """Half-open index range ``[start, stop)`` of records with ``low <= key <= high``."""
         start = bisect.bisect_left(self._sort_keys, (low, b""))
-        stop = bisect.bisect_right(self._sort_keys, (high, b"\xff" * 33))
+        stop = bisect.bisect_right(self._sort_keys, (high, _MAX_FINGERPRINT))
         return start, stop
+
+    def point_indices_batch(self, values: Sequence[int]) -> Dict[int, Tuple[int, int]]:
+        """Half-open index ranges for several point lookups in one shared scan.
+
+        ``values`` must be sorted ascending (duplicates are allowed); each
+        bisect resumes from the previous *start* position, so the whole batch
+        costs O(m log n) without materialising the key column.  Each returned
+        range equals ``range_indices(value, value)``.
+        """
+        indices: Dict[int, Tuple[int, int]] = {}
+        position = 0
+        for value in values:
+            start = bisect.bisect_left(self._sort_keys, (value, b""), position)
+            stop = bisect.bisect_right(self._sort_keys, (value, _MAX_FINGERPRINT), start)
+            indices[value] = (start, stop)
+            position = start
+        return indices
 
     def range_scan(self, low: int, high: int) -> List[Record]:
         """Records with key in the closed interval ``[low, high]``, in order."""

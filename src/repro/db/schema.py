@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import cached_property
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["AttributeType", "Attribute", "KeyDomain", "Schema"]
 
@@ -159,11 +161,45 @@ class Schema:
 
     # -- helpers -----------------------------------------------------------
 
+    @cached_property
+    def _lookup_maps(
+        self,
+    ) -> Tuple[Mapping[str, int], Tuple[Attribute, ...], Mapping[str, int]]:
+        """Name->position lookup structures, built once per (frozen) schema.
+
+        They turn every by-name lookup — including the per-attribute
+        Merkle-leaf positioning on the publisher's hot path — from a linear
+        scan into a dictionary hit.  The mappings are exposed read-only so a
+        caller cannot corrupt the shared lookup state of an immutable schema.
+        (``cached_property`` writes to ``__dict__`` directly, which is why it
+        works on a frozen dataclass.)
+        """
+        positions = MappingProxyType(
+            {attribute.name: index for index, attribute in enumerate(self.attributes)}
+        )
+        non_key = tuple(
+            attribute for attribute in self.attributes if attribute.name != self.key
+        )
+        non_key_positions = MappingProxyType(
+            {attribute.name: index for index, attribute in enumerate(non_key)}
+        )
+        return (positions, non_key, non_key_positions)
+
+    @property
+    def attribute_positions(self) -> Mapping[str, int]:
+        """Attribute name -> position in declaration order (read-only, O(1))."""
+        return self._lookup_maps[0]
+
+    @property
+    def non_key_positions(self) -> Mapping[str, int]:
+        """Non-key attribute name -> position among :attr:`non_key_attributes`."""
+        return self._lookup_maps[2]
+
     def _find(self, name: str) -> Attribute:
-        for attribute in self.attributes:
-            if attribute.name == name:
-                return attribute
-        raise KeyError(f"schema {self.name!r} has no attribute {name!r}")
+        position = self._lookup_maps[0].get(name)
+        if position is None:
+            raise KeyError(f"schema {self.name!r} has no attribute {name!r}")
+        return self.attributes[position]
 
     @classmethod
     def build(
@@ -198,7 +234,7 @@ class Schema:
         These are the attributes covered by the per-record Merkle tree
         ``MHT(r.A)`` in formula (3).
         """
-        return [attribute for attribute in self.attributes if attribute.name != self.key]
+        return list(self._lookup_maps[1])
 
     def attribute(self, name: str) -> Attribute:
         """Look up an attribute by name."""
@@ -206,7 +242,7 @@ class Schema:
 
     def has_attribute(self, name: str) -> bool:
         """True if the schema declares ``name``."""
-        return any(attribute.name == name for attribute in self.attributes)
+        return name in self._lookup_maps[0]
 
     def validate_values(self, values: Dict[str, object]) -> None:
         """Validate a full record's values against the schema."""

@@ -1,0 +1,54 @@
+"""Tier-1 smoke mode of the hot-path perf harness (``benchmarks/bench_hot_paths.py``).
+
+Runs the same workloads as the JSON-producing benchmark at scaled-down sizes,
+so every ordinary ``pytest`` run re-checks that (a) the harness works, (b) the
+cached fast path still produces byte-identical proofs, and (c) the caches
+still actually win on repeated work.  Exact throughput numbers are left to the
+full benchmark — timing assertions here are deliberately loose.
+"""
+
+from repro.bench.hot_paths import SMOKE_CONFIG, run_hot_path_benchmarks
+from repro.core.publisher import Publisher
+from repro.core.relational import SignedRelation
+from repro.crypto.rsa import SIGN_COUNTER
+from repro.db.query import Conjunction, Query, RangeCondition
+from repro.db.workload import generate_employees
+
+EXPECTED_WORKLOADS = {
+    "owner_bulk_signing",
+    "crt_single_shot_signing",
+    "publisher_repeated_range",
+    "publisher_join",
+    "verifier_repeated_check",
+}
+
+
+def test_smoke_benchmark_report():
+    report = run_hot_path_benchmarks(SMOKE_CONFIG)
+    assert report["proofs_identical"] is True
+    assert EXPECTED_WORKLOADS <= set(report["workloads"])
+    for name, entry in report["workloads"].items():
+        assert entry["uncached_ops_per_sec"] > 0, name
+        assert entry["cached_ops_per_sec"] > 0, name
+        assert entry["speedup"] > 0, name
+
+
+def test_hot_path_caches_actually_engage(signature_scheme):
+    """Noise-immune regression check: repeated work must hit the caches.
+
+    Wall-clock speedups at smoke scale are too jittery to assert in tier-1, so
+    the regression signal here is cache-activity counters instead.
+    """
+    signed = SignedRelation(generate_employees(30, seed=11, photo_bytes=8), signature_scheme)
+    publisher = Publisher({"employees": signed})
+    query = Query("employees", Conjunction((RangeCondition("salary", 20_000, 80_000),)))
+    publisher.answer(query)
+    hits_before = publisher.vo_cache_hits
+    publisher.answer(query)
+    assert publisher.vo_cache_hits > hits_before
+
+    message = b"smoke-cache-engage"
+    signature_scheme.sign(message)
+    sign_hits_before = SIGN_COUNTER.cache_hits
+    signature_scheme.sign(message)
+    assert SIGN_COUNTER.cache_hits == sign_hits_before + 1

@@ -1,0 +1,337 @@
+"""Cache correctness: the fast path must be invisible in every proof byte.
+
+Property-based tests asserting that cached and uncached publishers/verifiers
+produce byte-identical proofs and identical accept/reject decisions — including
+after ``insert_record`` / ``delete_record`` / ``update_record`` invalidation —
+plus the Section 6.3 update-receipt accounting the caches rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import VerificationError
+from repro.core.publisher import Publisher
+from repro.core.relational import SignedRelation
+from repro.core.verifier import ResultVerifier
+from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondition
+from repro.db.relation import Relation
+from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
+from repro.db.workload import generate_customers_and_orders
+
+DOMAIN = KeyDomain(0, 512)
+
+SCHEMA = Schema.build(
+    "t",
+    [
+        Attribute("k", AttributeType.INTEGER, domain=DOMAIN),
+        Attribute("name", AttributeType.STRING),
+        Attribute("grade", AttributeType.INTEGER),
+    ],
+    key="k",
+)
+
+
+def _rows(keys, grades):
+    return [
+        {"k": key, "name": f"row-{key}", "grade": grade}
+        for key, grade in zip(keys, grades)
+    ]
+
+
+def _publisher_pair(rows, signature_scheme):
+    """(cached, uncached) publishers over independently built identical relations."""
+    cached = Publisher(
+        {"t": SignedRelation(Relation.from_rows(SCHEMA, rows), signature_scheme)},
+        vo_cache=True,
+    )
+    uncached = Publisher(
+        {
+            "t": SignedRelation(
+                Relation.from_rows(SCHEMA, rows), signature_scheme, memoize=False
+            )
+        },
+        vo_cache=False,
+    )
+    return cached, uncached
+
+
+def _assert_identical(first, second):
+    """Structural and byte-level equality of two published results."""
+    assert first.rows == second.rows
+    assert first.proof == second.proof
+    assert repr(first.proof) == repr(second.proof)
+
+
+keys_strategy = st.lists(
+    st.integers(min_value=1, max_value=511), min_size=0, max_size=10, unique=True
+)
+grades_strategy = st.lists(st.integers(min_value=0, max_value=5), min_size=10, max_size=10)
+bound_strategy = st.integers(min_value=1, max_value=511)
+
+
+class TestCachedUncachedEquivalence:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(keys=keys_strategy, grades=grades_strategy, low=bound_strategy, high=bound_strategy)
+    def test_range_proofs_byte_identical(
+        self, signature_scheme, keys, grades, low, high
+    ):
+        rows = _rows(keys, grades)
+        cached, uncached = _publisher_pair(rows, signature_scheme)
+        query = Query("t", Conjunction((RangeCondition("k", low, high),)))
+        hot_first = cached.answer(query)
+        cold = uncached.answer(query)
+        hot_repeat = cached.answer(query)  # second answer: served from the cache
+        _assert_identical(cold, hot_first)
+        _assert_identical(cold, hot_repeat)
+
+        verifier = ResultVerifier({"t": cached.signed_relation("t").manifest})
+        if hot_first.proof is not None:
+            report_hot = verifier.verify(query, hot_repeat.rows, hot_repeat.proof)
+            report_cold = verifier.verify(query, cold.rows, cold.proof)
+            assert report_hot.result_rows == report_cold.result_rows
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        keys=st.lists(
+            st.integers(min_value=1, max_value=511), min_size=2, max_size=8, unique=True
+        ),
+        grades=grades_strategy,
+        low=bound_strategy,
+        high=bound_strategy,
+        condition_grade=st.integers(min_value=0, max_value=5),
+    )
+    def test_multipoint_projection_proofs_byte_identical(
+        self, signature_scheme, keys, grades, low, high, condition_grade
+    ):
+        rows = _rows(keys, grades)
+        cached, uncached = _publisher_pair(rows, signature_scheme)
+        query = Query(
+            "t",
+            Conjunction(
+                (
+                    RangeCondition("k", low, high),
+                    RangeCondition("grade", condition_grade, None),
+                )
+            ),
+            Projection(attributes=("name",)),
+        )
+        _assert_identical(uncached.answer(query), cached.answer(query))
+        _assert_identical(uncached.answer(query), cached.answer(query))
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        keys=st.lists(
+            st.integers(min_value=2, max_value=510), min_size=3, max_size=8, unique=True
+        ),
+        grades=grades_strategy,
+        low=bound_strategy,
+        high=bound_strategy,
+        mutation=st.sampled_from(["insert", "delete", "update"]),
+        fresh_key=st.integers(min_value=1, max_value=511),
+    )
+    def test_mutations_invalidate_precisely(
+        self, signature_scheme, keys, grades, low, high, mutation, fresh_key,
+    ):
+        """After any mutation the cached publisher matches a cold rebuild."""
+        rows = _rows(keys, grades)
+        cached, _ = _publisher_pair(rows, signature_scheme)
+        signed = cached.signed_relation("t")
+        query = Query("t", Conjunction((RangeCondition("k", low, high),)))
+        cached.answer(query)  # warm the fragment cache before mutating
+
+        if mutation == "insert" and fresh_key not in set(keys):
+            signed.insert_record({"k": fresh_key, "name": "new", "grade": 1})
+        elif mutation == "delete":
+            signed.delete_record(signed.relation[0])
+        elif mutation == "update":
+            victim = signed.relation[0]
+            signed.update_record(victim, victim.replace(grade=victim["grade"] + 1))
+
+        current_rows = [record.as_dict() for record in signed.relation]
+        _, rebuilt = _publisher_pair(current_rows, signature_scheme)
+        _assert_identical(rebuilt.answer(query), cached.answer(query))
+
+        verifier = ResultVerifier({"t": signed.manifest})
+        result = cached.answer(query)
+        if result.proof is not None:
+            verifier.verify(query, result.rows, result.proof)
+
+    def test_swapped_relation_not_served_stale_fragments(self, signature_scheme):
+        """Replacing a hosted relation after construction must flush its cache."""
+        rows_a = _rows([10, 20, 30], [1, 2, 3])
+        rows_b = _rows([10, 25, 30], [4, 5, 6])
+        cached, _ = _publisher_pair(rows_a, signature_scheme)
+        query = Query("t", Conjunction((RangeCondition("k", 5, 28),)))
+        cached.answer(query)  # warm the cache with relation A's fragments
+
+        replacement = SignedRelation(
+            Relation.from_rows(SCHEMA, rows_b), signature_scheme
+        )
+        cached.database["t"] = replacement
+        swapped = cached.answer(query)
+        rebuilt = Publisher({"t": replacement}, vo_cache=False).answer(query)
+        _assert_identical(rebuilt, swapped)
+        ResultVerifier({"t": replacement.manifest}).verify(
+            query, swapped.rows, swapped.proof
+        )
+        # ...and mutations on the replacement now invalidate the cache too.
+        replacement.insert_record({"k": 15, "name": "late", "grade": 2})
+        after = cached.answer(query)
+        ResultVerifier({"t": replacement.manifest}).verify(
+            query, after.rows, after.proof
+        )
+        assert len(after.rows) == len(swapped.rows) + 1
+
+    def test_multi_name_hosting_survives_swap_of_one_name(self, signature_scheme):
+        """One relation hosted under two names: swapping one must not detach
+        the other name's cache from invalidation."""
+        rows = _rows([10, 20, 30], [1, 2, 3])
+        shared = SignedRelation(Relation.from_rows(SCHEMA, rows), signature_scheme)
+        publisher = Publisher({"a": shared, "b": shared})
+        query_b = Query("b", Conjunction((RangeCondition("k", 5, 25),)))
+
+        other = SignedRelation(
+            Relation.from_rows(SCHEMA, _rows([15], [9])), signature_scheme
+        )
+        publisher.database["a"] = other
+        publisher.answer(Query("a", Conjunction((RangeCondition("k", 5, 25),))))
+        publisher.answer(query_b)  # caches fragments for name "b"
+
+        victim = shared.relation[0]
+        shared.update_record(victim, victim.replace(grade=7))
+        result = publisher.answer(query_b)
+        ResultVerifier({"b": shared.manifest}).verify(
+            query_b, result.rows, result.proof
+        )
+
+    def test_dead_publisher_listeners_are_pruned(self, signature_scheme):
+        """Garbage-collected publishers must not stay subscribed to the relation."""
+        import gc
+
+        rows = _rows([10, 20, 30], [1, 2, 3])
+        signed = SignedRelation(Relation.from_rows(SCHEMA, rows), signature_scheme)
+        for _ in range(5):
+            Publisher({"t": signed}).answer(
+                Query("t", Conjunction((RangeCondition("k", 5, 25),)))
+            )
+        gc.collect()
+        assert len(signed._listeners) == 5
+        signed.insert_record({"k": 40, "name": "x", "grade": 1})  # prunes dead ones
+        assert signed._listeners == []
+
+    def test_reject_decisions_identical(self, signature_scheme):
+        """Tampered rows are rejected with or without caches."""
+        rows = _rows([10, 20, 30], [1, 2, 3])
+        cached, uncached = _publisher_pair(rows, signature_scheme)
+        query = Query("t", Conjunction((RangeCondition("k", 5, 25),)))
+        for publisher in (cached, uncached):
+            result = publisher.answer(query)
+            verifier = ResultVerifier({"t": publisher.signed_relation("t").manifest})
+            tampered = [dict(row) for row in result.rows]
+            tampered[0]["name"] = "forged"
+            with pytest.raises(VerificationError):
+                verifier.verify(query, tampered, result.proof)
+
+
+class TestJoinBatching:
+    def test_batched_point_proofs_match_individual_answers(self, signature_scheme):
+        customers, orders = generate_customers_and_orders(10, 30, seed=17)
+        database = {
+            "customers": SignedRelation(customers, signature_scheme),
+            "orders": SignedRelation(orders, signature_scheme),
+        }
+        publisher = Publisher(database)
+        join = JoinQuery("orders", "customers", "customer_id", "customer_id")
+        result = publisher.answer_join(join)
+        assert result.proof is not None
+        for value, point_proof in result.proof.right_point_proofs.items():
+            point_query = Query(
+                "customers",
+                Conjunction((RangeCondition("customer_id", value, value),)),
+                Projection(),
+            )
+            individual = publisher.answer(point_query)
+            assert individual.proof == point_proof
+            assert repr(individual.proof) == repr(point_proof)
+
+    def test_join_verifies_after_mutation(self, signature_scheme):
+        customers, orders = generate_customers_and_orders(8, 20, seed=23)
+        database = {
+            "customers": SignedRelation(customers, signature_scheme),
+            "orders": SignedRelation(orders, signature_scheme),
+        }
+        publisher = Publisher(database)
+        verifier = ResultVerifier(
+            {name: signed.manifest for name, signed in database.items()}
+        )
+        join = JoinQuery("orders", "customers", "customer_id", "customer_id")
+        first = publisher.answer_join(join)
+        verifier.verify_join(join, first.rows, first.proof, first.left_rows)
+
+        victim = database["orders"].relation[0]
+        database["orders"].delete_record(victim)
+        second = publisher.answer_join(join)
+        verifier.verify_join(join, second.rows, second.proof, second.left_rows)
+        assert len(second.rows) == len(first.rows) - 1
+
+
+class TestUpdateReceiptAccounting:
+    def _signed(self, signature_scheme, keys=(50, 100, 150, 200)):
+        rows = _rows(list(keys), [1] * len(keys))
+        return SignedRelation(Relation.from_rows(SCHEMA, rows), signature_scheme)
+
+    def test_insert_counts_one_digest_and_three_messages(self, signature_scheme):
+        signed = self._signed(signature_scheme)
+        receipt = signed.insert_record({"k": 120, "name": "x", "grade": 0})
+        assert receipt.digests_recomputed == 1
+        assert receipt.signatures_recomputed == 3
+        assert receipt.chain_messages_recomputed == 3
+        assert receipt.chain_messages_recomputed == len(receipt.entries_affected)
+
+    def test_delete_counts_zero_digests_but_two_messages(self, signature_scheme):
+        signed = self._signed(signature_scheme)
+        receipt = signed.delete_record(signed.relation[1])
+        assert receipt.digests_recomputed == 0
+        assert receipt.signatures_recomputed == 2
+        assert receipt.chain_messages_recomputed == 2
+
+    def test_update_sums_delete_and_insert(self, signature_scheme):
+        signed = self._signed(signature_scheme)
+        victim = signed.relation[2]
+        receipt = signed.update_record(victim, victim.replace(grade=9))
+        assert receipt.digests_recomputed == 1  # 0 for the delete + 1 for the insert
+        assert receipt.signatures_recomputed == 5
+        assert receipt.chain_messages_recomputed == 5
+
+    def test_version_bumps_and_listeners_fire(self, signature_scheme):
+        signed = self._signed(signature_scheme)
+        events = []
+        signed.add_invalidation_listener(
+            lambda version, keys: events.append((version, keys))
+        )
+        before = signed.version
+        signed.insert_record({"k": 60, "name": "y", "grade": 2})
+        signed.delete_record(signed.relation[0])
+        assert signed.version == before + 2
+        assert len(events) == 2
+        inserted_version, inserted_keys = events[0]
+        assert inserted_version == before + 1
+        assert 60 in inserted_keys
+        deleted_version, deleted_keys = events[1]
+        assert deleted_version == before + 2
+        assert 50 in deleted_keys  # the removed record's key is announced

@@ -80,6 +80,14 @@ class TestRelation:
         assert employees.range_indices(0, 99999) == (0, 5)
         assert employees.range_indices(2000, 2000) == (0, 1)
 
+    def test_point_indices_batch_matches_range_indices(self, employees):
+        keys = employees.keys()
+        # include a missing key and a duplicated input value
+        values = sorted(keys + [26000, keys[0]])
+        batch = employees.point_indices_batch(values)
+        for value in values:
+            assert batch[value] == employees.range_indices(value, value)
+
     def test_neighbors(self, employees):
         left, right = employees.neighbors(0)
         assert left is None and right.key == 3500
