@@ -1,0 +1,78 @@
+"""CI gate: fail when hot-path speedups regress below the stored floors.
+
+Compares a freshly measured benchmark report (usually a ``--smoke`` run
+produced in CI) against the speedup floors stored in the committed
+``BENCH_hot_paths.json`` (its ``targets`` section).  Exits non-zero when any
+measured speedup is below its floor or when the cached/uncached proof
+equivalence broke.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --output fresh.json
+    python benchmarks/check_bench_floors.py fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_COMMITTED = os.path.join(_ROOT, "BENCH_hot_paths.json")
+
+#: targets key in the committed report -> workload whose speedup it bounds
+_FLOOR_WORKLOADS = {
+    "publisher_repeated_range_speedup_min": "publisher_repeated_range",
+    "owner_bulk_signing_speedup_min": "owner_bulk_signing",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly measured benchmark JSON report")
+    parser.add_argument(
+        "--floors",
+        default=_COMMITTED,
+        help="committed report holding the speedup floors (targets section)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.floors, "r", encoding="utf-8") as handle:
+        floors = json.load(handle).get("targets", {})
+    with open(args.fresh, "r", encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    failures = []
+    if fresh.get("proofs_identical") is not True:
+        failures.append("cached and uncached proofs are no longer byte-identical")
+
+    workloads = fresh.get("workloads", {})
+    for floor_key, workload in _FLOOR_WORKLOADS.items():
+        floor = floors.get(floor_key)
+        if floor is None:
+            failures.append(f"committed report is missing floor {floor_key!r}")
+            continue
+        entry = workloads.get(workload)
+        if entry is None:
+            failures.append(f"fresh report is missing workload {workload!r}")
+            continue
+        speedup = entry.get("speedup", 0.0)
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(f"{workload:28s} speedup {speedup:8.2f}x  floor {floor:5.2f}x  {status}")
+        if speedup < floor:
+            failures.append(
+                f"{workload} speedup {speedup:.2f}x fell below the {floor:.2f}x floor"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all hot-path speedups are at or above their stored floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

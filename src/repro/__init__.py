@@ -52,8 +52,15 @@ from repro.core import (
     VerificationError,
     VerificationReport,
 )
+from repro.service import (
+    PublicationServer,
+    ServiceError,
+    ShardRouter,
+    VerifyingClient,
+)
+from repro.wire import WireFormatError, decode, encode, manifest_id
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AuthenticityError",
@@ -65,14 +72,22 @@ __all__ = [
     "ListVerifier",
     "PolicyViolationError",
     "ProofConstructionError",
+    "PublicationServer",
     "PublishedDatabase",
     "PublishedResult",
     "Publisher",
     "ReproError",
     "ResultVerifier",
+    "ServiceError",
+    "ShardRouter",
     "SignedRelation",
     "SignedValueList",
     "VerificationError",
     "VerificationReport",
+    "VerifyingClient",
+    "WireFormatError",
+    "decode",
+    "encode",
+    "manifest_id",
     "__version__",
 ]

@@ -1,0 +1,224 @@
+"""Wire-format and publication-service benchmarks.
+
+Two questions, matching the two halves of the serialization PR:
+
+* **How big are serialized VOs?**  The paper's Figure 9 plots authentication
+  traffic against query selectivity: the VO grows only with the number of
+  result records (constant digests per record plus one condensed signature),
+  so the *relative* overhead falls as results grow.  The harness measures the
+  actual wire bytes of encoded proofs for a sweep of selectivities and
+  reports the overhead ratio next to the analytic expectation.
+
+* **How fast is the service?**  Encode/decode throughput of a hot VO, and
+  end-to-end requests/sec against a live :class:`PublicationServer` with a
+  pool of concurrent clients — once with full client-side verification, once
+  raw (decode only), so the network/codec cost and the verification cost are
+  visible separately.
+
+``run_wire_benchmarks`` returns a report fragment keyed like the hot-path
+benchmark's ``workloads`` section; ``benchmarks/bench_wire_service.py`` merges
+it into ``BENCH_hot_paths.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+from repro.core.publisher import Publisher
+from repro.core.relational import SignedRelation
+from repro.core.verifier import ResultVerifier
+from repro.crypto.signature import SignatureScheme, rsa_scheme
+from repro.db import workload
+from repro.db.query import Conjunction, Query, RangeCondition
+from repro.service.client import VerifyingClient
+from repro.service.router import ShardRouter
+from repro.service.server import PublicationServer
+from repro.wire import decode, encode
+
+__all__ = ["WireBenchConfig", "SMOKE_WIRE_CONFIG", "run_wire_benchmarks"]
+
+
+@dataclass(frozen=True)
+class WireBenchConfig:
+    """Workload sizes for one wire/service benchmark run."""
+
+    key_bits: int = 512
+    table_rows: int = 300
+    selectivities: tuple = (0.01, 0.02, 0.05, 0.10, 0.20, 0.40)
+    codec_rounds: int = 200
+    clients: int = 4
+    requests_per_client: int = 25
+
+
+#: Scaled-down configuration for the tier-1 smoke test.
+SMOKE_WIRE_CONFIG = WireBenchConfig(
+    table_rows=48,
+    selectivities=(0.05, 0.20),
+    codec_rounds=20,
+    clients=2,
+    requests_per_client=4,
+)
+
+_SALARY_LOW, _SALARY_HIGH = 1, 99_999
+
+
+def _employee_world(scheme: SignatureScheme, config: WireBenchConfig):
+    relation = workload.generate_employees(
+        config.table_rows, seed=21, photo_bytes=32
+    )
+    signed = SignedRelation(relation, scheme)
+    publisher = Publisher({"employees": signed})
+    verifier = ResultVerifier({"employees": signed.manifest})
+    return signed, publisher, verifier
+
+
+def _selectivity_query(selectivity: float) -> Query:
+    width = max(1, int((_SALARY_HIGH - _SALARY_LOW) * selectivity))
+    mid = (_SALARY_HIGH + _SALARY_LOW) // 2
+    low = max(_SALARY_LOW, mid - width // 2)
+    return Query(
+        "employees",
+        Conjunction((RangeCondition("salary", low, low + width),)),
+    )
+
+
+def _row_bytes(rows: List[Dict[str, object]]) -> int:
+    """Wire size of the raw result rows (the paper's ``result`` traffic)."""
+    from repro.service.protocol import QueryResponse
+
+    return len(encode(QueryResponse(rows=tuple(dict(r) for r in rows), proof=None)))
+
+
+def bench_vo_sizes(
+    scheme: SignatureScheme, config: WireBenchConfig
+) -> Dict[str, object]:
+    """Serialized VO bytes across a selectivity sweep (Figure 9's x-axis)."""
+    signed, publisher, verifier = _employee_world(scheme, config)
+    digest_bytes = signed.hash_function.digest_size
+    signature_bytes = signed.manifest.public_key.signature_bytes
+    points = []
+    for selectivity in config.selectivities:
+        query = _selectivity_query(selectivity)
+        result = publisher.answer(query)
+        proof = result.proof
+        blob = encode(proof)
+        assert decode(blob) == proof
+        verifier.verify(query, result.rows, proof)
+        result_bytes = _row_bytes(result.rows)
+        analytic = proof.size_bytes(digest_bytes, signature_bytes)
+        points.append(
+            {
+                "selectivity": selectivity,
+                "result_rows": len(result.rows),
+                "result_bytes": result_bytes,
+                "vo_bytes": len(blob),
+                "vo_analytic_bytes": analytic,
+                "overhead_ratio": round(len(blob) / max(1, result_bytes), 3),
+            }
+        )
+    return {
+        "table_rows": config.table_rows,
+        "digest_bytes": digest_bytes,
+        "signature_bytes": signature_bytes,
+        "points": points,
+    }
+
+
+def bench_codec_throughput(
+    scheme: SignatureScheme, config: WireBenchConfig
+) -> Dict[str, float]:
+    """Encode/decode ops per second for a mid-selectivity range VO."""
+    _, publisher, _ = _employee_world(scheme, config)
+    query = _selectivity_query(config.selectivities[-1])
+    proof = publisher.answer(query).proof
+    blob = encode(proof)
+    rounds = config.codec_rounds
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        encode(proof)
+    encode_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        decode(blob)
+    decode_elapsed = time.perf_counter() - start
+
+    return {
+        "vo_bytes": len(blob),
+        "encode_ops_per_sec": round(rounds / encode_elapsed, 2) if encode_elapsed else float("inf"),
+        "decode_ops_per_sec": round(rounds / decode_elapsed, 2) if decode_elapsed else float("inf"),
+        "rounds": rounds,
+    }
+
+
+def bench_service_throughput(
+    scheme: SignatureScheme, config: WireBenchConfig
+) -> Dict[str, object]:
+    """End-to-end requests/sec against a live server, concurrent clients.
+
+    The workload hosts a single shard, so proof construction is serialized
+    by the shard lock: the numbers measure the full service pipeline
+    (framing, codec, cached proof assembly, socket I/O overlap) — not
+    parallel proof construction.  The raw/verified split isolates the
+    client-side verification cost.
+    """
+    signed, publisher, _ = _employee_world(scheme, config)
+    router = ShardRouter({"bench": publisher})
+    queries = [_selectivity_query(s) for s in config.selectivities]
+    report: Dict[str, object] = {
+        "clients": config.clients,
+        "requests_per_client": config.requests_per_client,
+    }
+
+    with PublicationServer(router, max_workers=max(4, config.clients)) as server:
+        host, port = server.address
+
+        def run_clients(verify: bool) -> float:
+            errors: List[BaseException] = []
+
+            def worker() -> None:
+                try:
+                    with VerifyingClient(host, port) as client:
+                        client.fetch_manifest("employees")
+                        for index in range(config.requests_per_client):
+                            query = queries[index % len(queries)]
+                            client.query(query, verify=verify)
+                except BaseException as error:  # pragma: no cover - surfaced below
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(config.clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            if errors:
+                raise errors[0]
+            total = config.clients * config.requests_per_client
+            return round(total / elapsed, 2) if elapsed else float("inf")
+
+        # Warm the publisher's VO-fragment cache once, then measure.
+        run_clients(verify=False)
+        report["requests_per_sec_raw"] = run_clients(verify=False)
+        report["requests_per_sec_verified"] = run_clients(verify=True)
+    return report
+
+
+def run_wire_benchmarks(config: WireBenchConfig = WireBenchConfig()) -> Dict:
+    """Run the wire/service workloads and return a report fragment."""
+    scheme = rsa_scheme(bits=config.key_bits)
+    return {
+        "config": asdict(config),
+        "workloads": {
+            "wire_vo_sizes": bench_vo_sizes(scheme, config),
+            "wire_codec_throughput": bench_codec_throughput(scheme, config),
+            "service_throughput": bench_service_throughput(scheme, config),
+        },
+    }

@@ -304,7 +304,21 @@ class ListVerifier:
     def verify_greater_than(
         self, alpha: int, result: Sequence[int], proof: GreaterThanProof
     ) -> VerificationReport:
-        """Verify a greater-than result; raises on any problem."""
+        """Verify a greater-than result; raises a typed error on any problem.
+
+        Structurally broken proofs (an assist shape no honest publisher could
+        produce — e.g. decoded from tampered wire bytes) are rejected with a
+        ``malformed-proof`` :class:`VerificationError` instead of escaping as
+        a raw ``ValueError``.
+        """
+        from repro.core.verifier import _malformed_input_guard
+
+        with _malformed_input_guard():
+            return self._verify_greater_than(alpha, result, proof)
+
+    def _verify_greater_than(
+        self, alpha: int, result: Sequence[int], proof: GreaterThanProof
+    ) -> VerificationReport:
         start_hashes = HASH_COUNTER.count
         domain = self.manifest.domain
         if proof.alpha != alpha:

@@ -15,6 +15,7 @@ benchmarks.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import (
@@ -41,6 +42,27 @@ from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondi
 from repro.db.schema import Schema
 
 __all__ = ["ResultVerifier"]
+
+
+@contextlib.contextmanager
+def _malformed_input_guard():
+    """Convert structural breakage into a typed ``malformed-proof`` rejection.
+
+    The chain-digest schemes raise ``ValueError`` for assists whose shape no
+    honest publisher could produce (a missing representation-tree root, the
+    wrong number of intermediate digests), and comparisons inside condition
+    checks raise ``TypeError`` when a row value has an impossible type.  For a
+    verifier those are all just failed verifications — the guard keeps the
+    public API's contract: accept, or reject with a ``VerificationError``.
+    """
+    try:
+        yield
+    except VerificationError:
+        raise
+    except (ValueError, TypeError, KeyError, IndexError, OverflowError) as error:
+        raise VerificationError(
+            f"malformed result or proof: {error}", reason="malformed-proof"
+        ) from error
 
 
 class ResultVerifier:
@@ -101,7 +123,25 @@ class ResultVerifier:
         policy are available the verifier applies the same rewriting the
         publisher is supposed to apply, so a publisher that ignores access
         control is caught as well.
+
+        The outcome is always either a report or a typed
+        :class:`~repro.core.errors.VerificationError`: structurally broken
+        input (a proof whose shape no honest publisher could produce, rows
+        with impossible value types) is converted to a ``malformed-proof``
+        rejection rather than escaping as a raw ``ValueError``/``TypeError``.
+        Results decoded from untrusted wire bytes hit this path whenever
+        tampering survives the codec's own validation.
         """
+        with _malformed_input_guard():
+            return self._verify(query, rows, proof, role)
+
+    def _verify(
+        self,
+        query: Query,
+        rows: Sequence[Mapping[str, object]],
+        proof: Optional[RangeQueryProof],
+        role: Optional[str] = None,
+    ) -> VerificationReport:
         start_hashes = HASH_COUNTER.count
         manifest = self.manifest(query.relation_name)
         schema = manifest.schema
@@ -472,7 +512,23 @@ class ResultVerifier:
         left_rows: Sequence[Mapping[str, object]],
         role: Optional[str] = None,
     ) -> VerificationReport:
-        """Verify a PK-FK join result (Section 4.3)."""
+        """Verify a PK-FK join result (Section 4.3).
+
+        Like :meth:`verify`, always rejects with a typed
+        :class:`~repro.core.errors.VerificationError` — never a raw
+        ``ValueError``/``TypeError`` — when handed structurally broken input.
+        """
+        with _malformed_input_guard():
+            return self._verify_join(join, rows, proof, left_rows, role)
+
+    def _verify_join(
+        self,
+        join: JoinQuery,
+        rows: Sequence[Mapping[str, object]],
+        proof: Optional[JoinQueryProof],
+        left_rows: Sequence[Mapping[str, object]],
+        role: Optional[str] = None,
+    ) -> VerificationReport:
         left_query = Query(join.left_relation, join.where, join.projection)
         if proof is None:
             report = self.verify(left_query, left_rows, None, role)

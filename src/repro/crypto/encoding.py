@@ -39,6 +39,28 @@ def bytes_to_int(data: bytes) -> int:
     return sign * int.from_bytes(data[1:], "big")
 
 
+def decode_sign_magnitude(data: bytes) -> int:
+    """Strictly decode a sign+magnitude integer, rejecting non-canonical forms.
+
+    The single source of truth for what a canonical integer encoding is:
+    exactly one sign byte (0 or 1) followed by a minimal big-endian magnitude
+    (no leading zero byte unless the magnitude *is* the single zero byte),
+    and no negative zero.  Used by both the scalar codec below and the wire
+    layer's integer fields.
+    """
+    if len(data) < 2:
+        raise ValueError("integer needs a sign byte and a magnitude")
+    sign, magnitude = data[0], data[1:]
+    if sign not in (0, 1):
+        raise ValueError(f"integer sign byte must be 0 or 1, got {sign}")
+    if len(magnitude) > 1 and magnitude[0] == 0:
+        raise ValueError("integer magnitude must be minimal (no leading zero)")
+    value = int.from_bytes(magnitude, "big")
+    if sign == 1 and value == 0:
+        raise ValueError("negative zero is not a canonical integer encoding")
+    return -value if sign else value
+
+
 def encode_value(value: Encodable) -> bytes:
     """Canonically encode a single scalar value as bytes.
 
@@ -60,6 +82,43 @@ def encode_value(value: Encodable) -> bytes:
     raise TypeError(f"cannot canonically encode value of type {type(value)!r}")
 
 
+def decode_value(data: bytes) -> Encodable:
+    """Invert :func:`encode_value`, rejecting malformed or non-canonical input.
+
+    Raises ``ValueError`` for unknown tags, truncated payloads and encodings
+    that :func:`encode_value` could never have produced (e.g. a boolean byte
+    other than ``0``/``1``, a non-minimal integer magnitude).  The wire layer
+    relies on this strictness: a decoded value always re-encodes to the exact
+    bytes it came from.
+    """
+    if not data:
+        raise ValueError("cannot decode a value from empty bytes")
+    tag, payload = data[:1], data[1:]
+    if tag == b"N":
+        if payload:
+            raise ValueError("None carries no payload")
+        return None
+    if tag == b"B":
+        if payload == b"\x01":
+            return True
+        if payload == b"\x00":
+            return False
+        raise ValueError("boolean payload must be a single 0/1 byte")
+    if tag == b"Y":
+        return payload
+    if tag == b"S":
+        return payload.decode("utf-8")
+    if tag == b"I":
+        return decode_sign_magnitude(payload)
+    if tag == b"F":
+        text = payload.decode("ascii")
+        value = float(text)
+        if repr(value).encode("ascii") != payload:
+            raise ValueError(f"non-canonical float encoding {text!r}")
+        return value
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
 def encode_many(values: Iterable[Encodable]) -> bytes:
     """Encode a sequence of values with length prefixes.
 
@@ -74,6 +133,23 @@ def encode_many(values: Iterable[Encodable]) -> bytes:
         parts.append(len(encoded).to_bytes(4, "big"))
         parts.append(encoded)
     return b"".join(parts)
+
+
+def decode_many(data: bytes) -> list:
+    """Invert :func:`encode_many`; raises ``ValueError`` on malformed input."""
+    values = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < 4:
+            raise ValueError("truncated length prefix")
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        offset += 4
+        if total - offset < length:
+            raise ValueError("length prefix exceeds the remaining bytes")
+        values.append(decode_value(data[offset : offset + length]))
+        offset += length
+    return values
 
 
 def concat_digests(*digests: bytes) -> bytes:

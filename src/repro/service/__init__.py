@@ -1,0 +1,52 @@
+"""Publication service: a concurrent server and a verifying client.
+
+This package turns the in-process owner/publisher/user pipeline into the
+actual client/server deployment of the paper's Figure 3: a
+:class:`PublicationServer` fronts one or more shards of signed relations and
+ships query answers plus verification objects as canonical wire bytes
+(:mod:`repro.wire`); a :class:`VerifyingClient` decodes and verifies them with
+no access to publisher state.
+"""
+
+from repro.service.client import VerifiedJoinResult, VerifiedResult, VerifyingClient
+from repro.service.demo import build_demo_router, build_demo_world
+from repro.service.protocol import (
+    ErrorResponse,
+    JoinRequest,
+    JoinResponse,
+    ListRelationsRequest,
+    ManifestRequest,
+    ManifestResponse,
+    QueryRequest,
+    QueryResponse,
+    RelationListing,
+    RemoteError,
+    ServiceError,
+    ServiceProtocolError,
+)
+from repro.service.router import ShardRouter, ShardTarget, UnknownManifestError
+from repro.service.server import PublicationServer
+
+__all__ = [
+    "ErrorResponse",
+    "JoinRequest",
+    "JoinResponse",
+    "ListRelationsRequest",
+    "ManifestRequest",
+    "ManifestResponse",
+    "PublicationServer",
+    "QueryRequest",
+    "QueryResponse",
+    "RelationListing",
+    "RemoteError",
+    "ServiceError",
+    "ServiceProtocolError",
+    "ShardRouter",
+    "ShardTarget",
+    "UnknownManifestError",
+    "VerifiedJoinResult",
+    "VerifiedResult",
+    "VerifyingClient",
+    "build_demo_router",
+    "build_demo_world",
+]

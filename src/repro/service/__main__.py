@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — serve the built-in demo database."""
+
+from repro.service.server import _main
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -1,0 +1,295 @@
+"""The verifying client: decodes wire bytes and trusts nothing else.
+
+A :class:`VerifyingClient` holds only what the paper's user holds — relation
+manifests (whose 32-byte ids it cross-checks against the server's listing)
+and, through them, the owner's public key.  Every query answer arrives as
+canonical wire bytes, is decoded with the strict codec and is then verified
+with a local :class:`~repro.core.verifier.ResultVerifier` before rows are
+handed to the caller.  The client has no access to publisher state: a genuine
+result verifies, and a tampered, truncated or incomplete one raises a typed
+error (:class:`~repro.wire.errors.WireFormatError` at the codec layer,
+:class:`~repro.core.errors.VerificationError` at the proof layer, or
+:class:`~repro.service.protocol.ServiceError` at the transport layer).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.relational import RelationManifest
+from repro.core.report import VerificationReport
+from repro.core.verifier import ResultVerifier
+from repro.db.access_control import AccessControlPolicy
+from repro.db.query import JoinQuery, Query
+from repro.service.protocol import (
+    ErrorResponse,
+    JoinRequest,
+    JoinResponse,
+    ListRelationsRequest,
+    ManifestRequest,
+    ManifestResponse,
+    QueryRequest,
+    QueryResponse,
+    RelationListing,
+    RemoteError,
+    ServiceError,
+    ServiceProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.wire import manifest_id
+from repro.wire.errors import WireFormatError
+
+__all__ = ["VerifiedResult", "VerifiedJoinResult", "VerifyingClient"]
+
+
+@dataclass(frozen=True)
+class VerifiedResult:
+    """A query answer that passed (or skipped, if so asked) verification."""
+
+    rows: Tuple[Dict[str, object], ...]
+    report: Optional[VerificationReport]
+    proof: object = None
+
+
+@dataclass(frozen=True)
+class VerifiedJoinResult:
+    rows: Tuple[Dict[str, object], ...]
+    left_rows: Tuple[Dict[str, object], ...]
+    report: Optional[VerificationReport]
+    proof: object = None
+
+
+class VerifyingClient:
+    """Queries a :class:`~repro.service.server.PublicationServer` and verifies.
+
+    **Trust model.**  The paper distributes manifests (and with them the
+    owner's public key) through an *authenticated channel*; the publisher is
+    untrusted.  Pass ``trusted_manifests`` (full manifests obtained out of
+    band) or ``expected_ids`` (their canonical 32-byte ids) to pin that trust
+    root: everything the server sends is then checked against the pinned
+    values, and a hostile server that re-signs fabricated data under its own
+    key is rejected.  Without pinning, the client trusts the first listing the
+    server returns (trust-on-first-use): verification still catches every
+    in-transit tamperer and any publisher misbehaviour *relative to the
+    fetched manifests*, but not a publisher that controls the manifests
+    themselves.
+
+    Parameters
+    ----------
+    host, port:
+        The publication server's address.
+    policy:
+        The access-control policy, if the client queries under a role (the
+        verifier re-applies the same query rewriting the publisher must).
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    trusted_manifests:
+        Relation name -> manifest, obtained through an authenticated channel.
+        Used directly for verification; never re-fetched from the server.
+    expected_ids:
+        Relation name -> pinned manifest id.  Fetched manifests must hash to
+        the pinned id (stronger than trusting the server's own listing).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[AccessControlPolicy] = None,
+        timeout: float = 10.0,
+        trusted_manifests: Optional[Dict[str, RelationManifest]] = None,
+        expected_ids: Optional[Dict[str, bytes]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._listing: Optional[Dict[str, bytes]] = None
+        self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
+        self._pinned_ids: Dict[str, bytes] = {
+            name: manifest_id(manifest)
+            for name, manifest in self._manifests.items()
+        }
+        for name, identifier in (expected_ids or {}).items():
+            pinned = self._pinned_ids.get(name)
+            if pinned is not None and pinned != bytes(identifier):
+                raise ServiceError(
+                    f"expected_ids[{name!r}] contradicts the trusted manifest"
+                )
+            self._pinned_ids[name] = bytes(identifier)
+        self._verifier: Optional[ResultVerifier] = None
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "VerifyingClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "VerifyingClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, message, expect: type):
+        """One request/response exchange; typed errors only.
+
+        Any transport-level failure — timeout, connection reset, a frame that
+        fails to decode — closes the socket, because a half-consumed exchange
+        leaves the stream unusable: a late response to *this* request must
+        never be read as the answer to the *next* one.  The following request
+        transparently reconnects.
+        """
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        try:
+            send_message(self._sock, message)
+            response = recv_message(self._sock)
+        except socket.timeout:
+            self.close()
+            raise ServiceProtocolError(
+                f"timed out after {self.timeout}s waiting for the server"
+            ) from None
+        except (ServiceProtocolError, WireFormatError):
+            self.close()
+            raise
+        except OSError as error:
+            self.close()
+            raise ServiceProtocolError(f"connection failed: {error}") from None
+        if response is None:
+            self.close()
+            raise ServiceProtocolError("server closed the connection")
+        if isinstance(response, ErrorResponse):
+            raise RemoteError(response.code, response.reason, response.message)
+        if not isinstance(response, expect):
+            self.close()
+            raise ServiceProtocolError(
+                f"expected a {expect.__name__}, got {type(response).__name__}"
+            )
+        return response
+
+    # -- manifests -----------------------------------------------------------
+
+    def relations(self) -> Dict[str, bytes]:
+        """Hosting name -> manifest id, as listed by the server (cached)."""
+        if self._listing is None:
+            listing: RelationListing = self._request(
+                ListRelationsRequest(), RelationListing
+            )
+            self._listing = listing.as_dict()
+        return dict(self._listing)
+
+    def fetch_manifest(self, relation_name: str) -> RelationManifest:
+        """Fetch and pin one relation's manifest.
+
+        A manifest pinned via ``trusted_manifests`` is returned as-is (the
+        server is never asked).  Otherwise the fetched manifest's canonical
+        id must equal the pinned ``expected_ids`` entry when one exists, or
+        the id the server listed for the name; a mismatch means the metadata
+        is inconsistent (or hostile) and is rejected before anything is
+        verified against it.
+        """
+        pinned_manifest = self._manifests.get(relation_name)
+        if pinned_manifest is not None and relation_name in self._pinned_ids:
+            return pinned_manifest
+        expected = self._pinned_ids.get(relation_name)
+        if expected is None:
+            expected = self.relations().get(relation_name)
+            if expected is None:
+                raise ServiceError(
+                    f"server does not list relation {relation_name!r}"
+                )
+        response: ManifestResponse = self._request(
+            ManifestRequest(relation_name), ManifestResponse
+        )
+        manifest = response.manifest
+        if manifest_id(manifest) != expected:
+            raise ServiceError(
+                f"manifest for {relation_name!r} does not match its "
+                f"{'pinned' if relation_name in self._pinned_ids else 'listed'} id"
+            )
+        self._manifests[relation_name] = manifest
+        self._pinned_ids.setdefault(relation_name, manifest_id(manifest))
+        self._verifier = None  # rebuilt lazily over the new manifest set
+        return manifest
+
+    def _ensure_manifest(self, relation_name: str) -> bytes:
+        if relation_name not in self._manifests:
+            self.fetch_manifest(relation_name)
+        identifier = self._pinned_ids.get(relation_name)
+        if identifier is None:  # defensive; fetch/init always record the id
+            identifier = manifest_id(self._manifests[relation_name])
+            self._pinned_ids[relation_name] = identifier
+        return identifier
+
+    @property
+    def verifier(self) -> ResultVerifier:
+        """The local verifier over every manifest fetched so far."""
+        if self._verifier is None:
+            self._verifier = ResultVerifier(dict(self._manifests), policy=self.policy)
+        return self._verifier
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self, query: Query, role: Optional[str] = None, verify: bool = True
+    ) -> VerifiedResult:
+        """Issue a select-project(-multipoint) query and verify the answer.
+
+        ``verify=False`` skips verification and returns the raw decoded rows
+        — for measurement and relaying only; a consuming client should never
+        disable it.
+        """
+        identifier = self._ensure_manifest(query.relation_name)
+        response: QueryResponse = self._request(
+            QueryRequest(manifest_id=identifier, query=query, role=role),
+            QueryResponse,
+        )
+        report = None
+        if verify:
+            report = self.verifier.verify(
+                query, response.rows, response.proof, role=role
+            )
+        return VerifiedResult(
+            rows=response.rows, report=report, proof=response.proof
+        )
+
+    def query_join(
+        self, join: JoinQuery, role: Optional[str] = None, verify: bool = True
+    ) -> VerifiedJoinResult:
+        """Issue a PK-FK join query and verify completeness + authenticity."""
+        left_id = self._ensure_manifest(join.left_relation)
+        right_id = self._ensure_manifest(join.right_relation)
+        response: JoinResponse = self._request(
+            JoinRequest(
+                left_manifest_id=left_id,
+                right_manifest_id=right_id,
+                join=join,
+                role=role,
+            ),
+            JoinResponse,
+        )
+        report = None
+        if verify:
+            report = self.verifier.verify_join(
+                join, response.rows, response.proof, response.left_rows, role=role
+            )
+        return VerifiedJoinResult(
+            rows=response.rows,
+            left_rows=response.left_rows,
+            report=report,
+            proof=response.proof,
+        )

@@ -1,0 +1,69 @@
+"""A deterministic demo database for examples, benchmarks and tests.
+
+Two shards behind one server:
+
+* ``hr`` — the employees relation (Figure 1's schema at generator scale),
+* ``sales`` — the customers/orders PK-FK pair of Section 4.3, hosted
+  together so join proofs stay single-shard.
+
+Record data is generated from fixed seeds, so every process that builds the
+demo world agrees on the rows; the RSA keys are fresh per process (the
+verifying side always receives keys through the manifests, never out of band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.owner import DataOwner
+from repro.core.publisher import Publisher
+from repro.core.relational import RelationManifest
+from repro.db import workload
+from repro.service.router import ShardRouter
+
+__all__ = ["DemoWorld", "build_demo_world", "build_demo_router"]
+
+
+@dataclass
+class DemoWorld:
+    """The owner-side view of the demo database."""
+
+    owner: DataOwner
+    router: ShardRouter
+    manifests: Dict[str, RelationManifest]
+
+
+def build_demo_world(
+    key_bits: int = 512,
+    seed: int = 7,
+    employees: int = 60,
+    customers: int = 12,
+    orders: int = 40,
+) -> DemoWorld:
+    """Sign the demo relations and arrange them into two shards."""
+    owner = DataOwner(key_bits=key_bits)
+    employee_relation = workload.generate_employees(
+        employees, seed=seed, photo_bytes=16
+    )
+    customer_relation, order_relation = workload.generate_customers_and_orders(
+        customers, orders, seed=seed
+    )
+
+    hr_database = owner.publish_database({"employees": employee_relation})
+    sales_database = owner.publish_database(
+        {"customers": customer_relation, "orders": order_relation}
+    )
+    router = ShardRouter(
+        {
+            "hr": Publisher(hr_database.relations),
+            "sales": Publisher(sales_database.relations),
+        }
+    )
+    manifests = {**hr_database.manifests, **sales_database.manifests}
+    return DemoWorld(owner=owner, router=router, manifests=manifests)
+
+
+def build_demo_router(key_bits: int = 512, seed: int = 7) -> ShardRouter:
+    """Just the router — what ``python -m repro.service`` serves."""
+    return build_demo_world(key_bits=key_bits, seed=seed).router

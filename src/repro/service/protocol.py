@@ -1,0 +1,299 @@
+"""The publication protocol: framed request/response messages over a socket.
+
+Transport framing is a big-endian u32 payload length followed by the payload;
+every payload is one wire artifact (:mod:`repro.wire`), so the protocol
+inherits the codec's strict validation and versioning.  Requests address
+relations by **manifest id** (the 32-byte commitment of
+:func:`repro.wire.manifest_id`), which is what lets one server front several
+shards: the id names the exact signed artefact the client intends to query,
+independent of hosting names.
+
+The message set:
+
+====================  =======================================================
+``ListRelationsRequest``  enumerate hosted relations and their manifest ids
+``RelationListing``       the listing
+``ManifestRequest``       fetch one relation's manifest by hosting name
+``ManifestResponse``      the manifest (client cross-checks its id)
+``QueryRequest``          a select-project(-multipoint) query + optional role
+``QueryResponse``         result rows plus the range VO
+``JoinRequest``           a PK-FK join query + optional role
+``JoinResponse``          joined rows, left-side rows, and the join VO
+``ErrorResponse``         typed failure (code / reason / message)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.proof import JoinQueryProof, RangeQueryProof
+from repro.core.relational import RelationManifest
+from repro.db.query import JoinQuery, Query
+from repro.wire import codec, decode, encode
+from repro.wire.primitives import MAX_FIELD_BYTES
+
+__all__ = [
+    "MANIFEST_ID_BYTES",
+    "MAX_FRAME_BYTES",
+    "ServiceError",
+    "ServiceProtocolError",
+    "RemoteError",
+    "ListRelationsRequest",
+    "RelationListing",
+    "ManifestRequest",
+    "ManifestResponse",
+    "QueryRequest",
+    "QueryResponse",
+    "JoinRequest",
+    "JoinResponse",
+    "ErrorResponse",
+    "send_message",
+    "recv_message",
+]
+
+#: Size of a manifest id (SHA-256).
+MANIFEST_ID_BYTES = 32
+
+#: Upper bound on one frame: the wire layer's per-field cap, so the framing
+#: layer never accepts a frame whose fields the codec would reject.
+MAX_FRAME_BYTES = MAX_FIELD_BYTES
+
+#: How long a peer may stall *mid-frame* before the connection is declared
+#: broken.  Idle time between frames is governed by the caller's socket
+#: timeout instead; only a frame cut off in the middle is bounded here.
+MID_FRAME_STALL_SECONDS = 30.0
+
+
+class ServiceError(ReproError):
+    """Base class for publication-service failures."""
+
+
+class ServiceProtocolError(ServiceError):
+    """The byte stream violated the framing/protocol contract."""
+
+
+class RemoteError(ServiceError):
+    """The server answered with a typed :class:`ErrorResponse`."""
+
+    def __init__(self, code: str, reason: str, message: str) -> None:
+        super().__init__(f"{code} ({reason}): {message}")
+        self.code = code
+        self.reason = reason
+        self.remote_message = message
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ListRelationsRequest:
+    """Ask the server which relations it fronts."""
+
+
+@dataclass(frozen=True)
+class RelationListing:
+    """(hosting name, manifest id) for every relation behind the server."""
+
+    entries: Tuple[Tuple[str, bytes], ...]
+
+    def as_dict(self) -> Dict[str, bytes]:
+        return dict(self.entries)
+
+
+@dataclass(frozen=True)
+class ManifestRequest:
+    """Fetch the manifest of one hosted relation."""
+
+    relation_name: str
+
+
+@dataclass(frozen=True)
+class ManifestResponse:
+    manifest: RelationManifest
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A select-project(-multipoint) query against one manifest id."""
+
+    manifest_id: bytes
+    query: Query
+    role: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Rows plus the verification object; ``proof`` is None only for vacuous ranges."""
+
+    rows: Tuple[Dict[str, object], ...]
+    proof: Optional[RangeQueryProof]
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A PK-FK join; both manifest ids must resolve to the same shard."""
+
+    left_manifest_id: bytes
+    right_manifest_id: bytes
+    join: JoinQuery
+    role: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class JoinResponse:
+    rows: Tuple[Dict[str, object], ...]
+    left_rows: Tuple[Dict[str, object], ...]
+    proof: Optional[JoinQueryProof]
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A typed failure: ``code`` is the error class, ``reason`` a short tag."""
+
+    code: str
+    reason: str = "error"
+    message: str = ""
+
+
+_ROW = codec.MapField(codec.STR, codec.SCALAR)
+
+codec.register_artifact(0x40, ListRelationsRequest, [])
+codec.register_artifact(
+    0x41,
+    RelationListing,
+    [("entries", codec.TupleField(codec.PairField(codec.STR, codec.BYTES)))],
+)
+codec.register_artifact(0x42, ManifestRequest, [("relation_name", codec.STR)])
+codec.register_artifact(
+    0x43, ManifestResponse, [("manifest", codec.NestedField(RelationManifest))]
+)
+codec.register_artifact(
+    0x44,
+    QueryRequest,
+    [
+        ("manifest_id", codec.BYTES),
+        ("query", codec.NestedField(Query)),
+        ("role", codec.OptionalField(codec.STR)),
+    ],
+)
+codec.register_artifact(
+    0x45,
+    QueryResponse,
+    [
+        ("rows", codec.TupleField(_ROW)),
+        ("proof", codec.OptionalField(codec.NestedField(RangeQueryProof))),
+    ],
+)
+codec.register_artifact(
+    0x46,
+    JoinRequest,
+    [
+        ("left_manifest_id", codec.BYTES),
+        ("right_manifest_id", codec.BYTES),
+        ("join", codec.NestedField(JoinQuery)),
+        ("role", codec.OptionalField(codec.STR)),
+    ],
+)
+codec.register_artifact(
+    0x47,
+    JoinResponse,
+    [
+        ("rows", codec.TupleField(_ROW)),
+        ("left_rows", codec.TupleField(_ROW)),
+        ("proof", codec.OptionalField(codec.NestedField(JoinQueryProof))),
+    ],
+)
+codec.register_artifact(
+    0x48,
+    ErrorResponse,
+    [("code", codec.STR), ("reason", codec.STR), ("message", codec.STR)],
+)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, message) -> None:
+    """Encode ``message`` and write it as one length-prefixed frame."""
+    payload = encode(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    sock.sendall(len(payload).to_bytes(4, "big") + payload)
+
+
+def _recv_exactly(
+    sock: socket.socket, count: int, mid_frame: bool = False
+) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at a frame boundary.
+
+    A socket timeout with **zero** bytes read (and ``mid_frame`` False) means
+    the peer is idle between frames: the timeout propagates and no data is
+    lost.  A timeout after part of the data arrived — or anywhere once a
+    frame has begun — must *not* discard the partial bytes (that would
+    desynchronise the stream), so the read keeps resuming until the peer has
+    been silent mid-frame for :data:`MID_FRAME_STALL_SECONDS`.
+    """
+    chunks = []
+    received = 0
+    stall_deadline = None
+    while received < count:
+        try:
+            chunk = sock.recv(count - received)
+        except socket.timeout:
+            if received == 0 and not mid_frame:
+                raise  # idle between frames; nothing consumed, nothing lost
+            now = time.monotonic()
+            if stall_deadline is None:
+                stall_deadline = now + MID_FRAME_STALL_SECONDS
+            elif now >= stall_deadline:
+                raise ServiceProtocolError(
+                    f"peer stalled mid-frame ({received}/{count} bytes)"
+                ) from None
+            continue
+        stall_deadline = None
+        if not chunk:
+            if received == 0 and not mid_frame:
+                return None
+            raise ServiceProtocolError(
+                f"connection closed mid-frame ({received}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Read one raw frame payload; None on clean EOF."""
+    header = _recv_exactly(sock, 4)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"announced frame of {length} bytes exceeds the cap"
+        )
+    return _recv_exactly(sock, length, mid_frame=True)
+
+
+def recv_message(sock: socket.socket):
+    """Read and decode one message; None on clean EOF.
+
+    Decoding errors surface as :class:`~repro.wire.errors.WireFormatError`
+    (a subclass of :class:`~repro.core.errors.ReproError`), never as raw
+    exceptions.
+    """
+    payload = recv_frame(sock)
+    if payload is None:
+        return None
+    return decode(payload)

@@ -1,0 +1,119 @@
+"""Manifest-id shard routing: one server fronting several relations.
+
+A *shard* is one :class:`~repro.core.publisher.Publisher` (hosting one or more
+signed relations, sharing one VO-fragment cache).  The router indexes every
+hosted relation by the 32-byte :func:`repro.wire.manifest_id` of its manifest
+and dispatches incoming requests to the owning shard.  Addressing by manifest
+id rather than by name means a client always talks about the exact signed
+artefact it verified the manifest of — renaming or re-hosting a relation can
+never silently redirect its queries.
+
+Each shard carries a lock; proof construction mutates the shard's VO-fragment
+cache, and the lock keeps concurrent request handlers from interleaving those
+mutations (request *handling* still overlaps across shards and during I/O).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.core.publisher import Publisher
+from repro.core.relational import RelationManifest
+from repro.db.query import JoinQuery
+from repro.service.protocol import ServiceError
+from repro.wire import manifest_id
+
+__all__ = ["ShardTarget", "ShardRouter", "UnknownManifestError"]
+
+
+class UnknownManifestError(ServiceError):
+    """No hosted relation matches the requested manifest id or name."""
+
+
+@dataclass(frozen=True)
+class ShardTarget:
+    """Where a manifest id lives: the shard, its publisher and hosting name."""
+
+    shard_name: str
+    relation_name: str
+    publisher: Publisher
+    lock: threading.Lock = field(compare=False)
+
+
+class ShardRouter:
+    """Routes manifest ids to the shard publisher hosting them."""
+
+    def __init__(self, shards: Mapping[str, Publisher]) -> None:
+        if not shards:
+            raise ValueError("a shard router needs at least one shard")
+        self.shards: Dict[str, Publisher] = dict(shards)
+        self._by_id: Dict[bytes, ShardTarget] = {}
+        self._by_name: Dict[str, ShardTarget] = {}
+        self._listing: list = []
+        for shard_name, publisher in self.shards.items():
+            lock = threading.Lock()
+            for relation_name in publisher.database:
+                signed = publisher.signed_relation(relation_name)
+                target = ShardTarget(shard_name, relation_name, publisher, lock)
+                identifier = manifest_id(signed.manifest)
+                if relation_name in self._by_name:
+                    raise ValueError(
+                        f"relation name {relation_name!r} is hosted by both shard "
+                        f"{self._by_name[relation_name].shard_name!r} and shard "
+                        f"{shard_name!r}; hosting names must be unique"
+                    )
+                self._by_id[identifier] = target
+                self._by_name[relation_name] = target
+                self._listing.append((relation_name, identifier))
+        self._listing.sort()
+
+    # -- lookups ------------------------------------------------------------
+
+    def listing(self) -> Tuple[Tuple[str, bytes], ...]:
+        """(hosting name, manifest id) for every hosted relation, sorted."""
+        return tuple(self._listing)
+
+    def manifest_by_name(self, relation_name: str) -> RelationManifest:
+        target = self._by_name.get(relation_name)
+        if target is None:
+            raise UnknownManifestError(
+                f"no hosted relation is named {relation_name!r}"
+            )
+        return target.publisher.signed_relation(target.relation_name).manifest
+
+    def route(self, identifier: bytes) -> ShardTarget:
+        target = self._by_id.get(bytes(identifier))
+        if target is None:
+            raise UnknownManifestError(
+                f"no hosted relation has manifest id {bytes(identifier).hex()[:16]}…"
+            )
+        return target
+
+    def route_join(
+        self, left_id: bytes, right_id: bytes, join: JoinQuery
+    ) -> ShardTarget:
+        """Resolve a join: both sides must live on the same shard.
+
+        Cross-shard joins would need a distributed proof plan; the router
+        rejects them explicitly instead of producing an unverifiable answer.
+        """
+        left = self.route(left_id)
+        right = self.route(right_id)
+        if left.publisher is not right.publisher:
+            raise ServiceError(
+                f"join spans shards {left.shard_name!r} and {right.shard_name!r}; "
+                "both relations must be hosted by one shard"
+            )
+        if left.relation_name != join.left_relation:
+            raise ServiceError(
+                f"left manifest id resolves to {left.relation_name!r}, but the "
+                f"join names {join.left_relation!r}"
+            )
+        if right.relation_name != join.right_relation:
+            raise ServiceError(
+                f"right manifest id resolves to {right.relation_name!r}, but the "
+                f"join names {join.right_relation!r}"
+            )
+        return left

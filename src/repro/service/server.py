@@ -1,0 +1,329 @@
+"""The concurrent publication server.
+
+A :class:`PublicationServer` listens on a TCP socket and serves the framed
+protocol of :mod:`repro.service.protocol` with a thread pool: one lightweight
+accept loop hands each connection to a pooled worker, and a connection may
+issue any number of requests.  All workers share the shard router — and with
+it each shard's :class:`~repro.core.publisher.Publisher` and its keyed
+VO-fragment cache, so a range that became hot through one client's connection
+is served from cached fragments to every other client as well.
+
+Concurrency, precisely: proof *construction* on one shard is serialized by
+that shard's lock (the publisher's VO-fragment cache is not built for
+concurrent mutation, and the hashing work is GIL-bound CPU either way); the
+thread pool buys overlapping of socket I/O, framing/codec work and requests
+against *different* shards.  The service benchmark
+(:mod:`repro.bench.wire`) reports end-to-end pipeline throughput under this
+model, not parallel proof construction.
+
+Every failure is answered with a typed
+:class:`~repro.service.protocol.ErrorResponse`; the server never leaks a stack
+trace to the peer and never dies on a malformed request.
+
+Run ``python -m repro.service`` to serve the built-in demo database
+(prints ``PORT <n>`` once it is listening; see :mod:`repro.service.demo`).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.service.protocol import (
+    ErrorResponse,
+    JoinRequest,
+    JoinResponse,
+    ListRelationsRequest,
+    ManifestRequest,
+    ManifestResponse,
+    QueryRequest,
+    QueryResponse,
+    RelationListing,
+    ServiceProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.service.router import ShardRouter
+from repro.wire.errors import WireFormatError
+
+__all__ = ["PublicationServer"]
+
+
+class PublicationServer:
+    """Serves query answers plus verification objects over TCP.
+
+    Parameters
+    ----------
+    router:
+        The shard router naming every hosted relation.
+    host, port:
+        Bind address; port 0 picks a free port (read it back from
+        :attr:`address` after :meth:`start`).
+    max_workers:
+        Maximum concurrently served connections.  A connection beyond the cap
+        is not silently parked: it immediately receives a typed
+        ``ErrorResponse(code="ServerBusy")`` and is closed, so clients see
+        overload instead of an unexplained hang.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+    ) -> None:
+        self.router = router
+        self._requested = (host, port)
+        self._max_workers = max_workers
+        self._listener: Optional[socket.socket] = None
+        self._conn_slots: Optional[threading.Semaphore] = None
+        self._workers: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._stats_lock = threading.Lock()
+        self.requests_served = 0
+        self.errors_answered = 0
+        self.connections_refused = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); only meaningful after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("the server has not been started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and start accepting in the background."""
+        if self._listener is not None:
+            raise RuntimeError("the server is already running")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._requested)
+        listener.listen(128)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._stopping.clear()
+        self._conn_slots = threading.Semaphore(self._max_workers)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="publication-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting, drain the connection workers, release the socket."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        for worker in self._workers:
+            worker.join(timeout=5)
+        self._workers = []
+        self._listener.close()
+        self._listener = None
+
+    def __enter__(self) -> "PublicationServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking convenience wrapper: start (if needed) and wait."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._stopping.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # -- accept / handle ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None and self._conn_slots is not None
+        while not self._stopping.is_set():
+            try:
+                connection, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during shutdown
+            if not self._conn_slots.acquire(blocking=False):
+                # Every worker is busy with a live connection: answer with a
+                # typed overload error rather than parking the peer forever.
+                with self._stats_lock:
+                    self.connections_refused += 1
+                self._answer_error(
+                    connection,
+                    RuntimeError(
+                        f"all {self._max_workers} connection slots are in use"
+                    ),
+                    code="ServerBusy",
+                    reason="overloaded",
+                )
+                connection.close()
+                continue
+            self._workers = [w for w in self._workers if w.is_alive()]
+            worker = threading.Thread(
+                target=self._serve_connection_slot,
+                args=(connection,),
+                name="publication-worker",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _serve_connection_slot(self, connection: socket.socket) -> None:
+        try:
+            self._serve_connection(connection)
+        finally:
+            assert self._conn_slots is not None
+            self._conn_slots.release()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        connection.settimeout(0.5)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = recv_message(connection)
+                except socket.timeout:
+                    continue
+                except (WireFormatError, ServiceProtocolError) as error:
+                    # A malformed frame: answer with a typed error, then drop
+                    # the connection — after a framing violation the stream
+                    # offset can no longer be trusted.
+                    self._answer_error(connection, error)
+                    return
+                if request is None:
+                    return  # clean EOF
+                self._handle_one(connection, request)
+        except OSError:
+            pass  # peer vanished; nothing to answer
+        finally:
+            connection.close()
+
+    def _handle_one(self, connection: socket.socket, request) -> None:
+        try:
+            response = self._dispatch(request)
+        except ReproError as error:
+            self._answer_error(connection, error)
+            return
+        except Exception as error:  # noqa: BLE001 - never leak a traceback
+            self._answer_error(
+                connection,
+                error,
+                code="InternalError",
+                reason="internal-error",
+            )
+            return
+        with self._stats_lock:
+            self.requests_served += 1
+        try:
+            send_message(connection, response)
+        except OSError:
+            pass
+
+    def _answer_error(
+        self,
+        connection: socket.socket,
+        error: Exception,
+        code: Optional[str] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        with self._stats_lock:
+            self.errors_answered += 1
+        response = ErrorResponse(
+            code=code or type(error).__name__,
+            reason=reason or getattr(error, "reason", "error"),
+            message=str(error),
+        )
+        try:
+            send_message(connection, response)
+        except OSError:
+            pass
+
+    # -- request dispatch ---------------------------------------------------
+
+    def _dispatch(self, request):
+        if isinstance(request, ListRelationsRequest):
+            return RelationListing(entries=self.router.listing())
+        if isinstance(request, ManifestRequest):
+            return ManifestResponse(
+                manifest=self.router.manifest_by_name(request.relation_name)
+            )
+        if isinstance(request, QueryRequest):
+            return self._answer_query(request)
+        if isinstance(request, JoinRequest):
+            return self._answer_join(request)
+        raise ServiceProtocolError(
+            f"{type(request).__name__} is not a request message"
+        )
+
+    def _answer_query(self, request: QueryRequest) -> QueryResponse:
+        target = self.router.route(request.manifest_id)
+        if request.query.relation_name != target.relation_name:
+            raise ServiceProtocolError(
+                f"manifest id resolves to {target.relation_name!r}, but the "
+                f"query names {request.query.relation_name!r}"
+            )
+        with target.lock:
+            result = target.publisher.answer(request.query, role=request.role)
+        return QueryResponse(
+            rows=tuple(dict(row) for row in result.rows),
+            proof=result.proof,
+        )
+
+    def _answer_join(self, request: JoinRequest) -> JoinResponse:
+        target = self.router.route_join(
+            request.left_manifest_id, request.right_manifest_id, request.join
+        )
+        with target.lock:
+            result = target.publisher.answer_join(request.join, role=request.role)
+        return JoinResponse(
+            rows=tuple(dict(row) for row in result.rows),
+            left_rows=tuple(dict(row) for row in result.left_rows),
+            proof=result.proof,
+        )
+
+
+def _main(argv=None) -> int:
+    """Serve the built-in demo database (for examples and integration tests)."""
+    import argparse
+
+    from repro.service.demo import build_demo_router
+
+    parser = argparse.ArgumentParser(description=_main.__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--key-bits", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-workers", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    router = build_demo_router(key_bits=args.key_bits, seed=args.seed)
+    server = PublicationServer(
+        router, host=args.host, port=args.port, max_workers=args.max_workers
+    )
+    host, port = server.start()
+    print(f"PORT {port}", flush=True)
+    print(
+        "RELATIONS " + ",".join(name for name, _ in router.listing()),
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -1,0 +1,39 @@
+"""Wire format for verification objects and publication metadata.
+
+This package gives every proof artifact of the reproduction a **canonical,
+versioned, length-prefixed binary encoding** (plus a JSON debug codec), so
+that query answers and their verification objects can actually cross a
+network or be persisted — the client/server separation the paper's data
+publishing model (Figure 3) assumes.
+
+* :func:`encode` / :func:`decode` — framed binary codec, strict validation
+* :func:`to_json` / :func:`from_json` — human-readable debug mirror
+* :func:`manifest_id` — 32-byte routing/commitment id of a relation manifest
+* :class:`WireFormatError` — typed rejection of malformed bytes
+"""
+
+from repro.wire.codec import (
+    WIRE_VERSION,
+    decode,
+    encode,
+    from_json,
+    from_json_obj,
+    manifest_id,
+    register_artifact,
+    to_json,
+    to_json_obj,
+)
+from repro.wire.errors import WireFormatError
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireFormatError",
+    "decode",
+    "encode",
+    "from_json",
+    "from_json_obj",
+    "manifest_id",
+    "register_artifact",
+    "to_json",
+    "to_json_obj",
+]

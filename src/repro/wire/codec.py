@@ -1,0 +1,953 @@
+"""Canonical wire codec for every proof artifact the publisher ships.
+
+Framing
+-------
+
+Every top-level artifact is encoded as::
+
+    magic "PV" (2 bytes) | version (1 byte, currently 0x01) | type tag (1 byte) | body
+
+Bodies are built from the strict primitives of
+:mod:`repro.wire.primitives`: big-endian fixed-width integers, u32
+length-prefixed byte strings, sign+magnitude arbitrary-precision integers and
+the canonical scalar encoding shared with the hashing layer.  Mappings are
+serialised with strictly increasing keys, optionals carry an explicit presence
+byte, and nested artifacts of a *fixed* type are embedded body-only while
+union-typed fields (e.g. the matched/filtered entries of a range proof) carry
+a one-byte type tag.
+
+The encoding is **canonical**: for every artifact there is exactly one valid
+byte string, and :func:`decode` rejects everything else —
+truncation, trailing bytes, non-minimal integers, unsorted map keys, unknown
+tags — with a typed :class:`~repro.wire.errors.WireFormatError`.  Round-trip
+identity (``decode(encode(x)) == x`` and ``encode(decode(b)) == b``) is locked
+in by golden vectors under ``tests/golden/``.
+
+A JSON debug codec (:func:`to_json` / :func:`from_json`) mirrors the same
+field model with hex-encoded byte strings, for logging and troubleshooting;
+the binary format is the one that crosses the network.
+
+Each codec is declared as a field-spec table, so the binary writer, the binary
+reader and both JSON directions are always generated from one source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.proof import (
+    BoundaryEntryProof,
+    FilteredEntryProof,
+    GreaterThanProof,
+    JoinQueryProof,
+    MatchedEntryProof,
+    RangeQueryProof,
+    SignatureBundle,
+)
+from repro.core.digest import BoundaryAssist, EntryAssist
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.crypto.aggregate import AggregateSignature
+from repro.crypto.merkle import MerkleProof
+from repro.crypto.rsa import RSAPublicKey
+from repro.db.query import (
+    Conjunction,
+    EqualityCondition,
+    JoinQuery,
+    Projection,
+    Query,
+    RangeCondition,
+)
+from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
+from repro.wire.errors import WireFormatError
+from repro.wire.primitives import WireReader, WireWriter
+
+__all__ = [
+    "encode",
+    "decode",
+    "to_json",
+    "from_json",
+    "to_json_obj",
+    "from_json_obj",
+    "manifest_id",
+    "register_artifact",
+    "WIRE_VERSION",
+    # field types, for registering extension artifacts (see repro.service.protocol)
+    "INT",
+    "BOOL",
+    "STR",
+    "BYTES",
+    "SCALAR",
+    "OptionalField",
+    "TupleField",
+    "PairField",
+    "MapField",
+    "NestedField",
+    "UnionField",
+    "EnumStrField",
+]
+
+WIRE_VERSION = 1
+_MAGIC = b"PV"
+
+
+# ---------------------------------------------------------------------------
+# Field types
+# ---------------------------------------------------------------------------
+
+
+class _Field:
+    """One wire-field type: binary write/read plus the JSON mirror."""
+
+    def write(self, writer: WireWriter, value) -> None:
+        raise NotImplementedError
+
+    def read(self, reader: WireReader, what: str):
+        raise NotImplementedError
+
+    def to_json(self, value):
+        raise NotImplementedError
+
+    def from_json(self, obj, what: str):
+        raise NotImplementedError
+
+
+def _json_type_error(what: str, expected: str, obj) -> WireFormatError:
+    return WireFormatError(
+        f"JSON field {what} must be {expected}, got {type(obj).__name__}",
+        reason="bad-json",
+    )
+
+
+class _Int(_Field):
+    def write(self, writer, value):
+        writer.int_(value)
+
+    def read(self, reader, what):
+        return reader.int_(what)
+
+    def to_json(self, value):
+        return int(value)
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, int) or isinstance(obj, bool):
+            raise _json_type_error(what, "an integer", obj)
+        return obj
+
+
+class _Bool(_Field):
+    def write(self, writer, value):
+        writer.bool_(value)
+
+    def read(self, reader, what):
+        return reader.bool_(what)
+
+    def to_json(self, value):
+        return bool(value)
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, bool):
+            raise _json_type_error(what, "a boolean", obj)
+        return obj
+
+
+class _Str(_Field):
+    def write(self, writer, value):
+        writer.str_(value)
+
+    def read(self, reader, what):
+        return reader.str_(what)
+
+    def to_json(self, value):
+        return str(value)
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, str):
+            raise _json_type_error(what, "a string", obj)
+        return obj
+
+
+class _Bytes(_Field):
+    def write(self, writer, value):
+        writer.bytes_(value)
+
+    def read(self, reader, what):
+        return reader.bytes_(what)
+
+    def to_json(self, value):
+        return bytes(value).hex()
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, str):
+            raise _json_type_error(what, "a hex string", obj)
+        try:
+            return bytes.fromhex(obj)
+        except ValueError:
+            raise WireFormatError(
+                f"JSON field {what} is not valid hex", reason="bad-json"
+            ) from None
+
+
+class _Scalar(_Field):
+    """A typed attribute value (None/bool/int/float/str/bytes)."""
+
+    def write(self, writer, value):
+        writer.scalar(value)
+
+    def read(self, reader, what):
+        return reader.scalar(what)
+
+    def to_json(self, value):
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            return {"__bytes__": bytes(value).hex()}
+        return value
+
+    def from_json(self, obj, what):
+        if isinstance(obj, dict):
+            if set(obj) != {"__bytes__"} or not isinstance(obj["__bytes__"], str):
+                raise _json_type_error(what, "a scalar or {'__bytes__': hex}", obj)
+            try:
+                return bytes.fromhex(obj["__bytes__"])
+            except ValueError:
+                raise WireFormatError(
+                    f"JSON field {what} is not valid hex", reason="bad-json"
+                ) from None
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        raise _json_type_error(what, "a scalar", obj)
+
+
+class _Optional(_Field):
+    def __init__(self, inner: _Field) -> None:
+        self.inner = inner
+
+    def write(self, writer, value):
+        writer.bool_(value is not None)
+        if value is not None:
+            self.inner.write(writer, value)
+
+    def read(self, reader, what):
+        if reader.optional(what):
+            return self.inner.read(reader, what)
+        return None
+
+    def to_json(self, value):
+        return None if value is None else self.inner.to_json(value)
+
+    def from_json(self, obj, what):
+        return None if obj is None else self.inner.from_json(obj, what)
+
+
+class _Tuple(_Field):
+    def __init__(self, inner: _Field) -> None:
+        self.inner = inner
+
+    def write(self, writer, value):
+        items = tuple(value)
+        writer.u32(len(items))
+        for item in items:
+            self.inner.write(writer, item)
+
+    def read(self, reader, what):
+        length = reader.count(f"count of {what}")
+        return tuple(self.inner.read(reader, f"{what}[{i}]") for i in range(length))
+
+    def to_json(self, value):
+        return [self.inner.to_json(item) for item in value]
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, list):
+            raise _json_type_error(what, "a list", obj)
+        return tuple(
+            self.inner.from_json(item, f"{what}[{i}]") for i, item in enumerate(obj)
+        )
+
+
+class _Pair(_Field):
+    def __init__(self, first: _Field, second: _Field) -> None:
+        self.first = first
+        self.second = second
+
+    def write(self, writer, value):
+        a, b = value
+        self.first.write(writer, a)
+        self.second.write(writer, b)
+
+    def read(self, reader, what):
+        return (
+            self.first.read(reader, f"{what}.0"),
+            self.second.read(reader, f"{what}.1"),
+        )
+
+    def to_json(self, value):
+        a, b = value
+        return [self.first.to_json(a), self.second.to_json(b)]
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, list) or len(obj) != 2:
+            raise _json_type_error(what, "a 2-element list", obj)
+        return (
+            self.first.from_json(obj[0], f"{what}.0"),
+            self.second.from_json(obj[1], f"{what}.1"),
+        )
+
+
+class _Map(_Field):
+    """A mapping with canonically sorted (strictly increasing) keys."""
+
+    def __init__(self, key: _Field, value: _Field) -> None:
+        self.key = key
+        self.value = value
+
+    def write(self, writer, value):
+        items = sorted(value.items())
+        writer.u32(len(items))
+        for k, v in items:
+            self.key.write(writer, k)
+            self.value.write(writer, v)
+
+    def read(self, reader, what):
+        length = reader.count(f"count of {what}")
+        result = {}
+        previous = None
+        for index in range(length):
+            k = self.key.read(reader, f"{what} key[{index}]")
+            if previous is not None and not k > previous:
+                raise WireFormatError(
+                    f"map keys of {what} are not strictly increasing",
+                    reason="unsorted-map",
+                )
+            previous = k
+            result[k] = self.value.read(reader, f"{what}[{k!r}]")
+        return result
+
+    def to_json(self, value):
+        return {
+            str(k): self.value.to_json(v) for k, v in sorted(value.items())
+        }
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, dict):
+            raise _json_type_error(what, "an object", obj)
+        result = {}
+        for k, v in obj.items():
+            if isinstance(self.key, _Int):
+                try:
+                    key = int(k)
+                except (ValueError, TypeError):
+                    raise WireFormatError(
+                        f"map key {k!r} of {what} is not an integer",
+                        reason="bad-json",
+                    ) from None
+            else:
+                key = k
+            result[key] = self.value.from_json(v, f"{what}[{k}]")
+        return result
+
+
+class _Nested(_Field):
+    """An embedded artifact of one fixed type (body-only, no tag)."""
+
+    def __init__(self, cls: type) -> None:
+        self.cls = cls
+
+    def write(self, writer, value):
+        _codec_for_type(self.cls).write_body(writer, value)
+
+    def read(self, reader, what):
+        return _codec_for_type(self.cls).read_body(reader)
+
+    def to_json(self, value):
+        return _codec_for_type(self.cls).json_body(value)
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, dict):
+            raise _json_type_error(what, "an object", obj)
+        return _codec_for_type(self.cls).unjson_body(obj)
+
+
+class _Union(_Field):
+    """An embedded artifact of one of several types (1-byte tag + body)."""
+
+    def __init__(self, *classes: type) -> None:
+        self.classes = classes
+
+    def write(self, writer, value):
+        codec = _codec_for_type(type(value))
+        if codec.cls not in self.classes:
+            raise ValueError(
+                f"{type(value).__name__} is not a member of this union"
+            )
+        writer.u8(codec.tag)
+        codec.write_body(writer, value)
+
+    def read(self, reader, what):
+        tag = reader.u8(f"type tag of {what}")
+        codec = _TAGS.get(tag)
+        if codec is None or codec.cls not in self.classes:
+            allowed = "/".join(cls.__name__ for cls in self.classes)
+            raise WireFormatError(
+                f"tag {tag:#04x} of {what} is not one of {allowed}",
+                reason="bad-union-tag",
+            )
+        return codec.read_body(reader)
+
+    def to_json(self, value):
+        codec = _codec_for_type(type(value))
+        return {"type": codec.name, "body": codec.json_body(value)}
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, dict) or set(obj) != {"type", "body"}:
+            raise _json_type_error(what, "a {'type','body'} object", obj)
+        codec = _NAMES.get(obj["type"])
+        if codec is None or codec.cls not in self.classes:
+            raise WireFormatError(
+                f"JSON type {obj['type']!r} of {what} is not in this union",
+                reason="bad-union-tag",
+            )
+        if not isinstance(obj["body"], dict):
+            raise _json_type_error(what, "an object body", obj["body"])
+        return codec.unjson_body(obj["body"])
+
+
+class _EnumStr(_Field):
+    """A string restricted to a fixed set of values (validated on decode)."""
+
+    def __init__(self, *allowed: str) -> None:
+        self.allowed = frozenset(allowed)
+
+    def write(self, writer, value):
+        writer.str_(value)
+
+    def read(self, reader, what):
+        value = reader.str_(what)
+        if value not in self.allowed:
+            raise WireFormatError(
+                f"{what} must be one of {sorted(self.allowed)}, got {value!r}",
+                reason="bad-enum",
+            )
+        return value
+
+    def to_json(self, value):
+        return str(value)
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, str) or obj not in self.allowed:
+            raise _json_type_error(what, f"one of {sorted(self.allowed)}", obj)
+        return obj
+
+
+class _AttrType(_Field):
+    """:class:`~repro.db.schema.AttributeType` as its canonical value string."""
+
+    def write(self, writer, value):
+        writer.str_(value.value)
+
+    def read(self, reader, what):
+        raw = reader.str_(what)
+        try:
+            return AttributeType(raw)
+        except ValueError:
+            raise WireFormatError(
+                f"unknown attribute type {raw!r}", reason="bad-enum"
+            ) from None
+
+    def to_json(self, value):
+        return value.value
+
+    def from_json(self, obj, what):
+        try:
+            return AttributeType(obj)
+        except (ValueError, TypeError):
+            raise _json_type_error(what, "an attribute type string", obj)
+
+
+INT = _Int()
+BOOL = _Bool()
+STR = _Str()
+BYTES = _Bytes()
+SCALAR = _Scalar()
+
+#: Public aliases for composite field types, so extension modules (the service
+#: protocol) can declare their own artifacts without reaching for underscores.
+OptionalField = _Optional
+TupleField = _Tuple
+PairField = _Pair
+MapField = _Map
+NestedField = _Nested
+UnionField = _Union
+EnumStrField = _EnumStr
+
+
+# ---------------------------------------------------------------------------
+# Artifact codecs
+# ---------------------------------------------------------------------------
+
+
+class _ArtifactCodec:
+    """Binary and JSON (de)serialisation of one artifact class."""
+
+    def __init__(
+        self,
+        tag: int,
+        cls: type,
+        fields: Sequence[Tuple[str, _Field]],
+        post: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        self.tag = tag
+        self.cls = cls
+        self.name = cls.__name__
+        self.fields = tuple(fields)
+        self.post = post
+
+    def _construct(self, kwargs: Dict[str, object]):
+        try:
+            artifact = self.cls(**kwargs)
+        except (ValueError, TypeError, KeyError) as error:
+            raise WireFormatError(
+                f"decoded fields do not form a valid {self.name}: {error}",
+                reason="invalid-artifact",
+            ) from None
+        if self.post is not None:
+            self.post(artifact)
+        return artifact
+
+    def write_body(self, writer: WireWriter, artifact) -> None:
+        for name, field in self.fields:
+            field.write(writer, getattr(artifact, name))
+
+    def read_body(self, reader: WireReader):
+        kwargs = {
+            name: field.read(reader, f"{self.name}.{name}")
+            for name, field in self.fields
+        }
+        return self._construct(kwargs)
+
+    def json_body(self, artifact) -> Dict[str, object]:
+        return {
+            name: field.to_json(getattr(artifact, name))
+            for name, field in self.fields
+        }
+
+    def unjson_body(self, body: Dict[str, object]):
+        expected = {name for name, _ in self.fields}
+        if set(body) != expected:
+            raise WireFormatError(
+                f"JSON body of {self.name} must have exactly the fields "
+                f"{sorted(expected)}, got {sorted(body)}",
+                reason="bad-json",
+            )
+        kwargs = {
+            name: field.from_json(body[name], f"{self.name}.{name}")
+            for name, field in self.fields
+        }
+        return self._construct(kwargs)
+
+
+_TAGS: Dict[int, _ArtifactCodec] = {}
+_TYPES: Dict[type, _ArtifactCodec] = {}
+_NAMES: Dict[str, _ArtifactCodec] = {}
+
+
+def register_artifact(
+    tag: int,
+    cls: type,
+    fields: Sequence[Tuple[str, _Field]],
+    post: Optional[Callable[[object], None]] = None,
+) -> None:
+    """Register a codec for ``cls`` under ``tag``.
+
+    The service layer uses this to add its request/response envelopes to the
+    same registry the proof artifacts live in, so one :func:`decode` call
+    handles every frame.
+    """
+    if tag in _TAGS:
+        raise ValueError(f"wire tag {tag:#04x} is already registered")
+    if cls in _TYPES:
+        raise ValueError(f"{cls.__name__} is already registered")
+    codec = _ArtifactCodec(tag, cls, fields, post)
+    _TAGS[tag] = codec
+    _TYPES[cls] = codec
+    _NAMES[codec.name] = codec
+
+
+def _codec_for_type(cls: type) -> _ArtifactCodec:
+    codec = _TYPES.get(cls)
+    if codec is None:
+        raise ValueError(f"no wire codec registered for {cls.__name__}")
+    return codec
+
+
+# -- validation hooks ---------------------------------------------------------
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireFormatError(message, reason="invalid-artifact")
+
+
+def _post_merkle_proof(proof: MerkleProof) -> None:
+    _check(proof.tree_size >= 1, "Merkle proof tree size must be at least 1")
+    _check(
+        0 <= proof.leaf_index < proof.tree_size,
+        "Merkle proof leaf index out of range",
+    )
+
+
+def _post_aggregate(aggregate: AggregateSignature) -> None:
+    _check(aggregate.value >= 1, "aggregate signature value must be positive")
+    _check(aggregate.count >= 1, "aggregate signature count must be positive")
+
+
+def _post_filtered(entry: FilteredEntryProof) -> None:
+    _check(
+        entry.reason in ("predicate", "access-control"),
+        f"unknown filtering reason {entry.reason!r}",
+    )
+
+
+def _post_public_key(key: RSAPublicKey) -> None:
+    _check(key.modulus >= 3, "RSA modulus must be at least 3")
+    _check(key.exponent >= 3, "RSA public exponent must be at least 3")
+    _check_hash_name(key.hash_name)
+
+
+def _check_hash_name(name: str) -> None:
+    try:
+        hashlib.new(name)
+    except (ValueError, TypeError):
+        raise WireFormatError(
+            f"unknown hash algorithm {name!r}", reason="invalid-artifact"
+        ) from None
+
+
+def _post_manifest(manifest: RelationManifest) -> None:
+    _check(manifest.base >= 2, "digest-scheme base must be at least 2")
+    _check_hash_name(manifest.hash_name)
+
+
+def _post_receipt(receipt: UpdateReceipt) -> None:
+    _check(receipt.signatures_recomputed >= 0, "negative signature count")
+    _check(receipt.digests_recomputed >= 0, "negative digest count")
+    _check(receipt.chain_messages_recomputed >= 0, "negative chain-message count")
+
+
+# -- registrations ------------------------------------------------------------
+
+register_artifact(0x01, EntryAssist, [("mht_root", _Optional(BYTES))])
+
+register_artifact(
+    0x02,
+    BoundaryAssist,
+    [
+        ("intermediate_digests", _Tuple(BYTES)),
+        ("used_canonical", BOOL),
+        ("mht_root", _Optional(BYTES)),
+        ("canonical_digest", _Optional(BYTES)),
+        ("mht_proof", _Optional(_Nested(MerkleProof))),
+    ],
+)
+
+register_artifact(
+    0x03,
+    MerkleProof,
+    [
+        ("leaf_index", INT),
+        ("siblings", _Tuple(_Pair(BYTES, BOOL))),
+        ("tree_size", INT),
+    ],
+    post=_post_merkle_proof,
+)
+
+register_artifact(
+    0x04,
+    AggregateSignature,
+    [("value", INT), ("count", INT)],
+    post=_post_aggregate,
+)
+
+register_artifact(
+    0x05,
+    SignatureBundle,
+    [
+        ("individual", _Tuple(INT)),
+        ("aggregate", _Optional(_Nested(AggregateSignature))),
+    ],
+)
+
+register_artifact(
+    0x06,
+    GreaterThanProof,
+    [
+        ("alpha", INT),
+        ("predecessor_boundary", _Nested(BoundaryAssist)),
+        ("entry_assists", _Tuple(_Nested(EntryAssist))),
+        ("right_delimiter_digest", BYTES),
+        ("signatures", _Nested(SignatureBundle)),
+    ],
+)
+
+register_artifact(
+    0x07,
+    BoundaryEntryProof,
+    [
+        ("side", _EnumStr("lower", "upper")),
+        ("chain_boundary", _Nested(BoundaryAssist)),
+        ("other_chain_digest", BYTES),
+        ("attribute_root", BYTES),
+    ],
+)
+
+register_artifact(
+    0x08,
+    MatchedEntryProof,
+    [
+        ("upper_assist", _Nested(EntryAssist)),
+        ("lower_assist", _Nested(EntryAssist)),
+        ("dropped_attribute_digests", _Map(STR, BYTES)),
+        ("eliminated_duplicate", BOOL),
+        ("revealed_attributes", _Map(STR, SCALAR)),
+        ("key", _Optional(INT)),
+    ],
+)
+
+register_artifact(
+    0x09,
+    FilteredEntryProof,
+    [
+        ("revealed_attributes", _Map(STR, SCALAR)),
+        ("attribute_leaf_digests", _Map(STR, BYTES)),
+        ("upper_chain_digest", BYTES),
+        ("lower_chain_digest", BYTES),
+        ("reason", _EnumStr("predicate", "access-control")),
+    ],
+    post=_post_filtered,
+)
+
+register_artifact(
+    0x0A,
+    RangeQueryProof,
+    [
+        ("key_low", INT),
+        ("key_high", INT),
+        ("lower_boundary", _Nested(BoundaryEntryProof)),
+        ("upper_boundary", _Nested(BoundaryEntryProof)),
+        ("entries", _Tuple(_Union(MatchedEntryProof, FilteredEntryProof))),
+        ("signatures", _Nested(SignatureBundle)),
+        ("outer_neighbor_digest", _Optional(BYTES)),
+    ],
+)
+
+register_artifact(
+    0x0B,
+    JoinQueryProof,
+    [
+        ("left_proof", _Nested(RangeQueryProof)),
+        ("right_point_proofs", _Map(INT, _Nested(RangeQueryProof))),
+    ],
+)
+
+register_artifact(
+    0x0C,
+    UpdateReceipt,
+    [
+        ("signatures_recomputed", INT),
+        ("digests_recomputed", INT),
+        ("entries_affected", _Tuple(INT)),
+        ("chain_messages_recomputed", INT),
+    ],
+    post=_post_receipt,
+)
+
+register_artifact(
+    0x10,
+    RSAPublicKey,
+    [("modulus", INT), ("exponent", INT), ("hash_name", STR)],
+    post=_post_public_key,
+)
+
+register_artifact(0x11, KeyDomain, [("lower", INT), ("upper", INT)])
+
+register_artifact(
+    0x12,
+    Attribute,
+    [
+        ("name", STR),
+        ("attribute_type", _AttrType()),
+        ("domain", _Optional(_Nested(KeyDomain))),
+        ("size_hint", INT),
+    ],
+)
+
+register_artifact(
+    0x13,
+    Schema,
+    [
+        ("name", STR),
+        ("attributes", _Tuple(_Nested(Attribute))),
+        ("key", STR),
+    ],
+)
+
+register_artifact(
+    0x14,
+    RelationManifest,
+    [
+        ("schema", _Nested(Schema)),
+        ("scheme_kind", _EnumStr("conceptual", "optimized")),
+        ("base", INT),
+        ("hash_name", STR),
+        ("public_key", _Nested(RSAPublicKey)),
+    ],
+    post=_post_manifest,
+)
+
+register_artifact(
+    0x20,
+    RangeCondition,
+    [
+        ("attribute", STR),
+        ("low", _Optional(INT)),
+        ("high", _Optional(INT)),
+    ],
+)
+
+register_artifact(
+    0x21, EqualityCondition, [("attribute", STR), ("value", SCALAR)]
+)
+
+register_artifact(
+    0x22,
+    Conjunction,
+    [("conditions", _Tuple(_Union(RangeCondition, EqualityCondition)))],
+)
+
+register_artifact(
+    0x23,
+    Projection,
+    [("attributes", _Optional(_Tuple(STR))), ("distinct", BOOL)],
+)
+
+register_artifact(
+    0x24,
+    Query,
+    [
+        ("relation_name", STR),
+        ("where", _Nested(Conjunction)),
+        ("projection", _Nested(Projection)),
+    ],
+)
+
+register_artifact(
+    0x25,
+    JoinQuery,
+    [
+        ("left_relation", STR),
+        ("right_relation", STR),
+        ("foreign_key", STR),
+        ("primary_key", STR),
+        ("where", _Nested(Conjunction)),
+        ("projection", _Nested(Projection)),
+    ],
+)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def encode(artifact) -> bytes:
+    """Encode ``artifact`` to its canonical framed wire bytes."""
+    codec = _codec_for_type(type(artifact))
+    writer = WireWriter()
+    writer.u8(codec.tag)
+    codec.write_body(writer, artifact)
+    return _MAGIC + bytes((WIRE_VERSION,)) + writer.getvalue()
+
+
+def decode(data: bytes, expect: Optional[type] = None):
+    """Decode framed wire bytes back into the artifact they encode.
+
+    ``expect`` optionally pins the artifact type: a well-formed frame of a
+    different type is rejected (a publisher cannot, say, answer a range query
+    with a join proof and hope the client mixes them up).
+    """
+    reader = WireReader(data)
+    magic = reader.raw(2, "magic")
+    if magic != _MAGIC:
+        raise WireFormatError(
+            f"bad magic {magic!r}; expected {_MAGIC!r}", reason="bad-magic"
+        )
+    version = reader.u8("format version")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire format version {version}", reason="bad-version"
+        )
+    tag = reader.u8("artifact tag")
+    codec = _TAGS.get(tag)
+    if codec is None:
+        raise WireFormatError(f"unknown artifact tag {tag:#04x}", reason="bad-tag")
+    artifact = codec.read_body(reader)
+    reader.expect_end()
+    if expect is not None and not isinstance(artifact, expect):
+        raise WireFormatError(
+            f"expected a {expect.__name__}, decoded a {codec.name}",
+            reason="unexpected-artifact",
+        )
+    return artifact
+
+
+def to_json_obj(artifact) -> Dict[str, object]:
+    """The JSON debug representation of ``artifact`` (a plain dict)."""
+    codec = _codec_for_type(type(artifact))
+    return {
+        "format": f"repro-wire-json/{WIRE_VERSION}",
+        "type": codec.name,
+        "body": codec.json_body(artifact),
+    }
+
+
+def from_json_obj(obj: Dict[str, object]):
+    """Rebuild an artifact from its JSON debug representation."""
+    if not isinstance(obj, dict):
+        raise WireFormatError("JSON artifact must be an object", reason="bad-json")
+    if obj.get("format") != f"repro-wire-json/{WIRE_VERSION}":
+        raise WireFormatError(
+            f"unsupported JSON format marker {obj.get('format')!r}",
+            reason="bad-version",
+        )
+    codec = _NAMES.get(obj.get("type"))
+    if codec is None:
+        raise WireFormatError(
+            f"unknown artifact type {obj.get('type')!r}", reason="bad-tag"
+        )
+    body = obj.get("body")
+    if not isinstance(body, dict):
+        raise WireFormatError("JSON artifact body must be an object", reason="bad-json")
+    return codec.unjson_body(body)
+
+
+def to_json(artifact, indent: Optional[int] = None) -> str:
+    """Serialise ``artifact`` to a JSON debug string."""
+    return json.dumps(to_json_obj(artifact), indent=indent, sort_keys=True)
+
+
+def from_json(text: str):
+    """Parse a JSON debug string back into an artifact."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise WireFormatError(f"invalid JSON: {error}", reason="bad-json") from None
+    return from_json_obj(obj)
+
+
+def manifest_id(manifest: RelationManifest) -> bytes:
+    """The 32-byte routing/commitment id of a manifest.
+
+    SHA-256 over the canonical wire encoding: two manifests share an id
+    exactly when they are byte-identical on the wire.  Clients address shards
+    by this id and cross-check it against the manifest bytes a server returns.
+    """
+    return hashlib.sha256(encode(manifest)).digest()

@@ -1,0 +1,21 @@
+"""Typed errors of the wire layer."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = ["WireFormatError"]
+
+
+class WireFormatError(ReproError):
+    """A byte string could not be decoded as a well-formed wire artifact.
+
+    Raised for truncation, trailing garbage, unknown tags, version mismatches
+    and any encoding that the canonical encoder could never have produced.  The
+    ``reason`` attribute carries a short machine-readable tag, mirroring
+    :class:`~repro.core.errors.VerificationError`.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed-wire-bytes") -> None:
+        super().__init__(message)
+        self.reason = reason

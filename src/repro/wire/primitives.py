@@ -1,0 +1,180 @@
+"""Low-level byte readers and writers for the wire format.
+
+Every multi-byte quantity is big-endian; every variable-length field is
+length-prefixed with an unsigned 32-bit count.  The reader is *strict*: it
+validates bounds before every read, rejects non-canonical primitive encodings
+(non-minimal integers, boolean bytes other than 0/1, invalid UTF-8) and raises
+:class:`~repro.wire.errors.WireFormatError` with a machine-readable reason, so
+a malformed or tampered byte string can never silently decode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.crypto.encoding import (
+    Encodable,
+    decode_sign_magnitude,
+    decode_value,
+    encode_value,
+)
+from repro.wire.errors import WireFormatError
+
+__all__ = ["WireWriter", "WireReader"]
+
+#: Upper bound on any single length prefix (also the service frame cap).
+MAX_FIELD_BYTES = 64 * 1024 * 1024
+
+
+class WireWriter:
+    """Accumulates canonical wire bytes."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    # -- fixed-width primitives ---------------------------------------------
+
+    def u8(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"u8 out of range: {value}")
+        self._parts.append(bytes((value,)))
+
+    def u32(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"u32 out of range: {value}")
+        self._parts.append(value.to_bytes(4, "big"))
+
+    def bool_(self, value: bool) -> None:
+        self.u8(1 if value else 0)
+
+    # -- length-prefixed primitives -----------------------------------------
+
+    def bytes_(self, value: bytes) -> None:
+        value = bytes(value)
+        self.u32(len(value))
+        self._parts.append(value)
+
+    def str_(self, value: str) -> None:
+        self.bytes_(value.encode("utf-8"))
+
+    def int_(self, value: int) -> None:
+        """Arbitrary-precision signed integer: sign byte + minimal magnitude."""
+        sign = b"\x01" if value < 0 else b"\x00"
+        magnitude = abs(value)
+        length = max(1, (magnitude.bit_length() + 7) // 8)
+        self.bytes_(sign + magnitude.to_bytes(length, "big"))
+
+    def scalar(self, value: Encodable) -> None:
+        """A typed attribute value, via the canonical crypto-layer encoding."""
+        self.bytes_(encode_value(value))
+
+
+class WireReader:
+    """Strict, bounds-checked cursor over a wire byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def _take(self, count: int, what: str) -> bytes:
+        if count < 0 or count > self.remaining:
+            raise WireFormatError(
+                f"truncated input: need {count} bytes for {what}, "
+                f"have {self.remaining}",
+                reason="truncated",
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def raw(self, count: int, what: str = "raw bytes") -> bytes:
+        """Read exactly ``count`` unprefixed bytes (framing fields)."""
+        return self._take(count, what)
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise WireFormatError(
+                f"{self.remaining} trailing bytes after a complete artifact",
+                reason="trailing-bytes",
+            )
+
+    # -- fixed-width primitives ---------------------------------------------
+
+    def u8(self, what: str = "u8") -> int:
+        return self._take(1, what)[0]
+
+    def u32(self, what: str = "u32") -> int:
+        return int.from_bytes(self._take(4, what), "big")
+
+    def bool_(self, what: str = "bool") -> bool:
+        value = self.u8(what)
+        if value not in (0, 1):
+            raise WireFormatError(
+                f"boolean byte for {what} must be 0 or 1, got {value}",
+                reason="bad-bool",
+            )
+        return value == 1
+
+    # -- length-prefixed primitives -----------------------------------------
+
+    def bytes_(self, what: str = "bytes") -> bytes:
+        length = self.u32(f"length of {what}")
+        if length > MAX_FIELD_BYTES:
+            raise WireFormatError(
+                f"length prefix of {what} exceeds the {MAX_FIELD_BYTES}-byte cap",
+                reason="oversized-field",
+            )
+        return self._take(length, what)
+
+    def str_(self, what: str = "string") -> str:
+        raw = self.bytes_(what)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireFormatError(
+                f"invalid UTF-8 in {what}: {error}", reason="bad-utf8"
+            ) from None
+
+    def int_(self, what: str = "int") -> int:
+        raw = self.bytes_(what)
+        try:
+            return decode_sign_magnitude(raw)
+        except ValueError as error:
+            raise WireFormatError(
+                f"malformed integer {what}: {error}", reason="bad-int"
+            ) from None
+
+    def scalar(self, what: str = "scalar") -> Encodable:
+        raw = self.bytes_(what)
+        try:
+            return decode_value(raw)
+        except ValueError as error:
+            raise WireFormatError(
+                f"malformed scalar {what}: {error}", reason="bad-scalar"
+            ) from None
+
+    def count(self, what: str = "count") -> int:
+        """A u32 element count, sanity-bounded by the remaining bytes.
+
+        Every encoded element occupies at least one byte, so a count larger
+        than the remaining input is necessarily garbage — rejecting it here
+        keeps a flipped count byte from triggering a huge allocation.
+        """
+        value = self.u32(what)
+        if value > self.remaining:
+            raise WireFormatError(
+                f"{what} of {value} exceeds the {self.remaining} remaining bytes",
+                reason="bad-count",
+            )
+        return value
+
+    def optional(self, what: str = "optional") -> bool:
+        """Read a presence byte; True means the value follows."""
+        return self.bool_(f"presence of {what}")

@@ -1,0 +1,44 @@
+"""Every example under ``examples/`` must run to completion.
+
+The examples are the project's executable documentation; each is run as a
+real subprocess (the way a reader would run it) and must exit 0 without
+writing to stderr.  The examples insert ``src`` into ``sys.path`` themselves,
+so no environment setup is required.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_EXAMPLES_DIR = os.path.join(_REPO_ROOT, "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert "quickstart.py" in EXAMPLES
+    assert "client_server.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_cleanly(example):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=_REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{example} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{example} produced no output"
+    assert not completed.stderr.strip(), (
+        f"{example} wrote to stderr:\n{completed.stderr}"
+    )

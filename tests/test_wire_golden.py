@@ -1,0 +1,278 @@
+"""Golden vectors: the wire encoding is frozen, byte for byte.
+
+Every vector is built from fixed inputs (no key generation, no randomness),
+encoded, and compared against the hex stored in ``tests/golden/
+wire_vectors.json``.  A mismatch means the wire format changed — which
+breaks every deployed client — so any intentional format change must bump
+:data:`repro.wire.WIRE_VERSION` and regenerate the vectors::
+
+    PYTHONPATH=src python tests/test_wire_golden.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.service.protocol as protocol
+from repro.core.digest import BoundaryAssist, EntryAssist
+from repro.core.proof import (
+    BoundaryEntryProof,
+    FilteredEntryProof,
+    GreaterThanProof,
+    JoinQueryProof,
+    MatchedEntryProof,
+    RangeQueryProof,
+    SignatureBundle,
+)
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.crypto.aggregate import AggregateSignature
+from repro.crypto.merkle import MerkleProof
+from repro.crypto.rsa import RSAPublicKey
+from repro.db.query import (
+    Conjunction,
+    EqualityCondition,
+    JoinQuery,
+    Projection,
+    Query,
+    RangeCondition,
+)
+from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
+from repro.wire import decode, encode, from_json, to_json
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "wire_vectors.json")
+
+
+def _digest(seed: int) -> bytes:
+    """A deterministic 32-byte pseudo-digest."""
+    return bytes((seed * 31 + i * 7) % 256 for i in range(32))
+
+
+def _schema() -> Schema:
+    return Schema.build(
+        "employees",
+        [
+            Attribute("salary", AttributeType.INTEGER, KeyDomain(0, 100_000)),
+            Attribute("name", AttributeType.STRING, size_hint=12),
+            Attribute("photo", AttributeType.BLOB, size_hint=64),
+            Attribute("active", AttributeType.BOOLEAN, size_hint=1),
+            Attribute("rating", AttributeType.FLOAT),
+        ],
+        key="salary",
+    )
+
+
+def build_vectors():
+    """name -> artifact, all fully deterministic."""
+    merkle_proof = MerkleProof(
+        leaf_index=2,
+        siblings=((_digest(1), True), (_digest(2), False)),
+        tree_size=5,
+    )
+    entry_assist = EntryAssist(mht_root=_digest(3))
+    boundary_canonical = BoundaryAssist(
+        intermediate_digests=(_digest(4), _digest(5)),
+        used_canonical=True,
+        mht_root=_digest(6),
+    )
+    boundary_noncanonical = BoundaryAssist(
+        intermediate_digests=(_digest(7),),
+        used_canonical=False,
+        canonical_digest=_digest(8),
+        mht_proof=merkle_proof,
+    )
+    aggregate = AggregateSignature(value=0x1234_5678_9ABC_DEF0, count=3)
+    bundle_individual = SignatureBundle(individual=(17, 23, 2**80 + 1))
+    bundle_aggregate = SignatureBundle(aggregate=aggregate)
+    matched = MatchedEntryProof(
+        upper_assist=entry_assist,
+        lower_assist=EntryAssist(mht_root=None),
+        dropped_attribute_digests={"photo": _digest(9), "name": _digest(10)},
+        eliminated_duplicate=True,
+        revealed_attributes={
+            "name": "Alice",
+            "active": True,
+            "rating": 4.5,
+            "photo": b"\x00\xff",
+            "note": None,
+        },
+        key=4200,
+    )
+    filtered = FilteredEntryProof(
+        revealed_attributes={"dept": 2},
+        attribute_leaf_digests={"name": _digest(11)},
+        upper_chain_digest=_digest(12),
+        lower_chain_digest=_digest(13),
+        reason="predicate",
+    )
+    lower_boundary = BoundaryEntryProof(
+        side="lower",
+        chain_boundary=boundary_canonical,
+        other_chain_digest=_digest(14),
+        attribute_root=_digest(15),
+    )
+    upper_boundary = BoundaryEntryProof(
+        side="upper",
+        chain_boundary=boundary_noncanonical,
+        other_chain_digest=_digest(16),
+        attribute_root=_digest(17),
+    )
+    range_proof = RangeQueryProof(
+        key_low=1000,
+        key_high=2000,
+        lower_boundary=lower_boundary,
+        upper_boundary=upper_boundary,
+        entries=(matched, filtered),
+        signatures=bundle_aggregate,
+        outer_neighbor_digest=None,
+    )
+    empty_range_proof = RangeQueryProof(
+        key_low=5,
+        key_high=5,
+        lower_boundary=lower_boundary,
+        upper_boundary=upper_boundary,
+        entries=(),
+        signatures=bundle_individual,
+        outer_neighbor_digest=_digest(18),
+    )
+    join_proof = JoinQueryProof(
+        left_proof=empty_range_proof,
+        right_point_proofs={7: empty_range_proof},
+    )
+    greater_than = GreaterThanProof(
+        alpha=10_000,
+        predecessor_boundary=boundary_canonical,
+        entry_assists=(entry_assist, EntryAssist(None)),
+        right_delimiter_digest=_digest(19),
+        signatures=bundle_aggregate,
+    )
+    public_key = RSAPublicKey(modulus=0xC0FFEE_0000_0001, exponent=65537)
+    manifest = RelationManifest(
+        schema=_schema(),
+        scheme_kind="optimized",
+        base=2,
+        hash_name="sha256",
+        public_key=public_key,
+    )
+    receipt = UpdateReceipt(
+        signatures_recomputed=3,
+        digests_recomputed=1,
+        entries_affected=(10, 11, 12),
+        chain_messages_recomputed=3,
+    )
+    query = Query(
+        "employees",
+        Conjunction(
+            (
+                RangeCondition("salary", 1000, None),
+                EqualityCondition("name", "Bob"),
+            )
+        ),
+        Projection(("name",), distinct=True),
+    )
+    join_query = JoinQuery(
+        "orders", "customers", "customer_id", "customer_id",
+        Conjunction((RangeCondition("customer_id", None, 50),)),
+        Projection(),
+    )
+    return {
+        "merkle_proof": merkle_proof,
+        "entry_assist": entry_assist,
+        "boundary_assist_canonical": boundary_canonical,
+        "boundary_assist_noncanonical": boundary_noncanonical,
+        "aggregate_signature": aggregate,
+        "signature_bundle_individual": bundle_individual,
+        "signature_bundle_aggregate": bundle_aggregate,
+        "matched_entry_proof": matched,
+        "filtered_entry_proof": filtered,
+        "boundary_entry_proof_lower": lower_boundary,
+        "boundary_entry_proof_upper": upper_boundary,
+        "range_query_proof": range_proof,
+        "empty_range_query_proof": empty_range_proof,
+        "join_query_proof": join_proof,
+        "greater_than_proof": greater_than,
+        "rsa_public_key": public_key,
+        "key_domain": KeyDomain(0, 100_000),
+        "schema": _schema(),
+        "relation_manifest": manifest,
+        "update_receipt": receipt,
+        "query": query,
+        "join_query": join_query,
+        # service protocol envelopes share the registry and the guarantees
+        "svc_list_request": protocol.ListRelationsRequest(),
+        "svc_listing": protocol.RelationListing(
+            entries=(("employees", _digest(20)),)
+        ),
+        "svc_manifest_request": protocol.ManifestRequest("employees"),
+        "svc_manifest_response": protocol.ManifestResponse(manifest),
+        "svc_query_request": protocol.QueryRequest(
+            manifest_id=_digest(21), query=query, role="hr_manager"
+        ),
+        "svc_query_response": protocol.QueryResponse(
+            rows=({"salary": 4200, "name": "Alice"},), proof=range_proof
+        ),
+        "svc_join_request": protocol.JoinRequest(
+            left_manifest_id=_digest(22),
+            right_manifest_id=_digest(23),
+            join=join_query,
+            role=None,
+        ),
+        "svc_join_response": protocol.JoinResponse(
+            rows=({"orders.customer_id": 7},),
+            left_rows=({"customer_id": 7},),
+            proof=join_proof,
+        ),
+        "svc_error_response": protocol.ErrorResponse(
+            code="CompletenessError",
+            reason="signature-mismatch",
+            message="the aggregated signature does not match",
+        ),
+    }
+
+
+def _load_golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_golden_file_covers_every_vector():
+    golden = _load_golden()
+    assert set(golden) == set(build_vectors())
+
+
+@pytest.mark.parametrize("name", sorted(build_vectors()))
+def test_golden_vector(name):
+    artifact = build_vectors()[name]
+    golden = _load_golden()[name]
+    blob = encode(artifact)
+    assert blob.hex() == golden["hex"], (
+        f"wire encoding of {name} changed; if intentional, bump WIRE_VERSION "
+        "and regenerate with: python tests/test_wire_golden.py --regen"
+    )
+    assert decode(blob) == artifact
+    assert json.loads(to_json(artifact)) == golden["json"]
+    assert from_json(json.dumps(golden["json"])) == artifact
+
+
+def _regen() -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    vectors = {
+        name: {
+            "hex": encode(artifact).hex(),
+            "json": json.loads(to_json(artifact)),
+        }
+        for name, artifact in sorted(build_vectors().items())
+    }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(vectors, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(vectors)} vectors to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

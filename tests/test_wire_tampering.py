@@ -1,0 +1,163 @@
+"""Tampering over the wire: every byte flip is rejected with a typed error.
+
+The contract under test: for any mutation of encoded bytes, the client either
+
+* fails to decode with a :class:`~repro.wire.errors.WireFormatError`, or
+* decodes something that then fails verification with a typed
+  :class:`~repro.core.errors.VerificationError`.
+
+Silent accepts (the flip goes unnoticed) and unhandled crashes (raw
+``ValueError``/``TypeError``/... escaping) both fail the test.
+"""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.publisher import Publisher
+from repro.core.verifier import ResultVerifier
+from repro.db.query import Conjunction, EqualityCondition, Projection, Query, RangeCondition
+from repro.service.protocol import QueryResponse
+from repro.wire import WireFormatError, decode, encode, manifest_id
+
+#: Every sweep flips one byte at a sampled offset; the two XOR masks catch
+#: both gross corruption (0xFF) and least-significant-bit nudges (0x01).
+_MASKS = (0xFF, 0x01)
+
+
+@pytest.fixture(scope="module")
+def wire_world(employees_100):
+    relation, signed = employees_100
+    publisher = Publisher({"employees": signed})
+    verifier = ResultVerifier({"employees": signed.manifest})
+    query = Query(
+        "employees",
+        Conjunction(
+            (
+                RangeCondition("salary", 20_000, 60_000),
+                EqualityCondition("dept", 1),
+            )
+        ),
+        Projection(("name", "salary", "dept")),
+    )
+    result = publisher.answer(query)
+    assert result.rows and result.proof is not None
+    return signed, verifier, query, result
+
+
+def _sample_offsets(length: int, step: int):
+    """All framing bytes plus an even sample of the remainder."""
+    offsets = set(range(min(8, length)))
+    offsets.update(range(8, length, step))
+    offsets.add(length - 1)
+    return sorted(offsets)
+
+
+def _assert_rejected(blob: bytes, offset: int, mask: int, check):
+    tampered = blob[:offset] + bytes((blob[offset] ^ mask,)) + blob[offset + 1 :]
+    try:
+        artifact = decode(tampered)
+    except WireFormatError:
+        return  # rejected at the codec layer: typed, expected
+    # Decoded despite the flip — verification must now catch it.  ``check``
+    # raises VerificationError (or asserts) for anything but a clean accept.
+    try:
+        check(artifact)
+    except (VerificationError, WireFormatError):
+        return  # rejected at the verification layer: typed, expected
+    pytest.fail(
+        f"flipping byte {offset} with mask {mask:#x} was silently accepted"
+    )
+
+
+def test_tampered_query_response_rejected(wire_world):
+    """Byte flips in the full response frame (rows + proof) never slip through."""
+    signed, verifier, query, result = wire_world
+    response = QueryResponse(
+        rows=tuple(dict(row) for row in result.rows), proof=result.proof
+    )
+    blob = encode(response)
+
+    def check(artifact):
+        if not isinstance(artifact, QueryResponse):
+            raise WireFormatError("tampering changed the message type")
+        verifier.verify(query, artifact.rows, artifact.proof)
+        raise AssertionError("tampered response verified cleanly")
+
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=17):
+            _assert_rejected(blob, offset, mask, check)
+
+
+def test_tampered_proof_rejected(wire_world):
+    """Byte flips in the VO itself are caught against the untampered rows."""
+    signed, verifier, query, result = wire_world
+    blob = encode(result.proof)
+
+    def check(proof):
+        verifier.verify(query, result.rows, proof)
+        raise AssertionError("tampered proof verified cleanly")
+
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=23):
+            _assert_rejected(blob, offset, mask, check)
+
+
+def test_tampered_signature_bundle_rejected(wire_world):
+    """Flips inside the signature bundle can never yield the original bundle."""
+    signed, verifier, query, result = wire_world
+    bundle = result.proof.signatures
+    blob = encode(bundle)
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=3):
+
+            def check(decoded, _original=bundle):
+                assert decoded != _original, (
+                    "a byte flip decoded back to the original bundle; "
+                    "the encoding is not canonical"
+                )
+                raise VerificationError("bundle differs, as expected")
+
+            _assert_rejected(blob, offset, mask, check)
+
+
+def test_tampered_manifest_rejected(wire_world):
+    """Flipped manifests either fail decoding or change their manifest id."""
+    signed, _verifier, _query, _result = wire_world
+    manifest = signed.manifest
+    blob = encode(manifest)
+    original_id = manifest_id(manifest)
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=7):
+
+            def check(decoded):
+                assert manifest_id(decoded) != original_id, (
+                    "a byte flip preserved the manifest id"
+                )
+                raise VerificationError("manifest id differs, as expected")
+
+            _assert_rejected(blob, offset, mask, check)
+
+
+def test_truncated_proof_rejected(wire_world):
+    signed, verifier, query, result = wire_world
+    blob = encode(result.proof)
+    for cut in _sample_offsets(len(blob) - 1, step=29):
+        with pytest.raises(WireFormatError):
+            decode(blob[:cut])
+
+
+def test_extended_proof_rejected(wire_world):
+    signed, verifier, query, result = wire_world
+    blob = encode(result.proof)
+    with pytest.raises(WireFormatError) as excinfo:
+        decode(blob + b"\x00")
+    assert excinfo.value.reason == "trailing-bytes"
+
+
+def test_swapped_artifact_rejected(wire_world):
+    """A well-formed artifact of the wrong type is rejected, not confused."""
+    signed, verifier, query, result = wire_world
+    with pytest.raises(WireFormatError):
+        from repro.core.proof import JoinQueryProof
+
+        decode(encode(result.proof), expect=JoinQueryProof)
