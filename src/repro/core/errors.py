@@ -10,6 +10,7 @@ __all__ = [
     "ProofConstructionError",
     "CheatingAttemptError",
     "PolicyViolationError",
+    "UpdateApplicationError",
 ]
 
 
@@ -59,3 +60,16 @@ class CheatingAttemptError(ProofConstructionError):
 
 class PolicyViolationError(ReproError):
     """An operation would contradict the access-control policy."""
+
+
+class UpdateApplicationError(ReproError):
+    """A batch of owner deltas cannot be applied to the hosted relation.
+
+    Raised *before* any delta of the batch has touched the signed chain (the
+    publisher pre-validates the whole batch), so a rejected update leaves the
+    relation, its signatures and its manifest exactly as they were.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid-delta") -> None:
+        super().__init__(message)
+        self.reason = reason

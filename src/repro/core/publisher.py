@@ -21,7 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cache import bounded_put
-from repro.core.errors import PolicyViolationError, ProofConstructionError
+from repro.core.errors import (
+    PolicyViolationError,
+    ProofConstructionError,
+    UpdateApplicationError,
+)
 from repro.core.proof import (
     BoundaryEntryProof,
     FilteredEntryProof,
@@ -30,7 +34,7 @@ from repro.core.proof import (
     RangeQueryProof,
     SignatureBundle,
 )
-from repro.core.relational import SignedRelation
+from repro.core.relational import SignedRelation, UpdateReceipt
 from repro.crypto.aggregate import aggregate_signatures
 from repro.db.access_control import AccessControlPolicy, visibility_column_name
 from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondition
@@ -512,6 +516,112 @@ class Publisher:
         else:
             bundle = SignatureBundle(individual=tuple(raw))
         return self._vo_cache_put(cache_key, (bundle, outer_digest))
+
+    # -- live updates (Section 6.3 over the wire) ----------------------------------------
+
+    def apply_deltas(self, relation_name: str, deltas: Sequence) -> UpdateReceipt:
+        """Apply a batch of :class:`~repro.wire.updates.RecordDelta` mutations.
+
+        All-or-nothing: every delta is materialised into schema-validated
+        :class:`~repro.db.records.Record` objects and the whole batch is
+        simulated against the relation's (key, fingerprint) occupancy *before*
+        the first real mutation, so a bad delta anywhere in the batch raises
+        :class:`~repro.core.errors.UpdateApplicationError` and leaves the
+        chain, the signatures and the manifest untouched.  Application then
+        goes through the normal receipt machinery — which also fires the
+        VO-cache invalidation listeners for exactly the touched entry keys —
+        and the per-step receipts are merged with
+        :meth:`~repro.core.relational.UpdateReceipt.merge`.
+        """
+        signed = self.signed_relation(relation_name)
+        plan = self._plan_deltas(signed, deltas)
+        self._simulate_deltas(signed, plan)
+        receipts = []
+        for kind, record, replacement in plan:
+            if kind == "insert":
+                receipts.append(signed.insert_record(record))
+            elif kind == "delete":
+                receipts.append(signed.delete_record(record))
+            else:
+                receipts.append(signed.update_record(record, replacement))
+        return UpdateReceipt.merge(receipts)
+
+    def _plan_deltas(self, signed: SignedRelation, deltas: Sequence):
+        """Materialise wire deltas into validated records; typed errors only."""
+        if not deltas:
+            raise UpdateApplicationError("an update batch needs at least one delta")
+        schema = signed.schema
+        plan = []
+        for index, delta in enumerate(deltas):
+            try:
+                if delta.kind == "insert":
+                    plan.append(
+                        ("insert", Record(schema, dict(delta.values)), None)
+                    )
+                elif delta.kind == "delete":
+                    plan.append(
+                        ("delete", Record(schema, dict(delta.values)), None)
+                    )
+                elif delta.kind == "update":
+                    if delta.old_values is None:
+                        raise ValueError("update delta without old values")
+                    plan.append(
+                        (
+                            "update",
+                            Record(schema, dict(delta.old_values)),
+                            Record(schema, dict(delta.values)),
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown delta kind {delta.kind!r}")
+            except (ValueError, TypeError, KeyError, AttributeError) as error:
+                raise UpdateApplicationError(
+                    f"delta[{index}] does not form a valid {schema.name!r} "
+                    f"record: {error}"
+                ) from None
+        return plan
+
+    def _simulate_deltas(self, signed: SignedRelation, plan) -> None:
+        """Dry-run the batch against the relation's (key, fingerprint) occupancy.
+
+        The relation keeps a sorted (key, fingerprint) index and refuses exact
+        duplicates, so occupancy per identity is 0 or 1; only the deltas of
+        *this batch* need tracking on top (O(b log n) total, and the shard
+        write lock is held for no longer than that).
+        """
+        relation = signed.relation
+        pending: Dict[Tuple[int, bytes], int] = {}
+
+        def occupancy(record: Record) -> int:
+            identity = (record.key, record.fingerprint())
+            return int(relation.contains(record)) + pending.get(identity, 0)
+
+        def simulate_insert(record: Record, index: int) -> None:
+            if occupancy(record) > 0:
+                raise UpdateApplicationError(
+                    f"delta[{index}] inserts an exact duplicate of an existing "
+                    f"record (key {record.key})"
+                )
+            identity = (record.key, record.fingerprint())
+            pending[identity] = pending.get(identity, 0) + 1
+
+        def simulate_delete(record: Record, index: int) -> None:
+            if occupancy(record) <= 0:
+                raise UpdateApplicationError(
+                    f"delta[{index}] deletes a record that is not in the "
+                    f"relation (key {record.key})"
+                )
+            identity = (record.key, record.fingerprint())
+            pending[identity] = pending.get(identity, 0) - 1
+
+        for index, (kind, record, replacement) in enumerate(plan):
+            if kind == "insert":
+                simulate_insert(record, index)
+            elif kind == "delete":
+                simulate_delete(record, index)
+            else:
+                simulate_delete(record, index)
+                simulate_insert(replacement, index)
 
     # -- joins ---------------------------------------------------------------------------
 

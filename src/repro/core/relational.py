@@ -78,6 +78,11 @@ class RelationManifest:
     base: int
     hash_name: str
     public_key: object  # RSAPublicKey
+    #: Monotonic data version: the number of mutations applied to the signed
+    #: relation since publication.  Two manifests of the same relation differ
+    #: exactly when their sequences differ, which is what rotates the 32-byte
+    #: manifest id on every live update and lets clients detect staleness.
+    sequence: int = 0
 
     @property
     def domain(self) -> KeyDomain:
@@ -147,6 +152,30 @@ class UpdateReceipt:
     entries_affected: Tuple[int, ...]
     chain_messages_recomputed: int = 0
 
+    @staticmethod
+    def merge(receipts: Sequence["UpdateReceipt"]) -> "UpdateReceipt":
+        """Combine per-step receipts into one batch receipt.
+
+        This is the *single* definition of batch accounting: the in-process
+        path (:meth:`SignedRelation.update_record`) and the wire path (a
+        publisher applying an ``UpdateRequest`` batch) both merge through it,
+        so a receipt replayed over the wire reproduces exactly the counts the
+        in-process path reports.  ``entries_affected`` concatenates the
+        per-step chain indices in application order; indices are relative to
+        the chain as it stood when that step ran.
+        """
+        merged = tuple(receipts)
+        return UpdateReceipt(
+            signatures_recomputed=sum(r.signatures_recomputed for r in merged),
+            digests_recomputed=sum(r.digests_recomputed for r in merged),
+            entries_affected=tuple(
+                index for receipt in merged for index in receipt.entries_affected
+            ),
+            chain_messages_recomputed=sum(
+                r.chain_messages_recomputed for r in merged
+            ),
+        )
+
 
 class SignedRelation:
     """A relation published with per-record chain signatures for one sort order."""
@@ -186,19 +215,39 @@ class SignedRelation:
     def manifest(self) -> RelationManifest:
         """The public verification metadata for this relation.
 
-        Built once and cached: every field is immutable for the lifetime of the
-        signed relation, and ``chain_message`` consults the manifest's anchors
-        for every end-of-chain message.
+        Cached per data version: every field except ``sequence`` is immutable
+        for the lifetime of the signed relation, and ``sequence`` tracks
+        :attr:`version` so each mutation *rotates* the manifest (and with it
+        the 32-byte manifest id clients pin).  The anchors consulted by
+        ``chain_message`` depend only on the key domain, so they are identical
+        across rotations.
         """
-        if self._manifest is None:
+        if self._manifest is None or self._manifest.sequence != self._version:
             self._manifest = RelationManifest(
                 schema=self.schema,
                 scheme_kind=self.scheme_kind,
                 base=self.base,
                 hash_name=self.hash_function.name,
                 public_key=self._signature_scheme.verifier,
+                sequence=self._version,
             )
         return self._manifest
+
+    def sign_rotation(self, previous_id: bytes) -> int:
+        """The owner signature authenticating the *current* manifest.
+
+        Signs the domain-separated rotation message over ``previous_id`` (the
+        manifest id being superseded; empty at genesis) and the current
+        manifest's canonical wire bytes — see
+        :func:`repro.wire.updates.manifest_signing_message`.  A client that
+        pinned an older manifest accepts the rotated one only if this
+        signature verifies under the public key it already trusts.
+        """
+        from repro.wire.updates import manifest_signing_message
+
+        return self._signature_scheme.sign(
+            manifest_signing_message(self.manifest, previous_id)
+        )
 
     # -- cache coordination --------------------------------------------------------
 
@@ -373,16 +422,7 @@ class SignedRelation:
         """Replace ``old`` with ``new``; affected signatures are refreshed."""
         delete_receipt = self.delete_record(old)
         insert_receipt = self.insert_record(new)
-        return UpdateReceipt(
-            signatures_recomputed=delete_receipt.signatures_recomputed
-            + insert_receipt.signatures_recomputed,
-            digests_recomputed=delete_receipt.digests_recomputed
-            + insert_receipt.digests_recomputed,
-            entries_affected=delete_receipt.entries_affected
-            + insert_receipt.entries_affected,
-            chain_messages_recomputed=delete_receipt.chain_messages_recomputed
-            + insert_receipt.chain_messages_recomputed,
-        )
+        return UpdateReceipt.merge((delete_receipt, insert_receipt))
 
     # -- verification convenience ------------------------------------------------------------------
 

@@ -129,6 +129,14 @@ class Relation:
         """All sort-key values, in order."""
         return [record.key for record in self._records]
 
+    def contains(self, record: Record) -> bool:
+        """Whether an exact copy of ``record`` (key and payload) is present."""
+        try:
+            self.position_of(record)
+        except KeyError:
+            return False
+        return True
+
     def position_of(self, record: Record) -> int:
         """Index of ``record`` in the sorted order."""
         key = self._sort_key(record)

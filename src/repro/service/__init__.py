@@ -1,28 +1,48 @@
-"""Publication service: a concurrent server and a verifying client.
+"""Publication service: a concurrent server, a verifying client, a live owner.
 
 This package turns the in-process owner/publisher/user pipeline into the
 actual client/server deployment of the paper's Figure 3: a
 :class:`PublicationServer` fronts one or more shards of signed relations and
 ships query answers plus verification objects as canonical wire bytes
 (:mod:`repro.wire`); a :class:`VerifyingClient` decodes and verifies them with
-no access to publisher state.
+no access to publisher state; an :class:`OwnerClient` authenticates as the
+data owner and streams signed insert/delete/update deltas, rotating each
+relation's manifest so querying clients can follow the data as it changes.
 """
 
-from repro.service.client import VerifiedJoinResult, VerifiedResult, VerifyingClient
+from repro.service.client import (
+    ServiceConnection,
+    VerifiedJoinResult,
+    VerifiedResult,
+    VerifyingClient,
+)
 from repro.service.demo import build_demo_router, build_demo_world
+from repro.service.owner import (
+    OwnerClient,
+    build_update_request,
+    delta_sequence_cost,
+)
 from repro.service.protocol import (
     ErrorResponse,
     JoinRequest,
     JoinResponse,
     ListRelationsRequest,
+    ManifestByIdRequest,
     ManifestRequest,
     ManifestResponse,
+    ManifestRotated,
+    OwnerAuthError,
     QueryRequest,
     QueryResponse,
+    RecordDelta,
     RelationListing,
     RemoteError,
+    RotationRequest,
     ServiceError,
     ServiceProtocolError,
+    StaleManifestError,
+    UpdateRequest,
+    UpdateResponse,
 )
 from repro.service.router import ShardRouter, ShardTarget, UnknownManifestError
 from repro.service.server import PublicationServer
@@ -32,21 +52,33 @@ __all__ = [
     "JoinRequest",
     "JoinResponse",
     "ListRelationsRequest",
+    "ManifestByIdRequest",
     "ManifestRequest",
     "ManifestResponse",
+    "ManifestRotated",
+    "OwnerAuthError",
+    "OwnerClient",
     "PublicationServer",
     "QueryRequest",
     "QueryResponse",
+    "RecordDelta",
     "RelationListing",
     "RemoteError",
+    "RotationRequest",
+    "ServiceConnection",
     "ServiceError",
     "ServiceProtocolError",
     "ShardRouter",
     "ShardTarget",
+    "StaleManifestError",
     "UnknownManifestError",
+    "UpdateRequest",
+    "UpdateResponse",
     "VerifiedJoinResult",
     "VerifiedResult",
     "VerifyingClient",
     "build_demo_router",
     "build_demo_world",
+    "build_update_request",
+    "delta_sequence_cost",
 ]

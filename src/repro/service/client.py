@@ -10,13 +10,24 @@ result verifies, and a tampered, truncated or incomplete one raises a typed
 error (:class:`~repro.wire.errors.WireFormatError` at the codec layer,
 :class:`~repro.core.errors.VerificationError` at the proof layer, or
 :class:`~repro.service.protocol.ServiceError` at the transport layer).
+
+**Live updates.**  A publisher that applies owner deltas rotates the
+relation's manifest (its ``sequence`` bumps, so its 32-byte id changes).
+Query answers carry the id they were built under; when it differs from the
+client's pinned id, the client fetches the latest
+:class:`~repro.wire.updates.ManifestRotated`, authenticates it against the
+trust root it already holds (same owner key, valid rotation signature,
+strictly increasing sequence), re-pins, and retries the query — so a caller
+just sees a verified answer, attributed via
+:attr:`VerifiedResult.manifest_sequence` to the data version it reflects
+(advisory with respect to freshness; see :class:`VerifiedResult`).
 """
 
 from __future__ import annotations
 
 import socket
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.relational import RelationManifest
 from repro.core.report import VerificationReport
@@ -28,104 +39,56 @@ from repro.service.protocol import (
     JoinRequest,
     JoinResponse,
     ListRelationsRequest,
+    ManifestByIdRequest,
     ManifestRequest,
     ManifestResponse,
     QueryRequest,
     QueryResponse,
     RelationListing,
     RemoteError,
+    RotationRequest,
     ServiceError,
     ServiceProtocolError,
+    StaleManifestError,
     recv_message,
     send_message,
 )
 from repro.wire import manifest_id
 from repro.wire.errors import WireFormatError
+from repro.wire.updates import ManifestRotated, manifest_signing_message
 
-__all__ = ["VerifiedResult", "VerifiedJoinResult", "VerifyingClient"]
+__all__ = [
+    "ServiceConnection",
+    "VerifiedResult",
+    "VerifiedJoinResult",
+    "VerifyingClient",
+]
 
-
-@dataclass(frozen=True)
-class VerifiedResult:
-    """A query answer that passed (or skipped, if so asked) verification."""
-
-    rows: Tuple[Dict[str, object], ...]
-    report: Optional[VerificationReport]
-    proof: object = None
-
-
-@dataclass(frozen=True)
-class VerifiedJoinResult:
-    rows: Tuple[Dict[str, object], ...]
-    left_rows: Tuple[Dict[str, object], ...]
-    report: Optional[VerificationReport]
-    proof: object = None
+#: How many manifest rotations a single query call will chase before giving
+#: up.  Each retry is triggered by an actual rotation observed on an answer,
+#: so hitting the bound means the relation is rotating faster than the client
+#: can re-pin — surfacing that beats looping forever.
+MAX_ROTATIONS_PER_CALL = 8
 
 
-class VerifyingClient:
-    """Queries a :class:`~repro.service.server.PublicationServer` and verifies.
+class ServiceConnection:
+    """One framed request/response connection to a publication server.
 
-    **Trust model.**  The paper distributes manifests (and with them the
-    owner's public key) through an *authenticated channel*; the publisher is
-    untrusted.  Pass ``trusted_manifests`` (full manifests obtained out of
-    band) or ``expected_ids`` (their canonical 32-byte ids) to pin that trust
-    root: everything the server sends is then checked against the pinned
-    values, and a hostile server that re-signs fabricated data under its own
-    key is rejected.  Without pinning, the client trusts the first listing the
-    server returns (trust-on-first-use): verification still catches every
-    in-transit tamperer and any publisher misbehaviour *relative to the
-    fetched manifests*, but not a publisher that controls the manifests
-    themselves.
-
-    Parameters
-    ----------
-    host, port:
-        The publication server's address.
-    policy:
-        The access-control policy, if the client queries under a role (the
-        verifier re-applies the same query rewriting the publisher must).
-    timeout:
-        Socket timeout in seconds for connect and each response.
-    trusted_manifests:
-        Relation name -> manifest, obtained through an authenticated channel.
-        Used directly for verification; never re-fetched from the server.
-    expected_ids:
-        Relation name -> pinned manifest id.  Fetched manifests must hash to
-        the pinned id (stronger than trusting the server's own listing).
+    Shared plumbing of :class:`VerifyingClient` and
+    :class:`~repro.service.owner.OwnerClient`: lazy connect, context-manager
+    lifecycle, and the strict one-request/one-response exchange with typed
+    errors.
     """
 
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        policy: Optional[AccessControlPolicy] = None,
-        timeout: float = 10.0,
-        trusted_manifests: Optional[Dict[str, RelationManifest]] = None,
-        expected_ids: Optional[Dict[str, bytes]] = None,
-    ) -> None:
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
         self.host = host
         self.port = port
-        self.policy = policy
         self.timeout = timeout
         self._sock: Optional[socket.socket] = None
-        self._listing: Optional[Dict[str, bytes]] = None
-        self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
-        self._pinned_ids: Dict[str, bytes] = {
-            name: manifest_id(manifest)
-            for name, manifest in self._manifests.items()
-        }
-        for name, identifier in (expected_ids or {}).items():
-            pinned = self._pinned_ids.get(name)
-            if pinned is not None and pinned != bytes(identifier):
-                raise ServiceError(
-                    f"expected_ids[{name!r}] contradicts the trusted manifest"
-                )
-            self._pinned_ids[name] = bytes(identifier)
-        self._verifier: Optional[ResultVerifier] = None
 
     # -- connection management ----------------------------------------------
 
-    def connect(self) -> "VerifyingClient":
+    def connect(self) -> "ServiceConnection":
         if self._sock is None:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
@@ -137,7 +100,7 @@ class VerifyingClient:
             self._sock.close()
             self._sock = None
 
-    def __enter__(self) -> "VerifyingClient":
+    def __enter__(self):
         return self.connect()
 
     def __exit__(self, *exc_info) -> None:
@@ -181,6 +144,111 @@ class VerifyingClient:
             )
         return response
 
+
+@dataclass(frozen=True)
+class VerifiedResult:
+    """A query answer that passed (or skipped, if so asked) verification.
+
+    ``manifest_id`` / ``manifest_sequence`` name the manifest the answer was
+    verified against.  The attribution is *advisory*, like everything about
+    freshness in the paper's model: chain signatures prove authenticity and
+    completeness of the rows but do not bind the sequence, so a publisher
+    (or in-path attacker) replaying a pre-rotation answer under the current
+    id presents stale-but-genuine data as current.  Verification still
+    rejects any *fabricated* or *tampered* rows; bounding staleness would
+    need owner-side freshness (e.g. signed timestamps), which the paper
+    leaves out of scope.
+    """
+
+    rows: Tuple[Dict[str, object], ...]
+    report: Optional[VerificationReport]
+    proof: object = None
+    manifest_id: bytes = b""
+    manifest_sequence: int = 0
+
+
+@dataclass(frozen=True)
+class VerifiedJoinResult:
+    """Like :class:`VerifiedResult`, with per-side snapshot attribution
+    (equally advisory with respect to freshness)."""
+
+    rows: Tuple[Dict[str, object], ...]
+    left_rows: Tuple[Dict[str, object], ...]
+    report: Optional[VerificationReport]
+    proof: object = None
+    left_manifest_id: bytes = b""
+    right_manifest_id: bytes = b""
+    left_manifest_sequence: int = 0
+    right_manifest_sequence: int = 0
+
+
+class VerifyingClient(ServiceConnection):
+    """Queries a :class:`~repro.service.server.PublicationServer` and verifies.
+
+    **Trust model.**  The paper distributes manifests (and with them the
+    owner's public key) through an *authenticated channel*; the publisher is
+    untrusted.  Pass ``trusted_manifests`` (full manifests obtained out of
+    band) or ``expected_ids`` (their canonical 32-byte ids) to pin that trust
+    root: everything the server sends is then checked against the pinned
+    values, and a hostile server that re-signs fabricated data under its own
+    key is rejected.  Without pinning, the client trusts the first listing the
+    server returns (trust-on-first-use): verification still catches every
+    in-transit tamperer and any publisher misbehaviour *relative to the
+    fetched manifests*, but not a publisher that controls the manifests
+    themselves.
+
+    A *rotated* manifest (live update) is accepted only by continuity from
+    the pinned one: identical owner key and scheme parameters, an owner
+    signature over (superseded id, new manifest bytes), and a strictly
+    increasing sequence — so neither a forged nor a replayed rotation can
+    move the trust root.
+
+    Parameters
+    ----------
+    host, port:
+        The publication server's address.
+    policy:
+        The access-control policy, if the client queries under a role (the
+        verifier re-applies the same query rewriting the publisher must).
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    trusted_manifests:
+        Relation name -> manifest, obtained through an authenticated channel.
+        Used directly for verification; never re-fetched from the server.
+    expected_ids:
+        Relation name -> pinned manifest id.  Fetched manifests must hash to
+        the pinned id (stronger than trusting the server's own listing).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[AccessControlPolicy] = None,
+        timeout: float = 10.0,
+        trusted_manifests: Optional[Dict[str, RelationManifest]] = None,
+        expected_ids: Optional[Dict[str, bytes]] = None,
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        self.policy = policy
+        self._listing: Optional[Dict[str, bytes]] = None
+        self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
+        self._pinned_ids: Dict[str, bytes] = {
+            name: manifest_id(manifest)
+            for name, manifest in self._manifests.items()
+        }
+        for name, identifier in (expected_ids or {}).items():
+            pinned = self._pinned_ids.get(name)
+            if pinned is not None and pinned != bytes(identifier):
+                raise ServiceError(
+                    f"expected_ids[{name!r}] contradicts the trusted manifest"
+                )
+            self._pinned_ids[name] = bytes(identifier)
+        self._verifier: Optional[ResultVerifier] = None
+        #: Rotations this client accepted: relation name -> sequence, for
+        #: observability (tests assert the refresh path actually ran).
+        self.rotations_observed: Dict[str, int] = {}
+
     # -- manifests -----------------------------------------------------------
 
     def relations(self) -> Dict[str, bytes]:
@@ -205,26 +273,64 @@ class VerifyingClient:
         pinned_manifest = self._manifests.get(relation_name)
         if pinned_manifest is not None and relation_name in self._pinned_ids:
             return pinned_manifest
-        expected = self._pinned_ids.get(relation_name)
-        if expected is None:
-            expected = self.relations().get(relation_name)
+        is_pinned = relation_name in self._pinned_ids
+        for attempt in range(2):
+            expected = self._pinned_ids.get(relation_name)
             if expected is None:
-                raise ServiceError(
-                    f"server does not list relation {relation_name!r}"
-                )
-        response: ManifestResponse = self._request(
-            ManifestRequest(relation_name), ManifestResponse
-        )
-        manifest = response.manifest
-        if manifest_id(manifest) != expected:
+                expected = self.relations().get(relation_name)
+                if expected is None:
+                    raise ServiceError(
+                        f"server does not list relation {relation_name!r}"
+                    )
+            response: ManifestResponse = self._request(
+                ManifestRequest(relation_name), ManifestResponse
+            )
+            manifest = response.manifest
+            if manifest_id(manifest) == expected:
+                break
+            if is_pinned:
+                # The relation rotated past the pinned id (live updates).  The
+                # manifest *hashing to the pinned id* is self-authenticating,
+                # so fetch it by id to bootstrap the trust root, then follow
+                # the rotation chain under the normal continuity policy.
+                return self._bootstrap_pinned_manifest(relation_name, expected)
+            if attempt == 0:
+                # The expectation came from the cached listing, which a live
+                # update may have rotated out from under us between the two
+                # requests: refresh the listing once and try again.
+                self._listing = None
+                continue
             raise ServiceError(
-                f"manifest for {relation_name!r} does not match its "
-                f"{'pinned' if relation_name in self._pinned_ids else 'listed'} id"
+                f"manifest for {relation_name!r} does not match its listed id"
             )
         self._manifests[relation_name] = manifest
         self._pinned_ids.setdefault(relation_name, manifest_id(manifest))
         self._verifier = None  # rebuilt lazily over the new manifest set
         return manifest
+
+    def _bootstrap_pinned_manifest(
+        self, relation_name: str, pinned_id: bytes
+    ) -> RelationManifest:
+        """Recover the trust root of an id-only pin after rotations.
+
+        Fetches the (historical) manifest whose SHA-256 is the pinned id —
+        authenticated by the hash itself, exactly like the out-of-band channel
+        that delivered the id — pins it, then advances along the rotation
+        chain with :meth:`refresh_rotated_manifest` (key continuity, rotation
+        signature, increasing sequence).
+        """
+        response: ManifestResponse = self._request(
+            ManifestByIdRequest(pinned_id), ManifestResponse
+        )
+        historical = response.manifest
+        if manifest_id(historical) != pinned_id:
+            raise ServiceError(
+                f"manifest served for the pinned id of {relation_name!r} "
+                "does not hash to it"
+            )
+        self._manifests[relation_name] = historical
+        self._verifier = None
+        return self.refresh_rotated_manifest(relation_name)
 
     def _ensure_manifest(self, relation_name: str) -> bytes:
         if relation_name not in self._manifests:
@@ -242,6 +348,72 @@ class VerifyingClient:
             self._verifier = ResultVerifier(dict(self._manifests), policy=self.policy)
         return self._verifier
 
+    # -- manifest rotation ---------------------------------------------------
+
+    def refresh_rotated_manifest(self, relation_name: str) -> RelationManifest:
+        """Fetch, authenticate and re-pin the latest rotation of a relation.
+
+        The rotation is accepted only by continuity from the currently pinned
+        manifest: same owner key and scheme parameters, a valid owner
+        signature over (superseded id, new manifest bytes), and a strictly
+        larger sequence.  A forged rotation fails the signature check; a
+        replayed (older) one fails the sequence check — both raise a typed
+        :class:`~repro.service.protocol.ServiceError`.
+        """
+        pinned = self._manifests.get(relation_name)
+        if pinned is None:
+            return self.fetch_manifest(relation_name)
+        rotation: ManifestRotated = self._request(
+            RotationRequest(relation_name), ManifestRotated
+        )
+        self._validate_rotation(relation_name, pinned, rotation)
+        manifest = rotation.manifest
+        self._manifests[relation_name] = manifest
+        self._pinned_ids[relation_name] = manifest_id(manifest)
+        self._listing = None  # the server's listing moved with the rotation
+        self._verifier = None
+        self.rotations_observed[relation_name] = manifest.sequence
+        return manifest
+
+    def _validate_rotation(
+        self,
+        relation_name: str,
+        pinned: RelationManifest,
+        rotation: ManifestRotated,
+    ) -> None:
+        manifest = rotation.manifest
+        if manifest.public_key != pinned.public_key:
+            raise StaleManifestError(
+                f"rotated manifest for {relation_name!r} is signed under a "
+                "different owner key",
+                reason="rotation-key-mismatch",
+            )
+        if (
+            manifest.schema != pinned.schema
+            or manifest.scheme_kind != pinned.scheme_kind
+            or manifest.base != pinned.base
+            or manifest.hash_name != pinned.hash_name
+        ):
+            raise StaleManifestError(
+                f"rotated manifest for {relation_name!r} changes scheme "
+                "parameters; data updates must preserve them",
+                reason="rotation-scheme-mismatch",
+            )
+        if manifest.sequence <= pinned.sequence:
+            raise StaleManifestError(
+                f"rotation for {relation_name!r} does not advance the "
+                f"sequence ({manifest.sequence} <= {pinned.sequence}); "
+                "stale or replayed rotation",
+                reason="rotation-replayed",
+            )
+        message = manifest_signing_message(manifest, rotation.previous_id)
+        if not pinned.public_key.verify(message, rotation.owner_signature):
+            raise StaleManifestError(
+                f"rotation for {relation_name!r} is not signed by the "
+                "pinned owner key",
+                reason="rotation-forged",
+            )
+
     # -- queries -------------------------------------------------------------
 
     def query(
@@ -249,47 +421,104 @@ class VerifyingClient:
     ) -> VerifiedResult:
         """Issue a select-project(-multipoint) query and verify the answer.
 
+        If the answer reveals that the relation's manifest rotated (live
+        update), the client refreshes its pinned manifest — authenticating
+        the rotation against the existing trust root — and retries, up to
+        :data:`MAX_ROTATIONS_PER_CALL` times.
+
         ``verify=False`` skips verification and returns the raw decoded rows
         — for measurement and relaying only; a consuming client should never
         disable it.
         """
-        identifier = self._ensure_manifest(query.relation_name)
-        response: QueryResponse = self._request(
-            QueryRequest(manifest_id=identifier, query=query, role=role),
-            QueryResponse,
-        )
-        report = None
-        if verify:
-            report = self.verifier.verify(
-                query, response.rows, response.proof, role=role
+        name = query.relation_name
+        for _ in range(MAX_ROTATIONS_PER_CALL):
+            identifier = self._ensure_manifest(name)
+            response: QueryResponse = self._request(
+                QueryRequest(manifest_id=identifier, query=query, role=role),
+                QueryResponse,
             )
-        return VerifiedResult(
-            rows=response.rows, report=report, proof=response.proof
+            if response.manifest_id and response.manifest_id != identifier:
+                # Built under a rotated manifest: authenticate the rotation
+                # before attributing the rows to any snapshot.  The answer
+                # itself was built under the *current* snapshot (superseded
+                # ids route on purpose), so once the refreshed pin matches
+                # the answer's id it is verified as-is — no second round
+                # trip, no rebuilt proof.  Only if the relation rotated yet
+                # again is the query re-issued.
+                self.refresh_rotated_manifest(name)
+                identifier = self._pinned_ids[name]
+                if identifier != response.manifest_id:
+                    continue
+            report = None
+            if verify:
+                report = self.verifier.verify(
+                    query, response.rows, response.proof, role=role
+                )
+            return VerifiedResult(
+                rows=response.rows,
+                report=report,
+                proof=response.proof,
+                manifest_id=identifier,
+                manifest_sequence=self._manifests[name].sequence,
+            )
+        raise StaleManifestError(
+            f"relation {name!r} rotated more than {MAX_ROTATIONS_PER_CALL} "
+            "times within one query call"
         )
 
     def query_join(
         self, join: JoinQuery, role: Optional[str] = None, verify: bool = True
     ) -> VerifiedJoinResult:
-        """Issue a PK-FK join query and verify completeness + authenticity."""
-        left_id = self._ensure_manifest(join.left_relation)
-        right_id = self._ensure_manifest(join.right_relation)
-        response: JoinResponse = self._request(
-            JoinRequest(
+        """Issue a PK-FK join query and verify completeness + authenticity.
+
+        Staleness is handled like :meth:`query`, on either side of the join.
+        """
+        for _ in range(MAX_ROTATIONS_PER_CALL):
+            left_id = self._ensure_manifest(join.left_relation)
+            right_id = self._ensure_manifest(join.right_relation)
+            response: JoinResponse = self._request(
+                JoinRequest(
+                    left_manifest_id=left_id,
+                    right_manifest_id=right_id,
+                    join=join,
+                    role=role,
+                ),
+                JoinResponse,
+            )
+            if response.left_manifest_id and response.left_manifest_id != left_id:
+                self.refresh_rotated_manifest(join.left_relation)
+                left_id = self._pinned_ids[join.left_relation]
+            if (
+                response.right_manifest_id
+                and response.right_manifest_id != right_id
+            ):
+                self.refresh_rotated_manifest(join.right_relation)
+                right_id = self._pinned_ids[join.right_relation]
+            if (response.left_manifest_id and left_id != response.left_manifest_id) or (
+                response.right_manifest_id
+                and right_id != response.right_manifest_id
+            ):
+                continue  # rotated again while refreshing; ask afresh
+            report = None
+            if verify:
+                report = self.verifier.verify_join(
+                    join, response.rows, response.proof, response.left_rows, role=role
+                )
+            return VerifiedJoinResult(
+                rows=response.rows,
+                left_rows=response.left_rows,
+                report=report,
+                proof=response.proof,
                 left_manifest_id=left_id,
                 right_manifest_id=right_id,
-                join=join,
-                role=role,
-            ),
-            JoinResponse,
-        )
-        report = None
-        if verify:
-            report = self.verifier.verify_join(
-                join, response.rows, response.proof, response.left_rows, role=role
+                left_manifest_sequence=self._manifests[
+                    join.left_relation
+                ].sequence,
+                right_manifest_sequence=self._manifests[
+                    join.right_relation
+                ].sequence,
             )
-        return VerifiedJoinResult(
-            rows=response.rows,
-            left_rows=response.left_rows,
-            report=report,
-            proof=response.proof,
+        raise StaleManifestError(
+            f"join {join.left_relation!r}/{join.right_relation!r} kept "
+            f"rotating for {MAX_ROTATIONS_PER_CALL} attempts"
         )

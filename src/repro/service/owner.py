@@ -1,0 +1,246 @@
+"""The owner-side client: pushes signed delta batches to a live publisher.
+
+The data owner is the only party holding the signing key.  An
+:class:`OwnerClient` turns the in-process Section 6.3 update calls into wire
+messages: it tracks the relation's current manifest, signs each batch of
+:class:`~repro.wire.updates.RecordDelta` against that exact data version
+(:func:`~repro.wire.updates.update_signing_message`), and authenticates the
+publisher's answer — the merged :class:`~repro.core.relational.UpdateReceipt`
+plus the :class:`~repro.wire.updates.ManifestRotated` notification — before
+trusting that the update landed.
+
+The batch signature authenticates *authorization*: the server verifies it
+under the public key already embedded in the hosted manifest, so no third
+party can mutate hosted data.  A forged batch is refused with a typed
+``OwnerAuthError``; a replayed batch addresses a superseded manifest id and
+is refused with a typed ``StaleManifestError``.
+
+Scope note: as everywhere in this reproduction (the in-process seed
+included), the server-side :class:`~repro.core.relational.SignedRelation`
+carries the owner's signing scheme and re-signs the affected chain entries
+itself — the deployment trusts the publisher host with the key.  Full key
+isolation would have the *owner* compute and ship the refreshed chain
+signatures inside each delta (the paper's Section 6.3 owner-side update),
+which needs a neighbour-digest round trip and is left as future work; the
+wire format deliberately leaves room (deltas are a dedicated artifact).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.crypto.signature import SignatureScheme
+from repro.service.client import ServiceConnection
+from repro.service.protocol import (
+    ManifestRequest,
+    ManifestResponse,
+    RemoteError,
+    ServiceError,
+)
+from repro.wire import manifest_id
+from repro.wire.updates import (
+    ManifestRotated,
+    RecordDelta,
+    UpdateRequest,
+    UpdateResponse,
+    manifest_signing_message,
+    update_signing_message,
+)
+
+__all__ = ["OwnerClient", "build_update_request", "delta_sequence_cost"]
+
+
+def build_update_request(
+    scheme: SignatureScheme,
+    manifest: RelationManifest,
+    deltas: Sequence[RecordDelta],
+) -> UpdateRequest:
+    """Sign a delta batch against one exact manifest (data version).
+
+    Exposed as a free function so tests can build genuine, forged and
+    replayed requests explicitly; :meth:`OwnerClient.push` is this plus the
+    exchange and response authentication.
+    """
+    identifier = manifest_id(manifest)
+    batch = tuple(deltas)
+    signature = scheme.sign(
+        update_signing_message(identifier, manifest.sequence, batch)
+    )
+    return UpdateRequest(
+        manifest_id=identifier,
+        sequence=manifest.sequence,
+        deltas=batch,
+        owner_signature=signature,
+    )
+
+
+def delta_sequence_cost(deltas: Sequence[RecordDelta]) -> int:
+    """How many sequence steps a batch advances the manifest by.
+
+    Inserts and deletes are one chain mutation each; an update is a delete
+    followed by an insert (Section 6.3), so it advances the version by two.
+    """
+    return sum(2 if delta.kind == "update" else 1 for delta in deltas)
+
+
+class OwnerClient(ServiceConnection):
+    """Authenticates as the data owner and streams deltas to a publisher.
+
+    Parameters
+    ----------
+    host, port:
+        The publication server's address.
+    signature_scheme:
+        The owner's signing scheme — the *same* key the hosted relations were
+        published under.  Pushing to a relation whose manifest names a
+        different public key is refused locally (the server would reject the
+        signature anyway).
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        signature_scheme: SignatureScheme,
+        timeout: float = 10.0,
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        self.signature_scheme = signature_scheme
+        self._manifests: Dict[str, RelationManifest] = {}
+
+    # -- manifest tracking ---------------------------------------------------
+
+    def refresh_manifest(self, relation_name: str) -> RelationManifest:
+        """(Re-)fetch the relation's current manifest from the server.
+
+        The manifest must name this owner's public key — the owner refuses to
+        sign updates for somebody else's relation.
+        """
+        response: ManifestResponse = self._request(
+            ManifestRequest(relation_name), ManifestResponse
+        )
+        manifest = response.manifest
+        if manifest.public_key != self.signature_scheme.verifier:
+            raise ServiceError(
+                f"relation {relation_name!r} is published under a different "
+                "owner key; refusing to sign updates for it"
+            )
+        self._manifests[relation_name] = manifest
+        return manifest
+
+    def manifest(self, relation_name: str) -> RelationManifest:
+        """The tracked manifest, fetched on first use."""
+        cached = self._manifests.get(relation_name)
+        if cached is None:
+            cached = self.refresh_manifest(relation_name)
+        return cached
+
+    # -- pushing deltas ------------------------------------------------------
+
+    def push(
+        self,
+        relation_name: str,
+        deltas: Sequence[RecordDelta],
+        retry_stale: bool = True,
+    ) -> UpdateResponse:
+        """Sign and push one delta batch; returns the authenticated response.
+
+        The response's rotation is validated before the tracked manifest
+        advances: the new manifest must keep the owner key, advance the
+        sequence by exactly the batch's cost
+        (:func:`delta_sequence_cost`), supersede exactly the id the batch was
+        signed against, and carry a valid rotation signature.  A replayed or
+        fabricated ``UpdateResponse`` therefore raises a typed
+        :class:`~repro.service.protocol.ServiceError` instead of silently
+        desynchronising the owner.
+
+        ``retry_stale`` re-fetches the manifest and re-signs once if the
+        server reports the batch was signed against a superseded version
+        (another owner process raced this one).
+        """
+        batch = tuple(deltas)
+        base = self.manifest(relation_name)
+        request = build_update_request(self.signature_scheme, base, batch)
+        try:
+            response: UpdateResponse = self._request(request, UpdateResponse)
+        except RemoteError as error:
+            if retry_stale and error.reason == "stale-update":
+                base = self.refresh_manifest(relation_name)
+                request = build_update_request(self.signature_scheme, base, batch)
+                response = self._request(request, UpdateResponse)
+            else:
+                raise
+        self._validate_response(relation_name, request, batch, response)
+        self._manifests[relation_name] = response.rotation.manifest
+        return response
+
+    def _validate_response(
+        self,
+        relation_name: str,
+        request: UpdateRequest,
+        batch: Tuple[RecordDelta, ...],
+        response: UpdateResponse,
+    ) -> None:
+        rotation: ManifestRotated = response.rotation
+        manifest = rotation.manifest
+        if manifest.public_key != self.signature_scheme.verifier:
+            raise ServiceError(
+                f"rotation for {relation_name!r} switches to a different "
+                "owner key"
+            )
+        expected_sequence = request.sequence + delta_sequence_cost(batch)
+        if manifest.sequence != expected_sequence:
+            raise ServiceError(
+                f"rotation for {relation_name!r} reports sequence "
+                f"{manifest.sequence}, expected {expected_sequence}; stale "
+                "or replayed update response"
+            )
+        if rotation.previous_id != request.manifest_id:
+            raise ServiceError(
+                f"rotation for {relation_name!r} supersedes a different "
+                "manifest than the one this batch was signed against"
+            )
+        message = manifest_signing_message(manifest, rotation.previous_id)
+        if not self.signature_scheme.verify(message, rotation.owner_signature):
+            raise ServiceError(
+                f"rotation for {relation_name!r} carries an invalid owner "
+                "signature"
+            )
+
+    # -- convenience single-record operations --------------------------------
+
+    def insert(
+        self, relation_name: str, values: Mapping[str, object]
+    ) -> UpdateReceipt:
+        """Insert one record; returns the merged receipt."""
+        delta = RecordDelta(kind="insert", values=dict(values))
+        return self.push(relation_name, (delta,)).receipt
+
+    def delete(
+        self, relation_name: str, values: Mapping[str, object]
+    ) -> UpdateReceipt:
+        """Delete one record (located by key *and* full payload)."""
+        delta = RecordDelta(kind="delete", values=dict(values))
+        return self.push(relation_name, (delta,)).receipt
+
+    def update(
+        self,
+        relation_name: str,
+        old_values: Mapping[str, object],
+        new_values: Mapping[str, object],
+    ) -> UpdateReceipt:
+        """Replace one record with another; returns the merged receipt."""
+        delta = RecordDelta(
+            kind="update",
+            values=dict(new_values),
+            old_values=dict(old_values),
+        )
+        return self.push(relation_name, (delta,)).receipt
+
+    def sequence(self, relation_name: str) -> Optional[int]:
+        """The tracked sequence of a relation (None before first contact)."""
+        cached = self._manifests.get(relation_name)
+        return None if cached is None else cached.sequence

@@ -16,11 +16,23 @@ The message set:
 ``ManifestRequest``       fetch one relation's manifest by hosting name
 ``ManifestResponse``      the manifest (client cross-checks its id)
 ``QueryRequest``          a select-project(-multipoint) query + optional role
-``QueryResponse``         result rows plus the range VO
+``QueryResponse``         result rows plus the range VO and the manifest id
+                          the answer was built under
 ``JoinRequest``           a PK-FK join query + optional role
-``JoinResponse``          joined rows, left-side rows, and the join VO
+``JoinResponse``          joined rows, left-side rows, the join VO and both
+                          manifest ids
+``UpdateRequest``         a signed owner delta batch (:mod:`repro.wire.updates`)
+``UpdateResponse``        merged receipt + the manifest rotation it caused
+``RotationRequest``       fetch the latest authenticated rotation of a relation
+``ManifestRotated``       the rotation notification (owner-signed)
 ``ErrorResponse``         typed failure (code / reason / message)
 ====================  =======================================================
+
+Live updates rotate manifests: every applied ``UpdateRequest`` bumps the
+relation's manifest ``sequence`` and therefore its 32-byte id.  Query answers
+carry the id they were built under, which is how a client detects that its
+pinned manifest went stale (see
+:meth:`~repro.service.client.VerifyingClient.query`).
 """
 
 from __future__ import annotations
@@ -36,28 +48,43 @@ from repro.core.relational import RelationManifest
 from repro.db.query import JoinQuery, Query
 from repro.wire import codec, decode, encode
 from repro.wire.primitives import MAX_FIELD_BYTES
+from repro.wire.updates import (  # noqa: F401 - re-exported protocol messages
+    MANIFEST_ID_SIZE,
+    ManifestRotated,
+    RecordDelta,
+    UpdateRequest,
+    UpdateResponse,
+)
 
 __all__ = [
     "MANIFEST_ID_BYTES",
     "MAX_FRAME_BYTES",
     "ServiceError",
     "ServiceProtocolError",
+    "StaleManifestError",
+    "OwnerAuthError",
     "RemoteError",
     "ListRelationsRequest",
     "RelationListing",
     "ManifestRequest",
+    "ManifestByIdRequest",
     "ManifestResponse",
     "QueryRequest",
     "QueryResponse",
     "JoinRequest",
     "JoinResponse",
+    "UpdateRequest",
+    "UpdateResponse",
+    "RecordDelta",
+    "ManifestRotated",
+    "RotationRequest",
     "ErrorResponse",
     "send_message",
     "recv_message",
 ]
 
-#: Size of a manifest id (SHA-256).
-MANIFEST_ID_BYTES = 32
+#: Size of a manifest id (SHA-256); the wire layer owns the definition.
+MANIFEST_ID_BYTES = MANIFEST_ID_SIZE
 
 #: Upper bound on one frame: the wire layer's per-field cap, so the framing
 #: layer never accepts a frame whose fields the codec would reject.
@@ -75,6 +102,29 @@ class ServiceError(ReproError):
 
 class ServiceProtocolError(ServiceError):
     """The byte stream violated the framing/protocol contract."""
+
+
+class StaleManifestError(ServiceError):
+    """The addressed manifest id was superseded by a rotation.
+
+    Raised for owner updates pushed against an old data version (``reason``
+    ``"stale-update"`` — also the replay rejection: a captured
+    ``UpdateRequest`` re-sent later addresses a superseded id), and available
+    to clients that want queries against rotated ids refused rather than
+    answered under the new id.
+    """
+
+    def __init__(self, message: str, reason: str = "stale-manifest") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class OwnerAuthError(ServiceError):
+    """An update's owner signature did not verify under the relation's key."""
+
+    def __init__(self, message: str, reason: str = "bad-owner-signature") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class RemoteError(ServiceError):
@@ -115,6 +165,19 @@ class ManifestRequest:
 
 
 @dataclass(frozen=True)
+class ManifestByIdRequest:
+    """Fetch the manifest with one exact (possibly superseded) id.
+
+    Manifests are self-authenticating relative to an out-of-band id — the id
+    *is* the SHA-256 of the manifest bytes — so serving historical manifests
+    lets a client that pinned only an id (``expected_ids``) bootstrap its
+    trust root even after the relation rotated past that id.
+    """
+
+    manifest_id: bytes
+
+
+@dataclass(frozen=True)
 class ManifestResponse:
     manifest: RelationManifest
 
@@ -130,10 +193,18 @@ class QueryRequest:
 
 @dataclass(frozen=True)
 class QueryResponse:
-    """Rows plus the verification object; ``proof`` is None only for vacuous ranges."""
+    """Rows plus the verification object; ``proof`` is None only for vacuous ranges.
+
+    ``manifest_id`` is the id of the manifest the answer was built under,
+    captured atomically with the answer (same shard lock).  A client whose
+    pinned id differs knows the relation rotated underneath it and refreshes
+    before trusting the rows to any snapshot.  Empty means the server predates
+    live updates (legacy), in which case staleness detection is unavailable.
+    """
 
     rows: Tuple[Dict[str, object], ...]
     proof: Optional[RangeQueryProof]
+    manifest_id: bytes = b""
 
 
 @dataclass(frozen=True)
@@ -148,9 +219,25 @@ class JoinRequest:
 
 @dataclass(frozen=True)
 class JoinResponse:
+    """Join answer; carries the manifest ids both sides were answered under."""
+
     rows: Tuple[Dict[str, object], ...]
     left_rows: Tuple[Dict[str, object], ...]
     proof: Optional[JoinQueryProof]
+    left_manifest_id: bytes = b""
+    right_manifest_id: bytes = b""
+
+
+@dataclass(frozen=True)
+class RotationRequest:
+    """Fetch the latest owner-signed manifest rotation of one relation.
+
+    Sent by a client that detected a manifest-id mismatch on an answer; the
+    response is a :class:`~repro.wire.updates.ManifestRotated` whose signature
+    the client checks against the public key it already pinned.
+    """
+
+    relation_name: str
 
 
 @dataclass(frozen=True)
@@ -189,6 +276,7 @@ codec.register_artifact(
     [
         ("rows", codec.TupleField(_ROW)),
         ("proof", codec.OptionalField(codec.NestedField(RangeQueryProof))),
+        ("manifest_id", codec.BYTES),
     ],
 )
 codec.register_artifact(
@@ -208,12 +296,20 @@ codec.register_artifact(
         ("rows", codec.TupleField(_ROW)),
         ("left_rows", codec.TupleField(_ROW)),
         ("proof", codec.OptionalField(codec.NestedField(JoinQueryProof))),
+        ("left_manifest_id", codec.BYTES),
+        ("right_manifest_id", codec.BYTES),
     ],
 )
 codec.register_artifact(
     0x48,
     ErrorResponse,
     [("code", codec.STR), ("reason", codec.STR), ("message", codec.STR)],
+)
+codec.register_artifact(
+    0x49, RotationRequest, [("relation_name", codec.STR)]
+)
+codec.register_artifact(
+    0x4A, ManifestByIdRequest, [("manifest_id", codec.BYTES)]
 )
 
 

@@ -8,24 +8,42 @@ id rather than by name means a client always talks about the exact signed
 artefact it verified the manifest of — renaming or re-hosting a relation can
 never silently redirect its queries.
 
+Live updates rotate manifests: every applied delta batch bumps the relation's
+manifest ``sequence`` and therefore its id.  The router keeps every
+*superseded* id resolvable (an in-flight query against a just-rotated id is
+answered under the new snapshot, whose id the response carries, so the client
+detects the rotation), while owner updates must address the *current* id —
+a delta batch against a superseded id is exactly a replayed or raced update
+and is refused with a typed :class:`~repro.service.protocol.StaleManifestError`.
+
 Each shard carries a lock; proof construction mutates the shard's VO-fragment
-cache, and the lock keeps concurrent request handlers from interleaving those
-mutations (request *handling* still overlaps across shards and during I/O).
+cache and updates mutate the chain itself, so the lock makes every answer an
+atomic snapshot: concurrent queries see the relation entirely before or
+entirely after a delta batch, never a mix.  The id index has its own small
+lock — rotations of one shard must not block lookups for another.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from typing import Deque, Dict, Mapping, Tuple
 
 from repro.core.publisher import Publisher
 from repro.core.relational import RelationManifest
 from repro.db.query import JoinQuery
-from repro.service.protocol import ServiceError
+from repro.service.protocol import ServiceError, StaleManifestError
 from repro.wire import manifest_id
+from repro.wire.updates import ManifestRotated
 
 __all__ = ["ShardTarget", "ShardRouter", "UnknownManifestError"]
+
+#: How many superseded manifest ids (and their manifests) are kept resolvable
+#: per relation.  Bounds server memory under a long update stream; a client
+#: pinned further back than this many rotations gets a typed
+#: UnknownManifestError and must re-obtain a trust root out of band.
+MAX_SUPERSEDED_PER_RELATION = 64
 
 
 class UnknownManifestError(ServiceError):
@@ -49,9 +67,22 @@ class ShardRouter:
         if not shards:
             raise ValueError("a shard router needs at least one shard")
         self.shards: Dict[str, Publisher] = dict(shards)
+        self._index_lock = threading.Lock()
         self._by_id: Dict[bytes, ShardTarget] = {}
         self._by_name: Dict[str, ShardTarget] = {}
-        self._listing: list = []
+        self._current_ids: Dict[str, bytes] = {}
+        # Superseded manifest id -> hosting name, so a client that pinned a
+        # recent historical id gets an answer (carrying the current id)
+        # instead of an unexplained unknown-manifest error.  Bounded per
+        # relation by MAX_SUPERSEDED_PER_RELATION (oldest evicted first).
+        self._superseded: Dict[bytes, str] = {}
+        self._superseded_order: Dict[str, Deque[bytes]] = {}
+        self._rotations: Dict[str, ManifestRotated] = {}
+        # id -> the manifest that hashes to it (current and retained
+        # superseded).  A manifest is self-authenticating relative to its id,
+        # so serving historical manifests lets id-only-pinned clients
+        # bootstrap their trust root after rotations.
+        self._manifests_by_id: Dict[bytes, RelationManifest] = {}
         for shard_name, publisher in self.shards.items():
             lock = threading.Lock()
             for relation_name in publisher.database:
@@ -66,14 +97,15 @@ class ShardRouter:
                     )
                 self._by_id[identifier] = target
                 self._by_name[relation_name] = target
-                self._listing.append((relation_name, identifier))
-        self._listing.sort()
+                self._current_ids[relation_name] = identifier
+                self._manifests_by_id[identifier] = signed.manifest
 
     # -- lookups ------------------------------------------------------------
 
     def listing(self) -> Tuple[Tuple[str, bytes], ...]:
-        """(hosting name, manifest id) for every hosted relation, sorted."""
-        return tuple(self._listing)
+        """(hosting name, *current* manifest id) for every hosted relation."""
+        with self._index_lock:
+            return tuple(sorted(self._current_ids.items()))
 
     def manifest_by_name(self, relation_name: str) -> RelationManifest:
         target = self._by_name.get(relation_name)
@@ -81,15 +113,141 @@ class ShardRouter:
             raise UnknownManifestError(
                 f"no hosted relation is named {relation_name!r}"
             )
-        return target.publisher.signed_relation(target.relation_name).manifest
+        with target.lock:
+            # Under the shard lock: a multi-delta batch bumps the version once
+            # per delta, and a lock-free read could materialise a *mid-batch*
+            # manifest whose id is never registered anywhere — a client
+            # pinning it would be stranded.  The lock guarantees the manifest
+            # returned is a registered (pre- or post-batch) state.
+            return target.publisher.signed_relation(target.relation_name).manifest
+
+    def manifest_by_id(self, identifier: bytes) -> RelationManifest:
+        """The manifest hashing to ``identifier`` — current *or* superseded."""
+        with self._index_lock:
+            manifest = self._manifests_by_id.get(bytes(identifier))
+        if manifest is None:
+            raise UnknownManifestError(
+                f"no hosted relation ever had manifest id "
+                f"{bytes(identifier).hex()[:16]}…"
+            )
+        return manifest
+
+    def current_id(self, relation_name: str) -> bytes:
+        """The current manifest id of one hosted relation."""
+        with self._index_lock:
+            identifier = self._current_ids.get(relation_name)
+        if identifier is None:
+            raise UnknownManifestError(
+                f"no hosted relation is named {relation_name!r}"
+            )
+        return identifier
 
     def route(self, identifier: bytes) -> ShardTarget:
-        target = self._by_id.get(bytes(identifier))
+        """Resolve a manifest id — current or superseded — to its shard.
+
+        Queries resolve superseded ids on purpose: the answer is built under
+        the current snapshot and carries the current id, which is what tells
+        the querying client to refresh its pinned manifest.
+        """
+        key = bytes(identifier)
+        with self._index_lock:
+            target = self._by_id.get(key)
+            if target is None:
+                name = self._superseded.get(key)
+                if name is not None:
+                    target = self._by_name.get(name)
         if target is None:
             raise UnknownManifestError(
-                f"no hosted relation has manifest id {bytes(identifier).hex()[:16]}…"
+                f"no hosted relation has manifest id {key.hex()[:16]}…"
             )
         return target
+
+    def route_for_update(self, identifier: bytes) -> ShardTarget:
+        """Resolve a manifest id for a mutation: *current* ids only.
+
+        A superseded id here means the owner's delta batch was signed against
+        a data version that no longer exists — a replayed capture, or a race
+        with another update — and applying it would fork history, so it is
+        refused with a typed error instead.
+        """
+        key = bytes(identifier)
+        with self._index_lock:
+            target = self._by_id.get(key)
+            stale_name = self._superseded.get(key)
+        if target is not None:
+            return target
+        if stale_name is not None:
+            raise StaleManifestError(
+                f"manifest id {key.hex()[:16]}… of relation {stale_name!r} was "
+                "superseded by a rotation; re-fetch the manifest and re-sign "
+                "the update",
+                reason="stale-update",
+            )
+        raise UnknownManifestError(
+            f"no hosted relation has manifest id {key.hex()[:16]}…"
+        )
+
+    # -- rotation ------------------------------------------------------------
+
+    def rotation(self, relation_name: str) -> ManifestRotated:
+        """The latest owner-signed rotation of ``relation_name``.
+
+        For a relation that never rotated this is the *genesis* rotation — an
+        owner signature over the initial manifest with an empty previous id —
+        built lazily and cached.
+        """
+        target = self._by_name.get(relation_name)
+        if target is None:
+            raise UnknownManifestError(
+                f"no hosted relation is named {relation_name!r}"
+            )
+        with target.lock:
+            rotation = self._rotations.get(relation_name)
+            if rotation is None:
+                signed = target.publisher.signed_relation(target.relation_name)
+                rotation = ManifestRotated(
+                    manifest=signed.manifest,
+                    previous_id=b"",
+                    owner_signature=signed.sign_rotation(b""),
+                )
+                self._rotations[relation_name] = rotation
+            return rotation
+
+    def record_rotation(self, target: ShardTarget) -> ManifestRotated:
+        """Re-index a relation after a mutation; returns the rotation artifact.
+
+        Must be called with ``target.lock`` held, immediately after the
+        mutation: the old id is marked superseded, the new id becomes current,
+        and the owner signature over (old id, new manifest) is produced so
+        clients can authenticate the rotation.
+        """
+        name = target.relation_name
+        signed = target.publisher.signed_relation(name)
+        new_manifest = signed.manifest
+        new_id = manifest_id(new_manifest)
+        with self._index_lock:
+            old_id = self._current_ids[name]
+            # Every applied batch carries >= 1 delta and the sequence is part
+            # of the manifest encoding, so the id necessarily changed.
+            assert old_id != new_id, "record_rotation called without a mutation"
+            self._superseded[old_id] = name
+            self._by_id[new_id] = target
+            del self._by_id[old_id]
+            self._current_ids[name] = new_id
+            self._manifests_by_id[new_id] = new_manifest
+            order = self._superseded_order.setdefault(name, deque())
+            order.append(old_id)
+            while len(order) > MAX_SUPERSEDED_PER_RELATION:
+                evicted = order.popleft()
+                self._superseded.pop(evicted, None)
+                self._manifests_by_id.pop(evicted, None)
+        rotation = ManifestRotated(
+            manifest=new_manifest,
+            previous_id=old_id,
+            owner_signature=signed.sign_rotation(old_id),
+        )
+        self._rotations[name] = rotation
+        return rotation
 
     def route_join(
         self, left_id: bytes, right_id: bytes, join: JoinQuery

@@ -16,6 +16,15 @@ against *different* shards.  The service benchmark
 (:mod:`repro.bench.wire`) reports end-to-end pipeline throughput under this
 model, not parallel proof construction.
 
+The server also accepts owner mutations: an
+:class:`~repro.wire.updates.UpdateRequest` is applied only after its owner
+signature verifies under the hosted manifest's public key (authorization —
+no third party can mutate hosted data; the hosted relations carry the
+signing scheme for the re-signing itself, see :mod:`repro.service.owner`),
+runs entirely under the shard's write lock (queries see the old or the new
+snapshot, never a mix), and rotates the relation's manifest so clients can
+follow the data.
+
 Every failure is answered with a typed
 :class:`~repro.service.protocol.ErrorResponse`; the server never leaks a stack
 trace to the peer and never dies on a malformed request.
@@ -36,17 +45,22 @@ from repro.service.protocol import (
     JoinRequest,
     JoinResponse,
     ListRelationsRequest,
+    ManifestByIdRequest,
     ManifestRequest,
     ManifestResponse,
+    OwnerAuthError,
     QueryRequest,
     QueryResponse,
     RelationListing,
+    RotationRequest,
     ServiceProtocolError,
+    StaleManifestError,
     recv_message,
     send_message,
 )
 from repro.service.router import ShardRouter
 from repro.wire.errors import WireFormatError
+from repro.wire.updates import UpdateRequest, UpdateResponse, update_signing_message
 
 __all__ = ["PublicationServer"]
 
@@ -87,6 +101,7 @@ class PublicationServer:
         self.requests_served = 0
         self.errors_answered = 0
         self.connections_refused = 0
+        self.updates_applied = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -262,10 +277,18 @@ class PublicationServer:
             return ManifestResponse(
                 manifest=self.router.manifest_by_name(request.relation_name)
             )
+        if isinstance(request, ManifestByIdRequest):
+            return ManifestResponse(
+                manifest=self.router.manifest_by_id(request.manifest_id)
+            )
         if isinstance(request, QueryRequest):
             return self._answer_query(request)
         if isinstance(request, JoinRequest):
             return self._answer_join(request)
+        if isinstance(request, UpdateRequest):
+            return self._answer_update(request)
+        if isinstance(request, RotationRequest):
+            return self.router.rotation(request.relation_name)
         raise ServiceProtocolError(
             f"{type(request).__name__} is not a request message"
         )
@@ -278,10 +301,17 @@ class PublicationServer:
                 f"query names {request.query.relation_name!r}"
             )
         with target.lock:
+            # The answer and the id it was built under are captured inside
+            # one lock section: an update rotating this relation either
+            # happened entirely before (new rows, new id) or entirely after
+            # (old rows, old id) — a client can attribute every answer to
+            # exactly one snapshot.
             result = target.publisher.answer(request.query, role=request.role)
+            current_id = self.router.current_id(target.relation_name)
         return QueryResponse(
             rows=tuple(dict(row) for row in result.rows),
             proof=result.proof,
+            manifest_id=current_id,
         )
 
     def _answer_join(self, request: JoinRequest) -> JoinResponse:
@@ -290,11 +320,51 @@ class PublicationServer:
         )
         with target.lock:
             result = target.publisher.answer_join(request.join, role=request.role)
+            left_id = self.router.current_id(request.join.left_relation)
+            right_id = self.router.current_id(request.join.right_relation)
         return JoinResponse(
             rows=tuple(dict(row) for row in result.rows),
             left_rows=tuple(dict(row) for row in result.left_rows),
             proof=result.proof,
+            left_manifest_id=left_id,
+            right_manifest_id=right_id,
         )
+
+    def _answer_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Verify, apply and acknowledge one owner delta batch.
+
+        The whole pipeline — signature check, sequence check, application,
+        manifest rotation — runs under the shard's write lock, so every
+        concurrent query on this shard sees the relation entirely before or
+        entirely after the batch.
+        """
+        target = self.router.route_for_update(request.manifest_id)
+        with target.lock:
+            signed = target.publisher.signed_relation(target.relation_name)
+            if request.sequence != signed.version:
+                raise StaleManifestError(
+                    f"update signed for sequence {request.sequence}, but "
+                    f"relation {target.relation_name!r} is at sequence "
+                    f"{signed.version}",
+                    reason="stale-update",
+                )
+            message = update_signing_message(
+                request.manifest_id, request.sequence, request.deltas
+            )
+            if not signed.manifest.public_key.verify(
+                message, request.owner_signature
+            ):
+                raise OwnerAuthError(
+                    f"update for {target.relation_name!r} is not signed by "
+                    "the data owner"
+                )
+            receipt = target.publisher.apply_deltas(
+                target.relation_name, request.deltas
+            )
+            rotation = self.router.record_rotation(target)
+        with self._stats_lock:
+            self.updates_applied += 1
+        return UpdateResponse(receipt=receipt, rotation=rotation)
 
 
 def _main(argv=None) -> int:

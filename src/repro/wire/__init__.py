@@ -24,16 +24,30 @@ from repro.wire.codec import (
     to_json_obj,
 )
 from repro.wire.errors import WireFormatError
+from repro.wire.updates import (
+    ManifestRotated,
+    RecordDelta,
+    UpdateRequest,
+    UpdateResponse,
+    manifest_signing_message,
+    update_signing_message,
+)
 
 __all__ = [
     "WIRE_VERSION",
     "WireFormatError",
+    "ManifestRotated",
+    "RecordDelta",
+    "UpdateRequest",
+    "UpdateResponse",
     "decode",
     "encode",
     "from_json",
     "from_json_obj",
     "manifest_id",
+    "manifest_signing_message",
     "register_artifact",
     "to_json",
     "to_json_obj",
+    "update_signing_message",
 ]

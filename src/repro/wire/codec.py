@@ -5,7 +5,7 @@ Framing
 
 Every top-level artifact is encoded as::
 
-    magic "PV" (2 bytes) | version (1 byte, currently 0x01) | type tag (1 byte) | body
+    magic "PV" (2 bytes) | version (1 byte, currently 0x02) | type tag (1 byte) | body
 
 Bodies are built from the strict primitives of
 :mod:`repro.wire.primitives`: big-endian fixed-width integers, u32
@@ -86,9 +86,13 @@ __all__ = [
     "NestedField",
     "UnionField",
     "EnumStrField",
+    "FixedBytesField",
 ]
 
-WIRE_VERSION = 1
+#: Version 2 added the live-update pipeline: ``RelationManifest.sequence``
+#: (manifest rotation), fixed-width manifest-id fields, and the
+#: insert/delete/update artifacts of :mod:`repro.wire.updates`.
+WIRE_VERSION = 2
 _MAGIC = b"PV"
 
 
@@ -216,6 +220,46 @@ class _Scalar(_Field):
         if obj is None or isinstance(obj, (bool, int, float, str)):
             return obj
         raise _json_type_error(what, "a scalar", obj)
+
+
+class _FixedBytes(_Field):
+    """Exactly ``size`` raw bytes — the length is part of the format.
+
+    Used for digests and manifest ids: a value of the wrong width is rejected
+    structurally (at encode time as a programming error, at decode time as a
+    short read / trailing bytes), and the wire carries no redundant length
+    prefix.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("fixed-width byte fields need a positive size")
+        self.size = size
+
+    def write(self, writer, value):
+        writer.fixed_bytes(value, self.size)
+
+    def read(self, reader, what):
+        return reader.fixed_bytes(self.size, what)
+
+    def to_json(self, value):
+        return bytes(value).hex()
+
+    def from_json(self, obj, what):
+        if not isinstance(obj, str):
+            raise _json_type_error(what, "a hex string", obj)
+        try:
+            raw = bytes.fromhex(obj)
+        except ValueError:
+            raise WireFormatError(
+                f"JSON field {what} is not valid hex", reason="bad-json"
+            ) from None
+        if len(raw) != self.size:
+            raise WireFormatError(
+                f"JSON field {what} must be {self.size} bytes, got {len(raw)}",
+                reason="bad-json",
+            )
+        return raw
 
 
 class _Optional(_Field):
@@ -478,6 +522,7 @@ MapField = _Map
 NestedField = _Nested
 UnionField = _Union
 EnumStrField = _EnumStr
+FixedBytesField = _FixedBytes
 
 
 # ---------------------------------------------------------------------------
@@ -624,6 +669,7 @@ def _check_hash_name(name: str) -> None:
 
 def _post_manifest(manifest: RelationManifest) -> None:
     _check(manifest.base >= 2, "digest-scheme base must be at least 2")
+    _check(manifest.sequence >= 0, "negative manifest sequence")
     _check_hash_name(manifest.hash_name)
 
 
@@ -631,6 +677,18 @@ def _post_receipt(receipt: UpdateReceipt) -> None:
     _check(receipt.signatures_recomputed >= 0, "negative signature count")
     _check(receipt.digests_recomputed >= 0, "negative digest count")
     _check(receipt.chain_messages_recomputed >= 0, "negative chain-message count")
+    # Section 6.3 accounting invariants: exactly one signature per affected
+    # chain entry, and every re-derived chain message is re-signed.  Enforced
+    # at decode so a receipt whose counts drifted (or were tampered with) in
+    # transit can never silently round-trip.
+    _check(
+        receipt.signatures_recomputed == len(receipt.entries_affected),
+        "signature count disagrees with the affected-entry list",
+    )
+    _check(
+        receipt.chain_messages_recomputed == receipt.signatures_recomputed,
+        "chain-message count disagrees with the signature count",
+    )
 
 
 # -- registrations ------------------------------------------------------------
@@ -799,6 +857,7 @@ register_artifact(
         ("base", INT),
         ("hash_name", STR),
         ("public_key", _Nested(RSAPublicKey)),
+        ("sequence", INT),
     ],
     post=_post_manifest,
 )

@@ -57,6 +57,20 @@ class WireWriter:
         self.u32(len(value))
         self._parts.append(value)
 
+    def fixed_bytes(self, value: bytes, size: int) -> None:
+        """Exactly ``size`` raw bytes, no length prefix.
+
+        For fields whose length is part of the format (manifest ids, digests):
+        the wire carries no redundant length, and a wrong-sized value is a
+        programming error caught at encode time.
+        """
+        value = bytes(value)
+        if len(value) != size:
+            raise ValueError(
+                f"fixed-width field needs exactly {size} bytes, got {len(value)}"
+            )
+        self._parts.append(value)
+
     def str_(self, value: str) -> None:
         self.bytes_(value.encode("utf-8"))
 
@@ -132,6 +146,10 @@ class WireReader:
                 reason="oversized-field",
             )
         return self._take(length, what)
+
+    def fixed_bytes(self, size: int, what: str = "fixed bytes") -> bytes:
+        """Exactly ``size`` raw bytes (the dual of :meth:`WireWriter.fixed_bytes`)."""
+        return self._take(size, what)
 
     def str_(self, what: str = "string") -> str:
         raw = self.bytes_(what)

@@ -1,0 +1,238 @@
+"""Wire artifacts of the live owner→publisher update pipeline.
+
+The paper's Section 6.3 update scheme runs in-process
+(:meth:`~repro.core.relational.SignedRelation.insert_record` and friends);
+this module gives it a wire form so a *remote* owner can mutate a deployed
+publisher:
+
+====================  =======================================================
+``RecordDelta``        one insert / delete / update of a single record
+``UpdateRequest``      a signed batch of deltas against one manifest id
+``UpdateResponse``     the merged receipt plus the rotation it caused
+``ManifestRotated``    the rotated manifest, authenticated by the owner key
+====================  =======================================================
+
+Authentication is by *owner signature*, never by transport identity: an
+``UpdateRequest`` signs the (manifest id, sequence, deltas) triple under the
+same key that signs the chain, and a ``ManifestRotated`` signs the superseded
+id plus the new manifest's canonical bytes.  Both messages are domain
+separated (:data:`UPDATE_SIGNING_PREFIX` / :data:`ROTATION_SIGNING_PREFIX`)
+so neither can be replayed as a chain signature or as each other.
+
+Replay protection falls out of manifest rotation: the signed manifest id
+names the exact data version a delta batch applies to, and applying the batch
+rotates that id — so a captured ``UpdateRequest`` re-sent later addresses a
+superseded id and is rejected with a typed error, and a captured
+``ManifestRotated`` re-presented later fails the client's strictly-increasing
+sequence check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.wire import codec
+from repro.wire.codec import encode
+from repro.wire.errors import WireFormatError
+
+__all__ = [
+    "DELTA_KINDS",
+    "MANIFEST_ID_SIZE",
+    "RecordDelta",
+    "UpdateRequest",
+    "UpdateResponse",
+    "ManifestRotated",
+    "update_signing_message",
+    "manifest_signing_message",
+]
+
+#: Width of a manifest id (SHA-256 of the manifest's canonical wire bytes).
+MANIFEST_ID_SIZE = 32
+
+#: The three mutation kinds of the Section 6.3 update scheme.
+DELTA_KINDS = ("insert", "delete", "update")
+
+#: Domain-separation prefixes: a signature over an update batch can never be
+#: mistaken for a rotation signature (or for a formula-(1) chain signature,
+#: which signs raw digest concatenations of a different shape).
+UPDATE_SIGNING_PREFIX = b"PV2-update|"
+ROTATION_SIGNING_PREFIX = b"PV2-rotation|"
+
+
+@dataclass(frozen=True)
+class RecordDelta:
+    """One mutation of a single record.
+
+    ``values`` carries the full attribute map of the record being inserted
+    (``insert``), deleted (``delete``; the publisher locates the exact record
+    by key *and* payload fingerprint), or the replacement record
+    (``update``).  ``old_values`` names the record being replaced and is
+    present exactly for ``update`` deltas.
+    """
+
+    kind: str
+    values: Mapping[str, object]
+    old_values: Optional[Mapping[str, object]] = None
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """A signed batch of deltas against one exact data version.
+
+    ``manifest_id`` pins the manifest (and therefore the ``sequence``) the
+    batch applies to; ``owner_signature`` signs the whole triple via
+    :func:`update_signing_message`.  The publisher verifies the signature
+    under the hosted relation's public key before touching anything.
+    """
+
+    manifest_id: bytes
+    sequence: int
+    deltas: Tuple[RecordDelta, ...]
+    owner_signature: int
+
+
+@dataclass(frozen=True)
+class ManifestRotated:
+    """Notification that a relation's manifest rotated.
+
+    ``owner_signature`` signs :func:`manifest_signing_message` over
+    ``previous_id`` (empty at genesis) and the new manifest's canonical
+    bytes, so a client holding any older manifest of the same relation can
+    authenticate the rotation with the public key it already pinned.
+    """
+
+    manifest: RelationManifest
+    previous_id: bytes
+    owner_signature: int
+
+    @property
+    def sequence(self) -> int:
+        return self.manifest.sequence
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """What the publisher answers a successful :class:`UpdateRequest` with."""
+
+    receipt: UpdateReceipt
+    rotation: ManifestRotated
+
+
+def update_signing_message(
+    manifest_id: bytes, sequence: int, deltas: Tuple[RecordDelta, ...]
+) -> bytes:
+    """The canonical byte string an :class:`UpdateRequest` signature covers.
+
+    Built by encoding the request itself with a zeroed signature slot, so the
+    signed bytes are exactly the strict wire form of everything else in the
+    message — there is no second, subtly different serialisation to drift.
+    """
+    unsigned = UpdateRequest(
+        manifest_id=bytes(manifest_id),
+        sequence=sequence,
+        deltas=tuple(deltas),
+        owner_signature=0,
+    )
+    return UPDATE_SIGNING_PREFIX + encode(unsigned)
+
+
+def manifest_signing_message(
+    manifest: RelationManifest, previous_id: bytes
+) -> bytes:
+    """The canonical byte string a :class:`ManifestRotated` signature covers.
+
+    Covers the superseded id as well as the new manifest, so a tampered
+    ``previous_id`` breaks the signature instead of slipping through as
+    unauthenticated metadata.
+    """
+    previous = bytes(previous_id)
+    return (
+        ROTATION_SIGNING_PREFIX
+        + len(previous).to_bytes(4, "big")
+        + previous
+        + encode(manifest)
+    )
+
+
+# -- validation hooks ---------------------------------------------------------
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireFormatError(message, reason="invalid-artifact")
+
+
+def _post_delta(delta: RecordDelta) -> None:
+    _check(bool(delta.values), "a record delta needs at least one attribute value")
+    if delta.kind == "update":
+        _check(
+            delta.old_values is not None,
+            "an update delta must name the record it replaces",
+        )
+    else:
+        _check(
+            delta.old_values is None,
+            f"an {delta.kind} delta must not carry old values",
+        )
+
+
+def _post_update_request(request: UpdateRequest) -> None:
+    _check(request.sequence >= 0, "negative update sequence")
+    _check(bool(request.deltas), "an update request needs at least one delta")
+    _check(request.owner_signature >= 1, "owner signature must be positive")
+
+
+def _post_rotation(rotation: ManifestRotated) -> None:
+    _check(
+        len(rotation.previous_id) in (0, MANIFEST_ID_SIZE),
+        "previous manifest id must be empty (genesis) or 32 bytes",
+    )
+    _check(rotation.owner_signature >= 1, "owner signature must be positive")
+
+
+_ROW = codec.MapField(codec.STR, codec.SCALAR)
+
+codec.register_artifact(
+    0x30,
+    RecordDelta,
+    [
+        ("kind", codec.EnumStrField(*DELTA_KINDS)),
+        ("values", _ROW),
+        ("old_values", codec.OptionalField(_ROW)),
+    ],
+    post=_post_delta,
+)
+
+codec.register_artifact(
+    0x31,
+    UpdateRequest,
+    [
+        ("manifest_id", codec.FixedBytesField(MANIFEST_ID_SIZE)),
+        ("sequence", codec.INT),
+        ("deltas", codec.TupleField(codec.NestedField(RecordDelta))),
+        ("owner_signature", codec.INT),
+    ],
+    post=_post_update_request,
+)
+
+codec.register_artifact(
+    0x32,
+    ManifestRotated,
+    [
+        ("manifest", codec.NestedField(RelationManifest)),
+        ("previous_id", codec.BYTES),
+        ("owner_signature", codec.INT),
+    ],
+    post=_post_rotation,
+)
+
+codec.register_artifact(
+    0x33,
+    UpdateResponse,
+    [
+        ("receipt", codec.NestedField(UpdateReceipt)),
+        ("rotation", codec.NestedField(ManifestRotated)),
+    ],
+)

@@ -29,6 +29,12 @@ def signature_scheme() -> SignatureScheme:
 
 
 @pytest.fixture(scope="session")
+def forged_scheme() -> SignatureScheme:
+    """A *different* key pair, for forged-signature tests (shared, read-only)."""
+    return rsa_scheme(bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
 def owner(signature_scheme) -> DataOwner:
     """A data owner using the shared key and the optimized digest scheme (B=2)."""
     return DataOwner(signature_scheme=signature_scheme, scheme_kind="optimized", base=2)

@@ -214,7 +214,12 @@ class _EvilServer:
             return ManifestResponse(
                 manifest=router.manifest_by_name(request.relation_name)
             )
-        assert isinstance(request, QueryRequest)
+        if not isinstance(request, QueryRequest):
+            return ErrorResponse(
+                code="UnknownRequest",
+                reason="unsupported",
+                message=f"evil server does not serve {type(request).__name__}",
+            )
         target = router.route(request.manifest_id)
         result = target.publisher.answer(request.query, role=request.role)
         rows, proof = self.tamper(
@@ -243,7 +248,12 @@ class _ImpersonatingServer(_EvilServer):
             return ManifestResponse(
                 manifest=router.manifest_by_name(request.relation_name)
             )
-        assert isinstance(request, QueryRequest)
+        if not isinstance(request, QueryRequest):
+            return ErrorResponse(
+                code="UnknownRequest",
+                reason="unsupported",
+                message=f"imposter does not serve {type(request).__name__}",
+            )
         own_id = dict(router.listing())[request.query.relation_name]
         target = router.route(own_id)
         result = target.publisher.answer(request.query, role=request.role)

@@ -228,7 +228,7 @@ def test_decode_rejects_unknown_tag():
 
 
 def test_decode_rejects_truncation_and_trailing_bytes():
-    blob = encode(UpdateReceipt(1, 2, (3, 4), 2))
+    blob = encode(UpdateReceipt(2, 1, (3, 4), 2))
     for cut in range(len(blob)):
         with pytest.raises(WireFormatError):
             decode(blob[:cut])

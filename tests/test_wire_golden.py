@@ -38,7 +38,7 @@ from repro.db.query import (
     RangeCondition,
 )
 from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
-from repro.wire import decode, encode, from_json, to_json
+from repro.wire import decode, encode, from_json, to_json, updates
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "wire_vectors.json")
 
@@ -154,11 +154,42 @@ def build_vectors():
         hash_name="sha256",
         public_key=public_key,
     )
+    rotated_manifest = RelationManifest(
+        schema=_schema(),
+        scheme_kind="optimized",
+        base=2,
+        hash_name="sha256",
+        public_key=public_key,
+        sequence=7,
+    )
     receipt = UpdateReceipt(
         signatures_recomputed=3,
         digests_recomputed=1,
         entries_affected=(10, 11, 12),
         chain_messages_recomputed=3,
+    )
+    insert_delta = updates.RecordDelta(
+        kind="insert",
+        values={"salary": 4100, "name": "Carol", "active": True},
+    )
+    update_delta = updates.RecordDelta(
+        kind="update",
+        values={"salary": 4100, "name": "Carol", "active": False},
+        old_values={"salary": 4100, "name": "Carol", "active": True},
+    )
+    update_request = updates.UpdateRequest(
+        manifest_id=_digest(24),
+        sequence=7,
+        deltas=(insert_delta, update_delta),
+        owner_signature=0x1CEB00DA,
+    )
+    manifest_rotated = updates.ManifestRotated(
+        manifest=rotated_manifest,
+        previous_id=_digest(25),
+        owner_signature=0xF00D,
+    )
+    update_response = updates.UpdateResponse(
+        receipt=receipt, rotation=manifest_rotated
     )
     query = Query(
         "employees",
@@ -195,7 +226,13 @@ def build_vectors():
         "key_domain": KeyDomain(0, 100_000),
         "schema": _schema(),
         "relation_manifest": manifest,
+        "relation_manifest_rotated": rotated_manifest,
         "update_receipt": receipt,
+        "record_delta_insert": insert_delta,
+        "record_delta_update": update_delta,
+        "update_request": update_request,
+        "manifest_rotated": manifest_rotated,
+        "update_response": update_response,
         "query": query,
         "join_query": join_query,
         # service protocol envelopes share the registry and the guarantees
@@ -209,7 +246,9 @@ def build_vectors():
             manifest_id=_digest(21), query=query, role="hr_manager"
         ),
         "svc_query_response": protocol.QueryResponse(
-            rows=({"salary": 4200, "name": "Alice"},), proof=range_proof
+            rows=({"salary": 4200, "name": "Alice"},),
+            proof=range_proof,
+            manifest_id=_digest(21),
         ),
         "svc_join_request": protocol.JoinRequest(
             left_manifest_id=_digest(22),
@@ -221,7 +260,11 @@ def build_vectors():
             rows=({"orders.customer_id": 7},),
             left_rows=({"customer_id": 7},),
             proof=join_proof,
+            left_manifest_id=_digest(22),
+            right_manifest_id=_digest(23),
         ),
+        "svc_rotation_request": protocol.RotationRequest("employees"),
+        "svc_manifest_by_id_request": protocol.ManifestByIdRequest(_digest(26)),
         "svc_error_response": protocol.ErrorResponse(
             code="CompletenessError",
             reason="signature-mismatch",

@@ -161,3 +161,193 @@ def test_swapped_artifact_rejected(wire_world):
         from repro.core.proof import JoinQueryProof
 
         decode(encode(result.proof), expect=JoinQueryProof)
+
+
+# -- update / rotation messages (the live-update pipeline) --------------------
+#
+# Contract, extended to the owner→publisher direction: for any byte flip in an
+# UpdateRequest, UpdateResponse or ManifestRotated, either the codec rejects
+# (WireFormatError) or the receiving side's validation rejects with a typed
+# ServiceError — a tampered delta batch must never be *applied*, and a
+# tampered rotation must never move a client's trust root.
+
+from repro.core.errors import ReproError, UpdateApplicationError  # noqa: E402
+from repro.core.publisher import Publisher as _Publisher  # noqa: E402
+from repro.db import workload  # noqa: E402
+from repro.service import (  # noqa: E402
+    OwnerClient,
+    PublicationServer,
+    RecordDelta,
+    ServiceError,
+    ShardRouter,
+    VerifyingClient,
+    build_update_request,
+)
+from repro.wire.updates import UpdateRequest, UpdateResponse  # noqa: E402
+
+
+def _fresh_world(owner):
+    """An unstarted server over a fresh signed relation (no sockets needed)."""
+    relation = workload.generate_employees(10, seed=33, photo_bytes=8)
+    database = owner.publish_database({"employees": relation})
+    router = ShardRouter({"hr": _Publisher(database.relations)})
+    server = PublicationServer(router)
+    batch = (
+        RecordDelta(
+            kind="insert",
+            values={
+                "salary": 333,
+                "emp_id": "t-333",
+                "name": "tamper",
+                "dept": 2,
+                "photo": b"\x11" * 8,
+            },
+        ),
+        RecordDelta(kind="delete", values=relation.records[0].as_dict()),
+    )
+    request = build_update_request(
+        owner.signature_scheme, database["employees"].manifest, batch
+    )
+    return database, router, server, batch, request
+
+
+@pytest.fixture()
+def update_world(owner):
+    return _fresh_world(owner)
+
+
+def _sweep_update_request(blob, check, step):
+    """Byte-flip sweep with the service-layer error contract."""
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=step):
+            tampered = (
+                blob[:offset] + bytes((blob[offset] ^ mask,)) + blob[offset + 1 :]
+            )
+            try:
+                artifact = decode(tampered)
+            except WireFormatError:
+                continue  # codec-layer rejection: typed, expected
+            try:
+                check(artifact)
+            except (WireFormatError, ServiceError, UpdateApplicationError):
+                continue  # validation-layer rejection: typed, expected
+            except ReproError:
+                continue  # any other *typed* library error is acceptable
+            pytest.fail(
+                f"flipping byte {offset} with mask {mask:#x} of an update "
+                "message was silently accepted"
+            )
+
+
+def test_tampered_update_request_never_applies(update_world):
+    """Flipped delta batches are refused by the real server dispatch path."""
+    database, router, server, batch, request = update_world
+    blob = encode(request)
+    baseline_version = database["employees"].version
+
+    def check(artifact):
+        if not isinstance(artifact, UpdateRequest):
+            raise WireFormatError("tampering changed the message type")
+        server._answer_update(artifact)
+        pytest.fail("a tampered update request was applied")
+
+    _sweep_update_request(blob, check, step=11)
+    assert database["employees"].version == baseline_version, (
+        "a tampered update mutated the relation"
+    )
+
+
+def test_forged_update_request_rejected(update_world, forged_scheme):
+    from repro.service import OwnerAuthError
+
+    database, router, server, batch, request = update_world
+    forged = build_update_request(
+        forged_scheme, database["employees"].manifest, batch
+    )
+    with pytest.raises(OwnerAuthError):
+        server._answer_update(forged)
+    assert database["employees"].version == 0
+
+
+def test_replayed_update_request_rejected(update_world):
+    from repro.service import StaleManifestError
+
+    database, router, server, batch, request = update_world
+    first = server._answer_update(request)
+    assert first.rotation.manifest.sequence == 2  # one insert + one delete
+    with pytest.raises(StaleManifestError) as excinfo:
+        server._answer_update(request)
+    assert excinfo.value.reason == "stale-update"
+
+
+def test_tampered_update_response_rejected(update_world, owner):
+    """Flips in the owner's acknowledgement are typed errors or visible
+    differences — never a silently-accepted identical artifact."""
+    database, router, server, batch, request = update_world
+    response = server._answer_update(request)
+    blob = encode(response)
+    owner_client = OwnerClient("localhost", 0, owner.signature_scheme)
+
+    def check(artifact):
+        if not isinstance(artifact, UpdateResponse):
+            raise WireFormatError("tampering changed the message type")
+        owner_client._validate_response("employees", request, batch, artifact)
+        # Validation passed: the flip must at least be *visible* (the
+        # canonical encoding guarantees a decoded flip is a different value;
+        # the unsigned receipt region is tamper-evident, not authenticated).
+        assert artifact != response, (
+            "a byte flip decoded back to the original response; "
+            "the encoding is not canonical"
+        )
+        raise ServiceError("response differs, as expected")
+
+    _sweep_update_request(blob, check, step=13)
+
+
+def test_tampered_rotation_never_repins(update_world, owner):
+    """Every byte of a ManifestRotated is authenticated: flips are typed errors."""
+    database, router, server, batch, request = update_world
+    pinned = database["employees"].manifest  # the genesis manifest
+    response = server._answer_update(request)
+    rotation = response.rotation
+    blob = encode(rotation)
+    client = VerifyingClient("localhost", 0)
+
+    from repro.wire.updates import ManifestRotated
+
+    def check(artifact):
+        if not isinstance(artifact, ManifestRotated):
+            raise WireFormatError("tampering changed the message type")
+        client._validate_rotation("employees", pinned, artifact)
+        pytest.fail("a tampered rotation passed the trust-root policy")
+
+    _sweep_update_request(blob, check, step=9)
+
+
+def test_replayed_stale_update_response_rejected(update_world, owner):
+    """An old (captured) UpdateResponse cannot acknowledge a newer push."""
+    database, router, server, batch, request = update_world
+    stale_response = server._answer_update(request)
+    owner_client = OwnerClient("localhost", 0, owner.signature_scheme)
+    # The owner moves on: a second batch against the rotated manifest.
+    second_batch = (
+        RecordDelta(
+            kind="insert",
+            values={
+                "salary": 444,
+                "emp_id": "t-444",
+                "name": "later",
+                "dept": 1,
+                "photo": b"\x12" * 8,
+            },
+        ),
+    )
+    second_request = build_update_request(
+        owner.signature_scheme,
+        stale_response.rotation.manifest,
+        second_batch,
+    )
+    with pytest.raises(ServiceError):
+        owner_client._validate_response(
+            "employees", second_request, second_batch, stale_response
+        )
