@@ -3,13 +3,18 @@
 Compares a freshly measured benchmark report (usually a ``--smoke`` run
 produced in CI) against the speedup floors stored in the committed
 ``BENCH_hot_paths.json`` (its ``targets`` section).  Exits non-zero when any
-measured speedup is below its floor or when the cached/uncached proof
-equivalence broke.
+measured speedup is below its floor, when the cached/uncached proof
+equivalence broke, or — if the fresh report carries the wire/service
+workloads — when worker-pool answers stopped being byte-identical to
+in-process answers.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --output fresh.json
     python benchmarks/check_bench_floors.py fresh.json
+
+    PYTHONPATH=src python benchmarks/bench_wire_service.py --smoke --output fresh.json
+    python benchmarks/check_bench_floors.py fresh.json --wire
 """
 
 from __future__ import annotations
@@ -26,28 +31,14 @@ _COMMITTED = os.path.join(_ROOT, "BENCH_hot_paths.json")
 _FLOOR_WORKLOADS = {
     "publisher_repeated_range_speedup_min": "publisher_repeated_range",
     "owner_bulk_signing_speedup_min": "owner_bulk_signing",
+    "crt_single_shot_signing_speedup_min": "crt_single_shot_signing",
+    "batch_verify_speedup_min": "batch_verify",
 }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly measured benchmark JSON report")
-    parser.add_argument(
-        "--floors",
-        default=_COMMITTED,
-        help="committed report holding the speedup floors (targets section)",
-    )
-    args = parser.parse_args(argv)
-
-    with open(args.floors, "r", encoding="utf-8") as handle:
-        floors = json.load(handle).get("targets", {})
-    with open(args.fresh, "r", encoding="utf-8") as handle:
-        fresh = json.load(handle)
-
-    failures = []
+def _check_hot_paths(floors: dict, fresh: dict, failures: list) -> None:
     if fresh.get("proofs_identical") is not True:
         failures.append("cached and uncached proofs are no longer byte-identical")
-
     workloads = fresh.get("workloads", {})
     for floor_key, workload in _FLOOR_WORKLOADS.items():
         floor = floors.get(floor_key)
@@ -66,11 +57,77 @@ def main(argv=None) -> int:
                 f"{workload} speedup {speedup:.2f}x fell below the {floor:.2f}x floor"
             )
 
+
+def _check_wire(fresh: dict, failures: list) -> None:
+    """Gates on the wire/service workloads (run with ``--wire``).
+
+    Absolute requests/sec depend on the runner, so the CI gate checks the
+    machine-independent invariants: pooled answers byte-identical, and
+    decode at least as fast as a conservative fraction of encode (the seed's
+    decoder ran at ~0.36x of encode; the zero-copy cursor must stay at or
+    above 0.55x even on a noisy runner).
+    """
+    workloads = fresh.get("workloads", {})
+    pool = workloads.get("service_pool")
+    if pool is None:
+        failures.append("fresh report is missing workload 'service_pool'")
+    elif pool.get("pooled_identical") is not True:
+        failures.append("worker-pool answers are no longer byte-identical")
+    else:
+        print("service_pool                 pooled answers byte-identical  ok")
+    codec = workloads.get("wire_codec_throughput")
+    if codec is None:
+        failures.append("fresh report is missing workload 'wire_codec_throughput'")
+    else:
+        encode_rate = codec.get("encode_ops_per_sec", 0.0)
+        decode_rate = codec.get("decode_ops_per_sec", 0.0)
+        ratio = decode_rate / encode_rate if encode_rate else 0.0
+        status = "ok" if ratio >= 0.55 else "REGRESSION"
+        print(
+            f"wire_codec_throughput        decode/encode {ratio:8.2f}   "
+            f"floor  0.55   {status}"
+        )
+        if ratio < 0.55:
+            failures.append(
+                f"decode throughput fell to {ratio:.2f}x of encode "
+                "(the zero-copy decoder floor is 0.55x)"
+            )
+    service = workloads.get("service_throughput")
+    if service is None:
+        failures.append("fresh report is missing workload 'service_throughput'")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly measured benchmark JSON report")
+    parser.add_argument(
+        "--floors",
+        default=_COMMITTED,
+        help="committed report holding the speedup floors (targets section)",
+    )
+    parser.add_argument(
+        "--wire",
+        action="store_true",
+        help="gate on the wire/service workloads instead of the hot paths",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.floors, "r", encoding="utf-8") as handle:
+        floors = json.load(handle).get("targets", {})
+    with open(args.fresh, "r", encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    failures: list = []
+    if args.wire:
+        _check_wire(fresh, failures)
+    else:
+        _check_hot_paths(floors, fresh, failures)
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("all hot-path speedups are at or above their stored floors")
+    print("all gated benchmarks are at or above their stored floors")
     return 0
 
 

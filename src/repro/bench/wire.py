@@ -22,6 +22,7 @@ it into ``BENCH_hot_paths.json``.
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 from dataclasses import asdict, dataclass
@@ -34,6 +35,7 @@ from repro.crypto.signature import SignatureScheme, rsa_scheme
 from repro.db import workload
 from repro.db.query import Conjunction, Query, RangeCondition
 from repro.service.client import VerifyingClient
+from repro.service.protocol import QueryRequest, recv_frame, send_message
 from repro.service.router import ShardRouter
 from repro.service.server import PublicationServer
 from repro.wire import decode, encode
@@ -136,21 +138,22 @@ def bench_codec_throughput(
     proof = publisher.answer(query).proof
     blob = encode(proof)
     rounds = config.codec_rounds
+    decode(blob)  # generate the per-artifact decoders before timing
 
-    start = time.perf_counter()
-    for _ in range(rounds):
-        encode(proof)
-    encode_elapsed = time.perf_counter() - start
-
-    start = time.perf_counter()
-    for _ in range(rounds):
-        decode(blob)
-    decode_elapsed = time.perf_counter() - start
+    def best_rate(operation) -> float:
+        best = 0.0
+        for _ in range(3):  # best of three: scheduler noise insurance
+            start = time.perf_counter()
+            for _ in range(rounds):
+                operation()
+            elapsed = time.perf_counter() - start
+            best = max(best, rounds / elapsed if elapsed else float("inf"))
+        return round(best, 2)
 
     return {
         "vo_bytes": len(blob),
-        "encode_ops_per_sec": round(rounds / encode_elapsed, 2) if encode_elapsed else float("inf"),
-        "decode_ops_per_sec": round(rounds / decode_elapsed, 2) if decode_elapsed else float("inf"),
+        "encode_ops_per_sec": best_rate(lambda: encode(proof)),
+        "decode_ops_per_sec": best_rate(lambda: decode(blob)),
         "rounds": rounds,
     }
 
@@ -160,11 +163,15 @@ def bench_service_throughput(
 ) -> Dict[str, object]:
     """End-to-end requests/sec against a live server, concurrent clients.
 
-    The workload hosts a single shard, so proof construction is serialized
-    by the shard lock: the numbers measure the full service pipeline
-    (framing, codec, cached proof assembly, socket I/O overlap) — not
-    parallel proof construction.  The raw/verified split isolates the
-    client-side verification cost.
+    Clients run **pipelined** (:meth:`VerifyingClient.query_many`): a batch
+    of requests is written in one syscall and the responses stream back in
+    order, so the per-query network round trip of the seed's
+    request/response lockstep disappears.  The sequential (one round trip
+    per query) rate is measured too — ``pipelined_speedup`` is the ratio on
+    identical hardware.  The raw/verified split isolates the client-side
+    verification cost; the server runs in-process proof construction (the
+    single-core configuration — see the ``service_pool`` workload for the
+    worker-pool path).
     """
     signed, publisher, _ = _employee_world(scheme, config)
     router = ShardRouter({"bench": publisher})
@@ -174,19 +181,27 @@ def bench_service_throughput(
         "requests_per_client": config.requests_per_client,
     }
 
-    with PublicationServer(router, max_workers=max(4, config.clients)) as server:
+    with PublicationServer(
+        router, max_workers=max(8, 2 * config.clients)
+    ) as server:
         host, port = server.address
 
-        def run_clients(verify: bool) -> float:
+        def run_clients(verify: bool, pipelined: bool) -> float:
             errors: List[BaseException] = []
 
             def worker() -> None:
                 try:
                     with VerifyingClient(host, port) as client:
                         client.fetch_manifest("employees")
-                        for index in range(config.requests_per_client):
-                            query = queries[index % len(queries)]
-                            client.query(query, verify=verify)
+                        batch = [
+                            queries[index % len(queries)]
+                            for index in range(config.requests_per_client)
+                        ]
+                        if pipelined:
+                            client.query_many(batch, verify=verify)
+                        else:
+                            for query in batch:
+                                client.query(query, verify=verify)
                 except BaseException as error:  # pragma: no cover - surfaced below
                     errors.append(error)
 
@@ -204,11 +219,105 @@ def bench_service_throughput(
             total = config.clients * config.requests_per_client
             return round(total / elapsed, 2) if elapsed else float("inf")
 
-        # Warm the publisher's VO-fragment cache once, then measure.
-        run_clients(verify=False)
-        report["requests_per_sec_raw"] = run_clients(verify=False)
-        report["requests_per_sec_verified"] = run_clients(verify=True)
+        # Warm the server-side caches once, then measure.  Each number is the
+        # best of five trials: one trial lasts tens of milliseconds, so
+        # throughput is scheduler-noise-sensitive and the best trial is the
+        # closest estimate of what the pipeline can do.
+        run_clients(verify=False, pipelined=True)
+        sequential = max(
+            run_clients(verify=False, pipelined=False) for _ in range(5)
+        )
+        raw = max(run_clients(verify=False, pipelined=True) for _ in range(5))
+        report["requests_per_sec_raw"] = raw
+        report["requests_per_sec_raw_sequential"] = sequential
+        report["pipelined_speedup"] = (
+            round(raw / sequential, 2) if sequential else float("inf")
+        )
+        report["requests_per_sec_verified"] = max(
+            run_clients(verify=True, pipelined=True) for _ in range(3)
+        )
     return report
+
+
+def bench_pooled_identity(
+    scheme: SignatureScheme, config: WireBenchConfig
+) -> Dict[str, object]:
+    """Worker-pool answers must be byte-identical to in-process answers.
+
+    The same shard state is served twice — once with proof construction
+    inline on the event loop, once dispatched to forked proof workers — and
+    the raw response frames are compared byte for byte.  Also records the
+    pooled throughput (which only exceeds the inline rate when there are
+    cores for the workers to use).
+    """
+    signed, publisher, _ = _employee_world(scheme, config)
+    router = ShardRouter({"bench": publisher})
+    queries = [_selectivity_query(s) for s in config.selectivities]
+
+    def collect_frames(worker_processes: int) -> List[bytes]:
+        frames: List[bytes] = []
+        with PublicationServer(
+            router,
+            max_workers=8,
+            worker_processes=worker_processes,
+            response_cache=False,
+        ) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                with VerifyingClient(host, port) as client:
+                    identifier = client.relations()["employees"]
+                for query in queries:
+                    send_message(
+                        sock, QueryRequest(manifest_id=identifier, query=query)
+                    )
+                    frame = recv_frame(sock)
+                    assert frame is not None
+                    frames.append(frame)
+        return frames
+
+    inline_frames = collect_frames(0)
+    pooled_frames = collect_frames(2)
+    identical = inline_frames == pooled_frames
+
+    def pooled_rate() -> float:
+        with PublicationServer(
+            router, max_workers=max(8, 2 * config.clients), worker_processes=2
+        ) as server:
+            host, port = server.address
+            batch = [
+                queries[index % len(queries)]
+                for index in range(config.requests_per_client)
+            ]
+
+            def worker(errors: List[BaseException]) -> None:
+                try:
+                    with VerifyingClient(host, port) as client:
+                        client.fetch_manifest("employees")
+                        client.query_many(batch, verify=False)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            errors: List[BaseException] = []
+            threads = [
+                threading.Thread(target=worker, args=(errors,))
+                for _ in range(config.clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            if errors:
+                raise errors[0]
+            total = config.clients * config.requests_per_client
+            return round(total / elapsed, 2) if elapsed else float("inf")
+
+    return {
+        "pooled_identical": identical,
+        "worker_processes": 2,
+        "requests_per_sec_raw_pooled": pooled_rate(),
+    }
 
 
 def run_wire_benchmarks(config: WireBenchConfig = WireBenchConfig()) -> Dict:
@@ -220,5 +329,6 @@ def run_wire_benchmarks(config: WireBenchConfig = WireBenchConfig()) -> Dict:
             "wire_vo_sizes": bench_vo_sizes(scheme, config),
             "wire_codec_throughput": bench_codec_throughput(scheme, config),
             "service_throughput": bench_service_throughput(scheme, config),
+            "service_pool": bench_pooled_identity(scheme, config),
         },
     }

@@ -20,7 +20,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.cache import bounded_put
+from repro.cache import BoundedCache
 from repro.core.errors import (
     PolicyViolationError,
     ProofConstructionError,
@@ -74,7 +74,7 @@ class PublishedJoinResult:
         return self.proof is None
 
 
-#: Bound on the publisher's verification-object fragment cache.
+#: Default bound on the publisher's verification-object fragment cache.
 _VO_CACHE_MAX = 16384
 
 
@@ -89,6 +89,10 @@ class Publisher:
     / ``update_record`` on a hosted relation evict exactly the fragments whose
     entry keys the mutation touched (signature bundles are version-keyed and
     flushed wholesale, since any mutation moves the chain).
+
+    ``vo_cache_max`` bounds the fragment cache (FIFO eviction), so a
+    long-running server's memory ceiling is explicit; :meth:`cache_stats`
+    exposes hits/misses/evictions for observability.
     """
 
     def __init__(
@@ -97,14 +101,13 @@ class Publisher:
         policy: Optional[AccessControlPolicy] = None,
         aggregate: bool = True,
         vo_cache: bool = True,
+        vo_cache_max: int = _VO_CACHE_MAX,
     ) -> None:
         self.database: Dict[str, SignedRelation] = dict(database)
         self.policy = policy
         self.aggregate = aggregate
         self.vo_cache_enabled = vo_cache
-        self._vo_cache: Dict[tuple, object] = {}
-        self.vo_cache_hits = 0
-        self.vo_cache_misses = 0
+        self._vo_cache: BoundedCache = BoundedCache(vo_cache_max)
         # Cache keys carry the *hosting* name of a relation (the database key
         # the query used, threaded through every proof-building helper), so
         # the invalidation listeners and the cache writers agree on keys even
@@ -142,8 +145,8 @@ class Publisher:
                     subscribed_names.add(name)
 
     def _flush_relation(self, relation_name: str) -> None:
-        for key in [key for key in self._vo_cache if key[0] == relation_name]:
-            del self._vo_cache[key]
+        for key in [key for key in self._vo_cache.keys() if key[0] == relation_name]:
+            self._vo_cache.pop(key)
 
     def _invalidator_for(self, relation_name: str):
         # The listener outlives this publisher inside the SignedRelation, so it
@@ -159,12 +162,12 @@ class Publisher:
             affected = set(affected_keys)
             stale = [
                 key
-                for key in publisher._vo_cache
+                for key in publisher._vo_cache.keys()
                 if key[0] == relation_name
                 and (key[1] == "bundle" or key[2] in affected)
             ]
             for key in stale:
-                del publisher._vo_cache[key]
+                publisher._vo_cache.pop(key)
             return True
 
         return _invalidate
@@ -172,16 +175,43 @@ class Publisher:
     def _vo_cache_get(self, key: tuple):
         if not self.vo_cache_enabled:
             return None
-        cached = self._vo_cache.get(key)
-        if cached is not None:
-            self.vo_cache_hits += 1
-        return cached
+        return self._vo_cache.get(key)
 
     def _vo_cache_put(self, key: tuple, value):
         if not self.vo_cache_enabled:
             return value
-        self.vo_cache_misses += 1
-        return bounded_put(self._vo_cache, key, value, _VO_CACHE_MAX)
+        return self._vo_cache.put(key, value)
+
+    @property
+    def vo_cache_hits(self) -> int:
+        """Fragment-cache hits (kept as an attribute-style counter for tests)."""
+        return self._vo_cache.hits
+
+    @property
+    def vo_cache_misses(self) -> int:
+        """Fragment-cache lookup misses (each one fills a cache slot)."""
+        return self._vo_cache.misses
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters of the publisher-side caches.
+
+        ``vo_fragments`` is the keyed verification-object fragment cache;
+        ``signature_memos`` sums the hosted relations' deterministic
+        signature memos (size only — hits are counted globally by
+        :data:`repro.crypto.rsa.SIGN_COUNTER`).
+        """
+        memo_sizes = {}
+        for name, signed in self.database.items():
+            signer = getattr(
+                getattr(signed, "_signature_scheme", None), "signer", None
+            )
+            memo = getattr(signer, "signature_memo_stats", None)
+            if memo is not None:
+                memo_sizes[name] = memo()
+        return {
+            "vo_fragments": self._vo_cache.stats(),
+            "signature_memos": memo_sizes,
+        }
 
     # -- helpers ------------------------------------------------------------------
 

@@ -3,7 +3,11 @@
 The paper assumes a standard signature algorithm (RSA or DSA) for the owner to
 sign per-record digests.  This module provides:
 
-* probabilistic RSA key generation (:func:`generate_keypair`),
+* probabilistic RSA key generation (:func:`generate_keypair`), including
+  **multi-prime** moduli (RFC 8017 section 3): the modulus is a product of
+  ``crt_primes`` primes, which leaves the public key — and therefore every
+  verifier — completely unchanged while cutting the owner's CRT signing cost
+  (three 1/3-size exponentiations instead of two 1/2-size ones),
 * full-domain-hash signing: the message digest is expanded with a mask
   generation function to (almost) the size of the modulus before
   exponentiation, which is what makes condensed-RSA aggregation
@@ -13,15 +17,19 @@ sign per-record digests.  This module provides:
 Key sizes are configurable; tests use small (fast) keys, the cost model and
 benchmarks default to 1024-bit moduli to match ``Msign = 1024`` bits in the
 paper's Table 1.
+
+All per-key CRT constants (per-prime exponents, Garner coefficients) are
+computed once at key construction — i.e. at keygen — so both bulk and
+single-shot signing pay only the modular exponentiations themselves.
 """
 
 from __future__ import annotations
 
 import hashlib
 import secrets
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache import bounded_put
 from repro.crypto.primes import generate_prime, modular_inverse
@@ -32,16 +40,29 @@ __all__ = [
     "RSAKeyPair",
     "generate_keypair",
     "full_domain_hash",
+    "configure_fdh_cache",
+    "configure_signature_memo",
+    "fdh_cache_stats",
     "SIGN_COUNTER",
     "SignatureCounter",
+    "DEFAULT_CRT_PRIMES",
 ]
 
 _DEFAULT_PUBLIC_EXPONENT = 65537
 
-#: Bound on the per-key memo of already-produced signatures.  FDH-RSA is
-#: deterministic, so a (message -> signature) memo is sound; the bound keeps a
-#: long-lived owner process from accumulating one entry per record ever signed.
+#: How many primes :func:`generate_keypair` uses by default.  Three-prime
+#: moduli (RFC 8017 multi-prime RSA) make CRT signing ~1.5x faster at equal
+#: modulus size; the public key and all signatures remain standard RSA.
+DEFAULT_CRT_PRIMES = 3
+
+#: Default bound on the per-key memo of already-produced signatures.  FDH-RSA
+#: is deterministic, so a (message -> signature) memo is sound; the bound
+#: keeps a long-lived owner process from accumulating one entry per record
+#: ever signed.  Configurable via :func:`configure_signature_memo`.
 _SIGNATURE_MEMO_MAX = 16384
+
+#: Default bound on the FDH representative memo (module-wide LRU).
+_FDH_CACHE_MAX = 8192
 
 
 class SignatureCounter:
@@ -81,8 +102,7 @@ def _as_bytes(message) -> bytes:
     return bytes(memoryview(message))
 
 
-@lru_cache(maxsize=8192)
-def _full_domain_hash_cached(message: bytes, modulus: int, hash_name: str) -> int:
+def _fdh(message: bytes, modulus: int, hash_name: str) -> int:
     target_bytes = (modulus.bit_length() + 7) // 8
     blocks = []
     counter = 0
@@ -96,6 +116,52 @@ def _full_domain_hash_cached(message: bytes, modulus: int, hash_name: str) -> in
         counter += 1
     representative = int.from_bytes(b"".join(blocks)[:target_bytes], "big")
     return representative % modulus
+
+
+def _make_fdh_cache(maxsize: int):
+    cached = lru_cache(maxsize=maxsize)(_fdh)
+    return cached
+
+
+#: The memoised MGF1 expansion.  Kept as a module global (rather than baked
+#: into ``full_domain_hash``) so :func:`configure_fdh_cache` can re-bound it.
+_full_domain_hash_cached = _make_fdh_cache(_FDH_CACHE_MAX)
+
+
+def configure_fdh_cache(maxsize: int) -> None:
+    """Re-bound the FDH representative memo (drops the current contents).
+
+    Long-running servers size this to their memory budget; the default of
+    8192 entries bounds the memo at a few megabytes.
+    """
+    global _full_domain_hash_cached
+    if maxsize < 1:
+        raise ValueError("the FDH cache needs a capacity of at least 1")
+    _full_domain_hash_cached = _make_fdh_cache(maxsize)
+
+
+def configure_signature_memo(maxsize: int) -> None:
+    """Re-bound the per-key deterministic-signature memo (affects new puts).
+
+    Existing keys keep their memo contents; the new bound applies from the
+    next signature on (FIFO eviction down to the bound).
+    """
+    global _SIGNATURE_MEMO_MAX
+    if maxsize < 1:
+        raise ValueError("the signature memo needs a capacity of at least 1")
+    _SIGNATURE_MEMO_MAX = maxsize
+
+
+def fdh_cache_stats() -> Dict[str, int]:
+    """Hits/misses/evictions/size/capacity of the FDH representative memo."""
+    info = _full_domain_hash_cached.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": max(0, info.misses - info.currsize),
+        "size": info.currsize,
+        "capacity": info.maxsize or 0,
+    }
 
 
 def full_domain_hash(message: bytes, modulus: int, hash_name: str = "sha256") -> int:
@@ -118,7 +184,8 @@ class RSAPublicKey:
     """RSA public key ``(n, e)``.
 
     The public key is what the data owner distributes to users through an
-    authenticated channel (Figure 3 of the paper).
+    authenticated channel (Figure 3 of the paper).  It is identical for two-
+    and multi-prime private keys: verification never sees the factorisation.
     """
 
     modulus: int
@@ -150,7 +217,13 @@ class RSAPublicKey:
 
 @dataclass(frozen=True)
 class RSAPrivateKey:
-    """RSA private key; kept by the data owner only."""
+    """RSA private key; kept by the data owner only.
+
+    ``other_primes`` extends the classic two-prime key to RFC 8017
+    multi-prime form: the modulus is ``prime_p * prime_q * prod(other_primes)``
+    and CRT signing runs one small exponentiation per prime, recombined with
+    Garner's algorithm.  An empty tuple is the ordinary two-prime key.
+    """
 
     modulus: int
     public_exponent: int
@@ -158,16 +231,39 @@ class RSAPrivateKey:
     prime_p: int
     prime_q: int
     hash_name: str = "sha256"
+    other_primes: Tuple[int, ...] = field(default=())
 
     def __post_init__(self) -> None:
         # CRT signing constants depend only on the key material, so they are
-        # computed once here instead of once per signature (the modular inverse
-        # alone costs ~10% of a CRT signature).  The dataclass is frozen, hence
-        # the object.__setattr__ back door; none of these are dataclass fields,
-        # so equality and hashing still consider the key material only.
-        object.__setattr__(self, "_d_p", self.private_exponent % (self.prime_p - 1))
-        object.__setattr__(self, "_d_q", self.private_exponent % (self.prime_q - 1))
-        object.__setattr__(self, "_q_inv", modular_inverse(self.prime_q, self.prime_p))
+        # computed once here — at keygen — instead of once per signature (the
+        # modular inverses alone cost ~5-10% of a CRT signature).  The
+        # dataclass is frozen, hence the object.__setattr__ back door; none of
+        # these are dataclass fields, so equality and hashing still consider
+        # the key material only.
+        primes = (self.prime_p, self.prime_q, *self.other_primes)
+        if self.other_primes:
+            product = 1
+            for prime in primes:
+                product *= prime
+            if product != self.modulus:
+                raise ValueError(
+                    "the modulus is not the product of the supplied primes"
+                )
+        exponents = tuple(self.private_exponent % (p - 1) for p in primes)
+        # Garner recombination: x = x_0 + P_1*t_1 + P_1*P_2*t_2 + ... where
+        # P_i = prod(primes[:i]) and t_i = (x_i - partial) * P_i^-1 mod p_i.
+        prefixes: List[int] = []
+        inverses: List[int] = []
+        prefix = 1
+        for index, prime in enumerate(primes):
+            if index > 0:
+                prefixes.append(prefix)
+                inverses.append(modular_inverse(prefix % prime, prime))
+            prefix *= prime
+        object.__setattr__(self, "_primes", primes)
+        object.__setattr__(self, "_exponents", exponents)
+        object.__setattr__(self, "_garner_prefixes", tuple(prefixes))
+        object.__setattr__(self, "_garner_inverses", tuple(inverses))
         object.__setattr__(self, "_signature_memo", {})
 
     def public_key(self) -> RSAPublicKey:
@@ -175,16 +271,27 @@ class RSAPrivateKey:
         return RSAPublicKey(self.modulus, self.public_exponent, self.hash_name)
 
     def _sign_representative(self, representative: int) -> int:
-        """CRT exponentiation with the precomputed constants."""
-        s_p = pow(representative % self.prime_p, self._d_p, self.prime_p)
-        s_q = pow(representative % self.prime_q, self._d_q, self.prime_q)
-        h = (self._q_inv * (s_p - s_q)) % self.prime_p
-        return (s_q + h * self.prime_q) % self.modulus
+        """CRT exponentiation with the precomputed per-key constants."""
+        primes = self._primes
+        exponents = self._exponents
+        residues = [
+            pow(representative % prime, exponent, prime)
+            for prime, exponent in zip(primes, exponents)
+        ]
+        value = residues[0]
+        for index in range(1, len(primes)):
+            prime = primes[index]
+            t = (
+                (residues[index] - value) * self._garner_inverses[index - 1]
+            ) % prime
+            value += self._garner_prefixes[index - 1] * t
+        return value % self.modulus
 
     def sign(self, message: bytes) -> int:
         """Produce an FDH-RSA signature over ``message``.
 
-        Uses the Chinese Remainder Theorem for a ~4x speed-up, which matters
+        Uses the Chinese Remainder Theorem with per-key precomputed constants
+        (multi-prime when the key was generated that way), which matters
         because the owner signs one digest per record per sort order.  FDH-RSA
         is deterministic, so previously produced signatures are served from a
         bounded per-key memo (re-publication of an unchanged chain, e.g. to an
@@ -205,6 +312,10 @@ class RSAPrivateKey:
         """Sign many messages in one call (the owner's bulk-publication path)."""
         return [self.sign(message) for message in messages]
 
+    def signature_memo_stats(self) -> Dict[str, int]:
+        """Size/capacity of this key's deterministic-signature memo."""
+        return {"size": len(self._signature_memo), "capacity": _SIGNATURE_MEMO_MAX}
+
 
 @dataclass(frozen=True)
 class RSAKeyPair:
@@ -219,6 +330,7 @@ def generate_keypair(
     public_exponent: int = _DEFAULT_PUBLIC_EXPONENT,
     hash_name: str = "sha256",
     rng_seed: Optional[int] = None,
+    crt_primes: int = DEFAULT_CRT_PRIMES,
 ) -> RSAKeyPair:
     """Generate an RSA key pair with a ``bits``-bit modulus.
 
@@ -231,30 +343,47 @@ def generate_keypair(
     rng_seed:
         Ignored (key generation always uses the system CSPRNG); accepted so
         call sites can document deterministic intent without weakening keys.
+    crt_primes:
+        How many primes the modulus is a product of (RFC 8017 multi-prime
+        RSA).  The default of 3 makes CRT signing ~1.5x faster at equal
+        modulus size; pass 2 for a classic two-prime key.  The public key is
+        identical either way.
     """
     del rng_seed  # keys are always generated from the system CSPRNG
     if bits < 256:
         raise ValueError("modulus below 256 bits is not supported")
-    half = bits // 2
+    if not 2 <= crt_primes <= 4:
+        raise ValueError("crt_primes must be between 2 and 4 (RFC 8017 multi-prime)")
+    base_size, extra = divmod(bits, crt_primes)
+    sizes = [
+        base_size + (1 if index < extra else 0) for index in range(crt_primes)
+    ]
     while True:
-        p = generate_prime(half)
-        q = generate_prime(bits - half)
-        if p == q:
+        primes = []
+        for size in sizes:
+            while True:
+                candidate = generate_prime(size)
+                if candidate not in primes:
+                    primes.append(candidate)
+                    break
+        modulus = 1
+        phi = 1
+        for prime in primes:
+            modulus *= prime
+            phi *= prime - 1
+        if modulus.bit_length() < bits:
             continue
-        modulus = p * q
-        phi = (p - 1) * (q - 1)
         try:
             private_exponent = modular_inverse(public_exponent, phi)
         except ValueError:
-            continue
-        if modulus.bit_length() < bits:
             continue
         private_key = RSAPrivateKey(
             modulus=modulus,
             public_exponent=public_exponent,
             private_exponent=private_exponent,
-            prime_p=p,
-            prime_q=q,
+            prime_p=primes[0],
+            prime_q=primes[1],
             hash_name=hash_name,
+            other_primes=tuple(primes[2:]),
         )
         return RSAKeyPair(private_key=private_key, public_key=private_key.public_key())

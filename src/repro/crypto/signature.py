@@ -10,7 +10,7 @@ the cost model (signature size in bits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
 
@@ -67,10 +67,35 @@ class SignatureScheme:
         """Verify ``signature`` over ``message`` with the owner's public key."""
         return self.verifier.verify(message, signature)
 
+    def verify_batch(
+        self,
+        messages: Sequence[bytes],
+        signatures: Sequence[int],
+        weight_bits: int = 0,
+    ) -> bool:
+        """Verify many signatures in one accumulated pass.
 
-def rsa_scheme(bits: int = 1024, hash_name: str = "sha256") -> SignatureScheme:
-    """Create a fresh RSA-based :class:`SignatureScheme`."""
-    keypair: RSAKeyPair = generate_keypair(bits=bits, hash_name=hash_name)
+        Delegates to :func:`repro.crypto.aggregate.batch_verify_signatures`
+        (the Bellare-Garay-Rabin screening test by default); see there for
+        the soundness argument and the ``weight_bits`` trade-off.
+        """
+        from repro.crypto.aggregate import batch_verify_signatures
+
+        return batch_verify_signatures(
+            messages, signatures, self.verifier, weight_bits=weight_bits
+        )
+
+
+def rsa_scheme(
+    bits: int = 1024, hash_name: str = "sha256", crt_primes: Optional[int] = None
+) -> SignatureScheme:
+    """Create a fresh RSA-based :class:`SignatureScheme`.
+
+    ``crt_primes`` selects the modulus structure (RFC 8017 multi-prime; see
+    :func:`repro.crypto.rsa.generate_keypair`); None uses the keygen default.
+    """
+    kwargs = {} if crt_primes is None else {"crt_primes": crt_primes}
+    keypair: RSAKeyPair = generate_keypair(bits=bits, hash_name=hash_name, **kwargs)
     return SignatureScheme(
         signer=keypair.private_key,
         verifier=keypair.public_key,

@@ -1,13 +1,15 @@
-"""Publication service: a concurrent server, a verifying client, a live owner.
+"""Publication service: an async pipelined server, a verifying client, a live owner.
 
 This package turns the in-process owner/publisher/user pipeline into the
 actual client/server deployment of the paper's Figure 3: a
-:class:`PublicationServer` fronts one or more shards of signed relations and
-ships query answers plus verification objects as canonical wire bytes
-(:mod:`repro.wire`); a :class:`VerifyingClient` decodes and verifies them with
-no access to publisher state; an :class:`OwnerClient` authenticates as the
-data owner and streams signed insert/delete/update deltas, rotating each
-relation's manifest so querying clients can follow the data as it changes.
+:class:`PublicationServer` (a ``selectors`` event loop accepting pipelined
+frames, optionally backed by a :class:`ProofWorkerPool` of forked proof
+workers) fronts one or more shards of signed relations and ships query
+answers plus verification objects as canonical wire bytes (:mod:`repro.wire`);
+a :class:`VerifyingClient` decodes and verifies them with no access to
+publisher state; an :class:`OwnerClient` authenticates as the data owner and
+streams signed insert/delete/update deltas, rotating each relation's manifest
+so querying clients can follow the data as it changes.
 """
 
 from repro.service.client import (
@@ -17,11 +19,13 @@ from repro.service.client import (
     VerifyingClient,
 )
 from repro.service.demo import build_demo_router, build_demo_world
+from repro.service.handler import RequestHandler
 from repro.service.owner import (
     OwnerClient,
     build_update_request,
     delta_sequence_cost,
 )
+from repro.service.pool import ProofWorkerPool
 from repro.service.protocol import (
     ErrorResponse,
     JoinRequest,
@@ -58,8 +62,10 @@ __all__ = [
     "ManifestRotated",
     "OwnerAuthError",
     "OwnerClient",
+    "ProofWorkerPool",
     "PublicationServer",
     "QueryRequest",
+    "RequestHandler",
     "QueryResponse",
     "RecordDelta",
     "RelationListing",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import socket
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.relational import RelationManifest
 from repro.core.report import VerificationReport
@@ -93,6 +93,7 @@ class ServiceConnection:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return self
 
     def close(self) -> None:
@@ -143,6 +144,72 @@ class ServiceConnection:
                 f"expected a {expect.__name__}, got {type(response).__name__}"
             )
         return response
+
+    def _request_pipeline(self, messages) -> list:
+        """Send many requests in one write; read the responses in order.
+
+        The server answers a connection's frames strictly in request order,
+        so the whole batch costs one network round trip instead of one per
+        request.  Every response is read before any is interpreted — a typed
+        error for request *k* must not leave responses *k+1..n* stranded in
+        the stream.  Returns the decoded responses (``ErrorResponse`` objects
+        included — callers decide whether one failure poisons the batch).
+        """
+        from repro.service.protocol import MAX_FRAME_BYTES, encode_frame
+        from repro.wire import decode
+
+        if not messages:
+            return []
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(b"".join(encode_frame(m) for m in messages))
+            # Buffered in-order reads: responses stream back in large chunks
+            # and are framed out of one buffer, instead of two recv calls per
+            # message.
+            responses = []
+            needed = len(messages)
+            buffer = bytearray()
+            while len(responses) < needed:
+                offset = 0
+                available = len(buffer)
+                while len(responses) < needed and available - offset >= 4:
+                    length = int.from_bytes(buffer[offset : offset + 4], "big")
+                    if length > MAX_FRAME_BYTES:
+                        raise ServiceProtocolError(
+                            f"announced frame of {length} bytes exceeds the cap"
+                        )
+                    if available - offset - 4 < length:
+                        break
+                    # One bulk copy to bytes per frame: full decodes are
+                    # fastest on the reader's bytes path (per-field slices
+                    # need no materialisation there).
+                    with memoryview(buffer) as view:
+                        frame = bytes(view[offset + 4 : offset + 4 + length])
+                    offset += 4 + length
+                    responses.append(decode(frame))
+                if offset:
+                    del buffer[:offset]
+                if len(responses) < needed:
+                    chunk = self._sock.recv(262144)
+                    if not chunk:
+                        raise ServiceProtocolError(
+                            "server closed the connection mid-pipeline"
+                        )
+                    buffer += chunk
+        except socket.timeout:
+            self.close()
+            raise ServiceProtocolError(
+                f"timed out after {self.timeout}s waiting for the server"
+            ) from None
+        except (ServiceProtocolError, WireFormatError):
+            self.close()
+            raise
+        except OSError as error:
+            self.close()
+            raise ServiceProtocolError(f"connection failed: {error}") from None
+        return responses
 
 
 @dataclass(frozen=True)
@@ -431,6 +498,7 @@ class VerifyingClient(ServiceConnection):
         disable it.
         """
         name = query.relation_name
+        chases = 0
         for _ in range(MAX_ROTATIONS_PER_CALL):
             identifier = self._ensure_manifest(name)
             response: QueryResponse = self._request(
@@ -448,7 +516,32 @@ class VerifyingClient(ServiceConnection):
                 self.refresh_rotated_manifest(name)
                 identifier = self._pinned_ids[name]
                 if identifier != response.manifest_id:
-                    continue
+                    chases += 1
+                    if chases < 2:
+                        continue
+                    # The relation is rotating faster than this client can
+                    # chase (a streaming owner).  That must not starve the
+                    # reader: rotations cannot change scheme parameters
+                    # (enforced by _validate_rotation), so the answer is
+                    # exactly as verifiable under the refreshed trust root —
+                    # verify it now and attribute it to the manifest it was
+                    # built under, fetched by its id and authenticated by
+                    # hashing to it.
+                    stamped = self._manifest_for_stamp(name, response.manifest_id)
+                    if stamped is None:
+                        continue  # stamp already evicted server-side; retry
+                    report = None
+                    if verify:
+                        report = self.verifier.verify(
+                            query, response.rows, response.proof, role=role
+                        )
+                    return VerifiedResult(
+                        rows=response.rows,
+                        report=report,
+                        proof=response.proof,
+                        manifest_id=response.manifest_id,
+                        manifest_sequence=stamped.sequence,
+                    )
             report = None
             if verify:
                 report = self.verifier.verify(
@@ -465,6 +558,136 @@ class VerifyingClient(ServiceConnection):
             f"relation {name!r} rotated more than {MAX_ROTATIONS_PER_CALL} "
             "times within one query call"
         )
+
+    def _refresh_pin_tolerating_current(self, relation_name: str) -> None:
+        """Advance the pin along the rotation chain, if it advances at all.
+
+        In pipelined exchanges a batch can contain several answers built
+        under an id this client has *already* chased past — the follow-up
+        refresh then finds the server's latest rotation does not advance the
+        pin.  That is not a replayed-rotation attack (nothing was accepted),
+        just "already current": keep the pin and let the caller attribute the
+        answer via its hash-checked stamp.  Every other failure propagates.
+        """
+        try:
+            self.refresh_rotated_manifest(relation_name)
+        except StaleManifestError as error:
+            if error.reason != "rotation-replayed":
+                raise
+
+    def _manifest_for_stamp(
+        self, relation_name: str, stamp: bytes
+    ) -> Optional[RelationManifest]:
+        """The manifest an answer was stamped with, authenticated by its hash.
+
+        Used for snapshot attribution when the relation rotates faster than
+        the client can re-pin: the returned manifest is cross-checked to hash
+        to the stamp and to carry the pinned trust root's key and scheme
+        parameters, but is *not* pinned (the pin keeps following the rotation
+        chain).  Returns None when the server no longer serves the stamp's
+        manifest (evicted history).
+        """
+        try:
+            response: ManifestResponse = self._request(
+                ManifestByIdRequest(stamp), ManifestResponse
+            )
+        except (RemoteError, ServiceProtocolError):
+            return None
+        manifest = response.manifest
+        if manifest_id(manifest) != stamp:
+            return None
+        pinned = self._manifests.get(relation_name)
+        if pinned is not None and (
+            manifest.public_key != pinned.public_key
+            or manifest.schema != pinned.schema
+            or manifest.scheme_kind != pinned.scheme_kind
+            or manifest.base != pinned.base
+            or manifest.hash_name != pinned.hash_name
+        ):
+            return None
+        return manifest
+
+    def query_many(
+        self,
+        queries: Sequence[Query],
+        role: Optional[str] = None,
+        verify: bool = True,
+    ) -> List[VerifiedResult]:
+        """Issue many queries down one pipelined exchange; verify each answer.
+
+        All requests are written back-to-back and the responses are read in
+        order, so a batch of N queries costs one network round trip instead
+        of N (the server interleaves other connections' work between the
+        frames; each answer is still an atomic snapshot).  Results come back
+        in query order.
+
+        A typed server error for any query raises its
+        :class:`~repro.service.protocol.RemoteError` after the whole exchange
+        has been drained (the connection stays usable).  Answers revealing a
+        manifest rotation are re-verified — or re-queried — through the
+        normal rotation-chasing path of :meth:`query`.
+        """
+        queries = list(queries)
+        for name in {query.relation_name for query in queries}:
+            self._ensure_manifest(name)
+        requests = [
+            QueryRequest(
+                manifest_id=self._pinned_ids[query.relation_name],
+                query=query,
+                role=role,
+            )
+            for query in queries
+        ]
+        responses = self._request_pipeline(requests)
+        results: List[VerifiedResult] = []
+        for query, response in zip(queries, responses):
+            if isinstance(response, ErrorResponse):
+                raise RemoteError(response.code, response.reason, response.message)
+            if not isinstance(response, QueryResponse):
+                self.close()
+                raise ServiceProtocolError(
+                    f"expected a QueryResponse, got {type(response).__name__}"
+                )
+            name = query.relation_name
+            identifier = self._pinned_ids[name]
+            sequence = None
+            if response.manifest_id and response.manifest_id != identifier:
+                # The relation rotated under the pipeline: authenticate the
+                # rotation; if the answer was built under the refreshed pin
+                # it verifies as-is.  If the relation rotated *again*
+                # already, attribute the answer to the manifest it carries
+                # (hash-checked, parameter-identical — see
+                # :meth:`_manifest_for_stamp`) rather than re-querying, so
+                # a batch's answers keep their in-order attribution.
+                self._refresh_pin_tolerating_current(name)
+                identifier = self._pinned_ids[name]
+                if identifier != response.manifest_id:
+                    stamped = self._manifest_for_stamp(name, response.manifest_id)
+                    if stamped is None:
+                        # Stamp already evicted server-side: re-issue.
+                        results.append(self.query(query, role=role, verify=verify))
+                        continue
+                    identifier = response.manifest_id
+                    sequence = stamped.sequence
+            report = None
+            if verify:
+                report = self.verifier.verify(
+                    query, response.rows, response.proof, role=role
+                )
+            results.append(
+                VerifiedResult(
+                    rows=response.rows,
+                    report=report,
+                    proof=response.proof,
+                    manifest_id=identifier,
+                    manifest_sequence=(
+                        self._manifests[name].sequence
+                        if sequence is None
+                        else sequence
+                    ),
+                )
+            )
+        return results
 
     def query_join(
         self, join: JoinQuery, role: Optional[str] = None, verify: bool = True

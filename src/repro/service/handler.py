@@ -1,0 +1,265 @@
+"""Request handling shared by the event-loop server and its proof workers.
+
+A :class:`RequestHandler` owns everything about turning one decoded request
+into one response — routing, locking, proof construction, owner-update
+authentication — with no knowledge of sockets or processes.  The
+:class:`~repro.service.server.PublicationServer` event loop calls it inline,
+and every :mod:`~repro.service.pool` worker process runs its own forked copy
+over identical shard state, which is what keeps pooled and in-process answers
+byte-identical.
+
+The handler also maintains the **encoded-response cache**: for query and join
+frames, the canonical wire bytes of the *request* key the canonical wire
+bytes of the *response*.  The wire format is canonical (one byte string per
+artifact), so two clients asking the same hot question hit the same slot; a
+cached response is only served while the manifest ids it was built under are
+still current, so a manifest rotation — the existing mutation-version
+invalidation signal — invalidates every response built before it without any
+bookkeeping on the update path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache import BoundedCache
+from repro.core.errors import ReproError
+from repro.service.protocol import (
+    ErrorResponse,
+    JoinRequest,
+    JoinResponse,
+    ListRelationsRequest,
+    ManifestByIdRequest,
+    ManifestRequest,
+    ManifestResponse,
+    OwnerAuthError,
+    QueryRequest,
+    QueryResponse,
+    RelationListing,
+    RotationRequest,
+    ServiceProtocolError,
+    StaleManifestError,
+)
+from repro.service.router import ShardRouter
+from repro.wire import decode, encode
+from repro.wire.errors import WireFormatError
+from repro.wire.updates import UpdateRequest, UpdateResponse, update_signing_message
+
+__all__ = ["RequestHandler", "HandledFrame"]
+
+#: Default bounds on the encoded-response cache (FIFO; see RequestHandler):
+#: entry count and, because encoded responses vary from a few hundred bytes
+#: to hundreds of kilobytes, an accumulated-bytes ceiling so the cache is an
+#: actual memory bound.
+_RESPONSE_CACHE_MAX = 4096
+_RESPONSE_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
+
+class HandledFrame:
+    """The outcome of serving one frame: payload plus connection policy."""
+
+    __slots__ = ("payload", "is_error", "close_after")
+
+    def __init__(self, payload: bytes, is_error: bool = False, close_after: bool = False) -> None:
+        self.payload = payload
+        self.is_error = is_error
+        self.close_after = close_after
+
+
+class RequestHandler:
+    """Serves decoded protocol requests against a shard router."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        response_cache: bool = True,
+        response_cache_max: int = _RESPONSE_CACHE_MAX,
+        response_cache_max_bytes: int = _RESPONSE_CACHE_MAX_BYTES,
+    ) -> None:
+        self.router = router
+        self._response_cache: Optional[BoundedCache] = (
+            BoundedCache(response_cache_max, max_weight=response_cache_max_bytes)
+            if response_cache
+            else None
+        )
+        self.updates_applied = 0
+
+    # -- frame-level entry point --------------------------------------------
+
+    def handle_frame(self, frame: bytes) -> HandledFrame:
+        """Serve one raw frame payload; never raises.
+
+        Every failure is answered with a typed
+        :class:`~repro.service.protocol.ErrorResponse`; a frame that does not
+        even decode additionally asks the caller to drop the connection
+        (after a framing violation the peer's stream offset cannot be
+        trusted).
+        """
+        cache = self._response_cache
+        if cache is not None:
+            cached = cache.get(frame)
+            if cached is not None:
+                payload, guards = cached
+                if self._guards_current(guards):
+                    return HandledFrame(payload)
+        try:
+            request = decode(frame)
+        except (WireFormatError, ServiceProtocolError) as error:
+            return HandledFrame(self._error_payload(error), True, close_after=True)
+        try:
+            response = self.dispatch(request)
+        except ReproError as error:
+            return HandledFrame(self._error_payload(error), True)
+        except Exception as error:  # noqa: BLE001 - never leak a traceback
+            return HandledFrame(
+                self._error_payload(error, code="InternalError", reason="internal-error"),
+                True,
+            )
+        payload = encode(response)
+        if cache is not None:
+            guards = self._guards_for(request, response)
+            if guards is not None:
+                cache.put(frame, (payload, guards), weight=len(payload) + len(frame))
+        return HandledFrame(payload)
+
+    def _error_payload(
+        self,
+        error: Exception,
+        code: Optional[str] = None,
+        reason: Optional[str] = None,
+    ) -> bytes:
+        return encode(
+            ErrorResponse(
+                code=code or type(error).__name__,
+                reason=reason or getattr(error, "reason", "error"),
+                message=str(error),
+            )
+        )
+
+    # -- response cache -----------------------------------------------------
+
+    def _guards_for(self, request, response) -> Optional[Tuple[Tuple[str, bytes], ...]]:
+        """The (relation, manifest id) pairs a cached response depends on.
+
+        Only query/join answers are cached: they are the hot path, they are
+        deterministic for a given snapshot, and their staleness is exactly
+        "the manifest id the answer was stamped with is no longer current".
+        """
+        if isinstance(request, QueryRequest) and isinstance(response, QueryResponse):
+            return ((request.query.relation_name, response.manifest_id),)
+        if isinstance(request, JoinRequest) and isinstance(response, JoinResponse):
+            return (
+                (request.join.left_relation, response.left_manifest_id),
+                (request.join.right_relation, response.right_manifest_id),
+            )
+        return None
+
+    def _guards_current(self, guards: Tuple[Tuple[str, bytes], ...]) -> bool:
+        current_id = self.router.current_id
+        try:
+            return all(current_id(name) == identifier for name, identifier in guards)
+        except ReproError:
+            return False
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Counters of the encoded-response cache (empty dict when disabled)."""
+        if self._response_cache is None:
+            return {}
+        return {"responses": self._response_cache.stats()}
+
+    # -- request dispatch ---------------------------------------------------
+
+    def dispatch(self, request):
+        if isinstance(request, QueryRequest):
+            return self._answer_query(request)
+        if isinstance(request, JoinRequest):
+            return self._answer_join(request)
+        if isinstance(request, ListRelationsRequest):
+            return RelationListing(entries=self.router.listing())
+        if isinstance(request, ManifestRequest):
+            return ManifestResponse(
+                manifest=self.router.manifest_by_name(request.relation_name)
+            )
+        if isinstance(request, ManifestByIdRequest):
+            return ManifestResponse(
+                manifest=self.router.manifest_by_id(request.manifest_id)
+            )
+        if isinstance(request, UpdateRequest):
+            return self._answer_update(request)
+        if isinstance(request, RotationRequest):
+            return self.router.rotation(request.relation_name)
+        raise ServiceProtocolError(
+            f"{type(request).__name__} is not a request message"
+        )
+
+    def _answer_query(self, request: QueryRequest) -> QueryResponse:
+        target = self.router.route(request.manifest_id)
+        if request.query.relation_name != target.relation_name:
+            raise ServiceProtocolError(
+                f"manifest id resolves to {target.relation_name!r}, but the "
+                f"query names {request.query.relation_name!r}"
+            )
+        with target.lock:
+            # The answer and the id it was built under are captured inside
+            # one lock section: an update rotating this relation either
+            # happened entirely before (new rows, new id) or entirely after
+            # (old rows, old id) — a client can attribute every answer to
+            # exactly one snapshot.
+            result = target.publisher.answer(request.query, role=request.role)
+            current_id = self.router.current_id(target.relation_name)
+        return QueryResponse(
+            rows=tuple(dict(row) for row in result.rows),
+            proof=result.proof,
+            manifest_id=current_id,
+        )
+
+    def _answer_join(self, request: JoinRequest) -> JoinResponse:
+        target = self.router.route_join(
+            request.left_manifest_id, request.right_manifest_id, request.join
+        )
+        with target.lock:
+            result = target.publisher.answer_join(request.join, role=request.role)
+            left_id = self.router.current_id(request.join.left_relation)
+            right_id = self.router.current_id(request.join.right_relation)
+        return JoinResponse(
+            rows=tuple(dict(row) for row in result.rows),
+            left_rows=tuple(dict(row) for row in result.left_rows),
+            proof=result.proof,
+            left_manifest_id=left_id,
+            right_manifest_id=right_id,
+        )
+
+    def _answer_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Verify, apply and acknowledge one owner delta batch.
+
+        The whole pipeline — signature check, sequence check, application,
+        manifest rotation — runs under the shard's write lock, so every
+        concurrent query on this shard sees the relation entirely before or
+        entirely after the batch.
+        """
+        target = self.router.route_for_update(request.manifest_id)
+        with target.lock:
+            signed = target.publisher.signed_relation(target.relation_name)
+            if request.sequence != signed.version:
+                raise StaleManifestError(
+                    f"update signed for sequence {request.sequence}, but "
+                    f"relation {target.relation_name!r} is at sequence "
+                    f"{signed.version}",
+                    reason="stale-update",
+                )
+            message = update_signing_message(
+                request.manifest_id, request.sequence, request.deltas
+            )
+            if not signed.manifest.public_key.verify(
+                message, request.owner_signature
+            ):
+                raise OwnerAuthError(
+                    f"update for {target.relation_name!r} is not signed by "
+                    "the data owner"
+                )
+            receipt = target.publisher.apply_deltas(
+                target.relation_name, request.deltas
+            )
+            rotation = self.router.record_rotation(target)
+        self.updates_applied += 1
+        return UpdateResponse(receipt=receipt, rotation=rotation)

@@ -27,16 +27,19 @@ wire format deliberately leaves room (deltas are a dedicated artifact).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.relational import RelationManifest, UpdateReceipt
 from repro.crypto.signature import SignatureScheme
 from repro.service.client import ServiceConnection
 from repro.service.protocol import (
+    ErrorResponse,
     ManifestRequest,
     ManifestResponse,
     RemoteError,
     ServiceError,
+    ServiceProtocolError,
 )
 from repro.wire import manifest_id
 from repro.wire.updates import (
@@ -209,6 +212,48 @@ class OwnerClient(ServiceConnection):
                 f"rotation for {relation_name!r} carries an invalid owner "
                 "signature"
             )
+
+    def push_many(
+        self,
+        relation_name: str,
+        batches: Sequence[Sequence[RecordDelta]],
+    ) -> List[UpdateResponse]:
+        """Sign and push several delta batches down one pipelined exchange.
+
+        Each batch must be signed against the data version the *previous*
+        batch produces — but a manifest is pure metadata (schema, scheme
+        parameters, key, sequence), so the owner can *predict* every rotated
+        manifest locally and sign the whole chain up front, without waiting a
+        round trip per batch.  The server's answers are then validated batch
+        by batch exactly like :meth:`push`; the first mismatch (or typed
+        server error) raises after the exchange has been drained, with the
+        tracked manifest advanced only through the last validated rotation.
+        """
+        batches = [tuple(batch) for batch in batches]
+        if not batches:
+            return []
+        manifest = self.manifest(relation_name)
+        requests = []
+        for batch in batches:
+            request = build_update_request(self.signature_scheme, manifest, batch)
+            requests.append(request)
+            manifest = replace(
+                manifest, sequence=manifest.sequence + delta_sequence_cost(batch)
+            )
+        responses = self._request_pipeline(requests)
+        results: List[UpdateResponse] = []
+        for request, batch, response in zip(requests, batches, responses):
+            if isinstance(response, ErrorResponse):
+                raise RemoteError(response.code, response.reason, response.message)
+            if not isinstance(response, UpdateResponse):
+                self.close()
+                raise ServiceProtocolError(
+                    f"expected an UpdateResponse, got {type(response).__name__}"
+                )
+            self._validate_response(relation_name, request, batch, response)
+            self._manifests[relation_name] = response.rotation.manifest
+            results.append(response)
+        return results
 
     # -- convenience single-record operations --------------------------------
 

@@ -1,0 +1,329 @@
+"""Process-pool proof workers: query throughput that scales with cores.
+
+Proof construction is CPU-bound pure-Python hashing — threads cannot speed it
+up past one core.  A :class:`ProofWorkerPool` forks ``size`` pre-warmed worker
+processes, each inheriting the server's shard state (publishers, signed
+relations, VO-fragment caches) at fork time.  The event loop forwards raw
+query/join frames to a worker and ships the worker's encoded response bytes
+back to the connection; because every worker runs the *same*
+:class:`~repro.service.handler.RequestHandler` logic over the same state, a
+pooled answer is byte-identical to the in-process answer (asserted by
+``repro.bench.wire`` and ``tests/test_service_pool.py``).
+
+**Cache coherence.**  Owner updates are applied by the master process (the
+event loop), which then broadcasts the applied update frame to every worker;
+each worker re-applies the deltas to its own copy — FDH-RSA signing is
+deterministic, so all copies stay bit-identical — and its per-shard
+VO-fragment caches invalidate through the existing mutation-version
+listeners, exactly as in-process.  The master holds the owner's
+``UpdateResponse`` until every worker has acknowledged the broadcast, so by
+the time the owner sees the receipt, every worker answers under the new
+snapshot.
+
+**Crash containment.**  A worker that dies mid-query (OOM killer, bug,
+``kill -9``) is detected by the event loop via pipe EOF: every request in
+flight on that worker is answered with a typed
+``ErrorResponse(code="WorkerCrashed")`` — never a hang — and a replacement
+worker is forked from the master's current state.
+
+Requires a platform with ``fork`` (the worker inherits unpicklable publisher
+state by address-space copy); :class:`ProofWorkerPool` raises on platforms
+without it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.service.handler import RequestHandler
+from repro.wire import decode
+from repro.wire.updates import UpdateRequest
+
+__all__ = ["ProofWorkerPool", "WorkerCrashed"]
+
+
+class WorkerCrashed(RuntimeError):
+    """Internal signal: a worker died with requests in flight."""
+
+
+def _worker_main(handler: RequestHandler, conn) -> None:
+    """The forked worker loop: serve frames, apply update broadcasts, ack."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "q":
+            _, request_id, frame = message
+            handled = handler.handle_frame(frame)
+            try:
+                conn.send(
+                    ("r", request_id, handled.payload, handled.is_error, handled.close_after)
+                )
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "u":
+            _, epoch, frame = message
+            try:
+                request = decode(frame, expect=UpdateRequest)
+                handler.dispatch(request)
+            except Exception:  # noqa: BLE001 - master already applied/validated
+                # The master applied this batch successfully before
+                # broadcasting; a failure here means this copy diverged and
+                # must not keep answering.  Exit so the master re-forks a
+                # fresh copy from its own (correct) state.
+                os._exit(3)
+            try:
+                conn.send(("a", epoch))
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "stop":
+            break
+    conn.close()
+
+
+#: How many bytes the master keeps "in flight" down one worker pipe before
+#: parking further messages in the worker's outbox.  Far below the kernel
+#: pipe capacity (64 KiB on Linux), so a ``Connection.send`` within the
+#: budget can never block the event loop — which is what rules out the
+#: master-blocked-writing / worker-blocked-responding circular wait.  A
+#: single message larger than the whole budget is still sent, but only when
+#: the pipe is empty: the worker is then provably idle in ``recv`` and
+#: drains it.
+_PIPE_BUDGET_BYTES = 16 * 1024
+
+#: Pickling overhead allowance per message on top of the frame bytes.
+_MESSAGE_OVERHEAD = 64
+
+
+class _Worker:
+    """One forked worker process plus its duplex message pipe."""
+
+    __slots__ = (
+        "process",
+        "connection",
+        "in_flight",
+        "outbox",
+        "sent_sizes",
+        "in_pipe_bytes",
+    )
+
+    def __init__(self, process, connection) -> None:
+        self.process = process
+        self.connection = connection
+        #: request ids currently dispatched to this worker, in order.
+        self.in_flight: List[int] = []
+        #: (message, size) tuples not yet written to the pipe.
+        self.outbox: Deque[Tuple[tuple, int]] = deque()
+        #: sizes of written-but-unreplied messages, in pipe order.
+        self.sent_sizes: Deque[int] = deque()
+        self.in_pipe_bytes = 0
+
+    def fileno(self) -> int:
+        return self.connection.fileno()
+
+    def backlog_bytes(self) -> int:
+        return self.in_pipe_bytes + sum(size for _, size in self.outbox)
+
+
+class ProofWorkerPool:
+    """Pre-warmed forked shard workers behind the event loop.
+
+    Parameters
+    ----------
+    handler_factory:
+        Zero-argument callable returning the handler a fresh worker should
+        run.  Invoked in the parent immediately before each fork (initial
+        spawn and every restart), so the child inherits the master's current
+        shard state by address-space copy — pre-warmed caches included.
+    size:
+        Number of worker processes.
+    """
+
+    def __init__(self, handler_factory: Callable[[], RequestHandler], size: int) -> None:
+        if size < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-fork platforms
+            raise RuntimeError(
+                "process-pool proof workers need the 'fork' start method; "
+                "run with worker_processes=0 on this platform"
+            ) from error
+        self._handler_factory = handler_factory
+        self.size = size
+        self._workers: List[_Worker] = []
+        self._round_robin = itertools.count()
+        self._update_epoch = 0
+        #: epoch -> worker ids whose ack is still outstanding.
+        self._pending_acks: Dict[int, set] = {}
+        self.workers_restarted = 0
+        for _ in range(size):
+            self._workers.append(self._spawn())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        handler = self._handler_factory()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(handler, child_conn),
+            name="proof-worker",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def close(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+            worker.connection.close()
+        self._workers = []
+
+    # -- dispatch ------------------------------------------------------------
+
+    def connections(self) -> List[Tuple[int, object]]:
+        """(worker index, pipe connection) pairs for selector registration."""
+        return [
+            (index, worker.connection) for index, worker in enumerate(self._workers)
+        ]
+
+    def _enqueue(self, worker: _Worker, message: tuple, frame: bytes) -> None:
+        """Park a message in the worker's outbox and pump what fits."""
+        worker.outbox.append((message, len(frame) + _MESSAGE_OVERHEAD))
+        self._pump(worker)
+
+    def _pump(self, worker: _Worker) -> None:
+        """Write outbox messages while they fit the pipe budget.
+
+        Never blocks the caller: a send is attempted only when the written-
+        but-unreplied bytes stay within :data:`_PIPE_BUDGET_BYTES` (or the
+        pipe is empty, in which case the worker is idle in ``recv`` and
+        actively drains even an oversized message).  A dead worker's send
+        failure leaves the outbox as-is — EOF handling replaces the worker.
+        """
+        outbox = worker.outbox
+        while outbox:
+            message, size = outbox[0]
+            if (
+                worker.in_pipe_bytes
+                and worker.in_pipe_bytes + size > _PIPE_BUDGET_BYTES
+            ):
+                break
+            try:
+                worker.connection.send(message)
+            except (BrokenPipeError, OSError):
+                break  # crash: handle_worker_eof answers the in-flight ids
+            outbox.popleft()
+            worker.sent_sizes.append(size)
+            worker.in_pipe_bytes += size
+
+    def note_reply(self, worker_index: int) -> None:
+        """Record that one message completed its round trip; free budget."""
+        worker = self._workers[worker_index]
+        if worker.sent_sizes:
+            worker.in_pipe_bytes -= worker.sent_sizes.popleft()
+        self._pump(worker)
+
+    def submit(self, request_id: int, frame: bytes) -> int:
+        """Dispatch a query frame to a worker; returns the worker index.
+
+        Prefers the worker with the smallest queued backlog (ties broken
+        round-robin), so one slow worker does not absorb the whole pipeline.
+        """
+        start = next(self._round_robin) % len(self._workers)
+        index = min(
+            range(len(self._workers)),
+            key=lambda i: (
+                self._workers[i].backlog_bytes(),
+                (i - start) % len(self._workers),
+            ),
+        )
+        worker = self._workers[index]
+        worker.in_flight.append(request_id)
+        self._enqueue(worker, ("q", request_id, frame), frame)
+        return index
+
+    def broadcast_update(self, frame: bytes) -> Tuple[int, int]:
+        """Queue an applied update frame to every worker, in dispatch order.
+
+        Returns ``(epoch, outstanding)``: the caller holds the owner's
+        response until :meth:`note_ack` has seen ``outstanding`` acks for
+        ``epoch`` (crashed workers count as acknowledged — their replacement
+        is forked from the master's already-updated state).  Each worker's
+        outbox is FIFO, so queries enqueued after this update are processed
+        after it on every worker.
+        """
+        self._update_epoch += 1
+        epoch = self._update_epoch
+        outstanding = set()
+        for index, worker in enumerate(self._workers):
+            self._enqueue(worker, ("u", epoch, frame), frame)
+            outstanding.add(index)
+        if outstanding:
+            self._pending_acks[epoch] = outstanding
+        return epoch, len(outstanding)
+
+    def note_ack(self, worker_index: int, epoch: int) -> bool:
+        """Record a worker's update ack; True when the epoch is fully acked."""
+        outstanding = self._pending_acks.get(epoch)
+        if outstanding is None:
+            return True
+        outstanding.discard(worker_index)
+        if not outstanding:
+            del self._pending_acks[epoch]
+            return True
+        return False
+
+    def handle_worker_eof(self, worker_index: int) -> List[int]:
+        """Replace a dead worker; returns the request ids it took with it.
+
+        The replacement is forked from the master's current state (the master
+        applies every update itself), so it answers under the newest snapshot
+        — which also resolves every pending update epoch for this worker.
+        """
+        worker = self._workers[worker_index]
+        lost = list(worker.in_flight)
+        worker.in_flight = []
+        try:
+            worker.connection.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        worker.process.join(timeout=2)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.terminate()
+            worker.process.join(timeout=2)
+        for outstanding in self._pending_acks.values():
+            outstanding.discard(worker_index)
+        self.workers_restarted += 1
+        self._workers[worker_index] = self._spawn()
+        return lost
+
+    def resolved_epochs(self) -> List[int]:
+        """Epochs whose outstanding-ack set drained (e.g. via a crash)."""
+        return [epoch for epoch, pending in self._pending_acks.items() if not pending]
+
+    def finish_resolved_epoch(self, epoch: int) -> None:
+        self._pending_acks.pop(epoch, None)
+
+    def worker(self, index: int) -> _Worker:
+        return self._workers[index]
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """PIDs of the live workers (for crash tests and diagnostics)."""
+        return [worker.process.pid for worker in self._workers]

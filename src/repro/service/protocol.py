@@ -79,6 +79,7 @@ __all__ = [
     "ManifestRotated",
     "RotationRequest",
     "ErrorResponse",
+    "encode_frame",
     "send_message",
     "recv_message",
 ]
@@ -318,14 +319,24 @@ codec.register_artifact(
 # ---------------------------------------------------------------------------
 
 
-def send_message(sock: socket.socket, message) -> None:
-    """Encode ``message`` and write it as one length-prefixed frame."""
+def encode_frame(message) -> bytes:
+    """The length-prefixed wire frame of one message.
+
+    Exposed separately from :func:`send_message` so pipelining clients can
+    concatenate many frames into a single ``sendall`` — one syscall and one
+    network round trip for a whole batch of requests.
+    """
     payload = encode(message)
     if len(payload) > MAX_FRAME_BYTES:
         raise ServiceProtocolError(
             f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )
-    sock.sendall(len(payload).to_bytes(4, "big") + payload)
+    return len(payload).to_bytes(4, "big") + payload
+
+
+def send_message(sock: socket.socket, message) -> None:
+    """Encode ``message`` and write it as one length-prefixed frame."""
+    sock.sendall(encode_frame(message))
 
 
 def _recv_exactly(

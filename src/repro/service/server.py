@@ -1,33 +1,36 @@
-"""The concurrent publication server.
+"""The publication server: a non-blocking event loop with pipelined frames.
 
 A :class:`PublicationServer` listens on a TCP socket and serves the framed
-protocol of :mod:`repro.service.protocol` with a thread pool: one lightweight
-accept loop hands each connection to a pooled worker, and a connection may
-issue any number of requests.  All workers share the shard router — and with
-it each shard's :class:`~repro.core.publisher.Publisher` and its keyed
-VO-fragment cache, so a range that became hot through one client's connection
-is served from cached fragments to every other client as well.
+protocol of :mod:`repro.service.protocol` from a single ``selectors``-based
+event loop.  Connections are **pipelined**: a client may write any number of
+request frames back-to-back without waiting for responses, and the server
+answers each connection's requests strictly in order — so a client pays the
+network round trip once per *batch*, not once per query (see
+:meth:`~repro.service.client.VerifyingClient.query_many`).
 
-Concurrency, precisely: proof *construction* on one shard is serialized by
-that shard's lock (the publisher's VO-fragment cache is not built for
-concurrent mutation, and the hashing work is GIL-bound CPU either way); the
-thread pool buys overlapping of socket I/O, framing/codec work and requests
-against *different* shards.  The service benchmark
-(:mod:`repro.bench.wire`) reports end-to-end pipeline throughput under this
-model, not parallel proof construction.
+Proof construction is CPU-bound hashing, so the loop can either run it inline
+(``worker_processes=0``, the default — one core, zero IPC overhead) or
+dispatch query/join frames to a :class:`~repro.service.pool.ProofWorkerPool`
+of pre-warmed forked workers (``worker_processes=N``) so throughput scales
+with cores.  The event loop itself never blocks on proof work in pooled mode:
+it routes frames by *peeking* at their envelope
+(:func:`repro.wire.codec.frame_type` — four bytes, no payload decode) and
+ships raw bytes to the workers.
 
-The server also accepts owner mutations: an
-:class:`~repro.wire.updates.UpdateRequest` is applied only after its owner
-signature verifies under the hosted manifest's public key (authorization —
-no third party can mutate hosted data; the hosted relations carry the
-signing scheme for the re-signing itself, see :mod:`repro.service.owner`),
-runs entirely under the shard's write lock (queries see the old or the new
-snapshot, never a mix), and rotates the relation's manifest so clients can
-follow the data.
+Owner mutations (:class:`~repro.wire.updates.UpdateRequest`) are always
+applied by the master process — owner-signature verification, all-or-nothing
+application and manifest rotation under the shard's write lock — and then
+broadcast to every worker, which re-applies them to its forked copy (FDH-RSA
+is deterministic, so all copies stay identical and pooled answers remain
+byte-identical to in-process answers).  The owner's ``UpdateResponse`` is
+held until every worker acknowledged the broadcast.
 
 Every failure is answered with a typed
-:class:`~repro.service.protocol.ErrorResponse`; the server never leaks a stack
-trace to the peer and never dies on a malformed request.
+:class:`~repro.service.protocol.ErrorResponse`; the server never leaks a
+stack trace to the peer and never dies on a malformed request.  A worker that
+crashes mid-query produces a typed ``ErrorResponse(code="WorkerCrashed")``
+for each request it took with it — never a hang — and is replaced by a fresh
+fork of the master's current state.
 
 Run ``python -m repro.service`` to serve the built-in demo database
 (prints ``PORT <n>`` once it is listening; see :mod:`repro.service.demo`).
@@ -35,34 +38,87 @@ Run ``python -m repro.service`` to serve the built-in demo database
 
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
-from typing import List, Optional, Tuple
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.errors import ReproError
+from repro.service.handler import HandledFrame, RequestHandler
+from repro.service.pool import ProofWorkerPool
 from repro.service.protocol import (
     ErrorResponse,
     JoinRequest,
-    JoinResponse,
-    ListRelationsRequest,
-    ManifestByIdRequest,
-    ManifestRequest,
-    ManifestResponse,
-    OwnerAuthError,
+    MAX_FRAME_BYTES,
+    MID_FRAME_STALL_SECONDS,
     QueryRequest,
-    QueryResponse,
-    RelationListing,
-    RotationRequest,
-    ServiceProtocolError,
-    StaleManifestError,
-    recv_message,
-    send_message,
 )
-from repro.service.router import ShardRouter
+from repro.service.router import ShardRouter, UnknownManifestError
+from repro.wire import encode
+from repro.wire.codec import frame_type, peek_leading_fields
 from repro.wire.errors import WireFormatError
-from repro.wire.updates import UpdateRequest, UpdateResponse, update_signing_message
+from repro.wire.updates import UpdateRequest
 
 __all__ = ["PublicationServer"]
+
+#: Per-connection cap on queued (parsed but unanswered) pipelined frames;
+#: beyond it the server stops reading that socket until responses drain —
+#: backpressure instead of unbounded buffering.
+MAX_PIPELINED_FRAMES = 256
+
+_RECV_CHUNK = 256 * 1024
+
+
+class _Slot:
+    """One in-order response slot of a connection's pipeline."""
+
+    __slots__ = ("payload", "is_error", "close_after")
+
+    def __init__(self) -> None:
+        self.payload: Optional[bytes] = None
+        self.is_error = False
+        self.close_after = False
+
+    def complete(self, handled: HandledFrame) -> None:
+        self.payload = handled.payload
+        self.is_error = handled.is_error
+        self.close_after = handled.close_after
+
+
+class _Connection:
+    """Per-connection event-loop state."""
+
+    __slots__ = (
+        "sock",
+        "inbuf",
+        "outbuf",
+        "pending",
+        "closing",
+        "paused",
+        "last_recv",
+        "registered_events",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.pending: Deque[_Slot] = deque()
+        #: True once the connection must be torn down after the outbuf drains.
+        self.closing = False
+        #: True while reads are suspended for pipeline backpressure.
+        self.paused = False
+        self.last_recv = time.monotonic()
+        self.registered_events = 0
+
+    def wants_events(self) -> int:
+        events = 0
+        if not self.closing and not self.paused:
+            events |= selectors.EVENT_READ
+        if self.outbuf:
+            events |= selectors.EVENT_WRITE
+        return events
 
 
 class PublicationServer:
@@ -76,10 +132,18 @@ class PublicationServer:
         Bind address; port 0 picks a free port (read it back from
         :attr:`address` after :meth:`start`).
     max_workers:
-        Maximum concurrently served connections.  A connection beyond the cap
-        is not silently parked: it immediately receives a typed
-        ``ErrorResponse(code="ServerBusy")`` and is closed, so clients see
-        overload instead of an unexplained hang.
+        Maximum concurrently open connections (the name is historical: the
+        thread-pool ancestor of this server had one thread per connection).
+        A connection beyond the cap is not silently parked: it immediately
+        receives a typed ``ErrorResponse(code="ServerBusy")`` and is closed,
+        so clients see overload instead of an unexplained hang.
+    worker_processes:
+        Size of the proof worker pool.  0 (default) constructs proofs inline
+        on the event loop; N > 0 forks N pre-warmed workers and fans
+        query/join frames out to them (requires a ``fork`` platform).
+    response_cache:
+        Enable the encoded-response cache for hot query/join frames
+        (rotation-invalidated; see :class:`~repro.service.handler.RequestHandler`).
     """
 
     def __init__(
@@ -88,22 +152,42 @@ class PublicationServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 8,
+        worker_processes: int = 0,
+        response_cache: bool = True,
     ) -> None:
         self.router = router
         self._requested = (host, port)
-        self._max_workers = max_workers
+        self._max_connections = max_workers
+        self._worker_processes = worker_processes
+        self.handler = RequestHandler(router, response_cache=response_cache)
         self._listener: Optional[socket.socket] = None
-        self._conn_slots: Optional[threading.Semaphore] = None
-        self._workers: List[threading.Thread] = []
-        self._accept_thread: Optional[threading.Thread] = None
+        self._loop_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        self._wake_send: Optional[socket.socket] = None
+        self._pool: Optional[ProofWorkerPool] = None
+        # Event-loop state (touched only from the loop thread after start).
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._connections: Dict[socket.socket, _Connection] = {}
+        self._request_counter = 0
+        self._pool_slots: Dict[int, Tuple[_Connection, _Slot]] = {}
+        self._worker_regs: Dict[int, object] = {}
+        self._deferred_updates: Dict[int, List[Tuple[_Connection, _Slot, HandledFrame]]] = {}
+        # Stats (monotonic counters; read by tests and the demo logger).
         self._stats_lock = threading.Lock()
         self.requests_served = 0
         self.errors_answered = 0
         self.connections_refused = 0
-        self.updates_applied = 0
 
     # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def updates_applied(self) -> int:
+        return self.handler.updates_applied
+
+    @property
+    def workers_restarted(self) -> int:
+        """How many crashed proof workers were replaced."""
+        return self._pool.workers_restarted if self._pool is not None else 0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -113,34 +197,50 @@ class PublicationServer:
         return self._listener.getsockname()[:2]
 
     def start(self) -> Tuple[str, int]:
-        """Bind, listen and start accepting in the background."""
+        """Bind, listen, fork the worker pool and start the event loop."""
         if self._listener is not None:
             raise RuntimeError("the server is already running")
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(self._requested)
-        listener.listen(128)
-        listener.settimeout(0.2)
+        listener.listen(256)
+        listener.setblocking(False)
         self._listener = listener
         self._stopping.clear()
-        self._conn_slots = threading.Semaphore(self._max_workers)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="publication-accept", daemon=True
+        if self._worker_processes > 0:
+            # Fork *before* the loop thread starts: the children inherit a
+            # quiescent single-threaded master.
+            self._pool = ProofWorkerPool(
+                lambda: self.handler, self._worker_processes
+            )
+        self._wake_send, wake_recv = socket.socketpair()
+        self._wake_send.setblocking(False)
+        wake_recv.setblocking(False)
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, args=(wake_recv,), name="publication-loop", daemon=True
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
         return self.address
 
     def stop(self) -> None:
-        """Stop accepting, drain the connection workers, release the socket."""
+        """Stop the loop, drain connections, release sockets and workers."""
         if self._listener is None:
             return
         self._stopping.set()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5)
-            self._accept_thread = None
-        for worker in self._workers:
-            worker.join(timeout=5)
-        self._workers = []
+        if self._wake_send is not None:
+            try:
+                self._wake_send.send(b"x")
+            except OSError:
+                pass
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10)
+            self._loop_thread = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._wake_send is not None:
+            self._wake_send.close()
+            self._wake_send = None
         self._listener.close()
         self._listener = None
 
@@ -163,213 +263,419 @@ class PublicationServer:
         finally:
             self.stop()
 
-    # -- accept / handle ----------------------------------------------------
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters of the server-side caches."""
+        stats: Dict[str, object] = dict(self.handler.cache_stats())
+        shards = {}
+        for shard_name, publisher in self.router.shards.items():
+            shards[shard_name] = publisher.cache_stats()
+        stats["shards"] = shards
+        return stats
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None and self._conn_slots is not None
-        while not self._stopping.is_set():
-            try:
-                connection, _peer = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break  # listener closed under us during shutdown
-            if not self._conn_slots.acquire(blocking=False):
-                # Every worker is busy with a live connection: answer with a
-                # typed overload error rather than parking the peer forever.
-                with self._stats_lock:
-                    self.connections_refused += 1
-                self._answer_error(
-                    connection,
-                    RuntimeError(
-                        f"all {self._max_workers} connection slots are in use"
-                    ),
-                    code="ServerBusy",
-                    reason="overloaded",
+    # -- the event loop -----------------------------------------------------
+
+    def _run_loop(self, wake_recv: socket.socket) -> None:
+        selector = selectors.DefaultSelector()
+        self._selector = selector
+        assert self._listener is not None
+        selector.register(self._listener, selectors.EVENT_READ, ("listener", None))
+        selector.register(wake_recv, selectors.EVENT_READ, ("wake", None))
+        if self._pool is not None:
+            for index, connection in self._pool.connections():
+                key = selector.register(
+                    connection, selectors.EVENT_READ, ("worker", index)
                 )
-                connection.close()
-                continue
-            self._workers = [w for w in self._workers if w.is_alive()]
-            worker = threading.Thread(
-                target=self._serve_connection_slot,
-                args=(connection,),
-                name="publication-worker",
-                daemon=True,
-            )
-            self._workers.append(worker)
-            worker.start()
-
-    def _serve_connection_slot(self, connection: socket.socket) -> None:
-        try:
-            self._serve_connection(connection)
-        finally:
-            assert self._conn_slots is not None
-            self._conn_slots.release()
-
-    def _serve_connection(self, connection: socket.socket) -> None:
-        connection.settimeout(0.5)
+                self._worker_regs[index] = key.fileobj
+        last_sweep = time.monotonic()
         try:
             while not self._stopping.is_set():
-                try:
-                    request = recv_message(connection)
-                except socket.timeout:
-                    continue
-                except (WireFormatError, ServiceProtocolError) as error:
-                    # A malformed frame: answer with a typed error, then drop
-                    # the connection — after a framing violation the stream
-                    # offset can no longer be trusted.
-                    self._answer_error(connection, error)
-                    return
-                if request is None:
-                    return  # clean EOF
-                self._handle_one(connection, request)
-        except OSError:
-            pass  # peer vanished; nothing to answer
+                events = selector.select(timeout=0.2)
+                for key, mask in events:
+                    tag, payload = key.data
+                    if tag == "listener":
+                        self._accept_ready()
+                    elif tag == "wake":
+                        try:
+                            wake_recv.recv(4096)
+                        except OSError:
+                            pass
+                    elif tag == "worker":
+                        self._worker_ready(payload)
+                    else:  # a client connection
+                        self._connection_ready(payload, mask)
+                now = time.monotonic()
+                if now - last_sweep >= 1.0:
+                    last_sweep = now
+                    self._sweep_stalled(now)
         finally:
-            connection.close()
+            for connection in list(self._connections.values()):
+                self._drop_connection(connection)
+            selector.close()
+            self._selector = None
+            wake_recv.close()
 
-    def _handle_one(self, connection: socket.socket, request) -> None:
-        try:
-            response = self._dispatch(request)
-        except ReproError as error:
-            self._answer_error(connection, error)
-            return
-        except Exception as error:  # noqa: BLE001 - never leak a traceback
-            self._answer_error(
-                connection,
-                error,
-                code="InternalError",
-                reason="internal-error",
-            )
-            return
-        with self._stats_lock:
-            self.requests_served += 1
-        try:
-            send_message(connection, response)
-        except OSError:
-            pass
+    # -- accepting ----------------------------------------------------------
 
-    def _answer_error(
-        self,
-        connection: socket.socket,
-        error: Exception,
-        code: Optional[str] = None,
-        reason: Optional[str] = None,
-    ) -> None:
+    def _accept_ready(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, _peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            if len(self._connections) >= self._max_connections:
+                self._refuse(sock)
+                continue
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _Connection(sock)
+            self._connections[sock] = connection
+            self._reregister(connection)
+
+    def _refuse(self, sock: socket.socket) -> None:
         with self._stats_lock:
+            self.connections_refused += 1
             self.errors_answered += 1
-        response = ErrorResponse(
-            code=code or type(error).__name__,
-            reason=reason or getattr(error, "reason", "error"),
-            message=str(error),
+        payload = encode(
+            ErrorResponse(
+                code="ServerBusy",
+                reason="overloaded",
+                message=(
+                    f"all {self._max_connections} connection slots are in use"
+                ),
+            )
         )
         try:
-            send_message(connection, response)
+            sock.send(len(payload).to_bytes(4, "big") + payload)
         except OSError:
             pass
+        sock.close()
 
-    # -- request dispatch ---------------------------------------------------
+    # -- connection I/O ------------------------------------------------------
 
-    def _dispatch(self, request):
-        if isinstance(request, ListRelationsRequest):
-            return RelationListing(entries=self.router.listing())
-        if isinstance(request, ManifestRequest):
-            return ManifestResponse(
-                manifest=self.router.manifest_by_name(request.relation_name)
+    def _reregister(self, connection: _Connection) -> None:
+        assert self._selector is not None
+        wanted = connection.wants_events()
+        if wanted == connection.registered_events:
+            return
+        if connection.registered_events == 0:
+            if wanted:
+                self._selector.register(connection.sock, wanted, ("conn", connection))
+        elif wanted == 0:
+            self._selector.unregister(connection.sock)
+        else:
+            self._selector.modify(connection.sock, wanted, ("conn", connection))
+        connection.registered_events = wanted
+
+    def _connection_ready(self, connection: _Connection, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            self._flush_outbuf(connection)
+        if mask & selectors.EVENT_READ and not connection.closing:
+            self._read_ready(connection)
+        if connection.sock in self._connections:
+            if connection.closing and not connection.outbuf and not connection.pending:
+                self._drop_connection(connection)
+            else:
+                self._reregister(connection)
+
+    def _read_ready(self, connection: _Connection) -> None:
+        try:
+            chunk = connection.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_connection(connection)
+            return
+        if not chunk:
+            # Clean or abrupt EOF.  Any responses still pending are moot —
+            # the peer is no longer reading.
+            self._drop_connection(connection)
+            return
+        connection.last_recv = time.monotonic()
+        connection.inbuf += chunk
+        self._parse_frames(connection)
+
+    def _parse_frames(self, connection: _Connection) -> None:
+        inbuf = connection.inbuf
+        offset = 0
+        total = len(inbuf)
+        while not connection.closing:
+            if len(connection.pending) >= MAX_PIPELINED_FRAMES:
+                connection.paused = True
+                break
+            if total - offset < 4:
+                break
+            length = int.from_bytes(inbuf[offset : offset + 4], "big")
+            if length > MAX_FRAME_BYTES:
+                self._complete_inline(
+                    connection,
+                    self._framing_error(
+                        f"announced frame of {length} bytes exceeds the cap"
+                    ),
+                )
+                break
+            if total - offset - 4 < length:
+                break
+            with memoryview(inbuf) as view:
+                frame = bytes(view[offset + 4 : offset + 4 + length])
+            offset += 4 + length
+            self._handle_frame(connection, frame)
+        if offset:
+            del inbuf[:offset]
+        self._flush_completed(connection)
+
+    def _framing_error(self, message: str) -> HandledFrame:
+        payload = encode(
+            ErrorResponse(
+                code="ServiceProtocolError", reason="framing", message=message
             )
-        if isinstance(request, ManifestByIdRequest):
-            return ManifestResponse(
-                manifest=self.router.manifest_by_id(request.manifest_id)
-            )
-        if isinstance(request, QueryRequest):
-            return self._answer_query(request)
-        if isinstance(request, JoinRequest):
-            return self._answer_join(request)
-        if isinstance(request, UpdateRequest):
-            return self._answer_update(request)
-        if isinstance(request, RotationRequest):
-            return self.router.rotation(request.relation_name)
-        raise ServiceProtocolError(
-            f"{type(request).__name__} is not a request message"
         )
+        return HandledFrame(payload, is_error=True, close_after=True)
 
-    def _answer_query(self, request: QueryRequest) -> QueryResponse:
-        target = self.router.route(request.manifest_id)
-        if request.query.relation_name != target.relation_name:
-            raise ServiceProtocolError(
-                f"manifest id resolves to {target.relation_name!r}, but the "
-                f"query names {request.query.relation_name!r}"
-            )
-        with target.lock:
-            # The answer and the id it was built under are captured inside
-            # one lock section: an update rotating this relation either
-            # happened entirely before (new rows, new id) or entirely after
-            # (old rows, old id) — a client can attribute every answer to
-            # exactly one snapshot.
-            result = target.publisher.answer(request.query, role=request.role)
-            current_id = self.router.current_id(target.relation_name)
-        return QueryResponse(
-            rows=tuple(dict(row) for row in result.rows),
-            proof=result.proof,
-            manifest_id=current_id,
-        )
+    def _complete_inline(self, connection: _Connection, handled: HandledFrame) -> None:
+        slot = _Slot()
+        slot.complete(handled)
+        connection.pending.append(slot)
 
-    def _answer_join(self, request: JoinRequest) -> JoinResponse:
-        target = self.router.route_join(
-            request.left_manifest_id, request.right_manifest_id, request.join
-        )
-        with target.lock:
-            result = target.publisher.answer_join(request.join, role=request.role)
-            left_id = self.router.current_id(request.join.left_relation)
-            right_id = self.router.current_id(request.join.right_relation)
-        return JoinResponse(
-            rows=tuple(dict(row) for row in result.rows),
-            left_rows=tuple(dict(row) for row in result.left_rows),
-            proof=result.proof,
-            left_manifest_id=left_id,
-            right_manifest_id=right_id,
-        )
+    # -- frame handling ------------------------------------------------------
 
-    def _answer_update(self, request: UpdateRequest) -> UpdateResponse:
-        """Verify, apply and acknowledge one owner delta batch.
+    def _handle_frame(self, connection: _Connection, frame: bytes) -> None:
+        pool = self._pool
+        if pool is not None:
+            try:
+                cls = frame_type(frame)
+            except WireFormatError as error:
+                handled = HandledFrame(
+                    self.handler._error_payload(error), True, close_after=True
+                )
+                self._complete_inline(connection, handled)
+                return
+            if cls is QueryRequest or cls is JoinRequest:
+                rejection = self._peek_route_rejection(cls, frame)
+                if rejection is not None:
+                    self._complete_inline(connection, rejection)
+                    return
+                slot = _Slot()
+                connection.pending.append(slot)
+                self._request_counter += 1
+                request_id = self._request_counter
+                self._pool_slots[request_id] = (connection, slot)
+                pool.submit(request_id, frame)
+                return
+            if cls is UpdateRequest:
+                handled = self.handler.handle_frame(frame)
+                slot = _Slot()
+                connection.pending.append(slot)
+                if handled.is_error:
+                    slot.complete(handled)
+                    return
+                # Applied by the master: propagate to every forked worker and
+                # hold the owner's response until all copies acknowledged.
+                epoch, outstanding = pool.broadcast_update(frame)
+                if outstanding == 0:
+                    slot.complete(handled)
+                else:
+                    self._deferred_updates.setdefault(epoch, []).append(
+                        (connection, slot, handled)
+                    )
+                return
+        self._complete_inline(connection, self.handler.handle_frame(frame))
 
-        The whole pipeline — signature check, sequence check, application,
-        manifest rotation — runs under the shard's write lock, so every
-        concurrent query on this shard sees the relation entirely before or
-        entirely after the batch.
+    def _peek_route_rejection(
+        self, cls: type, frame: bytes
+    ) -> Optional[HandledFrame]:
+        """Routing pre-check for pooled frames, from the envelope peek alone.
+
+        Query/join frames lead with their manifest id(s)
+        (:func:`repro.wire.peek_leading_fields` materialises just those), so
+        a frame addressing an id this router has never hosted is refused by
+        the master without decoding the payload or consuming worker
+        capacity.  Anything else — including a frame whose leading fields do
+        not even parse — goes to a worker, whose full strict decode produces
+        the canonical typed error.
         """
-        target = self.router.route_for_update(request.manifest_id)
-        with target.lock:
-            signed = target.publisher.signed_relation(target.relation_name)
-            if request.sequence != signed.version:
-                raise StaleManifestError(
-                    f"update signed for sequence {request.sequence}, but "
-                    f"relation {target.relation_name!r} is at sequence "
-                    f"{signed.version}",
-                    reason="stale-update",
-                )
-            message = update_signing_message(
-                request.manifest_id, request.sequence, request.deltas
+        try:
+            count = 1 if cls is QueryRequest else 2
+            for identifier in peek_leading_fields(frame, count):
+                self.router.route(identifier)
+        except UnknownManifestError as error:
+            return HandledFrame(self.handler._error_payload(error), is_error=True)
+        except Exception:  # noqa: BLE001 - defer to the worker's strict decode
+            return None
+        return None
+
+    def _worker_ready(self, worker_index: int) -> None:
+        assert self._pool is not None
+        worker = self._pool.worker(worker_index)
+        try:
+            while worker.connection.poll(0):
+                message = worker.connection.recv()
+                self._worker_message(worker_index, message)
+        except (EOFError, OSError):
+            self._worker_crashed(worker_index)
+
+    def _worker_message(self, worker_index: int, message) -> None:
+        assert self._pool is not None
+        # Every reply frees pipe budget and pumps the worker's outbox.
+        self._pool.note_reply(worker_index)
+        kind = message[0]
+        if kind == "r":
+            _, request_id, payload, is_error, close_after = message
+            worker = self._pool.worker(worker_index)
+            try:
+                worker.in_flight.remove(request_id)
+            except ValueError:
+                pass
+            entry = self._pool_slots.pop(request_id, None)
+            if entry is None:
+                return
+            connection, slot = entry
+            slot.complete(HandledFrame(payload, is_error, close_after))
+            self._flush_completed(connection)
+            if connection.sock in self._connections:
+                self._reregister(connection)
+        elif kind == "a":
+            _, epoch = message
+            if self._pool.note_ack(worker_index, epoch):
+                self._finish_update_epoch(epoch)
+
+    def _finish_update_epoch(self, epoch: int) -> None:
+        for connection, slot, handled in self._deferred_updates.pop(epoch, ()):
+            slot.complete(handled)
+            self._flush_completed(connection)
+            if connection.sock in self._connections:
+                self._reregister(connection)
+
+    def _worker_crashed(self, worker_index: int) -> None:
+        assert self._pool is not None and self._selector is not None
+        registered = self._worker_regs.pop(worker_index, None)
+        if registered is not None:
+            try:
+                self._selector.unregister(registered)
+            except KeyError:
+                pass
+        lost = self._pool.handle_worker_eof(worker_index)
+        payload = encode(
+            ErrorResponse(
+                code="WorkerCrashed",
+                reason="worker-crashed",
+                message=(
+                    "the proof worker serving this request died; it has been "
+                    "replaced — retry the request"
+                ),
             )
-            if not signed.manifest.public_key.verify(
-                message, request.owner_signature
-            ):
-                raise OwnerAuthError(
-                    f"update for {target.relation_name!r} is not signed by "
-                    "the data owner"
-                )
-            receipt = target.publisher.apply_deltas(
-                target.relation_name, request.deltas
-            )
-            rotation = self.router.record_rotation(target)
-        with self._stats_lock:
-            self.updates_applied += 1
-        return UpdateResponse(receipt=receipt, rotation=rotation)
+        )
+        for request_id in lost:
+            entry = self._pool_slots.pop(request_id, None)
+            if entry is None:
+                continue
+            connection, slot = entry
+            slot.complete(HandledFrame(payload, is_error=True))
+            self._flush_completed(connection)
+            if connection.sock in self._connections:
+                self._reregister(connection)
+        # A crash may have been the last outstanding ack of an update epoch.
+        for epoch in self._pool.resolved_epochs():
+            self._pool.finish_resolved_epoch(epoch)
+            self._finish_update_epoch(epoch)
+        key = self._selector.register(
+            self._pool.worker(worker_index).connection,
+            selectors.EVENT_READ,
+            ("worker", worker_index),
+        )
+        self._worker_regs[worker_index] = key.fileobj
+
+    # -- response flushing ---------------------------------------------------
+
+    def _flush_completed(self, connection: _Connection) -> None:
+        pending = connection.pending
+        served = 0
+        errors = 0
+        while pending and pending[0].payload is not None:
+            slot = pending.popleft()
+            connection.outbuf += len(slot.payload).to_bytes(4, "big")
+            connection.outbuf += slot.payload
+            if slot.is_error:
+                errors += 1
+            else:
+                served += 1
+            if slot.close_after:
+                connection.closing = True
+                pending.clear()
+                break
+        if served or errors:
+            with self._stats_lock:
+                self.requests_served += served
+                self.errors_answered += errors
+        if connection.paused and len(pending) <= MAX_PIPELINED_FRAMES // 2:
+            connection.paused = False
+            # Frames may already be buffered past the pause point; any
+            # partial tail left after parsing starts a fresh stall window
+            # (the peer was not stalling while reads were suspended).
+            connection.last_recv = time.monotonic()
+            self._parse_frames(connection)
+        if connection.outbuf:
+            self._flush_outbuf(connection)
+
+    def _flush_outbuf(self, connection: _Connection) -> None:
+        outbuf = connection.outbuf
+        try:
+            while outbuf:
+                sent = connection.sock.send(outbuf)
+                del outbuf[:sent]
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self._drop_connection(connection)
+            return
+        if (
+            connection.closing
+            and not outbuf
+            and not connection.pending
+            and connection.sock in self._connections
+        ):
+            self._drop_connection(connection)
+
+    def _drop_connection(self, connection: _Connection) -> None:
+        if self._connections.pop(connection.sock, None) is None:
+            return
+        if connection.registered_events and self._selector is not None:
+            try:
+                self._selector.unregister(connection.sock)
+            except KeyError:
+                pass
+        connection.registered_events = 0
+        # Results still in flight for this connection are discarded on arrival.
+        stale = [
+            request_id
+            for request_id, (owner, _) in self._pool_slots.items()
+            if owner is connection
+        ]
+        for request_id in stale:
+            del self._pool_slots[request_id]
+        connection.sock.close()
+
+    def _sweep_stalled(self, now: float) -> None:
+        for connection in list(self._connections.values()):
+            # Only a frame cut off in the middle is bounded here (see
+            # protocol.MID_FRAME_STALL_SECONDS).  A connection paused for
+            # pipeline backpressure, or with answers still being produced,
+            # is making progress — its inbuf legitimately holds bytes while
+            # reads (and therefore last_recv) are suspended.
+            if connection.paused or connection.pending:
+                continue
+            mid_frame = bool(connection.inbuf)
+            if mid_frame and now - connection.last_recv > MID_FRAME_STALL_SECONDS:
+                self._drop_connection(connection)
 
 
 def _main(argv=None) -> int:
     """Serve the built-in demo database (for examples and integration tests)."""
     import argparse
+    import json
+    import sys
 
     from repro.service.demo import build_demo_router
 
@@ -378,12 +684,28 @@ def _main(argv=None) -> int:
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--key-bits", type=int, default=512)
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--max-workers", type=int, default=8)
+    parser.add_argument("--max-workers", type=int, default=64)
+    parser.add_argument(
+        "--worker-processes",
+        type=int,
+        default=0,
+        help="size of the proof worker pool (0 = construct proofs inline)",
+    )
+    parser.add_argument(
+        "--no-response-cache",
+        action="store_true",
+        help="disable the encoded-response cache",
+    )
     args = parser.parse_args(argv)
 
     router = build_demo_router(key_bits=args.key_bits, seed=args.seed)
     server = PublicationServer(
-        router, host=args.host, port=args.port, max_workers=args.max_workers
+        router,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        worker_processes=args.worker_processes,
+        response_cache=not args.no_response_cache,
     )
     host, port = server.start()
     print(f"PORT {port}", flush=True)
@@ -391,7 +713,16 @@ def _main(argv=None) -> int:
         "RELATIONS " + ",".join(name for name, _ in router.listing()),
         flush=True,
     )
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        # Long-running-server observability: one cache-stats line on the way
+        # out, so operators can see hit rates and confirm the bounds held.
+        print(
+            "CACHE_STATS " + json.dumps(server.cache_stats(), default=str),
+            file=sys.stderr,
+            flush=True,
+        )
     return 0
 
 

@@ -33,7 +33,9 @@ reader and both JSON directions are always generated from one source of truth.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import inspect
 import json
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -66,6 +68,8 @@ from repro.wire.primitives import WireReader, WireWriter
 __all__ = [
     "encode",
     "decode",
+    "frame_type",
+    "peek_leading_fields",
     "to_json",
     "from_json",
     "to_json_obj",
@@ -102,7 +106,15 @@ _MAGIC = b"PV"
 
 
 class _Field:
-    """One wire-field type: binary write/read plus the JSON mirror."""
+    """One wire-field type: binary write/read plus the JSON mirror.
+
+    ``emit`` contributes to the generated per-artifact decoder (see
+    :meth:`_ArtifactCodec._generate_read_body`): it returns a Python
+    *expression* that reads this field from ``reader``, with any objects the
+    expression needs registered in ``bindings``.  The default emission simply
+    calls :meth:`read`, so composite fields that keep per-element validation
+    loops (maps, unions) work unchanged inside generated decoders.
+    """
 
     def write(self, writer: WireWriter, value) -> None:
         raise NotImplementedError
@@ -110,11 +122,22 @@ class _Field:
     def read(self, reader: WireReader, what: str):
         raise NotImplementedError
 
+    def emit(self, label_expr: str, bindings: Dict[str, object]) -> str:
+        name = _bind(bindings, "f", self.read)
+        return f"{name}(reader, {label_expr})"
+
     def to_json(self, value):
         raise NotImplementedError
 
     def from_json(self, obj, what: str):
         raise NotImplementedError
+
+
+def _bind(bindings: Dict[str, object], prefix: str, value) -> str:
+    """Register ``value`` under a fresh name in a codegen namespace."""
+    name = f"_{prefix}{len(bindings)}"
+    bindings[name] = value
+    return name
 
 
 def _json_type_error(what: str, expected: str, obj) -> WireFormatError:
@@ -130,6 +153,9 @@ class _Int(_Field):
 
     def read(self, reader, what):
         return reader.int_(what)
+
+    def emit(self, label_expr, bindings):
+        return f"reader.int_({label_expr})"
 
     def to_json(self, value):
         return int(value)
@@ -147,6 +173,9 @@ class _Bool(_Field):
     def read(self, reader, what):
         return reader.bool_(what)
 
+    def emit(self, label_expr, bindings):
+        return f"reader.bool_({label_expr})"
+
     def to_json(self, value):
         return bool(value)
 
@@ -163,6 +192,9 @@ class _Str(_Field):
     def read(self, reader, what):
         return reader.str_(what)
 
+    def emit(self, label_expr, bindings):
+        return f"reader.str_({label_expr})"
+
     def to_json(self, value):
         return str(value)
 
@@ -178,6 +210,9 @@ class _Bytes(_Field):
 
     def read(self, reader, what):
         return reader.bytes_(what)
+
+    def emit(self, label_expr, bindings):
+        return f"reader.bytes_({label_expr})"
 
     def to_json(self, value):
         return bytes(value).hex()
@@ -201,6 +236,9 @@ class _Scalar(_Field):
 
     def read(self, reader, what):
         return reader.scalar(what)
+
+    def emit(self, label_expr, bindings):
+        return f"reader.scalar({label_expr})"
 
     def to_json(self, value):
         if isinstance(value, (bytes, bytearray, memoryview)):
@@ -242,6 +280,9 @@ class _FixedBytes(_Field):
     def read(self, reader, what):
         return reader.fixed_bytes(self.size, what)
 
+    def emit(self, label_expr, bindings):
+        return f"reader.fixed_bytes({self.size}, {label_expr})"
+
     def to_json(self, value):
         return bytes(value).hex()
 
@@ -276,6 +317,14 @@ class _Optional(_Field):
             return self.inner.read(reader, what)
         return None
 
+    def emit(self, label_expr, bindings):
+        if type(self.inner) is _Bytes:
+            return f"reader.optional_bytes({label_expr})"
+        inner = self.inner.emit(label_expr, bindings)
+        # A conditional expression evaluates its test first, so the presence
+        # byte is consumed before the inner field reads anything.
+        return f"({inner} if reader.optional({label_expr}) else None)"
+
     def to_json(self, value):
         return None if value is None else self.inner.to_json(value)
 
@@ -294,8 +343,17 @@ class _Tuple(_Field):
             self.inner.write(writer, item)
 
     def read(self, reader, what):
-        length = reader.count(f"count of {what}")
-        return tuple(self.inner.read(reader, f"{what}[{i}]") for i in range(length))
+        # Hot path: one label for every element (the element index would cost
+        # a string format per field and only ever shows up in error text).
+        length = reader.count(what)
+        inner_read = self.inner.read
+        return tuple([inner_read(reader, what) for _ in range(length)])
+
+    def emit(self, label_expr, bindings):
+        inner = self.inner.emit(label_expr, bindings)
+        return (
+            f"tuple([{inner} for _ in range(reader.count({label_expr}))])"
+        )
 
     def to_json(self, value):
         return [self.inner.to_json(item) for item in value]
@@ -320,9 +378,15 @@ class _Pair(_Field):
 
     def read(self, reader, what):
         return (
-            self.first.read(reader, f"{what}.0"),
-            self.second.read(reader, f"{what}.1"),
+            self.first.read(reader, what),
+            self.second.read(reader, what),
         )
+
+    def emit(self, label_expr, bindings):
+        # Tuple displays evaluate left to right, preserving the field order.
+        first = self.first.emit(label_expr, bindings)
+        second = self.second.emit(label_expr, bindings)
+        return f"({first}, {second})"
 
     def to_json(self, value):
         a, b = value
@@ -352,19 +416,59 @@ class _Map(_Field):
             self.value.write(writer, v)
 
     def read(self, reader, what):
-        length = reader.count(f"count of {what}")
+        length = reader.count(what)
+        key_read = self.key.read
+        value_read = self.value.read
         result = {}
         previous = None
-        for index in range(length):
-            k = self.key.read(reader, f"{what} key[{index}]")
+        for _ in range(length):
+            k = key_read(reader, what)
             if previous is not None and not k > previous:
                 raise WireFormatError(
                     f"map keys of {what} are not strictly increasing",
                     reason="unsorted-map",
                 )
             previous = k
-            result[k] = self.value.read(reader, f"{what}[{k!r}]")
+            result[k] = value_read(reader, what)
         return result
+
+    def emit(self, label_expr, bindings):
+        # The two hot map shapes (result rows, attribute-digest maps) read
+        # through the reader's fused loops — one call per map.
+        if type(self.key) is _Str:
+            if type(self.value) is _Scalar:
+                return f"reader.map_str_scalar({label_expr})"
+            if type(self.value) is _Bytes:
+                return f"reader.map_str_bytes({label_expr})"
+        # Other maps need a statement loop (the strictly-increasing key check),
+        # so they are generated as a standalone helper the artifact decoder calls.
+        generated = getattr(self, "_generated_read", None)
+        if generated is None:
+            inner_bindings: Dict[str, object] = {"_WireFormatError": WireFormatError}
+            key_expr = self.key.emit("what", inner_bindings)
+            value_expr = self.value.emit("what", inner_bindings)
+            lines = [
+                "def _read_map(reader, what):",
+                "    result = {}",
+                "    previous = None",
+                "    for _ in range(reader.count(what)):",
+                f"        key = {key_expr}",
+                "        if previous is not None and not key > previous:",
+                "            raise _WireFormatError(",
+                "                f'map keys of {what} are not strictly increasing',",
+                "                reason='unsorted-map',",
+                "            )",
+                "        previous = key",
+                f"        result[key] = {value_expr}",
+                "    return result",
+            ]
+            exec(  # noqa: S102 - codegen from the trusted field-spec table
+                compile("\n".join(lines), "<wire codec map>", "exec"),
+                inner_bindings,
+            )
+            generated = self._generated_read = inner_bindings["_read_map"]
+        name = _bind(bindings, "m", generated)
+        return f"{name}(reader, {label_expr})"
 
     def to_json(self, value):
         return {
@@ -395,15 +499,28 @@ class _Nested(_Field):
 
     def __init__(self, cls: type) -> None:
         self.cls = cls
+        self._resolved: Optional["_ArtifactCodec"] = None
+
+    def _codec(self) -> "_ArtifactCodec":
+        codec = self._resolved
+        if codec is None:
+            codec = self._resolved = _codec_for_type(self.cls)
+        return codec
 
     def write(self, writer, value):
-        _codec_for_type(self.cls).write_body(writer, value)
+        self._codec().write_body(writer, value)
 
     def read(self, reader, what):
-        return _codec_for_type(self.cls).read_body(reader)
+        return self._codec().read_body(reader)
+
+    def emit(self, label_expr, bindings):
+        # Late-bound attribute lookup: the nested codec's read_body may itself
+        # be replaced by a generated decoder after its first use.
+        name = _bind(bindings, "c", self._codec())
+        return f"{name}.read_body(reader)"
 
     def to_json(self, value):
-        return _codec_for_type(self.cls).json_body(value)
+        return self._codec().json_body(value)
 
     def from_json(self, obj, what):
         if not isinstance(obj, dict):
@@ -416,6 +533,16 @@ class _Union(_Field):
 
     def __init__(self, *classes: type) -> None:
         self.classes = classes
+        self._by_tag: Optional[Dict[int, "_ArtifactCodec"]] = None
+
+    def _members(self) -> Dict[int, "_ArtifactCodec"]:
+        members = self._by_tag
+        if members is None:
+            members = self._by_tag = {
+                _codec_for_type(cls).tag: _codec_for_type(cls)
+                for cls in self.classes
+            }
+        return members
 
     def write(self, writer, value):
         codec = _codec_for_type(type(value))
@@ -427,9 +554,12 @@ class _Union(_Field):
         codec.write_body(writer, value)
 
     def read(self, reader, what):
-        tag = reader.u8(f"type tag of {what}")
-        codec = _TAGS.get(tag)
-        if codec is None or codec.cls not in self.classes:
+        tag = reader.u8(what)
+        members = self._by_tag
+        if members is None:
+            members = self._members()
+        codec = members.get(tag)
+        if codec is None:
             allowed = "/".join(cls.__name__ for cls in self.classes)
             raise WireFormatError(
                 f"tag {tag:#04x} of {what} is not one of {allowed}",
@@ -545,15 +675,32 @@ class _ArtifactCodec:
         self.name = cls.__name__
         self.fields = tuple(fields)
         self.post = post
+        # Decode hot path, precomputed once at registration: the per-field
+        # error-context labels (never formatted per read) and, when the
+        # registered field order matches the constructor's parameter order
+        # exactly, a positional construction fast path that skips building a
+        # kwargs dict per artifact.
+        self._read_plan = tuple(
+            (field.read, f"{self.name}.{name}") for name, field in self.fields
+        )
+        self._names = tuple(name for name, _ in self.fields)
+        try:
+            parameters = list(inspect.signature(cls).parameters)
+        except (ValueError, TypeError):  # pragma: no cover - exotic classes
+            parameters = None
+        self._positional = parameters == list(self._names)
+
+    def _invalid(self, error) -> WireFormatError:
+        return WireFormatError(
+            f"decoded fields do not form a valid {self.name}: {error}",
+            reason="invalid-artifact",
+        )
 
     def _construct(self, kwargs: Dict[str, object]):
         try:
             artifact = self.cls(**kwargs)
         except (ValueError, TypeError, KeyError) as error:
-            raise WireFormatError(
-                f"decoded fields do not form a valid {self.name}: {error}",
-                reason="invalid-artifact",
-            ) from None
+            raise self._invalid(error) from None
         if self.post is not None:
             self.post(artifact)
         return artifact
@@ -563,11 +710,96 @@ class _ArtifactCodec:
             field.write(writer, getattr(artifact, name))
 
     def read_body(self, reader: WireReader):
-        kwargs = {
-            name: field.read(reader, f"{self.name}.{name}")
-            for name, field in self.fields
-        }
-        return self._construct(kwargs)
+        """Decode one body; replaced by a generated decoder on first use.
+
+        The decoder is *generated* from the same field-spec table that drives
+        the writer and the JSON mirror: each field type emits the expression
+        that reads it, the expressions are compiled into one flat function per
+        artifact, and construction is positional.  This removes a layer of
+        dynamic dispatch per field — the wire decode hot path handles a few
+        thousand fields per verification object.
+
+        Generation is deferred to the first decode so that nested artifact
+        types registered later (the service layer extends the registry) are
+        resolvable by then.
+        """
+        return self._generate_read_body()(reader)
+
+    def _generate_read_body(self):
+        if not self._positional:
+            # Constructor parameters diverge from the registered field order
+            # (possible for extension artifacts): keep the interpreted path.
+            plan = self._read_plan
+
+            def _read_body(reader):
+                values = [read(reader, label) for read, label in plan]
+                return self._construct(dict(zip(self._names, values)))
+
+        else:
+            bindings: Dict[str, object] = {
+                "_cls": self.cls,
+                "_invalid": self._invalid,
+                "_post": self.post,
+                "_new": object.__new__,
+            }
+            expressions = []
+            for name, field in self.fields:
+                label = _bind(bindings, "L", f"{self.name}.{name}")
+                expressions.append(field.emit(label, bindings))
+            if self._plain_dataclass():
+                # A plain frozen/record dataclass whose __init__ only assigns
+                # the registered fields: build the instance directly (field
+                # reads still run left to right via the dict display).  The
+                # codec-level ``post`` validation hook runs as usual.
+                assignments = ", ".join(
+                    f"{name!r}: {expression}"
+                    for (name, _), expression in zip(self.fields, expressions)
+                )
+                lines = [
+                    "def _read_body(reader):",
+                    "    _artifact = _new(_cls)",
+                    # In-place __dict__ update: reading __dict__ bypasses the
+                    # frozen dataclass's __setattr__ guard.
+                    f"    _artifact.__dict__.update({{{assignments}}})",
+                ]
+            else:
+                construct = (
+                    f"_cls({', '.join(expressions)})" if expressions else "_cls()"
+                )
+                lines = [
+                    "def _read_body(reader):",
+                    "    try:",
+                    f"        _artifact = {construct}",
+                    "    except (ValueError, TypeError, KeyError) as _error:",
+                    "        raise _invalid(_error) from None",
+                ]
+            if self.post is not None:
+                lines.append("    _post(_artifact)")
+            lines.append("    return _artifact")
+            exec(  # noqa: S102 - codegen from the trusted field-spec table
+                compile("\n".join(lines), f"<wire codec {self.name}>", "exec"),
+                bindings,
+            )
+            _read_body = bindings["_read_body"]
+        self.read_body = _read_body  # shadows the method for this codec
+        return _read_body
+
+    def _plain_dataclass(self) -> bool:
+        """True when direct construction is indistinguishable from __init__.
+
+        Requires a dataclass without ``__post_init__`` or ``__slots__`` whose
+        init fields are exactly the registered wire fields, in order — then
+        the generated ``__init__`` does nothing but assign them.
+        """
+        cls = self.cls
+        if not dataclasses.is_dataclass(cls):
+            return False
+        if hasattr(cls, "__post_init__") or "__slots__" in cls.__dict__:
+            return False
+        fields = dataclasses.fields(cls)
+        if not all(field.init for field in fields):
+            return False
+        return tuple(field.name for field in fields) == self._names
 
     def json_body(self, artifact) -> Dict[str, object]:
         return {
@@ -926,18 +1158,18 @@ def encode(artifact) -> bytes:
     return _MAGIC + bytes((WIRE_VERSION,)) + writer.getvalue()
 
 
-def decode(data: bytes, expect: Optional[type] = None):
-    """Decode framed wire bytes back into the artifact they encode.
+def _open_frame(data) -> Tuple[WireReader, "_ArtifactCodec"]:
+    """Validate the envelope (magic, version, tag) and position a reader.
 
-    ``expect`` optionally pins the artifact type: a well-formed frame of a
-    different type is rejected (a publisher cannot, say, answer a range query
-    with a join proof and hope the client mixes them up).
+    Accepts ``bytes`` as well as ``bytearray``/``memoryview`` buffers — the
+    latter without copying the payload, which is what lets a server peek at a
+    frame still sitting in its receive buffer.
     """
     reader = WireReader(data)
     magic = reader.raw(2, "magic")
     if magic != _MAGIC:
         raise WireFormatError(
-            f"bad magic {magic!r}; expected {_MAGIC!r}", reason="bad-magic"
+            f"bad magic {bytes(magic)!r}; expected {_MAGIC!r}", reason="bad-magic"
         )
     version = reader.u8("format version")
     if version != WIRE_VERSION:
@@ -948,6 +1180,17 @@ def decode(data: bytes, expect: Optional[type] = None):
     codec = _TAGS.get(tag)
     if codec is None:
         raise WireFormatError(f"unknown artifact tag {tag:#04x}", reason="bad-tag")
+    return reader, codec
+
+
+def decode(data, expect: Optional[type] = None):
+    """Decode framed wire bytes back into the artifact they encode.
+
+    ``expect`` optionally pins the artifact type: a well-formed frame of a
+    different type is rejected (a publisher cannot, say, answer a range query
+    with a join proof and hope the client mixes them up).
+    """
+    reader, codec = _open_frame(data)
     artifact = codec.read_body(reader)
     reader.expect_end()
     if expect is not None and not isinstance(artifact, expect):
@@ -956,6 +1199,36 @@ def decode(data: bytes, expect: Optional[type] = None):
             reason="unexpected-artifact",
         )
     return artifact
+
+
+def frame_type(data) -> type:
+    """The artifact class a frame encodes, from the envelope alone.
+
+    Reads four bytes (magic, version, tag) and decodes **nothing else** —
+    the zero-copy peek a server uses to pick a dispatch path for a frame
+    before (or instead of) fully decoding it.
+    """
+    _, codec = _open_frame(data)
+    return codec.cls
+
+
+def peek_leading_fields(data, count: int) -> Tuple[object, ...]:
+    """Lazily decode only the first ``count`` body fields of a frame.
+
+    The rest of the payload is left untouched (and unvalidated — the caller
+    is expected to fully :func:`decode` the frame before trusting it; the
+    peek exists so a router can read e.g. a leading manifest id without
+    materialising the verification object behind it).
+    """
+    reader, codec = _open_frame(data)
+    plan = codec._read_plan[:count]
+    if len(plan) < count:
+        raise WireFormatError(
+            f"{codec.name} has only {len(codec._read_plan)} fields, "
+            f"cannot peek {count}",
+            reason="invalid-artifact",
+        )
+    return tuple(read(reader, label) for read, label in plan)
 
 
 def to_json_obj(artifact) -> Dict[str, object]:

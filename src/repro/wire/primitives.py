@@ -6,6 +6,16 @@ validates bounds before every read, rejects non-canonical primitive encodings
 (non-minimal integers, boolean bytes other than 0/1, invalid UTF-8) and raises
 :class:`~repro.wire.errors.WireFormatError` with a machine-readable reason, so
 a malformed or tampered byte string can never silently decode.
+
+The reader is also the decode **hot path** (a verification object is a few
+thousand fields), so it is written as a zero-copy cursor: one buffer, one
+advancing offset, no per-field slicing of the remaining input, and error
+context strings are only materialised on the failure branch.  The buffer may
+be a ``memoryview`` (e.g. a frame still sitting in a server's receive
+buffer): construction copies nothing, and only the bytes of the fields a
+caller actually reads are ever materialised — which is what lets the service
+layer route and stamp a frame by peeking at its envelope without decoding
+the payload.
 """
 
 from __future__ import annotations
@@ -24,6 +34,15 @@ __all__ = ["WireWriter", "WireReader"]
 
 #: Upper bound on any single length prefix (also the service frame cap).
 MAX_FIELD_BYTES = 64 * 1024 * 1024
+
+#: Decoded spellings of short wire strings (attribute/relation names repeat
+#: on every row of every answer).  Fills up to the cap and then stops
+#: growing, so adversarial unique strings cannot balloon it.
+_SHORT_STR_MEMO: dict = {}
+_SHORT_STR_MEMO_MAX = 4096
+
+#: Sentinel for "the fused scalar fast path did not apply".
+_MISSING = object()
 
 
 class WireWriter:
@@ -87,49 +106,81 @@ class WireWriter:
 
 
 class WireReader:
-    """Strict, bounds-checked cursor over a wire byte string."""
+    """Strict, bounds-checked, zero-copy cursor over a wire byte string.
 
-    def __init__(self, data: bytes) -> None:
-        self._data = bytes(data)
+    Accepts ``bytes`` as well as ``bytearray``/``memoryview`` buffers; the
+    latter are wrapped in a :class:`memoryview` so nothing is copied at
+    construction — per-field ``bytes`` values are materialised only for the
+    fields actually read.
+    """
+
+    __slots__ = ("_data", "_offset", "_end", "_is_bytes")
+
+    def __init__(self, data) -> None:
+        if type(data) is bytes:
+            self._is_bytes = True
+        else:
+            data = memoryview(data)
+            self._is_bytes = False
+        self._data = data
         self._offset = 0
+        self._end = len(data)
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._offset
+        return self._end - self._offset
 
-    def _take(self, count: int, what: str) -> bytes:
-        if count < 0 or count > self.remaining:
-            raise WireFormatError(
-                f"truncated input: need {count} bytes for {what}, "
-                f"have {self.remaining}",
-                reason="truncated",
-            )
-        chunk = self._data[self._offset : self._offset + count]
-        self._offset += count
-        return chunk
+    def _fail_short(self, count: int, what) -> None:
+        raise WireFormatError(
+            f"truncated input: need {count} bytes for {what or 'a field'}, "
+            f"have {self._end - self._offset}",
+            reason="truncated",
+        )
 
-    def raw(self, count: int, what: str = "raw bytes") -> bytes:
+    def _take(self, count: int, what=None) -> bytes:
+        offset = self._offset
+        stop = offset + count
+        if count < 0 or stop > self._end:
+            self._fail_short(count, what)
+        self._offset = stop
+        chunk = self._data[offset:stop]
+        return chunk if self._is_bytes else bytes(chunk)
+
+    def raw(self, count: int, what="raw bytes") -> bytes:
         """Read exactly ``count`` unprefixed bytes (framing fields)."""
         return self._take(count, what)
 
     def expect_end(self) -> None:
-        if self.remaining:
+        if self._end - self._offset:
             raise WireFormatError(
-                f"{self.remaining} trailing bytes after a complete artifact",
+                f"{self._end - self._offset} trailing bytes after a complete artifact",
                 reason="trailing-bytes",
             )
 
     # -- fixed-width primitives ---------------------------------------------
 
-    def u8(self, what: str = "u8") -> int:
-        return self._take(1, what)[0]
+    def u8(self, what="u8") -> int:
+        offset = self._offset
+        if offset >= self._end:
+            self._fail_short(1, what)
+        self._offset = offset + 1
+        return self._data[offset]
 
-    def u32(self, what: str = "u32") -> int:
-        return int.from_bytes(self._take(4, what), "big")
+    def u32(self, what="u32") -> int:
+        offset = self._offset
+        stop = offset + 4
+        if stop > self._end:
+            self._fail_short(4, what)
+        self._offset = stop
+        return int.from_bytes(self._data[offset:stop], "big")
 
-    def bool_(self, what: str = "bool") -> bool:
-        value = self.u8(what)
-        if value not in (0, 1):
+    def bool_(self, what="bool") -> bool:
+        offset = self._offset
+        if offset >= self._end:
+            self._fail_short(1, what)
+        self._offset = offset + 1
+        value = self._data[offset]
+        if value > 1:
             raise WireFormatError(
                 f"boolean byte for {what} must be 0 or 1, got {value}",
                 reason="bad-bool",
@@ -138,39 +189,119 @@ class WireReader:
 
     # -- length-prefixed primitives -----------------------------------------
 
-    def bytes_(self, what: str = "bytes") -> bytes:
-        length = self.u32(f"length of {what}")
+    def bytes_(self, what="bytes") -> bytes:
+        offset = self._offset
+        stop = offset + 4
+        end = self._end
+        if stop > end:
+            self._fail_short(4, what)
+        length = int.from_bytes(self._data[offset:stop], "big")
         if length > MAX_FIELD_BYTES:
             raise WireFormatError(
                 f"length prefix of {what} exceeds the {MAX_FIELD_BYTES}-byte cap",
                 reason="oversized-field",
             )
-        return self._take(length, what)
+        payload_stop = stop + length
+        if payload_stop > end:
+            self._offset = stop
+            self._fail_short(length, what)
+        self._offset = payload_stop
+        chunk = self._data[stop:payload_stop]
+        return chunk if self._is_bytes else bytes(chunk)
 
-    def fixed_bytes(self, size: int, what: str = "fixed bytes") -> bytes:
+    def fixed_bytes(self, size: int, what="fixed bytes") -> bytes:
         """Exactly ``size`` raw bytes (the dual of :meth:`WireWriter.fixed_bytes`)."""
         return self._take(size, what)
 
-    def str_(self, what: str = "string") -> str:
+    def str_(self, what="string") -> str:
         raw = self.bytes_(what)
+        # Short strings on the wire are overwhelmingly repeated identifiers
+        # (attribute names, relation names): decode each spelling once.
+        if len(raw) <= 32:
+            cached = _SHORT_STR_MEMO.get(raw)
+            if cached is not None:
+                return cached
         try:
-            return raw.decode("utf-8")
+            value = str(raw, "utf-8")
         except UnicodeDecodeError as error:
             raise WireFormatError(
                 f"invalid UTF-8 in {what}: {error}", reason="bad-utf8"
             ) from None
+        if len(raw) <= 32 and len(_SHORT_STR_MEMO) < _SHORT_STR_MEMO_MAX:
+            _SHORT_STR_MEMO[raw] = value
+        return value
 
-    def int_(self, what: str = "int") -> int:
+    def int_(self, what="int") -> int:
+        # Inlined sign+magnitude decode (the strict dual of WireWriter.int_);
+        # semantics identical to crypto.encoding.decode_sign_magnitude.
         raw = self.bytes_(what)
-        try:
-            return decode_sign_magnitude(raw)
-        except ValueError as error:
+        size = len(raw)
+        if size < 2:
             raise WireFormatError(
-                f"malformed integer {what}: {error}", reason="bad-int"
-            ) from None
+                f"malformed integer {what}: integer needs a sign byte and a "
+                "magnitude",
+                reason="bad-int",
+            )
+        sign = raw[0]
+        if sign > 1 or (size > 2 and raw[1] == 0):
+            try:
+                decode_sign_magnitude(raw)
+            except ValueError as error:
+                raise WireFormatError(
+                    f"malformed integer {what}: {error}", reason="bad-int"
+                ) from None
+        value = int.from_bytes(raw[1:], "big")
+        if sign:
+            if value == 0:
+                raise WireFormatError(
+                    f"malformed integer {what}: negative zero is not a "
+                    "canonical integer encoding",
+                    reason="bad-int",
+                )
+            return -value
+        return value
 
-    def scalar(self, what: str = "scalar") -> Encodable:
-        raw = self.bytes_(what)
+    def scalar(self, what="scalar") -> Encodable:
+        # Inline fast paths for the common tags (int / str / bytes); every
+        # rejected or unusual shape falls through to the strict shared
+        # decoder so the accepted language is exactly decode_value's.
+        offset = self._offset
+        stop = offset + 4
+        end = self._end
+        if stop > end:
+            self._fail_short(4, what)
+        data = self._data
+        length = int.from_bytes(data[offset:stop], "big")
+        payload_stop = stop + length
+        if length > MAX_FIELD_BYTES or payload_stop > end:
+            raw = self.bytes_(what)  # raises the canonical typed error
+            raise WireFormatError(  # pragma: no cover - bytes_ always raises
+                f"malformed scalar {what}", reason="bad-scalar"
+            )
+        self._offset = payload_stop
+        body = stop + 1
+        if length:
+            tag = data[stop]
+            if tag == 73:  # 'I': sign byte + minimal big-endian magnitude
+                size = payload_stop - body
+                if size >= 2 and data[body] <= 1 and not (size > 2 and data[body + 1] == 0):
+                    value = int.from_bytes(data[body + 1 : payload_stop], "big")
+                    sign = data[body]
+                    if not sign:
+                        return value
+                    if value:
+                        return -value
+            elif tag == 83:  # 'S': UTF-8 text
+                try:
+                    return str(data[body:payload_stop], "utf-8")
+                except UnicodeDecodeError:
+                    pass
+            elif tag == 89:  # 'Y': raw bytes
+                chunk = data[body:payload_stop]
+                return chunk if self._is_bytes else bytes(chunk)
+        raw = data[stop:payload_stop]
+        if not self._is_bytes:
+            raw = bytes(raw)
         try:
             return decode_value(raw)
         except ValueError as error:
@@ -178,21 +309,256 @@ class WireReader:
                 f"malformed scalar {what}: {error}", reason="bad-scalar"
             ) from None
 
-    def count(self, what: str = "count") -> int:
+    # -- fused composite readers --------------------------------------------
+    #
+    # The wire hot path is dominated by Python call overhead: a result row is
+    # a map of (string key, scalar value) pairs, and a proof entry carries
+    # maps of (string key, digest) pairs — at three to five reader calls per
+    # pair, a large answer costs thousands of calls.  The generated artifact
+    # decoders therefore emit these two map shapes (and optional-bytes
+    # fields) as single calls into fused loops that inline the primitive
+    # reads over local variables.  The accepted byte language is *identical*
+    # to the per-field primitives' — same bounds checks, same canonical-form
+    # rejections, same error reasons — and the codec tests (round-trip,
+    # golden vectors, byte-flip tampering) hold both paths to it.
+    #
+    # To keep ONE spelling of that language, the two map readers are
+    # generated below (``_generate_fused_map_readers``) from shared text
+    # blocks: the key block and each value block exist exactly once.
+
+    def optional_bytes(self, what="optional bytes") -> Optional[bytes]:
+        """A presence byte followed (if 1) by length-prefixed bytes, fused."""
+        data = self._data
+        end = self._end
+        offset = self._offset
+        if offset >= end:
+            self._fail_short(1, what)
+        flag = data[offset]
+        offset += 1
+        if flag == 0:
+            self._offset = offset
+            return None
+        if flag != 1:
+            self._offset = offset
+            raise WireFormatError(
+                f"boolean byte for presence of {what} must be 0 or 1, got {flag}",
+                reason="bad-bool",
+            )
+        stop = offset + 4
+        if stop > end:
+            self._offset = offset
+            self._fail_short(4, what)
+        size = int.from_bytes(data[offset:stop], "big")
+        payload_stop = stop + size
+        if size > MAX_FIELD_BYTES or payload_stop > end:
+            self._offset = offset
+            self.bytes_(what)  # raises the canonical typed error
+        self._offset = payload_stop
+        chunk = data[stop:payload_stop]
+        return chunk if self._is_bytes else bytes(chunk)
+
+    def count(self, what="count") -> int:
         """A u32 element count, sanity-bounded by the remaining bytes.
 
         Every encoded element occupies at least one byte, so a count larger
         than the remaining input is necessarily garbage — rejecting it here
         keeps a flipped count byte from triggering a huge allocation.
         """
-        value = self.u32(what)
-        if value > self.remaining:
+        offset = self._offset
+        stop = offset + 4
+        if stop > self._end:
+            self._fail_short(4, what)
+        self._offset = stop
+        value = int.from_bytes(self._data[offset:stop], "big")
+        if value > self._end - stop:
             raise WireFormatError(
-                f"{what} of {value} exceeds the {self.remaining} remaining bytes",
+                f"{what} of {value} exceeds the "
+                f"{self._end - stop} remaining bytes",
                 reason="bad-count",
             )
         return value
 
-    def optional(self, what: str = "optional") -> bool:
+    def optional(self, what: Optional[str] = "optional") -> bool:
         """Read a presence byte; True means the value follows."""
-        return self.bool_(f"presence of {what}")
+        offset = self._offset
+        if offset >= self._end:
+            self._fail_short(1, what)
+        self._offset = offset + 1
+        value = self._data[offset]
+        if value > 1:
+            raise WireFormatError(
+                f"boolean byte for presence of {what} must be 0 or 1, got {value}",
+                reason="bad-bool",
+            )
+        return value == 1
+
+
+# -- fused map reader generation ---------------------------------------------
+#
+# One spelling per piece of the accepted language; both fused map readers are
+# composed from these blocks and compiled once at import.  Every block reads
+# over the local variables bound in _FUSED_MAP_TEMPLATE and must leave
+# ``offset`` at the first byte after what it consumed.
+
+#: Length-prefixed UTF-8 key with the short-string memo and the
+#: strictly-increasing canonical-order check.
+_FUSED_KEY_BLOCK = """\
+stop = offset + 4
+if stop > end:
+    self._offset = offset
+    self._fail_short(4, what)
+size = int.from_bytes(data[offset:stop], "big")
+key_stop = stop + size
+if size > MAX_FIELD_BYTES or key_stop > end:
+    self._offset = offset
+    self.str_(what)  # raises the canonical typed error
+raw = data[stop:key_stop]
+if not is_bytes:
+    raw = bytes(raw)
+key = memo.get(raw) if size <= 32 else None
+if key is None:
+    try:
+        key = str(raw, "utf-8")
+    except UnicodeDecodeError as error:
+        self._offset = key_stop
+        raise WireFormatError(
+            f"invalid UTF-8 in {what}: {error}", reason="bad-utf8"
+        ) from None
+    if size <= 32 and len(memo) < _SHORT_STR_MEMO_MAX:
+        memo[raw] = key
+if previous is not None and not key > previous:
+    self._offset = key_stop
+    raise WireFormatError(
+        f"map keys of {what} are not strictly increasing",
+        reason="unsorted-map",
+    )
+previous = key
+offset = key_stop
+"""
+
+#: Length prefix of a value, bounds-checked (leaves ``stop``/``value_stop``).
+_FUSED_VALUE_PREFIX_BLOCK = """\
+stop = offset + 4
+if stop > end:
+    self._offset = offset
+    self._fail_short(4, what)
+size = int.from_bytes(data[offset:stop], "big")
+value_stop = stop + size
+if size > MAX_FIELD_BYTES or value_stop > end:
+    self._offset = offset
+    self.bytes_(what)  # raises the canonical typed error
+"""
+
+#: A plain bytes value.
+_FUSED_BYTES_VALUE_BLOCK = (
+    _FUSED_VALUE_PREFIX_BLOCK
+    + """\
+chunk = data[stop:value_stop]
+result[key] = chunk if is_bytes else bytes(chunk)
+offset = value_stop
+"""
+)
+
+#: A scalar value: inline fast paths for the int / str / bytes tags, the
+#: strict shared decoder (decode_value) for everything else.
+_FUSED_SCALAR_VALUE_BLOCK = (
+    _FUSED_VALUE_PREFIX_BLOCK
+    + """\
+value = _MISSING
+if size:
+    tag = data[stop]
+    body = stop + 1
+    if tag == 73:  # 'I': sign byte + minimal big-endian magnitude
+        width = value_stop - body
+        if width >= 2 and data[body] <= 1 and not (width > 2 and data[body + 1] == 0):
+            magnitude = int.from_bytes(data[body + 1 : value_stop], "big")
+            if not data[body]:
+                value = magnitude
+            elif magnitude:
+                value = -magnitude
+    elif tag == 83:  # 'S': UTF-8 text
+        try:
+            value = str(data[body:value_stop], "utf-8")
+        except UnicodeDecodeError:
+            pass
+    elif tag == 89:  # 'Y': raw bytes
+        chunk = data[body:value_stop]
+        value = chunk if is_bytes else bytes(chunk)
+if value is _MISSING:
+    raw = data[stop:value_stop]
+    if not is_bytes:
+        raw = bytes(raw)
+    try:
+        value = decode_value(raw)
+    except ValueError as error:
+        self._offset = value_stop
+        raise WireFormatError(
+            f"malformed scalar {what}: {error}", reason="bad-scalar"
+        ) from None
+result[key] = value
+offset = value_stop
+"""
+)
+
+_FUSED_MAP_TEMPLATE = '''\
+def {name}(self, what="map"):
+    """A strictly-increasing-key map, fused ({doc}); generated, one spelling."""
+    data = self._data
+    end = self._end
+    is_bytes = self._is_bytes
+    offset = self._offset
+    stop = offset + 4
+    if stop > end:
+        self._fail_short(4, what)
+    length = int.from_bytes(data[offset:stop], "big")
+    if length > end - stop:
+        self._offset = stop
+        raise WireFormatError(
+            "{{what}} of {{length}} exceeds the {{remaining}} remaining bytes".format(
+                what=what, length=length, remaining=end - stop
+            ),
+            reason="bad-count",
+        )
+    offset = stop
+    memo = _SHORT_STR_MEMO
+    result = {{}}
+    previous = None
+    for _ in range(length):
+{key_block}
+{value_block}
+    self._offset = offset
+    return result
+'''
+
+
+def _indent(block: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line if line else line for line in block.splitlines())
+
+
+def _generate_fused_map_readers() -> None:
+    namespace = {
+        "WireFormatError": WireFormatError,
+        "MAX_FIELD_BYTES": MAX_FIELD_BYTES,
+        "_SHORT_STR_MEMO": _SHORT_STR_MEMO,
+        "_SHORT_STR_MEMO_MAX": _SHORT_STR_MEMO_MAX,
+        "_MISSING": _MISSING,
+        "decode_value": decode_value,
+    }
+    for name, doc, value_block in (
+        ("map_str_bytes", "str -> bytes", _FUSED_BYTES_VALUE_BLOCK),
+        ("map_str_scalar", "str -> scalar", _FUSED_SCALAR_VALUE_BLOCK),
+    ):
+        source = _FUSED_MAP_TEMPLATE.format(
+            name=name,
+            doc=doc,
+            key_block=_indent(_FUSED_KEY_BLOCK, 8),
+            value_block=_indent(value_block, 8),
+        )
+        exec(  # noqa: S102 - compile-time composition of the blocks above
+            compile(source, f"<fused wire reader {name}>", "exec"), namespace
+        )
+        setattr(WireReader, name, namespace[name])
+
+
+_generate_fused_map_readers()

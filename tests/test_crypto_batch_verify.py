@@ -1,0 +1,108 @@
+"""Batch (accumulated) RSA-FDH verification: agreement, tampering, fallback.
+
+:func:`repro.crypto.aggregate.batch_verify_signatures` must agree with
+per-signature verification on genuine batches and reject every *single*
+tampered signature (byte-flip sweep) in both the screening (weights = 1) and
+the random-small-exponent-weights modes;
+:func:`~repro.crypto.aggregate.find_invalid_signature` must localise the
+broken entry.  The screening mode's guarantee is the set-level one of
+condensed-RSA (Bellare-Garay-Rabin: every *message* in an accepted batch was
+signed by the owner, provided messages are pairwise distinct) — the explicit
+compensating-tamper test documents exactly that boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aggregate import (
+    batch_verify_signatures,
+    find_invalid_signature,
+)
+from repro.crypto.primes import modular_inverse
+
+
+@pytest.fixture(scope="module")
+def batch(signature_scheme):
+    messages = [b"chain|%04d" % index for index in range(24)]
+    signatures = signature_scheme.sign_batch(messages)
+    return messages, signatures, signature_scheme.verifier
+
+
+def test_agrees_with_serial_on_genuine_batches(batch, signature_scheme):
+    messages, signatures, public_key = batch
+    assert all(
+        public_key.verify(m, s) for m, s in zip(messages, signatures)
+    )
+    assert batch_verify_signatures(messages, signatures, public_key)
+    assert batch_verify_signatures(
+        messages, signatures, public_key, weight_bits=16
+    )
+    assert signature_scheme.verify_batch(messages, signatures)
+
+
+@pytest.mark.parametrize("weight_bits", [0, 16])
+def test_single_tampered_signature_always_rejected(batch, weight_bits):
+    """Byte-flip sweep: every single-signature corruption fails the batch."""
+    messages, signatures, public_key = batch
+    for index in range(len(signatures)):
+        genuine = signatures[index]
+        width = max(1, (genuine.bit_length() + 7) // 8)
+        for bit in range(0, width * 8, max(1, width * 8 // 16)):
+            tampered = list(signatures)
+            tampered[index] = genuine ^ (1 << bit)
+            assert not batch_verify_signatures(
+                messages, tampered, public_key, weight_bits=weight_bits
+            ), f"flipping bit {bit} of signature {index} was not caught"
+        assert find_invalid_signature(messages, tampered, public_key) == index
+
+
+def test_out_of_range_signature_rejected(batch):
+    messages, signatures, public_key = batch
+    for bogus in (0, -1, public_key.modulus, public_key.modulus + 7):
+        tampered = list(signatures)
+        tampered[3] = bogus
+        assert not batch_verify_signatures(messages, tampered, public_key)
+
+
+def test_duplicate_messages_fall_back_to_serial(batch):
+    """Screening needs distinct messages; duplicates stay correct (serial)."""
+    messages, signatures, public_key = batch
+    doubled_messages = list(messages) + [messages[0]]
+    doubled_signatures = list(signatures) + [signatures[0]]
+    assert batch_verify_signatures(doubled_messages, doubled_signatures, public_key)
+    tampered = list(doubled_signatures)
+    tampered[-1] ^= 1
+    assert not batch_verify_signatures(doubled_messages, tampered, public_key)
+
+
+def test_screening_is_a_set_level_guarantee(batch):
+    """Compensating tampering passes screening but forges no message.
+
+    Multiplying one signature by t and another by t^-1 keeps the product —
+    the screening test accepts, exactly like the condensed aggregate would
+    (it *is* the product).  The guarantee that matters for chain
+    verification is untouched: every message in the batch was genuinely
+    signed by the owner; no fabricated data gains a signature this way.  The
+    random-weights mode rejects even this perturbation (with probability
+    1 - 2^-16 per run).
+    """
+    messages, signatures, public_key = batch
+    modulus = public_key.modulus
+    t = 0x1234567
+    perturbed = list(signatures)
+    perturbed[0] = (perturbed[0] * t) % modulus
+    perturbed[1] = (perturbed[1] * modular_inverse(t, modulus)) % modulus
+    assert not public_key.verify(messages[0], perturbed[0])
+    assert batch_verify_signatures(messages, perturbed, public_key)
+    assert not batch_verify_signatures(
+        messages, perturbed, public_key, weight_bits=16
+    )
+
+
+def test_empty_and_mismatched_inputs_are_errors(batch):
+    messages, signatures, public_key = batch
+    with pytest.raises(ValueError):
+        batch_verify_signatures([], [], public_key)
+    with pytest.raises(ValueError):
+        batch_verify_signatures(messages, signatures[:-1], public_key)

@@ -18,6 +18,8 @@ import threading
 
 import pytest
 
+pytestmark = pytest.mark.concurrency
+
 from repro.core.publisher import Publisher
 from repro.db import workload
 from repro.db.query import Conjunction, Query, RangeCondition

@@ -31,6 +31,8 @@ from hypothesis.stateful import (
     rule,
 )
 
+pytestmark = pytest.mark.concurrency
+
 from repro.core.owner import DataOwner
 from repro.core.publisher import Publisher
 from repro.crypto.signature import rsa_scheme
@@ -111,6 +113,10 @@ class LiveUpdateMachine(RuleBasedStateMachine):
     # -- helpers -------------------------------------------------------------
 
     def _model_rows(self, low, high):
+        # Rows are compared sorted by (key, label): the chain fixes the key
+        # order, but the order *among* records sharing a key is an
+        # implementation detail (inserts land before existing equal keys),
+        # which the model must not over-specify.
         expanded = [
             {"k": k, "label": label}
             for (k, label), copies in self.model.items()
@@ -118,7 +124,7 @@ class LiveUpdateMachine(RuleBasedStateMachine):
         ]
         return sorted(
             (row for row in expanded if low <= row["k"] <= high),
-            key=lambda row: row["k"],
+            key=lambda row: (row["k"], row["label"]),
         )
 
     # -- mutations -----------------------------------------------------------
@@ -199,7 +205,7 @@ class LiveUpdateMachine(RuleBasedStateMachine):
         assert result.manifest_sequence == self.version
         got = sorted(
             ({"k": row["k"], "label": row["label"]} for row in result.rows),
-            key=lambda row: row["k"],
+            key=lambda row: (row["k"], row["label"]),
         )
         assert got == self._model_rows(low, high)
         if result.proof is not None:

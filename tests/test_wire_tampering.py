@@ -248,7 +248,7 @@ def test_tampered_update_request_never_applies(update_world):
     def check(artifact):
         if not isinstance(artifact, UpdateRequest):
             raise WireFormatError("tampering changed the message type")
-        server._answer_update(artifact)
+        server.handler._answer_update(artifact)
         pytest.fail("a tampered update request was applied")
 
     _sweep_update_request(blob, check, step=11)
@@ -265,7 +265,7 @@ def test_forged_update_request_rejected(update_world, forged_scheme):
         forged_scheme, database["employees"].manifest, batch
     )
     with pytest.raises(OwnerAuthError):
-        server._answer_update(forged)
+        server.handler._answer_update(forged)
     assert database["employees"].version == 0
 
 
@@ -273,10 +273,10 @@ def test_replayed_update_request_rejected(update_world):
     from repro.service import StaleManifestError
 
     database, router, server, batch, request = update_world
-    first = server._answer_update(request)
+    first = server.handler._answer_update(request)
     assert first.rotation.manifest.sequence == 2  # one insert + one delete
     with pytest.raises(StaleManifestError) as excinfo:
-        server._answer_update(request)
+        server.handler._answer_update(request)
     assert excinfo.value.reason == "stale-update"
 
 
@@ -284,7 +284,7 @@ def test_tampered_update_response_rejected(update_world, owner):
     """Flips in the owner's acknowledgement are typed errors or visible
     differences — never a silently-accepted identical artifact."""
     database, router, server, batch, request = update_world
-    response = server._answer_update(request)
+    response = server.handler._answer_update(request)
     blob = encode(response)
     owner_client = OwnerClient("localhost", 0, owner.signature_scheme)
 
@@ -308,7 +308,7 @@ def test_tampered_rotation_never_repins(update_world, owner):
     """Every byte of a ManifestRotated is authenticated: flips are typed errors."""
     database, router, server, batch, request = update_world
     pinned = database["employees"].manifest  # the genesis manifest
-    response = server._answer_update(request)
+    response = server.handler._answer_update(request)
     rotation = response.rotation
     blob = encode(rotation)
     client = VerifyingClient("localhost", 0)
@@ -327,7 +327,7 @@ def test_tampered_rotation_never_repins(update_world, owner):
 def test_replayed_stale_update_response_rejected(update_world, owner):
     """An old (captured) UpdateResponse cannot acknowledge a newer push."""
     database, router, server, batch, request = update_world
-    stale_response = server._answer_update(request)
+    stale_response = server.handler._answer_update(request)
     owner_client = OwnerClient("localhost", 0, owner.signature_scheme)
     # The owner moves on: a second batch against the rotated manifest.
     second_batch = (
