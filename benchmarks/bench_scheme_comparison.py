@@ -1,0 +1,138 @@
+"""Scheme-comparison benchmark over the live publication service.
+
+Publishes the same relation under every registered proof scheme (chain,
+Devanbu MHT, naive per-tuple signatures, VB-tree), hosts one shard per scheme
+behind one :class:`~repro.service.server.PublicationServer`, and measures at
+the verifying client: serialized VO bytes and verification wall time per
+selectivity, plus the owner-update cost per scheme — the paper's Section
+2.3/6 comparisons reproduced end to end instead of in-process.
+
+Results are merged into ``BENCH_hot_paths.json`` (``scheme_config`` section +
+the ``scheme_comparison`` workload) and a comparison table is written to
+``benchmarks/results/scheme_comparison.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheme_comparison.py           # full run
+    PYTHONPATH=src python benchmarks/bench_scheme_comparison.py --smoke   # quick run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.schemes import (  # noqa: E402
+    SMOKE_SCHEME_CONFIG,
+    SchemeBenchConfig,
+    run_scheme_benchmarks,
+)
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_hot_paths.json")
+_RESULTS_TXT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "results",
+    "scheme_comparison.txt",
+)
+
+
+def _render_table(comparison: dict) -> str:
+    lines = [
+        "Proof-scheme comparison over the live publication service",
+        "",
+        f"employees table: {comparison['table_rows']} rows "
+        "(1 KiB blob attribute per record; the chain scheme ships digests for",
+        "unqueried attributes while the tree baselines expose whole tuples —",
+        "the paper's Section 2.3 precision criticism)",
+        "",
+        "scheme   complete  selectivity  rows  vo_bytes  verify_ms",
+        "-------  --------  -----------  ----  --------  ---------",
+    ]
+    for name, entry in sorted(comparison["schemes"].items()):
+        complete = "yes" if entry["proves_completeness"] else "no"
+        for point in entry["points"]:
+            lines.append(
+                f"{name:7s}  {complete:8s}  {point['selectivity']:>11.2f}  "
+                f"{point['result_rows']:>4d}  {point['vo_bytes']:>8d}  "
+                f"{point['verify_ms']:>9.3f}"
+            )
+    lines += [
+        "",
+        "Owner-update cost (one mid-table record update through each scheme's",
+        "publisher; Section 6.3's comparison):",
+        "",
+        "scheme   signatures  digests  best_ms",
+        "-------  ----------  -------  -------",
+    ]
+    for name, entry in sorted(comparison["schemes"].items()):
+        update = entry["update"]
+        lines.append(
+            f"{name:7s}  {update['signatures_recomputed']:>10d}  "
+            f"{update['digests_recomputed']:>7d}  {update['best_ms']:>7.3f}"
+        )
+    lines += [
+        "",
+        f"CI-gated claim: chain VO bytes ({comparison['chain_vo_bytes_low_selectivity']}) "
+        f"< Devanbu VO bytes ({comparison['devanbu_vo_bytes_low_selectivity']}) at "
+        f"selectivity {comparison['lowest_selectivity']}: "
+        f"{comparison['chain_vo_below_devanbu']}",
+        "",
+        "Trends (paper Sections 2.3 and 6): the chain VO is flat in the table",
+        "size and never exposes out-of-range tuples; the Devanbu VO carries",
+        "O(log n) digests plus whole boundary/result tuples; the naive and",
+        "VB-tree VOs are smaller but prove authenticity only (the verifying",
+        "client requires an explicit allow_incomplete opt-in for them); chain",
+        "updates re-sign a constant 2-3 chain entries while the tree schemes",
+        "re-hash (and the VB-tree re-signs) whole root paths.",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the scaled-down smoke workloads"
+    )
+    parser.add_argument(
+        "--output", default=_DEFAULT_OUTPUT, help="JSON report to merge into"
+    )
+    args = parser.parse_args(argv)
+
+    config = SMOKE_SCHEME_CONFIG if args.smoke else SchemeBenchConfig()
+    fragment = run_scheme_benchmarks(config)
+    comparison = fragment["workloads"]["scheme_comparison"]
+
+    report = {}
+    if os.path.exists(args.output):
+        with open(args.output, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    report.setdefault("workloads", {})
+    report["scheme_config"] = fragment["scheme_config"]
+    report["workloads"]["scheme_comparison"] = comparison
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"merged scheme comparison into {args.output}")
+
+    if not args.smoke or not os.path.exists(_RESULTS_TXT):
+        os.makedirs(os.path.dirname(_RESULTS_TXT), exist_ok=True)
+        with open(_RESULTS_TXT, "w", encoding="utf-8") as handle:
+            handle.write(_render_table(comparison))
+        print(f"wrote {_RESULTS_TXT}")
+
+    print(
+        "chain VO below Devanbu VO at low selectivity: "
+        f"{comparison['chain_vo_below_devanbu']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

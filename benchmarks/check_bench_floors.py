@@ -15,6 +15,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_wire_service.py --smoke --output fresh.json
     python benchmarks/check_bench_floors.py fresh.json --wire
+
+    PYTHONPATH=src python benchmarks/bench_scheme_comparison.py --smoke --output fresh.json
+    python benchmarks/check_bench_floors.py fresh.json --schemes
 """
 
 from __future__ import annotations
@@ -97,6 +100,46 @@ def _check_wire(fresh: dict, failures: list) -> None:
         failures.append("fresh report is missing workload 'service_throughput'")
 
 
+def _check_schemes(fresh: dict, failures: list) -> None:
+    """Gates on the scheme-comparison workload (run with ``--schemes``).
+
+    The paper's comparative claim, kept true on a live service: at the
+    sweep's lowest selectivity the chain scheme's serialized VO must stay
+    below the Devanbu MHT's (which ships O(log n) digests plus whole
+    boundary/result tuples).  Also checks that every registered scheme
+    actually served and verified answers at every selectivity point.
+    """
+    comparison = fresh.get("workloads", {}).get("scheme_comparison")
+    if comparison is None:
+        failures.append("fresh report is missing workload 'scheme_comparison'")
+        return
+    chain = comparison.get("chain_vo_bytes_low_selectivity", 0)
+    devanbu = comparison.get("devanbu_vo_bytes_low_selectivity", 0)
+    # Compared directly from the measured byte counts — the report's own
+    # chain_vo_below_devanbu boolean is informational, not trusted.
+    below = bool(chain) and bool(devanbu) and chain < devanbu
+    status = "ok" if below else "REGRESSION"
+    print(
+        f"scheme_comparison            chain VO {chain}B < devanbu VO "
+        f"{devanbu}B at selectivity {comparison.get('lowest_selectivity')}  {status}"
+    )
+    if not below:
+        failures.append(
+            f"chain-scheme VO ({chain} bytes) is no longer below the Devanbu "
+            f"VO ({devanbu} bytes) at low selectivity"
+        )
+    schemes = comparison.get("schemes", {})
+    for required in ("chain", "devanbu", "naive", "vbtree"):
+        entry = schemes.get(required)
+        if entry is None:
+            failures.append(f"scheme {required!r} is missing from the comparison")
+            continue
+        if not entry.get("points"):
+            failures.append(f"scheme {required!r} served no selectivity points")
+        if any(p.get("verify_ms", 0) <= 0 for p in entry.get("points", [])):
+            failures.append(f"scheme {required!r} reported a non-positive verify time")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="freshly measured benchmark JSON report")
@@ -110,6 +153,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="gate on the wire/service workloads instead of the hot paths",
     )
+    parser.add_argument(
+        "--schemes",
+        action="store_true",
+        help="gate on the scheme-comparison workload instead of the hot paths",
+    )
     args = parser.parse_args(argv)
 
     with open(args.floors, "r", encoding="utf-8") as handle:
@@ -120,6 +168,8 @@ def main(argv=None) -> int:
     failures: list = []
     if args.wire:
         _check_wire(fresh, failures)
+    elif args.schemes:
+        _check_schemes(fresh, failures)
     else:
         _check_hot_paths(floors, fresh, failures)
 

@@ -27,22 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.encoding import encode_many
+from repro.crypto.encoding import encode_record_payload
 from repro.crypto.hashing import HashFunction, default_hash
 from repro.crypto.signature import SignatureScheme
 from repro.db.records import Record
 from repro.db.relation import Relation
 
 __all__ = ["DevanbuProof", "DevanbuMHT", "DevanbuVerifier"]
-
-
-def _record_payload(record_values: Dict[str, object], attribute_order: Sequence[str]) -> bytes:
-    """Canonical encoding of a full tuple (all attributes, in schema order)."""
-    flattened: List[object] = []
-    for name in attribute_order:
-        flattened.append(name)
-        flattened.append(record_values[name])
-    return encode_many(flattened)
 
 
 @dataclass(frozen=True)
@@ -111,7 +102,7 @@ class DevanbuMHT:
     # -- tree construction ------------------------------------------------------------
 
     def _leaf_digest(self, record: Record) -> bytes:
-        payload = _record_payload(record.as_dict(), self.schema.attribute_names)
+        payload = encode_record_payload(record.as_dict(), self.schema.attribute_names)
         return self.hash_function.digest(b"devanbu-leaf|" + payload)
 
     def _node_digest(self, left: bytes, right: bytes) -> bytes:
@@ -190,6 +181,19 @@ class DevanbuMHT:
         re-signed — the locking hot-spot the paper's Section 6.3 points out.
         """
         self.relation.update(old, new)
+        return self._account_rebuild()
+
+    def insert_record(self, record) -> Tuple[int, int]:
+        """Insert a record; the leaf-to-root path is re-hashed, the root re-signed."""
+        self.relation.insert(record)
+        return self._account_rebuild()
+
+    def delete_record(self, record: Record) -> Tuple[int, int]:
+        """Delete a record; same root-path cost as any other mutation."""
+        self.relation.delete(record)
+        return self._account_rebuild()
+
+    def _account_rebuild(self) -> Tuple[int, int]:
         path_length = self.height + 1
         self._rebuild()
         self.last_update_hashes = path_length
@@ -216,6 +220,15 @@ class DevanbuVerifier:
         self, low: int, high: int, rows: Sequence[Dict[str, object]], proof: DevanbuProof
     ) -> bool:
         """Check an expanded range result against the signed root."""
+        # The boundary flags are proof fields, so they must be pinned to the
+        # leaf range before anything is reconstructed: claiming "the range
+        # abuts the table edge" while the expansion starts (or ends) inside
+        # the table would let a publisher silently truncate qualifying rows
+        # and hand the verifier sibling digests for the hidden slice.
+        if proof.left_is_table_start and proof.leaf_range[0] != 0:
+            return False
+        if proof.right_is_table_end and proof.leaf_range[1] != proof.table_size:
+            return False
         expanded = list(proof.expanded_rows)
         inner = [
             row for row in expanded if low <= row[self.key_attribute] <= high
@@ -234,7 +247,7 @@ class DevanbuVerifier:
                 return False
         leaf_digests = [
             self.hash_function.digest(
-                b"devanbu-leaf|" + _record_payload(row, self.attribute_order)
+                b"devanbu-leaf|" + encode_record_payload(row, self.attribute_order)
             )
             for row in expanded
         ]

@@ -14,21 +14,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.aggregate import AggregateSignature, aggregate_signatures, verify_aggregate
-from repro.crypto.encoding import encode_many
+from repro.crypto.encoding import encode_record_payload
 from repro.crypto.hashing import HashFunction, default_hash
 from repro.crypto.signature import SignatureScheme
 from repro.db.records import Record
 from repro.db.relation import Relation
 
 __all__ = ["NaiveProof", "NaiveSignedRelation"]
-
-
-def _tuple_message(values: Dict[str, object], attribute_order: Sequence[str]) -> bytes:
-    flattened: List[object] = []
-    for name in attribute_order:
-        flattened.append(name)
-        flattened.append(values[name])
-    return encode_many(flattened)
 
 
 @dataclass(frozen=True)
@@ -61,7 +53,7 @@ class NaiveSignedRelation:
         self._signature_scheme = signature_scheme
         self._signatures = [
             signature_scheme.sign(
-                _tuple_message(record.as_dict(), self.schema.attribute_names)
+                encode_record_payload(record.as_dict(), self.schema.attribute_names)
             )
             for record in relation
         ]
@@ -79,7 +71,7 @@ class NaiveSignedRelation:
         signatures = self._signatures[start:stop]
         if aggregate and signatures:
             messages = [
-                _tuple_message(row, self.schema.attribute_names) for row in rows
+                encode_record_payload(row, self.schema.attribute_names) for row in rows
             ]
             return rows, NaiveProof(
                 aggregate=aggregate_signatures(
@@ -91,7 +83,7 @@ class NaiveSignedRelation:
     def verify(self, rows: Sequence[Dict[str, object]], proof: NaiveProof) -> bool:
         """User-side check: every returned tuple carries a valid owner signature."""
         messages = [
-            _tuple_message(dict(row), self.schema.attribute_names) for row in rows
+            encode_record_payload(dict(row), self.schema.attribute_names) for row in rows
         ]
         if proof.aggregate is not None:
             return verify_aggregate(
@@ -104,16 +96,26 @@ class NaiveSignedRelation:
             for message, signature in zip(messages, proof.signatures)
         )
 
-    def update_record(self, old: Record, new) -> Tuple[int, int]:
-        """Replace a record; exactly one signature is recomputed."""
-        position_old = self.relation.delete(old)
-        del self._signatures[position_old]
-        position_new = self.relation.insert(new)
-        inserted = self.relation[position_new]
+    def insert_record(self, record) -> Tuple[int, int]:
+        """Insert a record; exactly one new tuple signature is computed."""
+        position = self.relation.insert(record)
+        inserted = self.relation[position]
         self._signatures.insert(
-            position_new,
+            position,
             self._signature_scheme.sign(
-                _tuple_message(inserted.as_dict(), self.schema.attribute_names)
+                encode_record_payload(inserted.as_dict(), self.schema.attribute_names)
             ),
         )
         return 0, 1
+
+    def delete_record(self, record: Record) -> Tuple[int, int]:
+        """Delete a record; no signature work at all (the scheme's one strength)."""
+        position = self.relation.delete(record)
+        del self._signatures[position]
+        return 0, 0
+
+    def update_record(self, old: Record, new) -> Tuple[int, int]:
+        """Replace a record; exactly one signature is recomputed."""
+        hashes_d, signatures_d = self.delete_record(old)
+        hashes_i, signatures_i = self.insert_record(new)
+        return hashes_d + hashes_i, signatures_d + signatures_i

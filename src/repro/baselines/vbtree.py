@@ -21,22 +21,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.encoding import encode_many
+from repro.crypto.encoding import encode_record_payload
 from repro.crypto.hashing import HashFunction, default_hash
 from repro.crypto.signature import SignatureScheme
 from repro.db.records import Record
 from repro.db.relation import Relation
 
-__all__ = ["VBTree", "VBTreeProof"]
+__all__ = ["VBTree", "VBTreeProof", "VBTreeVerifier"]
 
 
 @dataclass(frozen=True)
 class VBTreeProof:
-    """Authenticity VO: signed covering-node digests plus opening digests."""
+    """Authenticity VO: signed covering-node digests plus opening digests.
+
+    ``fanout``, ``table_size`` and ``leaf_range`` describe where the result
+    sits in the (deterministic) digest hierarchy, which is exactly what a
+    remote :class:`VBTreeVerifier` needs to rebuild every covering-node digest
+    from the result tuples alone — the tree shape is a pure function of
+    ``(table_size, fanout)``, so no per-node structure crosses the wire.
+    """
 
     covering_signatures: Tuple[int, ...]
     covering_digests: Tuple[bytes, ...]
     opening_digests: Tuple[bytes, ...]
+    fanout: int = 0
+    table_size: int = 0
+    leaf_range: Tuple[int, int] = (0, 0)
 
     @property
     def digest_count(self) -> int:
@@ -86,11 +96,8 @@ class VBTree:
     # -- construction --------------------------------------------------------------
 
     def _tuple_digest(self, record: Record) -> bytes:
-        flattened: List[object] = []
-        for name in self.schema.attribute_names:
-            flattened.append(name)
-            flattened.append(record[name])
-        return self.hash_function.digest(b"vbtree-leaf|" + encode_many(flattened))
+        payload = encode_record_payload(record.as_dict(), self.schema.attribute_names)
+        return self.hash_function.digest(b"vbtree-leaf|" + payload)
 
     def _rebuild(self) -> None:
         leaves = []
@@ -144,6 +151,9 @@ class VBTree:
             covering_signatures=tuple(node.signature for node in covering),
             covering_digests=tuple(node.digest for node in covering),
             opening_digests=tuple(opening),
+            fanout=self.fanout,
+            table_size=len(self.relation),
+            leaf_range=(start, stop),
         )
 
     def _cover(self, node: _Node, lo: int, hi: int, out: List[_Node]) -> None:
@@ -174,8 +184,161 @@ class VBTree:
     def update_record(self, old: Record, new) -> Tuple[int, int]:
         """Replace a record; the whole root path is re-hashed *and re-signed*."""
         self.relation.update(old, new)
+        return self._account_rebuild()
+
+    def insert_record(self, record) -> Tuple[int, int]:
+        """Insert a record; the root path is re-hashed *and re-signed*."""
+        self.relation.insert(record)
+        return self._account_rebuild()
+
+    def delete_record(self, record: Record) -> Tuple[int, int]:
+        """Delete a record; same signed-path cost as any other mutation."""
+        self.relation.delete(record)
+        return self._account_rebuild()
+
+    def _account_rebuild(self) -> Tuple[int, int]:
         path = self.height
         self._rebuild()
         self.last_update_hashes = path
         self.last_update_signatures = path
         return path, path
+
+
+class VBTreeVerifier:
+    """User-side verification for the VB-tree scheme.
+
+    Holds only what the owner distributes: the schema attribute order, the key
+    attribute and the public key.  The digest hierarchy over ``n`` sorted
+    tuples with fanout ``f`` is deterministic — level ``k`` holds
+    ``ceil(n / f^k)`` nodes and node ``i`` of level ``k`` spans leaves
+    ``[i*f^k, min((i+1)*f^k, n))`` — so the verifier mirrors the publisher's
+    covering recursion structurally, rebuilds each covering-node digest from
+    the result tuples, and checks the owner's signature on every one.
+
+    The scheme authenticates values only: a verified answer proves every
+    returned tuple is genuine and in query range, but (unlike the paper's
+    chain scheme) nothing stops the publisher from omitting qualifying tuples.
+    """
+
+    def __init__(
+        self,
+        attribute_order: Sequence[str],
+        key_attribute: str,
+        public_key,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        self.attribute_order = list(attribute_order)
+        self.key_attribute = key_attribute
+        self.public_key = public_key
+        self.hash_function = hash_function or default_hash()
+
+    def _level_counts(self, table_size: int, fanout: int) -> List[int]:
+        """Node counts per level, leaves first (mirrors ``VBTree._rebuild``)."""
+        counts = [max(1, table_size)]
+        while counts[-1] > 1:
+            counts.append((counts[-1] + fanout - 1) // fanout)
+        return counts
+
+    def _expected_cover(
+        self, table_size: int, fanout: int, lo: int, hi: int
+    ) -> List[Tuple[int, int]]:
+        """The canonical (level, index) covering set of ``[lo, hi)``."""
+        if table_size == 0 or lo >= hi:
+            return []
+        counts = self._level_counts(table_size, fanout)
+        cover: List[Tuple[int, int]] = []
+
+        def span(level: int, index: int) -> Tuple[int, int]:
+            start = index * fanout**level
+            return start, min(start + fanout**level, table_size)
+
+        def descend(level: int, index: int) -> None:
+            start, stop = span(level, index)
+            if stop <= lo or start >= hi:
+                return
+            if lo <= start and stop <= hi:
+                cover.append((level, index))
+                return
+            if level == 0:  # pragma: no cover - leaf spans are width 1
+                cover.append((level, index))
+                return
+            first = index * fanout
+            for child in range(first, min(first + fanout, counts[level - 1])):
+                descend(level - 1, child)
+
+        descend(len(counts) - 1, 0)
+        return cover
+
+    def _rebuild_digest(
+        self,
+        level: int,
+        index: int,
+        counts: List[int],
+        fanout: int,
+        leaf_digests: Sequence[bytes],
+        lo: int,
+    ) -> bytes:
+        if level == 0:
+            return leaf_digests[index - lo]
+        first = index * fanout
+        children = range(first, min(first + fanout, counts[level - 1]))
+        return self.hash_function.digest(
+            b"vbtree-node|"
+            + b"".join(
+                self._rebuild_digest(child_level, child, counts, fanout, leaf_digests, lo)
+                for child_level, child in ((level - 1, c) for c in children)
+            )
+        )
+
+    def verify_range(
+        self, low: int, high: int, rows: Sequence[Dict[str, object]], proof: VBTreeProof
+    ) -> bool:
+        """Check that every returned tuple is authentic and in range.
+
+        Returns ``False`` for any structural mismatch (wrong row count, a
+        tuple outside ``[low, high]``, a covering digest that does not rebuild
+        from the tuples, a signature that does not verify, or unexpected
+        opening digests — honest covering nodes are fully in-range, so their
+        subtrees need no openings).
+        """
+        if proof.fanout < 2 or proof.table_size < 0:
+            return False
+        lo, hi = proof.leaf_range
+        if not (0 <= lo <= hi <= proof.table_size):
+            return False
+        if len(rows) != hi - lo:
+            return False
+        if proof.opening_digests:
+            return False
+        for row in rows:
+            if set(row) != set(self.attribute_order):
+                return False
+            key = row[self.key_attribute]
+            if not isinstance(key, int) or not (low <= key <= high):
+                return False
+        keys = [row[self.key_attribute] for row in rows]
+        if keys != sorted(keys):
+            return False
+        cover = self._expected_cover(proof.table_size, proof.fanout, lo, hi)
+        if len(cover) != len(proof.covering_digests) or len(cover) != len(
+            proof.covering_signatures
+        ):
+            return False
+        counts = self._level_counts(proof.table_size, proof.fanout)
+        leaf_digests = [
+            self.hash_function.digest(
+                b"vbtree-leaf|" + encode_record_payload(row, self.attribute_order)
+            )
+            for row in rows
+        ]
+        for (level, index), digest, signature in zip(
+            cover, proof.covering_digests, proof.covering_signatures
+        ):
+            rebuilt = self._rebuild_digest(
+                level, index, counts, proof.fanout, leaf_digests, lo
+            )
+            if rebuilt != digest:
+                return False
+            if not self.public_key.verify(digest, signature):
+                return False
+        return True

@@ -41,7 +41,93 @@ from repro.db.query import Conjunction, JoinQuery, Projection, Query, RangeCondi
 from repro.db.records import Record
 from repro.db.schema import Schema
 
-__all__ = ["PublishedResult", "PublishedJoinResult", "Publisher"]
+__all__ = [
+    "PublishedResult",
+    "PublishedJoinResult",
+    "Publisher",
+    "plan_deltas",
+    "simulate_deltas",
+]
+
+
+def plan_deltas(schema: Schema, deltas: Sequence) -> List[Tuple[str, Record, Optional[Record]]]:
+    """Materialise wire deltas into validated records; typed errors only.
+
+    Shared by every proof scheme's publication (the chain scheme's
+    :class:`Publisher` and the baseline schemes of :mod:`repro.schemes`), so
+    "what makes a well-formed delta batch" has exactly one definition.
+    """
+    if not deltas:
+        raise UpdateApplicationError("an update batch needs at least one delta")
+    plan: List[Tuple[str, Record, Optional[Record]]] = []
+    for index, delta in enumerate(deltas):
+        try:
+            if delta.kind == "insert":
+                plan.append(("insert", Record(schema, dict(delta.values)), None))
+            elif delta.kind == "delete":
+                plan.append(("delete", Record(schema, dict(delta.values)), None))
+            elif delta.kind == "update":
+                if delta.old_values is None:
+                    raise ValueError("update delta without old values")
+                plan.append(
+                    (
+                        "update",
+                        Record(schema, dict(delta.old_values)),
+                        Record(schema, dict(delta.values)),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown delta kind {delta.kind!r}")
+        except (ValueError, TypeError, KeyError, AttributeError) as error:
+            raise UpdateApplicationError(
+                f"delta[{index}] does not form a valid {schema.name!r} "
+                f"record: {error}"
+            ) from None
+    return plan
+
+
+def simulate_deltas(relation, plan: Sequence[Tuple[str, Record, Optional[Record]]]) -> None:
+    """Dry-run a planned batch against the relation's (key, fingerprint) occupancy.
+
+    The relation keeps a sorted (key, fingerprint) index and refuses exact
+    duplicates, so occupancy per identity is 0 or 1; only the deltas of *this
+    batch* need tracking on top (O(b log n) total).  Raises a typed
+    :class:`~repro.core.errors.UpdateApplicationError` before the first real
+    mutation, so a bad delta anywhere in the batch leaves the published state
+    untouched — all-or-nothing for every scheme.
+    """
+    pending: Dict[Tuple[int, bytes], int] = {}
+
+    def occupancy(record: Record) -> int:
+        identity = (record.key, record.fingerprint())
+        return int(relation.contains(record)) + pending.get(identity, 0)
+
+    def simulate_insert(record: Record, index: int) -> None:
+        if occupancy(record) > 0:
+            raise UpdateApplicationError(
+                f"delta[{index}] inserts an exact duplicate of an existing "
+                f"record (key {record.key})"
+            )
+        identity = (record.key, record.fingerprint())
+        pending[identity] = pending.get(identity, 0) + 1
+
+    def simulate_delete(record: Record, index: int) -> None:
+        if occupancy(record) <= 0:
+            raise UpdateApplicationError(
+                f"delta[{index}] deletes a record that is not in the "
+                f"relation (key {record.key})"
+            )
+        identity = (record.key, record.fingerprint())
+        pending[identity] = pending.get(identity, 0) - 1
+
+    for index, (kind, record, replacement) in enumerate(plan):
+        if kind == "insert":
+            simulate_insert(record, index)
+        elif kind == "delete":
+            simulate_delete(record, index)
+        else:
+            simulate_delete(record, index)
+            simulate_insert(replacement, index)
 
 
 @dataclass
@@ -564,8 +650,8 @@ class Publisher:
         :meth:`~repro.core.relational.UpdateReceipt.merge`.
         """
         signed = self.signed_relation(relation_name)
-        plan = self._plan_deltas(signed, deltas)
-        self._simulate_deltas(signed, plan)
+        plan = plan_deltas(signed.schema, deltas)
+        simulate_deltas(signed.relation, plan)
         receipts = []
         for kind, record, replacement in plan:
             if kind == "insert":
@@ -575,83 +661,6 @@ class Publisher:
             else:
                 receipts.append(signed.update_record(record, replacement))
         return UpdateReceipt.merge(receipts)
-
-    def _plan_deltas(self, signed: SignedRelation, deltas: Sequence):
-        """Materialise wire deltas into validated records; typed errors only."""
-        if not deltas:
-            raise UpdateApplicationError("an update batch needs at least one delta")
-        schema = signed.schema
-        plan = []
-        for index, delta in enumerate(deltas):
-            try:
-                if delta.kind == "insert":
-                    plan.append(
-                        ("insert", Record(schema, dict(delta.values)), None)
-                    )
-                elif delta.kind == "delete":
-                    plan.append(
-                        ("delete", Record(schema, dict(delta.values)), None)
-                    )
-                elif delta.kind == "update":
-                    if delta.old_values is None:
-                        raise ValueError("update delta without old values")
-                    plan.append(
-                        (
-                            "update",
-                            Record(schema, dict(delta.old_values)),
-                            Record(schema, dict(delta.values)),
-                        )
-                    )
-                else:
-                    raise ValueError(f"unknown delta kind {delta.kind!r}")
-            except (ValueError, TypeError, KeyError, AttributeError) as error:
-                raise UpdateApplicationError(
-                    f"delta[{index}] does not form a valid {schema.name!r} "
-                    f"record: {error}"
-                ) from None
-        return plan
-
-    def _simulate_deltas(self, signed: SignedRelation, plan) -> None:
-        """Dry-run the batch against the relation's (key, fingerprint) occupancy.
-
-        The relation keeps a sorted (key, fingerprint) index and refuses exact
-        duplicates, so occupancy per identity is 0 or 1; only the deltas of
-        *this batch* need tracking on top (O(b log n) total, and the shard
-        write lock is held for no longer than that).
-        """
-        relation = signed.relation
-        pending: Dict[Tuple[int, bytes], int] = {}
-
-        def occupancy(record: Record) -> int:
-            identity = (record.key, record.fingerprint())
-            return int(relation.contains(record)) + pending.get(identity, 0)
-
-        def simulate_insert(record: Record, index: int) -> None:
-            if occupancy(record) > 0:
-                raise UpdateApplicationError(
-                    f"delta[{index}] inserts an exact duplicate of an existing "
-                    f"record (key {record.key})"
-                )
-            identity = (record.key, record.fingerprint())
-            pending[identity] = pending.get(identity, 0) + 1
-
-        def simulate_delete(record: Record, index: int) -> None:
-            if occupancy(record) <= 0:
-                raise UpdateApplicationError(
-                    f"delta[{index}] deletes a record that is not in the "
-                    f"relation (key {record.key})"
-                )
-            identity = (record.key, record.fingerprint())
-            pending[identity] = pending.get(identity, 0) - 1
-
-        for index, (kind, record, replacement) in enumerate(plan):
-            if kind == "insert":
-                simulate_insert(record, index)
-            elif kind == "delete":
-                simulate_delete(record, index)
-            else:
-                simulate_delete(record, index)
-                simulate_insert(replacement, index)
 
     # -- joins ---------------------------------------------------------------------------
 

@@ -83,6 +83,13 @@ class RelationManifest:
     #: exactly when their sequences differ, which is what rotates the 32-byte
     #: manifest id on every live update and lets clients detect staleness.
     sequence: int = 0
+    #: Which proof scheme published this relation (``repro.schemes`` registry
+    #: name).  The tag is part of the manifest's canonical bytes — and hence
+    #: of the 32-byte manifest id a client pins — so a publisher can never
+    #: silently swap a relation to a weaker scheme.  ``scheme_kind`` and
+    #: ``base`` configure the chain scheme's digest chains and are ignored by
+    #: the other schemes.
+    scheme: str = "chain"
 
     @property
     def domain(self) -> KeyDomain:
@@ -230,6 +237,7 @@ class SignedRelation:
                 hash_name=self.hash_function.name,
                 public_key=self._signature_scheme.verifier,
                 sequence=self._version,
+                scheme="chain",
             )
         return self._manifest
 

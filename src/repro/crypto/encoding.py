@@ -155,3 +155,20 @@ def decode_many(data: bytes) -> list:
 def concat_digests(*digests: bytes) -> bytes:
     """Concatenate digests, as the ``|`` operator in the paper's formulas."""
     return b"".join(digests)
+
+
+def encode_record_payload(values, attribute_order) -> bytes:
+    """Canonical byte encoding of one full tuple, in schema attribute order.
+
+    The single definition of "the bytes a whole record hashes/signs to",
+    shared by every baseline proof scheme (naive per-tuple signatures, the
+    Devanbu Merkle tree, the VB-tree digest hierarchy): each attribute name is
+    encoded next to its value, with :func:`encode_many`'s length prefixes
+    keeping the result injective.  Raises ``KeyError`` when ``values`` is
+    missing an attribute — callers validate shape before hashing.
+    """
+    flattened: list = []
+    for name in attribute_order:
+        flattened.append(name)
+        flattened.append(values[name])
+    return encode_many(flattened)

@@ -1,0 +1,74 @@
+"""Proof schemes: one ``ProofScheme`` interface from publisher to wire to client.
+
+Importing this package registers every built-in scheme:
+
+==========  ============  =====  ==========================================
+name        completeness  joins  construction
+==========  ============  =====  ==========================================
+``chain``   yes           yes    the paper's signature chains (Sections 3-6)
+``devanbu`` yes           no     Merkle hash tree, signed root (Devanbu 2000)
+``naive``   no            no     one signature per tuple (strawman)
+``vbtree``  no            no     signed digest hierarchy (Pang & Tan 2004)
+==========  ============  =====  ==========================================
+
+Every layer of the serving stack dispatches through this registry: manifests
+carry a ``scheme`` tag, the wire codec knows each scheme's VO artifact (from
+the scheme module's own field-spec table), the
+:class:`~repro.service.router.ShardRouter` hosts any scheme's publisher, and
+the :class:`~repro.service.client.VerifyingClient` resolves its verifier from
+the scheme tag of the manifest it pinned.  Adding a scheme is one module plus
+an import line below.
+"""
+
+from repro.schemes.base import (
+    CompletenessUnsupported,
+    ProofScheme,
+    SchemeMismatchError,
+    SchemePublication,
+    SchemePublisher,
+    SchemeVerifier,
+    UnknownSchemeError,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    registered_vo_types,
+    scheme_of,
+)
+from repro.schemes.chain import ChainScheme, ChainVerifier
+from repro.schemes.devanbu import (
+    DevanbuPublication,
+    DevanbuScheme,
+    DevanbuSchemeVerifier,
+)
+from repro.schemes.naive import NaivePublication, NaiveScheme, NaiveSchemeVerifier
+from repro.schemes.vbtree import (
+    VBTreePublication,
+    VBTreeScheme,
+    VBTreeSchemeVerifier,
+)
+
+__all__ = [
+    "CompletenessUnsupported",
+    "ProofScheme",
+    "SchemeMismatchError",
+    "SchemePublication",
+    "SchemePublisher",
+    "SchemeVerifier",
+    "UnknownSchemeError",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+    "registered_vo_types",
+    "scheme_of",
+    "ChainScheme",
+    "ChainVerifier",
+    "DevanbuPublication",
+    "DevanbuScheme",
+    "DevanbuSchemeVerifier",
+    "NaivePublication",
+    "NaiveScheme",
+    "NaiveSchemeVerifier",
+    "VBTreePublication",
+    "VBTreeScheme",
+    "VBTreeSchemeVerifier",
+]

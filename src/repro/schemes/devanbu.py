@@ -1,0 +1,252 @@
+"""Devanbu et al. Merkle-tree publication as a registered ``ProofScheme``.
+
+Wraps :mod:`repro.baselines.devanbu` (one Merkle hash tree per sort order,
+root signed by the owner) behind the :class:`~repro.schemes.base.ProofScheme`
+interface.  The scheme **does** prove completeness — the VO expands the result
+with the boundary tuples just outside the range and the sibling digests up to
+the signed root — which is exactly why it is the paper's main comparison
+target: completeness comes at the cost of a VO that grows with the *table*
+size, full-tuple exposure of the boundary records, and updates that re-hash
+and re-sign the whole root path (Section 2.3's criticisms, measurable live via
+``repro.bench.schemes``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.devanbu import DevanbuMHT, DevanbuProof, DevanbuVerifier
+from repro.core.errors import CompletenessError, VerificationError
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.core.report import VerificationReport
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signature import SignatureScheme
+from repro.db.query import Query
+from repro.db.relation import Relation
+from repro.schemes.base import (
+    ProofScheme,
+    SchemePublication,
+    SchemeVerifier,
+    check_plain_range_query,
+    range_bounds,
+    register_scheme,
+)
+from repro.wire import codec
+
+__all__ = ["DevanbuScheme", "DevanbuPublication", "DevanbuSchemeVerifier"]
+
+
+_ROW = codec.MapField(codec.STR, codec.SCALAR)
+
+#: Wire field-spec of the Devanbu VO (single source for writer/reader/JSON).
+DEVANBU_PROOF_FIELDS = (
+    ("expanded_rows", codec.TupleField(_ROW)),
+    ("sibling_digests", codec.TupleField(codec.BYTES)),
+    ("root_signature", codec.INT),
+    ("leaf_range", codec.PairField(codec.INT, codec.INT)),
+    ("table_size", codec.INT),
+    ("left_is_table_start", codec.BOOL),
+    ("right_is_table_end", codec.BOOL),
+)
+
+
+def _post_devanbu(proof: DevanbuProof) -> None:
+    lo, hi = proof.leaf_range
+    if not (proof.table_size >= 0 and 0 <= lo <= hi <= proof.table_size):
+        raise codec.WireFormatError(
+            "Devanbu proof leaf range is inconsistent with its table size",
+            reason="invalid-artifact",
+        )
+    if len(proof.expanded_rows) != hi - lo:
+        raise codec.WireFormatError(
+            "Devanbu proof expanded rows disagree with its leaf range",
+            reason="invalid-artifact",
+        )
+
+
+codec.register_artifact(0x51, DevanbuProof, DEVANBU_PROOF_FIELDS, post=_post_devanbu)
+
+
+class DevanbuPublication(SchemePublication):
+    """Owner/publisher-side state: the sorted relation plus its signed MHT."""
+
+    scheme_name = "devanbu"
+
+    def __init__(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        super().__init__(relation, signature_scheme, hash_function)
+        self.inner = DevanbuMHT(
+            relation, signature_scheme, hash_function=self.hash_function
+        )
+
+    def answer_range(
+        self, low: int, high: int
+    ) -> Tuple[List[dict], DevanbuProof]:
+        return self.inner.answer_range(low, high)
+
+    def _receipt(self, hashes: int) -> UpdateReceipt:
+        # One root signature per mutation; the affected "entry" is the root.
+        return UpdateReceipt(
+            signatures_recomputed=1,
+            digests_recomputed=hashes,
+            entries_affected=(0,),
+            chain_messages_recomputed=1,
+        )
+
+    def _apply_insert(self, record) -> UpdateReceipt:
+        hashes, _ = self.inner.insert_record(record)
+        return self._receipt(hashes)
+
+    def _apply_delete(self, record) -> UpdateReceipt:
+        hashes, _ = self.inner.delete_record(record)
+        return self._receipt(hashes)
+
+
+class DevanbuSchemeVerifier(SchemeVerifier):
+    """User-side verification against the owner-signed Merkle root.
+
+    On top of :class:`~repro.baselines.devanbu.DevanbuVerifier`'s root
+    reconstruction, the adapter pins the *result rows* to the in-range slice
+    of the authenticated expanded rows — a tampered result row can then never
+    hide behind an honest expansion — and checks that every expanded tuple
+    carries exactly the schema attributes (extra, unauthenticated attributes
+    are rejected rather than passed through).
+    """
+
+    def __init__(self, relation_name: str, manifest: RelationManifest) -> None:
+        self.relation_name = relation_name
+        self.manifest = manifest
+        schema = manifest.schema
+        self.inner = DevanbuVerifier(
+            schema.attribute_names,
+            schema.key,
+            manifest.public_key,
+            hash_function=manifest.hash_function(),
+        )
+
+    def _verify(self, query, rows, proof, role) -> VerificationReport:
+        DEVANBU.check_proof_type(proof)
+        schema = self.manifest.schema
+        check_plain_range_query("devanbu", query, schema, role)
+        alpha, beta = range_bounds(query, schema, self.manifest.domain)
+        if alpha > beta:
+            if rows or proof is not None:
+                raise VerificationError(
+                    "the query range is empty, yet the publisher returned data",
+                    reason="vacuous-range",
+                )
+            return VerificationReport(result_rows=0)
+        if proof is None:
+            raise CompletenessError(
+                "the publisher did not attach a completeness proof",
+                reason="missing-proof",
+            )
+        names = set(schema.attribute_names)
+        for row in proof.expanded_rows:
+            if set(row) != names:
+                raise VerificationError(
+                    "an expanded tuple does not carry exactly the schema attributes",
+                    reason="tampered-result",
+                )
+        key = schema.key
+        expanded = [dict(row) for row in proof.expanded_rows]
+        # A table-edge claim must match the leaf range: left_is_table_start
+        # with leaf_range[0] != 0 (or the right-side dual) means the
+        # publisher hid a slice of the table behind sibling digests while
+        # pretending nothing qualifies there — the completeness forgery this
+        # scheme exists to prevent.
+        if proof.left_is_table_start and proof.leaf_range[0] != 0:
+            raise CompletenessError(
+                "the proof claims the range abuts the table start, but its "
+                "leaf range does not begin at leaf 0",
+                reason="boundary-flag-mismatch",
+            )
+        if proof.right_is_table_end and proof.leaf_range[1] != proof.table_size:
+            raise CompletenessError(
+                "the proof claims the range abuts the table end, but its "
+                "leaf range stops short of the table size",
+                reason="boundary-flag-mismatch",
+            )
+        # The expansion's shape is fully determined by the boundary flags: one
+        # leading below-range tuple unless the range abuts the table start,
+        # one trailing above-range tuple unless it abuts the table end, and
+        # everything between strictly inside [alpha, beta].  Checking the
+        # shape (rather than filtering by key) pins the flags themselves — a
+        # flipped flag can never be a harmless no-op.
+        leading = 0 if proof.left_is_table_start else 1
+        trailing = 0 if proof.right_is_table_end else 1
+        if len(expanded) < leading + trailing:
+            raise CompletenessError(
+                "the expansion is smaller than its boundary flags require",
+                reason="row-mismatch",
+            )
+        for row in expanded[:leading]:
+            if not isinstance(row.get(key), int) or row[key] >= alpha:
+                raise CompletenessError(
+                    "the left boundary tuple does not precede the query range",
+                    reason="row-mismatch",
+                )
+        for row in expanded[len(expanded) - trailing :]:
+            if not isinstance(row.get(key), int) or row[key] <= beta:
+                raise CompletenessError(
+                    "the right boundary tuple does not follow the query range",
+                    reason="row-mismatch",
+                )
+        in_range = expanded[leading : len(expanded) - trailing]
+        for row in in_range:
+            if not isinstance(row.get(key), int) or not (alpha <= row[key] <= beta):
+                raise CompletenessError(
+                    "an expansion tuple between the boundaries falls outside "
+                    "the query range",
+                    reason="row-mismatch",
+                )
+        if [dict(row) for row in rows] != in_range:
+            raise CompletenessError(
+                "the result rows are not the in-range slice of the "
+                "authenticated expansion",
+                reason="row-mismatch",
+            )
+        materialised = [dict(row) for row in rows]
+        if not self.inner.verify_range(alpha, beta, materialised, proof):
+            raise CompletenessError(
+                "the expanded result does not reconstruct the signed Merkle root",
+                reason="signature-mismatch",
+            )
+        return VerificationReport(
+            checked_messages=1,
+            signature_verifications=1,
+            result_rows=len(rows),
+        )
+
+
+class DevanbuScheme(ProofScheme):
+    """Registry entry for the Devanbu et al. Merkle-tree baseline."""
+
+    name = "devanbu"
+    proves_completeness = True
+    supports_joins = False
+    vo_type = DevanbuProof
+
+    def publish(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+        **parameters,
+    ) -> DevanbuPublication:
+        return DevanbuPublication(relation, signature_scheme, hash_function)
+
+    def verifier_for(
+        self,
+        relation_name: str,
+        manifest: RelationManifest,
+        policy=None,
+    ) -> DevanbuSchemeVerifier:
+        return DevanbuSchemeVerifier(relation_name, manifest)
+
+
+DEVANBU = register_scheme(DevanbuScheme())

@@ -1,0 +1,191 @@
+"""Naive per-tuple signatures as a registered ``ProofScheme``.
+
+The strawman of the paper's related-work section
+(:mod:`repro.baselines.naive`): the owner signs every tuple, the publisher
+ships matching tuples with their signatures, the user verifies each signature.
+Authenticity only — dropping qualifying tuples is undetectable, so the scheme
+registers with ``proves_completeness = False`` and a
+:class:`~repro.service.client.VerifyingClient` refuses to answer under it
+without an explicit ``allow_incomplete=True`` opt-in
+(:class:`~repro.schemes.base.CompletenessUnsupported`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.naive import NaiveProof, NaiveSignedRelation
+from repro.core.errors import AuthenticityError, VerificationError
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.core.report import VerificationReport
+from repro.crypto.aggregate import AggregateSignature, verify_aggregate
+from repro.crypto.encoding import encode_record_payload
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signature import SignatureScheme
+from repro.db.query import Query
+from repro.db.relation import Relation
+from repro.schemes.base import (
+    ProofScheme,
+    SchemePublication,
+    SchemeVerifier,
+    check_plain_range_query,
+    range_bounds,
+    register_scheme,
+)
+from repro.wire import codec
+
+__all__ = ["NaiveScheme", "NaivePublication", "NaiveSchemeVerifier"]
+
+
+#: Wire field-spec of the naive VO — the single source the binary writer, the
+#: generated reader and the JSON mirror are all derived from.
+NAIVE_PROOF_FIELDS = (
+    ("signatures", codec.TupleField(codec.INT)),
+    ("aggregate", codec.OptionalField(codec.NestedField(AggregateSignature))),
+)
+
+codec.register_artifact(0x50, NaiveProof, NAIVE_PROOF_FIELDS)
+
+
+class NaivePublication(SchemePublication):
+    """Owner/publisher-side state: a relation plus one signature per tuple."""
+
+    scheme_name = "naive"
+
+    def __init__(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        super().__init__(relation, signature_scheme, hash_function)
+        self.inner = NaiveSignedRelation(
+            relation, signature_scheme, hash_function=self.hash_function
+        )
+
+    def answer_range(
+        self, low: int, high: int
+    ) -> Tuple[List[dict], NaiveProof]:
+        return self.inner.answer_range(low, high)
+
+    def _apply_insert(self, record) -> UpdateReceipt:
+        self.inner.insert_record(record)
+        return UpdateReceipt(
+            signatures_recomputed=1,
+            digests_recomputed=1,
+            entries_affected=(self.relation.position_of(record),),
+            chain_messages_recomputed=1,
+        )
+
+    def _apply_delete(self, record) -> UpdateReceipt:
+        self.inner.delete_record(record)
+        return UpdateReceipt(
+            signatures_recomputed=0,
+            digests_recomputed=0,
+            entries_affected=(),
+            chain_messages_recomputed=0,
+        )
+
+
+class NaiveSchemeVerifier(SchemeVerifier):
+    """User-side check: every returned tuple carries a valid owner signature."""
+
+    def __init__(self, relation_name: str, manifest: RelationManifest) -> None:
+        self.relation_name = relation_name
+        self.manifest = manifest
+
+    def _verify(self, query, rows, proof, role) -> VerificationReport:
+        NAIVE.check_proof_type(proof)
+        schema = self.manifest.schema
+        check_plain_range_query("naive", query, schema, role)
+        alpha, beta = range_bounds(query, schema, self.manifest.domain)
+        if alpha > beta:
+            if rows or proof is not None:
+                raise VerificationError(
+                    "the query range is empty, yet the publisher returned data",
+                    reason="vacuous-range",
+                )
+            return VerificationReport(result_rows=0)
+        if proof is None:
+            if rows:
+                raise AuthenticityError(
+                    "result rows arrived without any tuple signatures",
+                    reason="missing-proof",
+                )
+            return VerificationReport(result_rows=0)
+        names = schema.attribute_names
+        messages = []
+        for row in rows:
+            materialised = dict(row)
+            if set(materialised) != set(names):
+                raise AuthenticityError(
+                    "a result row does not carry exactly the schema attributes",
+                    reason="tampered-result",
+                )
+            key = materialised[schema.key]
+            if not isinstance(key, int) or not (alpha <= key <= beta):
+                raise VerificationError(
+                    f"result row key {key!r} falls outside the query range",
+                    reason="key-out-of-range",
+                )
+            messages.append(encode_record_payload(materialised, names))
+        public_key = self.manifest.public_key
+        if proof.aggregate is not None:
+            if not messages:
+                raise AuthenticityError(
+                    "an aggregate signature cannot cover zero rows",
+                    reason="signature-count-mismatch",
+                )
+            if not verify_aggregate(proof.aggregate, messages, public_key):
+                raise AuthenticityError(
+                    "the condensed tuple signature does not match the rows",
+                    reason="signature-mismatch",
+                )
+            verifications = 1
+        else:
+            if len(proof.signatures) != len(messages):
+                raise AuthenticityError(
+                    "the number of tuple signatures does not match the rows",
+                    reason="signature-count-mismatch",
+                )
+            for message, signature in zip(messages, proof.signatures):
+                if not public_key.verify(message, signature):
+                    raise AuthenticityError(
+                        "a tuple signature does not match its row",
+                        reason="signature-mismatch",
+                    )
+            verifications = len(messages)
+        return VerificationReport(
+            checked_messages=len(messages),
+            signature_verifications=verifications,
+            result_rows=len(rows),
+        )
+
+
+class NaiveScheme(ProofScheme):
+    """Registry entry for the per-tuple-signature baseline."""
+
+    name = "naive"
+    proves_completeness = False
+    supports_joins = False
+    vo_type = NaiveProof
+
+    def publish(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+        **parameters,
+    ) -> NaivePublication:
+        return NaivePublication(relation, signature_scheme, hash_function)
+
+    def verifier_for(
+        self,
+        relation_name: str,
+        manifest: RelationManifest,
+        policy=None,
+    ) -> NaiveSchemeVerifier:
+        return NaiveSchemeVerifier(relation_name, manifest)
+
+
+NAIVE = register_scheme(NaiveScheme())

@@ -1,0 +1,194 @@
+"""The VB-tree (Pang & Tan, ICDE 2004) as a registered ``ProofScheme``.
+
+Wraps :mod:`repro.baselines.vbtree` — a fanout-``f`` digest hierarchy with
+*every node digest signed* — behind the
+:class:`~repro.schemes.base.ProofScheme` interface.  The VO is the signed
+digests of the minimal covering nodes; the verifier rebuilds each covering
+digest from the result tuples (the hierarchy's shape is a pure function of
+``(table_size, fanout)``) and checks the owner's signature on every one.
+
+Like the naive scheme, the VB-tree authenticates values but cannot prove
+completeness (``proves_completeness = False``): clients must opt in with
+``allow_incomplete=True`` or receive a typed
+:class:`~repro.schemes.base.CompletenessUnsupported`.  Updates re-hash *and
+re-sign* the whole root path — the churn cost the paper's Section 6.3
+comparison highlights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.vbtree import VBTree, VBTreeProof, VBTreeVerifier
+from repro.core.errors import AuthenticityError, VerificationError
+from repro.core.relational import RelationManifest, UpdateReceipt
+from repro.core.report import VerificationReport
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signature import SignatureScheme
+from repro.db.query import Query
+from repro.db.relation import Relation
+from repro.schemes.base import (
+    ProofScheme,
+    SchemePublication,
+    SchemeVerifier,
+    check_plain_range_query,
+    range_bounds,
+    register_scheme,
+)
+from repro.wire import codec
+
+__all__ = ["VBTreeScheme", "VBTreePublication", "VBTreeSchemeVerifier"]
+
+
+#: Wire field-spec of the VB-tree VO (single source for writer/reader/JSON).
+VBTREE_PROOF_FIELDS = (
+    ("covering_signatures", codec.TupleField(codec.INT)),
+    ("covering_digests", codec.TupleField(codec.BYTES)),
+    ("opening_digests", codec.TupleField(codec.BYTES)),
+    ("fanout", codec.INT),
+    ("table_size", codec.INT),
+    ("leaf_range", codec.PairField(codec.INT, codec.INT)),
+)
+
+
+def _post_vbtree(proof: VBTreeProof) -> None:
+    lo, hi = proof.leaf_range
+    if proof.fanout < 2:
+        raise codec.WireFormatError(
+            "VB-tree proof fanout must be at least 2", reason="invalid-artifact"
+        )
+    if not (proof.table_size >= 0 and 0 <= lo <= hi <= proof.table_size):
+        raise codec.WireFormatError(
+            "VB-tree proof leaf range is inconsistent with its table size",
+            reason="invalid-artifact",
+        )
+    if len(proof.covering_signatures) != len(proof.covering_digests):
+        raise codec.WireFormatError(
+            "VB-tree proof signature/digest counts disagree",
+            reason="invalid-artifact",
+        )
+
+
+codec.register_artifact(0x52, VBTreeProof, VBTREE_PROOF_FIELDS, post=_post_vbtree)
+
+
+class VBTreePublication(SchemePublication):
+    """Owner/publisher-side state: the relation plus its signed digest hierarchy."""
+
+    scheme_name = "vbtree"
+
+    def __init__(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+        fanout: int = 8,
+    ) -> None:
+        super().__init__(relation, signature_scheme, hash_function)
+        self.fanout = fanout
+        self.inner = VBTree(
+            relation,
+            signature_scheme,
+            fanout=fanout,
+            hash_function=self.hash_function,
+        )
+
+    def answer_range(
+        self, low: int, high: int
+    ) -> Tuple[List[dict], VBTreeProof]:
+        return self.inner.answer_range(low, high)
+
+    def _receipt(self, signatures: int, hashes: int) -> UpdateReceipt:
+        # The whole root path is re-signed; entries_affected names the levels.
+        return UpdateReceipt(
+            signatures_recomputed=signatures,
+            digests_recomputed=hashes,
+            entries_affected=tuple(range(signatures)),
+            chain_messages_recomputed=signatures,
+        )
+
+    def _apply_insert(self, record) -> UpdateReceipt:
+        hashes, signatures = self.inner.insert_record(record)
+        return self._receipt(signatures, hashes)
+
+    def _apply_delete(self, record) -> UpdateReceipt:
+        hashes, signatures = self.inner.delete_record(record)
+        return self._receipt(signatures, hashes)
+
+
+class VBTreeSchemeVerifier(SchemeVerifier):
+    """User-side verification of signed covering-node digests."""
+
+    def __init__(self, relation_name: str, manifest: RelationManifest) -> None:
+        self.relation_name = relation_name
+        self.manifest = manifest
+        schema = manifest.schema
+        self.inner = VBTreeVerifier(
+            schema.attribute_names,
+            schema.key,
+            manifest.public_key,
+            hash_function=manifest.hash_function(),
+        )
+
+    def _verify(self, query, rows, proof, role) -> VerificationReport:
+        VBTREE.check_proof_type(proof)
+        schema = self.manifest.schema
+        check_plain_range_query("vbtree", query, schema, role)
+        alpha, beta = range_bounds(query, schema, self.manifest.domain)
+        if alpha > beta:
+            if rows or proof is not None:
+                raise VerificationError(
+                    "the query range is empty, yet the publisher returned data",
+                    reason="vacuous-range",
+                )
+            return VerificationReport(result_rows=0)
+        if proof is None:
+            if rows:
+                raise AuthenticityError(
+                    "result rows arrived without any covering signatures",
+                    reason="missing-proof",
+                )
+            return VerificationReport(result_rows=0)
+        materialised = [dict(row) for row in rows]
+        if not self.inner.verify_range(alpha, beta, materialised, proof):
+            raise AuthenticityError(
+                "the covering-node signatures do not authenticate the result",
+                reason="signature-mismatch",
+            )
+        return VerificationReport(
+            checked_messages=len(proof.covering_digests),
+            signature_verifications=len(proof.covering_signatures),
+            result_rows=len(rows),
+        )
+
+
+class VBTreeScheme(ProofScheme):
+    """Registry entry for the VB-tree baseline."""
+
+    name = "vbtree"
+    proves_completeness = False
+    supports_joins = False
+    vo_type = VBTreeProof
+
+    def publish(
+        self,
+        relation: Relation,
+        signature_scheme: SignatureScheme,
+        hash_function: Optional[HashFunction] = None,
+        fanout: int = 8,
+        **parameters,
+    ) -> VBTreePublication:
+        return VBTreePublication(
+            relation, signature_scheme, hash_function, fanout=fanout
+        )
+
+    def verifier_for(
+        self,
+        relation_name: str,
+        manifest: RelationManifest,
+        policy=None,
+    ) -> VBTreeSchemeVerifier:
+        return VBTreeSchemeVerifier(relation_name, manifest)
+
+
+VBTREE = register_scheme(VBTreeScheme())

@@ -4,12 +4,22 @@ A :class:`VerifyingClient` holds only what the paper's user holds — relation
 manifests (whose 32-byte ids it cross-checks against the server's listing)
 and, through them, the owner's public key.  Every query answer arrives as
 canonical wire bytes, is decoded with the strict codec and is then verified
-with a local :class:`~repro.core.verifier.ResultVerifier` before rows are
-handed to the caller.  The client has no access to publisher state: a genuine
-result verifies, and a tampered, truncated or incomplete one raises a typed
-error (:class:`~repro.wire.errors.WireFormatError` at the codec layer,
+locally before rows are handed to the caller.  The client has no access to
+publisher state: a genuine result verifies, and a tampered, truncated or
+incomplete one raises a typed error
+(:class:`~repro.wire.errors.WireFormatError` at the codec layer,
 :class:`~repro.core.errors.VerificationError` at the proof layer, or
 :class:`~repro.service.protocol.ServiceError` at the transport layer).
+
+**Scheme polymorphism.**  Each manifest names the proof scheme its relation
+was published under (``chain``, ``devanbu``, ``naive``, ``vbtree`` — see
+:mod:`repro.schemes`); the tag sits inside the canonical bytes the pinned
+manifest id commits to, and the client resolves its verifier from it.  A
+scheme that cannot prove completeness requires an explicit
+``allow_incomplete=True`` opt-in (typed
+:class:`~repro.schemes.CompletenessUnsupported` otherwise), and a rotation
+that tries to change a relation's scheme — however well signed — is refused
+with a typed :class:`~repro.schemes.SchemeMismatchError`.
 
 **Live updates.**  A publisher that applies owner deltas rotates the
 relation's manifest (its ``sequence`` bumps, so its 32-byte id changes).
@@ -34,6 +44,13 @@ from repro.core.report import VerificationReport
 from repro.core.verifier import ResultVerifier
 from repro.db.access_control import AccessControlPolicy
 from repro.db.query import JoinQuery, Query
+from repro.schemes import (
+    CompletenessUnsupported,
+    ProofScheme,
+    SchemeMismatchError,
+    SchemeVerifier,
+    scheme_of,
+)
 from repro.service.protocol import (
     ErrorResponse,
     JoinRequest,
@@ -312,6 +329,9 @@ class VerifyingClient(ServiceConnection):
                 )
             self._pinned_ids[name] = bytes(identifier)
         self._verifier: Optional[ResultVerifier] = None
+        #: Per-relation scheme verifiers, keyed (relation name, manifest id):
+        #: rebuilt whenever the pinned manifest rotates.
+        self._scheme_verifiers: Dict[Tuple[str, bytes], SchemeVerifier] = {}
         #: Rotations this client accepted: relation name -> sequence, for
         #: observability (tests assert the refresh path actually ran).
         self.rotations_observed: Dict[str, int] = {}
@@ -372,7 +392,7 @@ class VerifyingClient(ServiceConnection):
             )
         self._manifests[relation_name] = manifest
         self._pinned_ids.setdefault(relation_name, manifest_id(manifest))
-        self._verifier = None  # rebuilt lazily over the new manifest set
+        self._reset_verifiers()  # rebuilt lazily over the new manifest set
         return manifest
 
     def _bootstrap_pinned_manifest(
@@ -396,7 +416,7 @@ class VerifyingClient(ServiceConnection):
                 "does not hash to it"
             )
         self._manifests[relation_name] = historical
-        self._verifier = None
+        self._reset_verifiers()
         return self.refresh_rotated_manifest(relation_name)
 
     def _ensure_manifest(self, relation_name: str) -> bytes:
@@ -410,10 +430,80 @@ class VerifyingClient(ServiceConnection):
 
     @property
     def verifier(self) -> ResultVerifier:
-        """The local verifier over every manifest fetched so far."""
+        """The local chain-scheme verifier over every chain manifest so far.
+
+        Joins verify across relations, so the chain verifier spans all pinned
+        chain-scheme manifests.  Relations published under other schemes are
+        verified by their scheme-resolved verifier instead
+        (:meth:`scheme_verifier_for`).
+        """
         if self._verifier is None:
-            self._verifier = ResultVerifier(dict(self._manifests), policy=self.policy)
+            chain_manifests = {
+                name: manifest
+                for name, manifest in self._manifests.items()
+                if (getattr(manifest, "scheme", "chain") or "chain") == "chain"
+            }
+            self._verifier = ResultVerifier(chain_manifests, policy=self.policy)
         return self._verifier
+
+    def _reset_verifiers(self) -> None:
+        """Drop every verifier derived from the (now changed) manifest set."""
+        self._verifier = None
+        self._scheme_verifiers.clear()
+
+    def scheme_for(self, relation_name: str) -> ProofScheme:
+        """The registered proof scheme of a pinned relation's manifest.
+
+        Resolution is by the manifest's ``scheme`` tag — which is part of the
+        canonical bytes behind the pinned 32-byte id, so the publisher cannot
+        steer a client to a different verifier than the owner published.
+        Raises a typed :class:`~repro.schemes.UnknownSchemeError` when this
+        build has no implementation for the tag.
+        """
+        return scheme_of(self._manifests[relation_name])
+
+    def scheme_verifier_for(self, relation_name: str) -> SchemeVerifier:
+        """The scheme-resolved verifier for one pinned relation."""
+        identifier = self._pinned_ids[relation_name]
+        key = (relation_name, identifier)
+        verifier = self._scheme_verifiers.get(key)
+        if verifier is None:
+            manifest = self._manifests[relation_name]
+            verifier = self.scheme_for(relation_name).verifier_for(
+                relation_name, manifest, policy=self.policy
+            )
+            self._scheme_verifiers[key] = verifier
+        return verifier
+
+    def _verify_answer(
+        self,
+        relation_name: str,
+        query: Query,
+        rows,
+        proof,
+        role: Optional[str],
+        allow_incomplete: bool,
+    ) -> VerificationReport:
+        """Verify one decoded answer under the relation's pinned scheme.
+
+        A scheme that cannot prove completeness is refused with a typed
+        :class:`~repro.schemes.CompletenessUnsupported` unless the caller
+        opted in with ``allow_incomplete=True`` — under-verification is never
+        silent.
+        """
+        scheme = self.scheme_for(relation_name)
+        if not scheme.proves_completeness and not allow_incomplete:
+            raise CompletenessUnsupported(
+                f"relation {relation_name!r} is published under the "
+                f"{scheme.name!r} scheme, which proves authenticity but not "
+                "completeness; pass allow_incomplete=True to accept "
+                "possibly-incomplete answers"
+            )
+        if scheme.name == "chain":
+            return self.verifier.verify(query, rows, proof, role=role)
+        return self.scheme_verifier_for(relation_name).verify(
+            query, rows, proof, role=role
+        )
 
     # -- manifest rotation ---------------------------------------------------
 
@@ -438,7 +528,7 @@ class VerifyingClient(ServiceConnection):
         self._manifests[relation_name] = manifest
         self._pinned_ids[relation_name] = manifest_id(manifest)
         self._listing = None  # the server's listing moved with the rotation
-        self._verifier = None
+        self._reset_verifiers()
         self.rotations_observed[relation_name] = manifest.sequence
         return manifest
 
@@ -449,6 +539,18 @@ class VerifyingClient(ServiceConnection):
         rotation: ManifestRotated,
     ) -> None:
         manifest = rotation.manifest
+        pinned_scheme = getattr(pinned, "scheme", "chain") or "chain"
+        rotated_scheme = getattr(manifest, "scheme", "chain") or "chain"
+        if rotated_scheme != pinned_scheme:
+            # Checked before any signature math: rotations carry data
+            # updates, never scheme migrations, so a scheme change is a
+            # downgrade attempt (or a misconfigured publisher) even when the
+            # owner key and signature would check out.
+            raise SchemeMismatchError(
+                f"rotated manifest for {relation_name!r} switches the proof "
+                f"scheme from {pinned_scheme!r} to {rotated_scheme!r}; a "
+                "rotation may never change the scheme"
+            )
         if manifest.public_key != pinned.public_key:
             raise StaleManifestError(
                 f"rotated manifest for {relation_name!r} is signed under a "
@@ -484,9 +586,20 @@ class VerifyingClient(ServiceConnection):
     # -- queries -------------------------------------------------------------
 
     def query(
-        self, query: Query, role: Optional[str] = None, verify: bool = True
+        self,
+        query: Query,
+        role: Optional[str] = None,
+        verify: bool = True,
+        allow_incomplete: bool = False,
     ) -> VerifiedResult:
         """Issue a select-project(-multipoint) query and verify the answer.
+
+        Verification runs under the scheme named by the relation's pinned
+        manifest (``chain``, ``devanbu``, ``naive``, ``vbtree``, ...).  A
+        scheme that cannot prove completeness is refused with a typed
+        :class:`~repro.schemes.CompletenessUnsupported` unless
+        ``allow_incomplete=True`` — accepting authenticity-only answers is an
+        explicit caller decision, never a silent downgrade.
 
         If the answer reveals that the relation's manifest rotated (live
         update), the client refreshes its pinned manifest — authenticating
@@ -532,8 +645,9 @@ class VerifyingClient(ServiceConnection):
                         continue  # stamp already evicted server-side; retry
                     report = None
                     if verify:
-                        report = self.verifier.verify(
-                            query, response.rows, response.proof, role=role
+                        report = self._verify_answer(
+                            name, query, response.rows, response.proof,
+                            role, allow_incomplete,
                         )
                     return VerifiedResult(
                         rows=response.rows,
@@ -544,8 +658,9 @@ class VerifyingClient(ServiceConnection):
                     )
             report = None
             if verify:
-                report = self.verifier.verify(
-                    query, response.rows, response.proof, role=role
+                report = self._verify_answer(
+                    name, query, response.rows, response.proof,
+                    role, allow_incomplete,
                 )
             return VerifiedResult(
                 rows=response.rows,
@@ -600,6 +715,7 @@ class VerifyingClient(ServiceConnection):
         if pinned is not None and (
             manifest.public_key != pinned.public_key
             or manifest.schema != pinned.schema
+            or manifest.scheme != pinned.scheme
             or manifest.scheme_kind != pinned.scheme_kind
             or manifest.base != pinned.base
             or manifest.hash_name != pinned.hash_name
@@ -612,6 +728,7 @@ class VerifyingClient(ServiceConnection):
         queries: Sequence[Query],
         role: Optional[str] = None,
         verify: bool = True,
+        allow_incomplete: bool = False,
     ) -> List[VerifiedResult]:
         """Issue many queries down one pipelined exchange; verify each answer.
 
@@ -665,14 +782,22 @@ class VerifyingClient(ServiceConnection):
                     stamped = self._manifest_for_stamp(name, response.manifest_id)
                     if stamped is None:
                         # Stamp already evicted server-side: re-issue.
-                        results.append(self.query(query, role=role, verify=verify))
+                        results.append(
+                            self.query(
+                                query,
+                                role=role,
+                                verify=verify,
+                                allow_incomplete=allow_incomplete,
+                            )
+                        )
                         continue
                     identifier = response.manifest_id
                     sequence = stamped.sequence
             report = None
             if verify:
-                report = self.verifier.verify(
-                    query, response.rows, response.proof, role=role
+                report = self._verify_answer(
+                    name, query, response.rows, response.proof,
+                    role, allow_incomplete,
                 )
             results.append(
                 VerifiedResult(
@@ -695,10 +820,21 @@ class VerifyingClient(ServiceConnection):
         """Issue a PK-FK join query and verify completeness + authenticity.
 
         Staleness is handled like :meth:`query`, on either side of the join.
+        Both relations must be published under a scheme that supports
+        verifiable joins (currently only ``chain``); anything else is a typed
+        :class:`~repro.schemes.CompletenessUnsupported`.
         """
         for _ in range(MAX_ROTATIONS_PER_CALL):
             left_id = self._ensure_manifest(join.left_relation)
             right_id = self._ensure_manifest(join.right_relation)
+            for name in (join.left_relation, join.right_relation):
+                scheme = self.scheme_for(name)
+                if not scheme.supports_joins:
+                    raise CompletenessUnsupported(
+                        f"relation {name!r} is published under the "
+                        f"{scheme.name!r} scheme, which cannot prove join "
+                        "results"
+                    )
             response: JoinResponse = self._request(
                 JoinRequest(
                     left_manifest_id=left_id,

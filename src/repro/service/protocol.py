@@ -46,6 +46,7 @@ from repro.core.errors import ReproError
 from repro.core.proof import JoinQueryProof, RangeQueryProof
 from repro.core.relational import RelationManifest
 from repro.db.query import JoinQuery, Query
+from repro.schemes import registered_vo_types
 from repro.wire import codec, decode, encode
 from repro.wire.primitives import MAX_FIELD_BYTES
 from repro.wire.updates import (  # noqa: F401 - re-exported protocol messages
@@ -196,6 +197,12 @@ class QueryRequest:
 class QueryResponse:
     """Rows plus the verification object; ``proof`` is None only for vacuous ranges.
 
+    ``proof`` is whichever VO artifact the hosted relation's scheme produces
+    (a :class:`~repro.core.proof.RangeQueryProof` under the chain scheme, a
+    Devanbu / naive / VB-tree proof under the baseline schemes) — on the wire
+    it is a tagged union over every registered scheme's VO type, and the
+    client's scheme-resolved verifier rejects a VO of the wrong type.
+
     ``manifest_id`` is the id of the manifest the answer was built under,
     captured atomically with the answer (same shard lock).  A client whose
     pinned id differs knows the relation rotated underneath it and refreshes
@@ -204,7 +211,7 @@ class QueryResponse:
     """
 
     rows: Tuple[Dict[str, object], ...]
-    proof: Optional[RangeQueryProof]
+    proof: Optional[object]
     manifest_id: bytes = b""
 
 
@@ -276,7 +283,10 @@ codec.register_artifact(
     QueryResponse,
     [
         ("rows", codec.TupleField(_ROW)),
-        ("proof", codec.OptionalField(codec.NestedField(RangeQueryProof))),
+        # One response artifact for every scheme: the proof is a tagged union
+        # over the VO types of all registered schemes (chain range proofs,
+        # Devanbu expansions, naive signature lists, VB-tree covers).
+        ("proof", codec.OptionalField(codec.UnionField(*registered_vo_types()))),
         ("manifest_id", codec.BYTES),
     ],
 )

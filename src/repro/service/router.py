@@ -1,12 +1,17 @@
 """Manifest-id shard routing: one server fronting several relations.
 
-A *shard* is one :class:`~repro.core.publisher.Publisher` (hosting one or more
-signed relations, sharing one VO-fragment cache).  The router indexes every
-hosted relation by the 32-byte :func:`repro.wire.manifest_id` of its manifest
-and dispatches incoming requests to the owning shard.  Addressing by manifest
-id rather than by name means a client always talks about the exact signed
-artefact it verified the manifest of — renaming or re-hosting a relation can
-never silently redirect its queries.
+A *shard* is one publisher — the chain scheme's
+:class:`~repro.core.publisher.Publisher` or any registered scheme's
+:class:`~repro.schemes.base.SchemePublisher` (the router is
+scheme-polymorphic: it consumes only the shared publisher surface, and each
+hosted relation's manifest carries its scheme tag inside the bytes the
+32-byte id commits to).  The router indexes every hosted relation by the
+:func:`repro.wire.manifest_id` of its manifest and dispatches incoming
+requests to the owning shard.  Addressing by manifest id rather than by name
+means a client always talks about the exact signed artefact it verified the
+manifest of — renaming or re-hosting a relation can never silently redirect
+its queries, and re-publishing a relation under a different scheme changes
+every id a client could pin.
 
 Live updates rotate manifests: every applied delta batch bumps the relation's
 manifest ``sequence`` and therefore its id.  The router keeps every

@@ -5,7 +5,7 @@ Framing
 
 Every top-level artifact is encoded as::
 
-    magic "PV" (2 bytes) | version (1 byte, currently 0x02) | type tag (1 byte) | body
+    magic "PV" (2 bytes) | version (1 byte, currently 0x03) | type tag (1 byte) | body
 
 Bodies are built from the strict primitives of
 :mod:`repro.wire.primitives`: big-endian fixed-width integers, u32
@@ -96,7 +96,11 @@ __all__ = [
 #: Version 2 added the live-update pipeline: ``RelationManifest.sequence``
 #: (manifest rotation), fixed-width manifest-id fields, and the
 #: insert/delete/update artifacts of :mod:`repro.wire.updates`.
-WIRE_VERSION = 2
+#: Version 3 made serving scheme-polymorphic: manifests carry a ``scheme``
+#: tag (part of the manifest id), per-scheme VO artifacts are registered from
+#: the scheme modules (:mod:`repro.schemes`), and a query response's proof
+#: field is a union over every registered scheme's VO type.
+WIRE_VERSION = 3
 _MAGIC = b"PV"
 
 
@@ -902,6 +906,10 @@ def _check_hash_name(name: str) -> None:
 def _post_manifest(manifest: RelationManifest) -> None:
     _check(manifest.base >= 2, "digest-scheme base must be at least 2")
     _check(manifest.sequence >= 0, "negative manifest sequence")
+    # The scheme tag must be present but is *not* validated against the local
+    # scheme registry: a relay may forward manifests for schemes it does not
+    # implement, and the client's registry lookup is the typed failure point.
+    _check(bool(manifest.scheme), "empty proof-scheme tag")
     _check_hash_name(manifest.hash_name)
 
 
@@ -1090,6 +1098,7 @@ register_artifact(
         ("hash_name", STR),
         ("public_key", _Nested(RSAPublicKey)),
         ("sequence", INT),
+        ("scheme", STR),
     ],
     post=_post_manifest,
 )

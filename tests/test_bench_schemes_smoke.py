@@ -1,0 +1,40 @@
+"""Tier-1 smoke mode of the scheme-comparison benchmark.
+
+Runs the live-service scheme comparison (``benchmarks/
+bench_scheme_comparison.py``) at scaled-down sizes, so every ordinary
+``pytest`` run re-checks that all registered schemes serve and verify over
+the wire and that the paper's comparative claims still hold.
+"""
+
+from repro.bench.schemes import SMOKE_SCHEME_CONFIG, run_scheme_benchmarks
+from repro.schemes import available_schemes, get_scheme
+
+
+def test_scheme_comparison_smoke_report():
+    report = run_scheme_benchmarks(SMOKE_SCHEME_CONFIG)
+    comparison = report["workloads"]["scheme_comparison"]
+    assert set(comparison["schemes"]) == set(available_schemes())
+
+    for name, entry in comparison["schemes"].items():
+        assert entry["proves_completeness"] == get_scheme(name).proves_completeness
+        points = entry["points"]
+        assert len(points) == len(SMOKE_SCHEME_CONFIG.selectivities)
+        for point in points:
+            assert point["result_rows"] > 0
+            assert point["vo_bytes"] > 0
+            assert point["verify_ms"] > 0
+        update = entry["update"]
+        assert update["digests_recomputed"] >= 1
+        assert update["best_ms"] > 0
+
+    # The paper's Section 2.3 claim, also gated in CI by check_bench_floors:
+    # the chain VO stays below the Devanbu VO at the lowest selectivity.
+    assert comparison["chain_vo_below_devanbu"] is True
+
+    # Section 6.3's update story: chain updates touch a constant number of
+    # signatures (3 per delete + insert pair = 6 for an update); the VB-tree
+    # re-signs its whole root path.
+    schemes = comparison["schemes"]
+    assert schemes["devanbu"]["update"]["signatures_recomputed"] == 2
+    assert schemes["vbtree"]["update"]["signatures_recomputed"] >= 2
+    assert schemes["naive"]["update"]["signatures_recomputed"] == 1

@@ -1,0 +1,458 @@
+"""Scheme-polymorphic serving: every registered scheme, one serving stack.
+
+The matrix lane (``pytest -m schemes``) parameterizes the same end-to-end
+story over every registered :class:`~repro.schemes.ProofScheme`:
+
+* publish a relation under the scheme, host it on a real
+  :class:`~repro.service.PublicationServer`, query it over TCP with a
+  :class:`~repro.service.VerifyingClient`, and verify the honest answer under
+  the scheme tag of the pinned manifest;
+* a shared tamper set (modified row value, forged signature material, dropped
+  row) is rejected by every scheme that claims to catch it — and the naive
+  scheme's *inability* to catch omissions is asserted explicitly, as is the
+  typed :class:`~repro.schemes.CompletenessUnsupported` opt-in gate;
+* live owner updates rotate scheme-tagged manifests for every scheme, and a
+  rotation that swaps the scheme is refused with a typed
+  :class:`~repro.schemes.SchemeMismatchError` even when correctly signed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import (
+    ProofConstructionError,
+    VerificationError,
+)
+from repro.db import workload
+from repro.db.query import Conjunction, Projection, Query, RangeCondition
+from repro.schemes import (
+    CompletenessUnsupported,
+    SchemeMismatchError,
+    UnknownSchemeError,
+    available_schemes,
+    get_scheme,
+    scheme_of,
+)
+from repro.service import (
+    OwnerClient,
+    PublicationServer,
+    RemoteError,
+    ShardRouter,
+    VerifyingClient,
+)
+from repro.wire import decode, encode, manifest_id
+from repro.wire.updates import ManifestRotated, manifest_signing_message
+
+pytestmark = pytest.mark.schemes
+
+ROWS = 40
+RANGE_QUERY = Query(
+    "employees", Conjunction((RangeCondition("salary", 20_000, 60_000),))
+)
+
+#: Schemes that prove completeness (dropping a qualifying row must be caught).
+COMPLETE = tuple(
+    name for name in available_schemes() if get_scheme(name).proves_completeness
+)
+
+
+def _fresh_relation(seed=42):
+    return workload.generate_employees(ROWS, seed=seed, photo_bytes=8)
+
+
+def _publish(scheme_name, signature_scheme, seed=42):
+    scheme = get_scheme(scheme_name)
+    relation = _fresh_relation(seed)
+    publication = scheme.publish(relation, signature_scheme)
+    publisher = scheme.make_publisher({"employees": publication})
+    return publication, publisher
+
+
+@pytest.fixture(scope="module", params=available_schemes())
+def scheme_world(request, signature_scheme):
+    """One live server per scheme, hosting the same employee workload."""
+    publication, publisher = _publish(request.param, signature_scheme)
+    router = ShardRouter({"shard": publisher})
+    with PublicationServer(router, max_workers=4) as server:
+        host, port = server.address
+        yield request.param, publication, publisher, server, host, port
+
+
+@pytest.fixture()
+def scheme_client(scheme_world):
+    _, _, _, _, host, port = scheme_world
+    with VerifyingClient(host, port) as client:
+        yield client
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_all_expected_schemes_registered():
+    assert available_schemes() == ["chain", "devanbu", "naive", "vbtree"]
+
+
+def test_unknown_scheme_is_typed():
+    with pytest.raises(UnknownSchemeError):
+        get_scheme("aggregation-5.2")
+
+
+def test_scheme_capabilities():
+    assert get_scheme("chain").proves_completeness
+    assert get_scheme("chain").supports_joins
+    assert get_scheme("devanbu").proves_completeness
+    assert not get_scheme("devanbu").supports_joins
+    assert not get_scheme("naive").proves_completeness
+    assert not get_scheme("vbtree").proves_completeness
+
+
+def test_manifests_carry_their_scheme_tag(signature_scheme):
+    for name in available_schemes():
+        publication, _ = _publish(name, signature_scheme)
+        manifest = publication.manifest
+        assert manifest.scheme == name
+        assert scheme_of(manifest) is get_scheme(name)
+        # the tag is inside the canonical bytes the 32-byte id commits to
+        swapped = dataclasses.replace(
+            manifest, scheme="chain" if name != "chain" else "naive"
+        )
+        assert manifest_id(swapped) != manifest_id(manifest)
+
+
+# -- end-to-end serving over the wire -----------------------------------------
+
+
+def test_honest_answer_verifies_over_the_wire(scheme_world, scheme_client):
+    scheme_name, publication, publisher, _, _, _ = scheme_world
+    allow = not get_scheme(scheme_name).proves_completeness
+    result = scheme_client.query(RANGE_QUERY, allow_incomplete=allow)
+    assert result.report is not None
+    expected = [
+        record.as_dict()
+        for record in publication.relation.range_scan(20_000, 60_000)
+    ] if scheme_name != "chain" else None
+    assert len(result.rows) == result.report.result_rows
+    assert result.rows, "the workload always has rows in this range"
+    if expected is not None:
+        assert [dict(row) for row in result.rows] == expected
+    # the VO round-trips the codec as this scheme's artifact type
+    assert isinstance(result.proof, get_scheme(scheme_name).vo_type)
+    assert decode(encode(result.proof)) == result.proof
+
+
+def test_incomplete_schemes_require_explicit_opt_in(scheme_world, scheme_client):
+    scheme_name = scheme_world[0]
+    if get_scheme(scheme_name).proves_completeness:
+        scheme_client.query(RANGE_QUERY)  # no opt-in needed
+    else:
+        with pytest.raises(CompletenessUnsupported):
+            scheme_client.query(RANGE_QUERY)
+
+
+def test_baseline_schemes_reject_unsupported_query_shapes(scheme_world, scheme_client):
+    scheme_name = scheme_world[0]
+    if scheme_name == "chain":
+        pytest.skip("the chain scheme supports projections")
+    projected = Query(
+        "employees",
+        Conjunction((RangeCondition("salary", 20_000, 60_000),)),
+        Projection(("name",)),
+    )
+    with pytest.raises(RemoteError) as excinfo:
+        scheme_client.query(projected, allow_incomplete=True)
+    assert excinfo.value.code == "ProofConstructionError"
+
+
+def test_vacuous_range_needs_no_proof(scheme_world, scheme_client):
+    scheme_name = scheme_world[0]
+    empty = Query(
+        "employees", Conjunction((RangeCondition("salary", 50, 10),))
+    )
+    allow = not get_scheme(scheme_name).proves_completeness
+    result = scheme_client.query(empty, allow_incomplete=allow)
+    assert result.rows == ()
+    assert result.proof is None
+
+
+# -- cross-scheme tamper property ---------------------------------------------
+
+
+def _direct_answer(publisher, query=RANGE_QUERY):
+    result = publisher.answer(query)
+    rows = [dict(row) for row in result.rows]
+    assert rows and result.proof is not None
+    return rows, result.proof
+
+
+def _verifier_for(scheme_name, publication):
+    return get_scheme(scheme_name).verifier_for(
+        "employees", publication.manifest
+    )
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_every_scheme_accepts_the_honest_answer(scheme_name, signature_scheme):
+    publication, publisher = _publish(scheme_name, signature_scheme)
+    rows, proof = _direct_answer(publisher)
+    report = _verifier_for(scheme_name, publication).verify(
+        RANGE_QUERY, rows, proof
+    )
+    assert report.result_rows == len(rows)
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_every_scheme_rejects_a_tampered_row(scheme_name, signature_scheme):
+    """The shared tamper set: a modified attribute value in one row."""
+    publication, publisher = _publish(scheme_name, signature_scheme)
+    rows, proof = _direct_answer(publisher)
+    rows[0]["name"] = "EVIL"
+    with pytest.raises(VerificationError):
+        _verifier_for(scheme_name, publication).verify(RANGE_QUERY, rows, proof)
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_every_scheme_rejects_a_spurious_row(scheme_name, signature_scheme):
+    """The shared tamper set: an invented row appended to the result."""
+    publication, publisher = _publish(scheme_name, signature_scheme)
+    rows, proof = _direct_answer(publisher)
+    forged = dict(rows[-1])
+    forged["salary"] = rows[-1]["salary"] + 1
+    forged["name"] = "GHOST"
+    rows.append(forged)
+    with pytest.raises(VerificationError):
+        _verifier_for(scheme_name, publication).verify(RANGE_QUERY, rows, proof)
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_every_scheme_rejects_a_wrong_scheme_proof(scheme_name, signature_scheme):
+    """A VO of a different scheme's type is a typed rejection, not confusion."""
+    publication, publisher = _publish(scheme_name, signature_scheme)
+    rows, _ = _direct_answer(publisher)
+    other = "naive" if scheme_name != "naive" else "vbtree"
+    other_publication, other_publisher = _publish(other, signature_scheme)
+    _, other_proof = _direct_answer(other_publisher)
+    with pytest.raises(VerificationError) as excinfo:
+        _verifier_for(scheme_name, publication).verify(
+            RANGE_QUERY, rows, other_proof
+        )
+    assert excinfo.value.reason in ("scheme-proof-mismatch", "malformed-proof")
+
+
+@pytest.mark.parametrize("scheme_name", COMPLETE)
+def test_completeness_schemes_reject_a_dropped_row(scheme_name, signature_scheme):
+    publication, publisher = _publish(scheme_name, signature_scheme)
+    rows, proof = _direct_answer(publisher)
+    with pytest.raises(VerificationError):
+        _verifier_for(scheme_name, publication).verify(
+            RANGE_QUERY, rows[:-1], proof
+        )
+
+
+def test_naive_omission_gap_is_real_and_documented(signature_scheme):
+    """The naive scheme's fundamental gap: a dropped row still verifies.
+
+    This is exactly why the client requires allow_incomplete=True — the
+    under-verification is possible, so accepting it must be explicit.
+    """
+    publication, publisher = _publish("naive", signature_scheme)
+    rows, proof = _direct_answer(publisher)
+    truncated_proof = type(proof)(signatures=proof.signatures[:-1])
+    report = _verifier_for("naive", publication).verify(
+        RANGE_QUERY, rows[:-1], truncated_proof
+    )
+    assert report.result_rows == len(rows) - 1
+
+
+# -- live updates under every scheme ------------------------------------------
+
+
+def test_updates_rotate_scheme_tagged_manifests(scheme_world, signature_scheme):
+    scheme_name, publication, publisher, server, host, port = scheme_world
+    new_row = {
+        "salary": 33_333,
+        "emp_id": "x-new",
+        "name": "newcomer",
+        "dept": 1,
+        "photo": b"\x07" * 8,
+    }
+    with OwnerClient(host, port, signature_scheme) as owner_client:
+        before = owner_client.manifest("employees")
+        assert before.scheme == scheme_name
+        response = owner_client.insert("employees", new_row)
+        assert response.signatures_recomputed >= (0 if scheme_name == "naive" else 1)
+        after = owner_client.manifest("employees")
+    assert after.scheme == scheme_name
+    assert after.sequence == before.sequence + 1
+    # a fresh client sees (and verifies) the new row under the rotated manifest
+    allow = not get_scheme(scheme_name).proves_completeness
+    with VerifyingClient(host, port) as reader:
+        result = reader.query(
+            Query(
+                "employees",
+                Conjunction((RangeCondition("salary", 33_333, 33_333),)),
+            ),
+            allow_incomplete=allow,
+        )
+    assert [dict(row) for row in result.rows] == [new_row]
+    # leave the world as found for the other tests in this module
+    with OwnerClient(host, port, signature_scheme) as owner_client:
+        owner_client.delete("employees", new_row)
+
+
+def test_bad_delta_batches_stay_all_or_nothing(scheme_world):
+    scheme_name, publication, publisher, _, _, _ = scheme_world
+    from repro.core.errors import UpdateApplicationError
+    from repro.wire.updates import RecordDelta
+
+    version = publication.version
+    good = RecordDelta(
+        kind="insert",
+        values={
+            "salary": 44_444,
+            "emp_id": "x-good",
+            "name": "good",
+            "dept": 2,
+            "photo": b"\x01" * 8,
+        },
+    )
+    bad = RecordDelta(kind="delete", values={"salary": 1, "emp_id": "nope",
+                                             "name": "?", "dept": 0,
+                                             "photo": b"\x00" * 8})
+    with pytest.raises(UpdateApplicationError):
+        publisher.apply_deltas("employees", (good, bad))
+    assert publication.version == version
+    assert not publication.relation.range_scan(44_444, 44_444)
+
+
+# -- scheme-swap rejection -----------------------------------------------------
+
+
+def test_scheme_swapping_rotation_rejected_even_when_signed(
+    scheme_world, scheme_client, signature_scheme
+):
+    """A correctly-signed rotation that changes the scheme is still refused."""
+    scheme_name, publication, publisher, _, host, port = scheme_world
+    pinned = scheme_client.fetch_manifest("employees")
+    other = "naive" if scheme_name != "naive" else "chain"
+    swapped = dataclasses.replace(
+        pinned, scheme=other, sequence=pinned.sequence + 1
+    )
+    previous = manifest_id(pinned)
+    forged_rotation = ManifestRotated(
+        manifest=swapped,
+        previous_id=previous,
+        owner_signature=signature_scheme.sign(
+            manifest_signing_message(swapped, previous)
+        ),
+    )
+    with pytest.raises(SchemeMismatchError):
+        scheme_client._validate_rotation("employees", pinned, forged_rotation)
+
+
+def test_join_refused_under_schemes_without_join_proofs(signature_scheme):
+    from repro.db.query import JoinQuery
+
+    publication, publisher = _publish("vbtree", signature_scheme)
+    router = ShardRouter({"shard": publisher})
+    with PublicationServer(router, max_workers=2) as server:
+        host, port = server.address
+        with VerifyingClient(host, port) as client:
+            client.fetch_manifest("employees")
+            join = JoinQuery("employees", "employees", "salary", "salary")
+            with pytest.raises(CompletenessUnsupported):
+                client.query_join(join)
+
+
+def test_mixed_scheme_shards_behind_one_server(signature_scheme):
+    """One server fronting one shard per scheme; each verifies under its tag."""
+    publications = {}
+    shards = {}
+    for name in available_schemes():
+        scheme = get_scheme(name)
+        relation = _fresh_relation(seed=11)
+        publication = scheme.publish(relation, signature_scheme)
+        # each scheme needs its own hosting name (names are unique per server)
+        hosting = f"employees_{name}"
+        shards[name] = scheme.make_publisher({hosting: publication})
+        publications[hosting] = publication
+    router = ShardRouter(shards)
+    with PublicationServer(router, max_workers=4) as server:
+        host, port = server.address
+        with VerifyingClient(host, port) as client:
+            for name in available_schemes():
+                hosting = f"employees_{name}"
+                manifest = client.fetch_manifest(hosting)
+                assert manifest.scheme == name
+                allow = not get_scheme(name).proves_completeness
+                query = Query(
+                    hosting,
+                    Conjunction((RangeCondition("salary", 20_000, 60_000),)),
+                )
+                result = client.query(query, allow_incomplete=allow)
+                assert result.report is not None and result.rows
+                assert isinstance(result.proof, get_scheme(name).vo_type)
+
+
+def test_scheme_publisher_refuses_foreign_publications(signature_scheme):
+    publication, _ = _publish("naive", signature_scheme)
+    with pytest.raises(ValueError):
+        get_scheme("vbtree").make_publisher({"employees": publication})
+
+
+def test_scheme_publisher_refuses_policies(signature_scheme):
+    publication, _ = _publish("naive", signature_scheme)
+    with pytest.raises(ProofConstructionError):
+        get_scheme("naive").make_publisher(
+            {"employees": publication}, policy=object()
+        )
+
+
+def test_devanbu_boundary_flag_forgery_rejected(signature_scheme):
+    """A publisher cannot truncate a range by lying about the table edges.
+
+    Regression for a completeness forgery: drop the first qualifying rows,
+    hide leaves [0, k) behind genuine subtree digests, and claim
+    ``left_is_table_start`` so the verifier never expects a below-range
+    boundary tuple.  The flag must be pinned to the leaf range.
+    """
+    from repro.baselines.devanbu import DevanbuProof
+
+    publication, publisher = _publish("devanbu", signature_scheme)
+    mht = publication.inner
+    full = Query(
+        "employees", Conjunction((RangeCondition("salary", 1, 99_999),))
+    )
+    rows, honest = mht.answer_range(1, 99_999)
+    assert honest.left_is_table_start and honest.right_is_table_end
+    siblings = []
+    mht._collect_siblings(0, ROWS, 5, ROWS, siblings)
+    forged = DevanbuProof(
+        expanded_rows=tuple(honest.expanded_rows[5:]),
+        sibling_digests=tuple(siblings),
+        root_signature=honest.root_signature,
+        leaf_range=(5, ROWS),
+        table_size=ROWS,
+        left_is_table_start=True,
+        right_is_table_end=True,
+    )
+    verifier = _verifier_for("devanbu", publication)
+    with pytest.raises(VerificationError) as excinfo:
+        verifier.verify(full, [dict(r) for r in rows[5:]], forged)
+    assert excinfo.value.reason == "boundary-flag-mismatch"
+    # the right-edge dual is pinned too
+    siblings = []
+    mht._collect_siblings(0, ROWS, 0, ROWS - 5, siblings)
+    forged_right = DevanbuProof(
+        expanded_rows=tuple(honest.expanded_rows[: ROWS - 5]),
+        sibling_digests=tuple(siblings),
+        root_signature=honest.root_signature,
+        leaf_range=(0, ROWS - 5),
+        table_size=ROWS,
+        left_is_table_start=True,
+        right_is_table_end=True,
+    )
+    with pytest.raises(VerificationError):
+        verifier.verify(full, [dict(r) for r in rows[: ROWS - 5]], forged_right)
+    # the honest full-range answer still verifies
+    verifier.verify(full, [dict(r) for r in rows], honest)

@@ -15,6 +15,9 @@ import os
 import pytest
 
 import repro.service.protocol as protocol
+from repro.baselines.devanbu import DevanbuProof
+from repro.baselines.naive import NaiveProof
+from repro.baselines.vbtree import VBTreeProof
 from repro.core.digest import BoundaryAssist, EntryAssist
 from repro.core.proof import (
     BoundaryEntryProof,
@@ -162,6 +165,37 @@ def build_vectors():
         public_key=public_key,
         sequence=7,
     )
+    devanbu_manifest = RelationManifest(
+        schema=_schema(),
+        scheme_kind="optimized",
+        base=2,
+        hash_name="sha256",
+        public_key=public_key,
+        sequence=3,
+        scheme="devanbu",
+    )
+    naive_proof = NaiveProof(signatures=(11, 2**70 + 5))
+    naive_proof_aggregated = NaiveProof(aggregate=aggregate)
+    devanbu_proof = DevanbuProof(
+        expanded_rows=(
+            {"salary": 4100, "name": "Ann", "active": True},
+            {"salary": 4200, "name": "Bob", "active": False},
+        ),
+        sibling_digests=(_digest(27), _digest(28)),
+        root_signature=0xBEEF,
+        leaf_range=(3, 5),
+        table_size=9,
+        left_is_table_start=False,
+        right_is_table_end=False,
+    )
+    vbtree_proof = VBTreeProof(
+        covering_signatures=(21, 22),
+        covering_digests=(_digest(29), _digest(30)),
+        opening_digests=(),
+        fanout=4,
+        table_size=20,
+        leaf_range=(4, 12),
+    )
     receipt = UpdateReceipt(
         signatures_recomputed=3,
         digests_recomputed=1,
@@ -227,6 +261,11 @@ def build_vectors():
         "schema": _schema(),
         "relation_manifest": manifest,
         "relation_manifest_rotated": rotated_manifest,
+        "relation_manifest_devanbu_scheme": devanbu_manifest,
+        "naive_proof": naive_proof,
+        "naive_proof_aggregated": naive_proof_aggregated,
+        "devanbu_proof": devanbu_proof,
+        "vbtree_proof": vbtree_proof,
         "update_receipt": receipt,
         "record_delta_insert": insert_delta,
         "record_delta_update": update_delta,
@@ -248,6 +287,13 @@ def build_vectors():
         "svc_query_response": protocol.QueryResponse(
             rows=({"salary": 4200, "name": "Alice"},),
             proof=range_proof,
+            manifest_id=_digest(21),
+        ),
+        # the proof field is a union over registered scheme VO types: pin the
+        # encoding of a baseline-scheme answer too
+        "svc_query_response_vbtree": protocol.QueryResponse(
+            rows=({"salary": 4100, "name": "Ann"},),
+            proof=vbtree_proof,
             manifest_id=_digest(21),
         ),
         "svc_join_request": protocol.JoinRequest(
@@ -295,6 +341,34 @@ def test_golden_vector(name):
     assert decode(blob) == artifact
     assert json.loads(to_json(artifact)) == golden["json"]
     assert from_json(json.dumps(golden["json"])) == artifact
+
+
+def test_previous_wire_version_rejected_with_typed_error():
+    """A v2 frame is refused with a typed version error, never mis-decoded.
+
+    Wire version 3 added the manifest ``scheme`` tag and the per-scheme VO
+    union, so a v2 frame's body layout differs; decoding must stop at the
+    envelope with ``reason == "bad-version"`` rather than producing garbage.
+    """
+    from repro.wire.errors import WireFormatError
+
+    for name, artifact in build_vectors().items():
+        blob = bytearray(encode(artifact))
+        assert blob[2] == 3, "vectors must be encoded at WIRE_VERSION 3"
+        blob[2] = 2  # re-stamp the envelope as the previous format version
+        with pytest.raises(WireFormatError) as excinfo:
+            decode(bytes(blob))
+        assert excinfo.value.reason == "bad-version", name
+
+
+def test_future_wire_version_rejected_with_typed_error():
+    blob = bytearray(encode(build_vectors()["relation_manifest"]))
+    blob[2] = 4
+    from repro.wire.errors import WireFormatError
+
+    with pytest.raises(WireFormatError) as excinfo:
+        decode(bytes(blob))
+    assert excinfo.value.reason == "bad-version"
 
 
 def _regen() -> None:

@@ -351,3 +351,120 @@ def test_replayed_stale_update_response_rejected(update_world, owner):
         owner_client._validate_response(
             "employees", second_request, second_batch, stale_response
         )
+
+
+# -- per-scheme VO artifacts through real server dispatch ----------------------
+#
+# Wire version 3 serves every registered proof scheme; the byte-flip contract
+# extends unchanged: for any flip in a scheme-tagged query response produced
+# by the *real* server dispatch path (handler decode -> route -> proof
+# construction -> encode), the verifying side either rejects with a typed
+# error or the flip is visible (manifest-id mismatch) — never a silent accept
+# and never an unhandled crash.
+
+from repro.db.query import Query as _Query  # noqa: E402
+from repro.schemes import available_schemes, get_scheme  # noqa: E402
+from repro.service import PublicationServer as _Server  # noqa: E402
+from repro.service.protocol import QueryRequest, encode_frame  # noqa: E402
+
+
+@pytest.fixture(scope="module", params=available_schemes())
+def scheme_dispatch_world(request, signature_scheme):
+    """An unstarted server hosting one relation under one scheme."""
+    scheme = get_scheme(request.param)
+    relation = workload.generate_employees(30, seed=77, photo_bytes=8)
+    publication = scheme.publish(relation, signature_scheme)
+    publisher = scheme.make_publisher({"employees": publication})
+    router = ShardRouter({"shard": publisher})
+    server = _Server(router)
+    verifier = scheme.verifier_for("employees", publication.manifest)
+    return request.param, router, server, verifier
+
+
+def test_tampered_scheme_response_rejected_via_server_dispatch(
+    scheme_dispatch_world,
+):
+    """Byte flips in any scheme's served answer never slip through."""
+    scheme_name, router, server, verifier = scheme_dispatch_world
+    identifier = router.current_id("employees")
+    query = _Query(
+        "employees",
+        Conjunction((RangeCondition("salary", 20_000, 60_000),)),
+    )
+    request_frame = encode_frame(
+        QueryRequest(manifest_id=identifier, query=query)
+    )[4:]
+    handled = server.handler.handle_frame(request_frame)
+    assert not handled.is_error
+    blob = handled.payload
+    honest = decode(blob)
+    assert isinstance(honest, QueryResponse) and honest.rows
+    verifier.verify(query, honest.rows, honest.proof)  # sanity: honest accepts
+
+    def check(artifact):
+        if not isinstance(artifact, QueryResponse):
+            raise WireFormatError("tampering changed the message type")
+        if artifact.manifest_id != identifier:
+            # a client compares the stamp against its pinned id first; a
+            # flipped stamp is a visible mismatch, not a silent accept
+            raise VerificationError("manifest stamp differs, as expected")
+        verifier.verify(query, artifact.rows, artifact.proof)
+        _assert_equivalent_statement(
+            scheme_name, honest.rows, honest.proof, artifact.rows, artifact.proof
+        )
+        raise VerificationError("equivalent proof of the same statement")
+
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=19):
+            _assert_rejected(blob, offset, mask, check)
+
+
+def test_tampered_scheme_proof_rejected(scheme_dispatch_world):
+    """Flips inside the scheme's VO itself, checked against untampered rows."""
+    scheme_name, router, server, verifier = scheme_dispatch_world
+    identifier = router.current_id("employees")
+    query = _Query(
+        "employees",
+        Conjunction((RangeCondition("salary", 20_000, 60_000),)),
+    )
+    request_frame = encode_frame(
+        QueryRequest(manifest_id=identifier, query=query)
+    )[4:]
+    honest = decode(server.handler.handle_frame(request_frame).payload)
+    blob = encode(honest.proof)
+
+    def check(proof):
+        verifier.verify(query, honest.rows, proof)
+        _assert_equivalent_statement(
+            scheme_name, honest.rows, honest.proof, honest.rows, proof
+        )
+        raise VerificationError("equivalent proof of the same statement")
+
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=13):
+            _assert_rejected(blob, offset, mask, check)
+
+
+def _assert_equivalent_statement(scheme_name, rows, proof, got_rows, got_proof):
+    """A verified-after-flip artifact must prove the exact same statement.
+
+    The VB-tree VO carries unauthenticated structure hints (``table_size``):
+    a flip there can yield an *equivalent* proof — the identical signed
+    covering digests authenticating the identical rows through the identical
+    derived cover — which is sound to accept.  Anything beyond that (changed
+    rows, changed signed content, or any such accept under another scheme's
+    fully-pinned VO) is a genuine silent accept and fails the sweep.
+    """
+    assert scheme_name == "vbtree", (
+        f"a tampered {scheme_name} answer verified cleanly"
+    )
+    assert got_rows == rows, "a flip changed the verified rows"
+    assert got_proof.covering_digests == proof.covering_digests, (
+        "a flip changed the signed covering digests yet still verified"
+    )
+    assert got_proof.covering_signatures == proof.covering_signatures, (
+        "a flip changed the covering signatures yet still verified"
+    )
+    assert got_proof.leaf_range == proof.leaf_range and got_proof.fanout == proof.fanout, (
+        "a flip changed the cover derivation inputs yet rebuilt the same digests"
+    )
