@@ -38,9 +38,12 @@ at the repository root; the tier-1 suite runs the same code in smoke mode
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
-from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import polynomial
 from repro.core.publisher import Publisher
@@ -87,6 +90,8 @@ class HotPathConfig:
     verify_rounds: int = 10
     batch_verify_messages: int = 120
     batch_verify_rounds: int = 5
+    wal_rows: int = 60
+    wal_updates: int = 30
 
 
 #: Scaled-down configuration the tier-1 smoke test runs on every ``pytest``.
@@ -103,6 +108,8 @@ SMOKE_CONFIG = HotPathConfig(
     verify_rounds=3,
     batch_verify_messages=48,
     batch_verify_rounds=3,
+    wal_rows=16,
+    wal_updates=8,
 )
 
 
@@ -405,6 +412,101 @@ def _bench_verifier(
     return entry
 
 
+# -- durable-ingest workload ---------------------------------------------------
+
+
+def _bench_wal_ingest(config: HotPathConfig) -> Dict[str, object]:
+    """Owner-update ingest throughput with the write-ahead log on vs off.
+
+    Runs the *same* sequence of owner-signed single-insert batches through
+    the live :class:`~repro.service.handler.RequestHandler` update path four
+    times — without storage, then with a WAL under each fsync policy — and
+    reports batches/sec per configuration.  The gated number is the fraction
+    of no-WAL throughput retained under ``fsync="batch"`` (reported in the
+    generic ``speedup`` slot so the floor checker treats it like every other
+    workload); ``always`` pays one real fsync per batch and is reported for
+    information, not gated — its cost is the disk's, not the code's.
+    """
+    from repro.core.relational import RelationManifest  # noqa: F401 - doc anchor
+    from repro.service.handler import RequestHandler
+    from repro.service.owner import build_update_request, delta_sequence_cost
+    from repro.service.router import ShardRouter
+    from repro.storage import PublicationStorage
+    from repro.wire import encode
+    from repro.wire.updates import RecordDelta
+
+    def build_world() -> Tuple[SignatureScheme, ShardRouter]:
+        scheme = rsa_scheme(bits=config.key_bits)
+        relation = workload.generate_employees(config.wal_rows, seed=33, photo_bytes=8)
+        signed = SignedRelation(relation, scheme)
+        return scheme, ShardRouter({"hr": Publisher({"employees": signed})})
+
+    def signed_frames(scheme: SignatureScheme, router: ShardRouter) -> List[bytes]:
+        # Pre-sign the whole chain against predicted manifests (the
+        # push_many trick): signing is owner-side work and must not be
+        # charged to the ingest path under measurement.
+        manifest = router.manifest_by_name("employees")
+        frames = []
+        for index in range(config.wal_updates):
+            batch = (
+                RecordDelta(
+                    kind="insert",
+                    values={
+                        "emp_id": f"wal-{index}",
+                        "name": f"Ingest {index}",
+                        "salary": 50_000 + index,
+                        "dept": 4,
+                        "photo": bytes([index % 251]) * 8,
+                    },
+                ),
+            )
+            frames.append(encode(build_update_request(scheme, manifest, batch)))
+            manifest = replace(
+                manifest, sequence=manifest.sequence + delta_sequence_cost(batch)
+            )
+        return frames
+
+    def run(policy: Optional[str]) -> float:
+        scheme, router = build_world()
+        frames = signed_frames(scheme, router)
+        storage = None
+        tmp = None
+        if policy is not None:
+            tmp = tempfile.mkdtemp(prefix="bench-wal-")
+            storage = PublicationStorage.create(
+                os.path.join(tmp, "pub"), router, fsync=policy
+            )
+        handler = RequestHandler(router, response_cache=False, storage=storage)
+        try:
+            elapsed = _timed(
+                lambda: [handler.handle_frame(frame) for frame in frames]
+            )
+            assert handler.updates_applied == len(frames), (
+                "an ingest batch was refused mid-benchmark"
+            )
+        finally:
+            if storage is not None:
+                storage.close()
+            if tmp is not None:
+                shutil.rmtree(tmp, ignore_errors=True)
+        return len(frames) / elapsed if elapsed else float("inf")
+
+    no_wal = run(None)
+    rates = {policy: run(policy) for policy in ("off", "batch", "always")}
+    entry: Dict[str, object] = {
+        "uncached_ops_per_sec": round(no_wal, 2),
+        "cached_ops_per_sec": round(rates["batch"], 2),
+        "speedup": round(rates["batch"] / no_wal, 2) if no_wal else 0.0,
+        "no_wal_ops_per_sec": round(no_wal, 2),
+        "fsync_off_ops_per_sec": round(rates["off"], 2),
+        "fsync_batch_ops_per_sec": round(rates["batch"], 2),
+        "fsync_always_ops_per_sec": round(rates["always"], 2),
+        "updates": config.wal_updates,
+        "table_rows": config.wal_rows,
+    }
+    return entry
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -427,6 +529,7 @@ def run_hot_path_benchmarks(config: HotPathConfig = HotPathConfig()) -> Dict:
             "owner_bulk_signing_speedup_min": 2.0,
             "crt_single_shot_signing_speedup_min": 1.3,
             "batch_verify_speedup_min": 3.0,
+            "wal_ingest_speedup_min": 0.5,
         },
     }
     report["workloads"].update(_bench_owner_signing(scheme, default_scheme, config))
@@ -436,6 +539,7 @@ def run_hot_path_benchmarks(config: HotPathConfig = HotPathConfig()) -> Dict:
     join_entry, join_identical = _bench_publisher_join(scheme, config)
     report["workloads"]["publisher_join"] = join_entry
     report["workloads"]["verifier_repeated_check"] = _bench_verifier(scheme, config)
+    report["workloads"]["wal_ingest"] = _bench_wal_ingest(config)
     report["proofs_identical"] = bool(ranges_identical and join_identical)
     workloads = report["workloads"]
     report["targets_met"] = {
@@ -447,5 +551,7 @@ def run_hot_path_benchmarks(config: HotPathConfig = HotPathConfig()) -> Dict:
         >= report["targets"]["crt_single_shot_signing_speedup_min"],
         "batch_verify": workloads["batch_verify"]["speedup"]
         >= report["targets"]["batch_verify_speedup_min"],
+        "wal_ingest": workloads["wal_ingest"]["speedup"]
+        >= report["targets"]["wal_ingest_speedup_min"],
     }
     return report

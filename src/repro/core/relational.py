@@ -264,6 +264,26 @@ class SignedRelation:
         """Monotonic counter bumped by every insert/delete/update."""
         return self._version
 
+    @property
+    def signature_scheme(self) -> SignatureScheme:
+        """The owner signing scheme this relation publishes under."""
+        return self._signature_scheme
+
+    def restore_sequence(self, sequence: int) -> None:
+        """Resume the manifest sequence of a recovered relation.
+
+        Chain entries, digests and signatures depend only on the rows and the
+        signing key — never on the sequence — so a relation rebuilt from a
+        checkpoint at sequence ``n`` is bit-identical to the original except
+        for this counter.  Setting it (and dropping the cached manifest)
+        makes the next :attr:`manifest` reproduce the checkpointed manifest
+        exactly, 32-byte id included.
+        """
+        if sequence < 0:
+            raise ValueError("sequence must be >= 0")
+        self._version = int(sequence)
+        self._manifest = None
+
     def add_invalidation_listener(
         self, listener: Callable[[int, Tuple[int, ...]], object]
     ) -> None:

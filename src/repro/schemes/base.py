@@ -149,6 +149,24 @@ class SchemePublication(abc.ABC):
         return self._version
 
     @property
+    def signature_scheme(self) -> SignatureScheme:
+        """The owner signing scheme this publication was signed under."""
+        return self._signature_scheme
+
+    def restore_sequence(self, sequence: int) -> None:
+        """Resume the manifest sequence of a recovered publication.
+
+        The signed state every scheme derives depends only on the rows and
+        the key, never on the sequence counter, so recovery rebuilds the
+        publication from checkpointed rows and then restores the counter —
+        the next :attr:`manifest` reproduces the checkpointed one exactly.
+        """
+        if sequence < 0:
+            raise ValueError("sequence must be >= 0")
+        self._version = int(sequence)
+        self._manifest = None
+
+    @property
     def manifest(self) -> RelationManifest:
         """Scheme-tagged public metadata, rebuilt per data version.
 

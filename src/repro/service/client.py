@@ -70,6 +70,7 @@ from repro.service.protocol import (
     recv_message,
     send_message,
 )
+from repro.service.retry import RetriesExhausted, RetryPolicy
 from repro.wire import manifest_id
 from repro.wire.errors import WireFormatError
 from repro.wire.updates import ManifestRotated, manifest_signing_message
@@ -95,11 +96,29 @@ class ServiceConnection:
     :class:`~repro.service.owner.OwnerClient`: lazy connect, context-manager
     lifecycle, and the strict one-request/one-response exchange with typed
     errors.
+
+    With a ``retry_policy`` every exchange is retried under it (bounded
+    attempts, jittered backoff; see :mod:`repro.service.retry`).  Resending
+    is safe across the protocol: queries and manifest fetches are read-only,
+    and an ``UpdateRequest`` frame that was already applied is recognised by
+    the server's applied-update registry and answered with its original
+    outcome instead of being applied twice.  A ``retry_policy`` with an
+    ``attempt_timeout`` overrides the connection timeout, bounding each
+    attempt individually (every retry reconnects).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.host = host
         self.port = port
+        self.retry_policy = retry_policy
+        if retry_policy is not None and retry_policy.attempt_timeout is not None:
+            timeout = retry_policy.attempt_timeout
         self.timeout = timeout
         self._sock: Optional[socket.socket] = None
 
@@ -125,6 +144,12 @@ class ServiceConnection:
         self.close()
 
     def _request(self, message, expect: type):
+        """One exchange, retried under :attr:`retry_policy` when one is set."""
+        if self.retry_policy is None:
+            return self._request_once(message, expect)
+        return self.retry_policy.run(lambda: self._request_once(message, expect))
+
+    def _request_once(self, message, expect: type):
         """One request/response exchange; typed errors only.
 
         Any transport-level failure — timeout, connection reset, a frame that
@@ -163,6 +188,18 @@ class ServiceConnection:
         return response
 
     def _request_pipeline(self, messages) -> list:
+        """Pipelined exchange, retried whole under :attr:`retry_policy`.
+
+        A transport failure anywhere in the batch resends the *entire* batch:
+        queries are read-only and update frames are idempotent server-side
+        (applied-update registry), so a batch interrupted after the server
+        processed a prefix completes with the original outcomes on retry.
+        """
+        if self.retry_policy is None:
+            return self._request_pipeline_once(messages)
+        return self.retry_policy.run(lambda: self._request_pipeline_once(messages))
+
+    def _request_pipeline_once(self, messages) -> list:
         """Send many requests in one write; read the responses in order.
 
         The server answers a connection's frames strictly in request order,
@@ -302,6 +339,12 @@ class VerifyingClient(ServiceConnection):
     expected_ids:
         Relation name -> pinned manifest id.  Fetched manifests must hash to
         the pinned id (stronger than trusting the server's own listing).
+    retry_policy:
+        Retry transport failures and transient server errors under this
+        policy (see :class:`~repro.service.retry.RetryPolicy`); with a policy
+        set, a rotation-chase that exhausts its bound also surfaces as a
+        typed :class:`~repro.service.retry.RetriesExhausted` carrying the
+        underlying stale-manifest error.
     """
 
     def __init__(
@@ -312,8 +355,9 @@ class VerifyingClient(ServiceConnection):
         timeout: float = 10.0,
         trusted_manifests: Optional[Dict[str, RelationManifest]] = None,
         expected_ids: Optional[Dict[str, bytes]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
-        super().__init__(host, port, timeout=timeout)
+        super().__init__(host, port, timeout=timeout, retry_policy=retry_policy)
         self.policy = policy
         self._listing: Optional[Dict[str, bytes]] = None
         self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
@@ -669,10 +713,30 @@ class VerifyingClient(ServiceConnection):
                 manifest_id=identifier,
                 manifest_sequence=self._manifests[name].sequence,
             )
-        raise StaleManifestError(
-            f"relation {name!r} rotated more than {MAX_ROTATIONS_PER_CALL} "
-            "times within one query call"
+        self._chase_exhausted(
+            StaleManifestError(
+                f"relation {name!r} rotated more than {MAX_ROTATIONS_PER_CALL} "
+                "times within one query call"
+            )
         )
+
+    def _chase_exhausted(self, error: StaleManifestError) -> None:
+        """Surface an exhausted rotation chase; typed either way.
+
+        The chase loop is bounded like any other retry loop: with a
+        :attr:`retry_policy` configured the exhaustion is reported as a
+        :class:`~repro.service.retry.RetriesExhausted` (same type callers
+        already handle for transport retries, carrying the underlying
+        stale-manifest error); without one, the stale-manifest error itself
+        is raised.
+        """
+        if self.retry_policy is not None:
+            raise RetriesExhausted(
+                f"rotation chase exhausted: {error}",
+                attempts=MAX_ROTATIONS_PER_CALL,
+                last_error=error,
+            ) from error
+        raise error
 
     def _refresh_pin_tolerating_current(self, relation_name: str) -> None:
         """Advance the pin along the rotation chain, if it advances at all.
@@ -877,7 +941,9 @@ class VerifyingClient(ServiceConnection):
                     join.right_relation
                 ].sequence,
             )
-        raise StaleManifestError(
-            f"join {join.left_relation!r}/{join.right_relation!r} kept "
-            f"rotating for {MAX_ROTATIONS_PER_CALL} attempts"
+        self._chase_exhausted(
+            StaleManifestError(
+                f"join {join.left_relation!r}/{join.right_relation!r} kept "
+                f"rotating for {MAX_ROTATIONS_PER_CALL} attempts"
+            )
         )

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.cache import BoundedCache
 from repro.core.errors import ReproError
+from repro.core.publisher import plan_deltas, simulate_deltas
 from repro.service.protocol import (
     ErrorResponse,
     JoinRequest,
@@ -56,14 +57,27 @@ _RESPONSE_CACHE_MAX_BYTES = 64 * 1024 * 1024
 
 
 class HandledFrame:
-    """The outcome of serving one frame: payload plus connection policy."""
+    """The outcome of serving one frame: payload plus connection policy.
 
-    __slots__ = ("payload", "is_error", "close_after")
+    ``broadcast`` is False when the frame must *not* be propagated to pooled
+    proof workers: an update frame answered from the applied-update registry
+    was already applied (and broadcast) once — re-broadcasting it would make
+    every worker re-apply an already-applied batch and self-destruct.
+    """
 
-    def __init__(self, payload: bytes, is_error: bool = False, close_after: bool = False) -> None:
+    __slots__ = ("payload", "is_error", "close_after", "broadcast")
+
+    def __init__(
+        self,
+        payload: bytes,
+        is_error: bool = False,
+        close_after: bool = False,
+        broadcast: bool = True,
+    ) -> None:
         self.payload = payload
         self.is_error = is_error
         self.close_after = close_after
+        self.broadcast = broadcast
 
 
 class RequestHandler:
@@ -75,6 +89,8 @@ class RequestHandler:
         response_cache: bool = True,
         response_cache_max: int = _RESPONSE_CACHE_MAX,
         response_cache_max_bytes: int = _RESPONSE_CACHE_MAX_BYTES,
+        storage=None,
+        faults=None,
     ) -> None:
         self.router = router
         self._response_cache: Optional[BoundedCache] = (
@@ -82,6 +98,15 @@ class RequestHandler:
             if response_cache
             else None
         )
+        #: Optional :class:`~repro.storage.store.PublicationStorage`: when
+        #: set, every accepted update batch is WAL-logged (and fsynced per
+        #: the storage's policy) *before* it is applied or acknowledged.
+        #: Forked pool workers null this out — only the master process owns
+        #: the log handles (see :func:`repro.service.pool._worker_main`).
+        self.storage = storage
+        #: Optional failpoint registry (crash testing); see
+        #: :mod:`repro.storage.faults`.
+        self.faults = faults
         self.updates_applied = 0
 
     # -- frame-level entry point --------------------------------------------
@@ -106,8 +131,17 @@ class RequestHandler:
             request = decode(frame)
         except (WireFormatError, ServiceProtocolError) as error:
             return HandledFrame(self._error_payload(error), True, close_after=True)
+        if isinstance(request, UpdateRequest):
+            # Idempotent resubmission: a batch this router already applied
+            # (same canonical frame bytes — the owner signature covers them)
+            # is answered with its original outcome, never applied twice.
+            # The response must not be re-broadcast to pool workers either;
+            # they applied the batch when it first landed.
+            replayed = self.router.replayed_update_response(frame)
+            if replayed is not None:
+                return HandledFrame(replayed, broadcast=False)
         try:
-            response = self.dispatch(request)
+            response = self.dispatch(request, frame=frame)
         except ReproError as error:
             return HandledFrame(self._error_payload(error), True)
         except Exception as error:  # noqa: BLE001 - never leak a traceback
@@ -120,6 +154,8 @@ class RequestHandler:
             guards = self._guards_for(request, response)
             if guards is not None:
                 cache.put(frame, (payload, guards), weight=len(payload) + len(frame))
+        if isinstance(request, UpdateRequest):
+            self.router.remember_applied_update(frame, payload)
         return HandledFrame(payload)
 
     def _error_payload(
@@ -169,7 +205,7 @@ class RequestHandler:
 
     # -- request dispatch ---------------------------------------------------
 
-    def dispatch(self, request):
+    def dispatch(self, request, frame: Optional[bytes] = None):
         if isinstance(request, QueryRequest):
             return self._answer_query(request)
         if isinstance(request, JoinRequest):
@@ -185,7 +221,7 @@ class RequestHandler:
                 manifest=self.router.manifest_by_id(request.manifest_id)
             )
         if isinstance(request, UpdateRequest):
-            return self._answer_update(request)
+            return self._answer_update(request, frame=frame)
         if isinstance(request, RotationRequest):
             return self.router.rotation(request.relation_name)
         raise ServiceProtocolError(
@@ -229,15 +265,27 @@ class RequestHandler:
             right_manifest_id=right_id,
         )
 
-    def _answer_update(self, request: UpdateRequest) -> UpdateResponse:
-        """Verify, apply and acknowledge one owner delta batch.
+    def _answer_update(
+        self, request: UpdateRequest, frame: Optional[bytes] = None
+    ) -> UpdateResponse:
+        """Verify, log, apply and acknowledge one owner delta batch.
 
-        The whole pipeline — signature check, sequence check, application,
-        manifest rotation — runs under the shard's write lock, so every
-        concurrent query on this shard sees the relation entirely before or
-        entirely after the batch.
+        The whole pipeline — signature check, sequence check, WAL append,
+        application, manifest rotation — runs under the shard's write lock,
+        so every concurrent query on this shard sees the relation entirely
+        before or entirely after the batch.
+
+        With durable storage attached the ordering is write-ahead: the batch
+        is *pre-simulated* (a frame that cannot apply is refused before it is
+        logged — a logged frame must always replay), then the owner-signed
+        frame is appended and fsynced per the storage policy, and only then
+        applied.  Under ``fsync="always"``, by the time the owner sees the
+        acknowledgement the mutation is on disk: a crash at any point either
+        loses an *unacknowledged* batch (the owner retries) or recovers an
+        acknowledged one.
         """
         target = self.router.route_for_update(request.manifest_id)
+        storage = self.storage
         with target.lock:
             signed = target.publisher.signed_relation(target.relation_name)
             if request.sequence != signed.version:
@@ -257,9 +305,19 @@ class RequestHandler:
                     f"update for {target.relation_name!r} is not signed by "
                     "the data owner"
                 )
+            if storage is not None:
+                plan = plan_deltas(signed.schema, request.deltas)
+                simulate_deltas(signed.relation, plan)
+                storage.log_update(target, frame if frame is not None else encode(request))
             receipt = target.publisher.apply_deltas(
                 target.relation_name, request.deltas
             )
             rotation = self.router.record_rotation(target)
+            if storage is not None:
+                storage.log_rotation(target, rotation)
         self.updates_applied += 1
+        if self.faults is not None:
+            # "update-after-apply": the batch is applied and durable, but the
+            # acknowledgement never reaches the owner.
+            self.faults.hit("update-after-apply")
         return UpdateResponse(receipt=receipt, rotation=rotation)

@@ -101,6 +101,17 @@ class OwnerClient(ServiceConnection):
         signature anyway).
     timeout:
         Socket timeout in seconds for connect and each response.
+    retry_policy:
+        Retry transport failures and transient server errors under this
+        policy (see :class:`~repro.service.retry.RetryPolicy`).  Resubmitting
+        an update after a lost acknowledgement is safe: the retried frame is
+        byte-identical (the signature covers manifest id, sequence and
+        deltas), so a server that already applied it recognises it in its
+        applied-update registry and returns the *original* outcome — the
+        batch is never applied twice.  Only if the registry window (hundreds
+        of batches) has since been exceeded does the resubmission surface as
+        a typed stale-update error, which ``retry_stale`` then resolves by
+        re-fetching and re-signing.
     """
 
     def __init__(
@@ -109,8 +120,9 @@ class OwnerClient(ServiceConnection):
         port: int,
         signature_scheme: SignatureScheme,
         timeout: float = 10.0,
+        retry_policy=None,
     ) -> None:
-        super().__init__(host, port, timeout=timeout)
+        super().__init__(host, port, timeout=timeout, retry_policy=retry_policy)
         self.signature_scheme = signature_scheme
         self._manifests: Dict[str, RelationManifest] = {}
 

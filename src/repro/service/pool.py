@@ -52,6 +52,12 @@ class WorkerCrashed(RuntimeError):
 
 def _worker_main(handler: RequestHandler, conn) -> None:
     """The forked worker loop: serve frames, apply update broadcasts, ack."""
+    # Only the master process owns the durable-storage handles: a forked
+    # worker shares the parent's WAL file offsets, so re-logging a broadcast
+    # update here would interleave writes and corrupt the log.  The master
+    # logged the batch before broadcasting; workers just re-apply in memory.
+    handler.storage = None
+    handler.faults = None
     while True:
         try:
             message = conn.recv()

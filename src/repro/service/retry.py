@@ -1,0 +1,154 @@
+"""Bounded, jittered retries for the service clients.
+
+A :class:`RetryPolicy` makes client-side failure handling explicit and
+bounded: how many attempts, how long between them (exponential backoff with
+jitter, so a thundering herd of clients does not resynchronise), and which
+failures are worth retrying at all.
+
+Retryability is deliberately narrow:
+
+* :class:`~repro.service.protocol.ServiceProtocolError` — transport-level
+  breakage (timeout, reset, torn frame).  The connection was closed, the
+  next attempt reconnects.  Safe for queries (read-only) **and** for owner
+  updates: an ``UpdateRequest`` frame is canonical bytes, and a server that
+  already applied it recognises the resubmission by frame digest and returns
+  the original outcome instead of double-applying (see
+  :meth:`repro.service.router.ShardRouter.remember_applied_update`).
+* :class:`~repro.service.protocol.RemoteError` with a code in
+  :attr:`RetryPolicy.retryable_codes` — explicitly transient server states
+  (``ServerBusy``, ``WorkerCrashed``).  Every other typed server error —
+  stale updates, bad signatures, unknown manifests — is a *semantic* answer
+  and retrying it verbatim would just repeat it.
+
+Exhaustion is a typed :class:`RetriesExhausted` carrying the attempt count
+and the last underlying error, so callers can distinguish "the server kept
+refusing" from "the network kept failing" without string-matching.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+from repro.service.protocol import (
+    RemoteError,
+    ServiceError,
+    ServiceProtocolError,
+)
+
+__all__ = ["RetryPolicy", "RetriesExhausted", "DEFAULT_RETRYABLE_CODES"]
+
+#: Server error codes that describe a transient condition worth retrying.
+DEFAULT_RETRYABLE_CODES: FrozenSet[str] = frozenset({"ServerBusy", "WorkerCrashed"})
+
+
+class RetriesExhausted(ServiceError):
+    """Every attempt a :class:`RetryPolicy` allowed has failed.
+
+    ``last_error`` is the error the final attempt raised (also chained as
+    ``__cause__``); ``attempts`` how many attempts ran.
+    """
+
+    def __init__(self, message: str, attempts: int, last_error: Exception) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts, the first one included (so ``1`` disables retrying).
+    base_delay:
+        Backoff before the second attempt, in seconds; attempt ``n`` waits
+        ``base_delay * multiplier**(n-2)``, capped at ``max_delay``.
+    max_delay:
+        Ceiling on any single backoff.
+    multiplier:
+        Exponential growth factor.
+    jitter:
+        Fraction of each delay that is randomised: the actual sleep is
+        uniform in ``[delay * (1 - jitter), delay]``.  0 disables jitter.
+    attempt_timeout:
+        Socket timeout (seconds) applied to each attempt when set; every
+        attempt reconnects, so this bounds one attempt end to end.  ``None``
+        keeps the connection's own timeout.
+    retryable_codes:
+        :class:`~repro.service.protocol.RemoteError` codes considered
+        transient.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    attempt_timeout: Optional[float] = None
+    retryable_codes: FrozenSet[str] = field(default_factory=lambda: DEFAULT_RETRYABLE_CODES)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("the backoff multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter is a fraction of the delay (0..1)")
+
+    # -- classification ------------------------------------------------------
+
+    def retryable(self, error: Exception) -> bool:
+        """Whether ``error`` describes a transient failure (see module doc)."""
+        if isinstance(error, RemoteError):
+            return error.code in self.retryable_codes
+        return isinstance(error, ServiceProtocolError)
+
+    # -- backoff -------------------------------------------------------------
+
+    def backoff(self, attempt: int, rand: Callable[[], float] = random.random) -> float:
+        """Sleep before attempt ``attempt`` (attempts count from 1)."""
+        if attempt <= 1:
+            return 0.0
+        delay = min(self.base_delay * self.multiplier ** (attempt - 2), self.max_delay)
+        if self.jitter:
+            delay *= 1 - self.jitter * rand()
+        return delay
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        operation: Callable[[], object],
+        sleep: Callable[[float], None] = time.sleep,
+        rand: Callable[[], float] = random.random,
+    ):
+        """Run ``operation`` under this policy.
+
+        Non-retryable errors propagate unchanged on any attempt; retryable
+        ones are re-tried after backoff until :attr:`max_attempts` is spent,
+        then wrapped in a typed :class:`RetriesExhausted`.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.max_attempts + 1):
+            delay = self.backoff(attempt, rand)
+            if delay:
+                sleep(delay)
+            try:
+                return operation()
+            except Exception as error:  # noqa: BLE001 - classified right below
+                if not self.retryable(error):
+                    raise
+                last_error = error
+        assert last_error is not None
+        raise RetriesExhausted(
+            f"{self.max_attempts} attempt(s) failed; last error: {last_error}",
+            attempts=self.max_attempts,
+            last_error=last_error,
+        ) from last_error

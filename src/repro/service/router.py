@@ -30,11 +30,13 @@ lock — rotations of one shard must not block lookups for another.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Mapping, Tuple
+from typing import Deque, Dict, Mapping, Optional, Tuple
 
+from repro.cache import BoundedCache
 from repro.core.publisher import Publisher
 from repro.core.relational import RelationManifest
 from repro.db.query import JoinQuery
@@ -49,6 +51,14 @@ __all__ = ["ShardTarget", "ShardRouter", "UnknownManifestError"]
 #: pinned further back than this many rotations gets a typed
 #: UnknownManifestError and must re-obtain a trust root out of band.
 MAX_SUPERSEDED_PER_RELATION = 64
+
+#: How many applied update batches the router remembers (frame digest ->
+#: encoded UpdateResponse).  An owner that times out waiting for an ack and
+#: resubmits the *identical* signed frame gets the original outcome back
+#: instead of a stale-update error or a double apply; beyond this window a
+#: resubmission falls through to the typed stale-update path, which is safe
+#: (it is refused, never re-applied).
+MAX_APPLIED_UPDATES_REMEMBERED = 256
 
 
 class UnknownManifestError(ServiceError):
@@ -88,6 +98,9 @@ class ShardRouter:
         # so serving historical manifests lets id-only-pinned clients
         # bootstrap their trust root after rotations.
         self._manifests_by_id: Dict[bytes, RelationManifest] = {}
+        # Frame digest -> encoded UpdateResponse, for idempotent owner
+        # resubmission (see remember_applied_update).  FIFO-bounded.
+        self._applied_updates = BoundedCache(max_size=MAX_APPLIED_UPDATES_REMEMBERED)
         for shard_name, publisher in self.shards.items():
             lock = threading.Lock()
             for relation_name in publisher.database:
@@ -253,6 +266,55 @@ class ShardRouter:
         )
         self._rotations[name] = rotation
         return rotation
+
+    def restore_rotation(self, relation_name: str, rotation: ManifestRotated) -> None:
+        """Seed the latest rotation of a *recovered* relation.
+
+        Recovery rebuilds publications from checkpoints, so a relation's
+        publisher state is current — but the lazily built genesis rotation in
+        :meth:`rotation` would carry an empty previous id where the real
+        history has one.  Storage replay calls this with the owner-signed
+        rotation it loaded (checkpoint) or verified (WAL) so rotation answers
+        resume exactly where they left off.  The rotation must describe the
+        relation's *current* manifest.
+        """
+        target = self._by_name.get(relation_name)
+        if target is None:
+            raise UnknownManifestError(
+                f"no hosted relation is named {relation_name!r}"
+            )
+        with target.lock:
+            signed = target.publisher.signed_relation(target.relation_name)
+            if manifest_id(rotation.manifest) != manifest_id(signed.manifest):
+                raise ServiceError(
+                    f"restored rotation for {relation_name!r} does not describe "
+                    "the relation's current manifest"
+                )
+            self._rotations[relation_name] = rotation
+
+    # -- idempotent owner resubmission ---------------------------------------
+
+    @staticmethod
+    def _update_frame_key(frame: bytes) -> bytes:
+        return hashlib.sha256(frame).digest()
+
+    def remember_applied_update(self, frame: bytes, response_payload: bytes) -> None:
+        """Record the outcome of an applied update frame (by frame digest).
+
+        ``frame`` is the canonical encoded ``UpdateRequest`` exactly as it
+        arrived (and as it was WAL-logged); ``response_payload`` the encoded
+        ``UpdateResponse`` it produced.  Both the live apply path and WAL
+        replay call this, so resubmitting a batch that was applied just
+        before a crash still returns the original, byte-identical outcome.
+        """
+        self._applied_updates.put(
+            self._update_frame_key(frame), bytes(response_payload)
+        )
+
+    def replayed_update_response(self, frame: bytes) -> Optional[bytes]:
+        """The remembered outcome of ``frame``, or ``None`` if never applied
+        (or evicted from the bounded window)."""
+        return self._applied_updates.get(self._update_frame_key(frame))
 
     def route_join(
         self, left_id: bytes, right_id: bytes, join: JoinQuery

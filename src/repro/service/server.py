@@ -96,6 +96,7 @@ class _Connection:
         "pending",
         "closing",
         "paused",
+        "stalled",
         "last_recv",
         "registered_events",
     )
@@ -109,6 +110,9 @@ class _Connection:
         self.closing = False
         #: True while reads are suspended for pipeline backpressure.
         self.paused = False
+        #: True once a "stall" fault froze this connection's writes: the
+        #: outbuf is never flushed again and the peer must time out.
+        self.stalled = False
         self.last_recv = time.monotonic()
         self.registered_events = 0
 
@@ -116,7 +120,7 @@ class _Connection:
         events = 0
         if not self.closing and not self.paused:
             events |= selectors.EVENT_READ
-        if self.outbuf:
+        if self.outbuf and not self.stalled:
             events |= selectors.EVENT_WRITE
         return events
 
@@ -144,6 +148,15 @@ class PublicationServer:
     response_cache:
         Enable the encoded-response cache for hot query/join frames
         (rotation-invalidated; see :class:`~repro.service.handler.RequestHandler`).
+    storage:
+        Optional :class:`~repro.storage.store.PublicationStorage`: accepted
+        update batches are write-ahead logged (and fsynced per the storage's
+        policy) before they are applied or acknowledged, and :meth:`stop`
+        flushes the logs before returning.  The server does not *close* the
+        storage — the caller that opened it does.
+    faults:
+        Optional :class:`~repro.storage.faults.FaultRegistry` for
+        deterministic crash/drop/stall injection (testing only).
     """
 
     def __init__(
@@ -154,12 +167,18 @@ class PublicationServer:
         max_workers: int = 8,
         worker_processes: int = 0,
         response_cache: bool = True,
+        storage=None,
+        faults=None,
     ) -> None:
         self.router = router
         self._requested = (host, port)
         self._max_connections = max_workers
         self._worker_processes = worker_processes
-        self.handler = RequestHandler(router, response_cache=response_cache)
+        self.storage = storage
+        self.faults = faults
+        self.handler = RequestHandler(
+            router, response_cache=response_cache, storage=storage, faults=faults
+        )
         self._listener: Optional[socket.socket] = None
         self._loop_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
@@ -222,19 +241,33 @@ class PublicationServer:
         self._loop_thread.start()
         return self.address
 
-    def stop(self) -> None:
-        """Stop the loop, drain connections, release sockets and workers."""
-        if self._listener is None:
-            return
+    def request_stop(self) -> None:
+        """Ask the event loop to shut down gracefully; returns immediately.
+
+        Safe to call from a signal handler: it only sets an event and writes
+        one byte to the wake socketpair.  The loop then drains in-flight
+        responses (bounded; see :meth:`_drain_on_stop`) before closing
+        connections, and :meth:`stop` flushes the durable storage.
+        """
         self._stopping.set()
         if self._wake_send is not None:
             try:
                 self._wake_send.send(b"x")
             except OSError:
                 pass
+
+    def stop(self) -> None:
+        """Stop the loop, drain connections, release sockets and workers."""
+        if self._listener is None:
+            return
+        self.request_stop()
         if self._loop_thread is not None:
             self._loop_thread.join(timeout=10)
             self._loop_thread = None
+        if self.storage is not None:
+            # Every acknowledged batch is already on disk under
+            # fsync="always"; this flushes whatever a weaker policy buffered.
+            self.storage.sync()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -308,11 +341,34 @@ class PublicationServer:
                     last_sweep = now
                     self._sweep_stalled(now)
         finally:
+            self._drain_on_stop()
             for connection in list(self._connections.values()):
                 self._drop_connection(connection)
             selector.close()
             self._selector = None
             wake_recv.close()
+
+    def _drain_on_stop(self, deadline_seconds: float = 1.0) -> None:
+        """Best-effort flush of already-computed responses before teardown.
+
+        A graceful shutdown (SIGTERM/``request_stop``) should not cut off a
+        response the server already produced: writable outbufs are flushed
+        for up to ``deadline_seconds``.  Requests still *pending* (e.g. on a
+        crashed-and-not-yet-replaced worker) are abandoned — the peer sees
+        EOF and retries under its retry policy.
+        """
+        deadline = time.monotonic() + deadline_seconds
+        while time.monotonic() < deadline:
+            busy = False
+            for connection in list(self._connections.values()):
+                if connection.sock not in self._connections or connection.stalled:
+                    continue
+                self._flush_completed(connection)
+                if connection.sock in self._connections and connection.outbuf:
+                    busy = True
+            if not busy:
+                return
+            time.sleep(0.01)
 
     # -- accepting ----------------------------------------------------------
 
@@ -468,7 +524,10 @@ class PublicationServer:
                 handled = self.handler.handle_frame(frame)
                 slot = _Slot()
                 connection.pending.append(slot)
-                if handled.is_error:
+                if handled.is_error or not handled.broadcast:
+                    # Errors were never applied; non-broadcast responses come
+                    # from the applied-update registry — the workers already
+                    # applied that batch when it first landed.
                     slot.complete(handled)
                     return
                 # Applied by the master: propagate to every forked worker and
@@ -620,7 +679,29 @@ class PublicationServer:
             self._flush_outbuf(connection)
 
     def _flush_outbuf(self, connection: _Connection) -> None:
+        if connection.stalled:
+            return
         outbuf = connection.outbuf
+        faults = self.faults
+        if faults is not None and outbuf and "conn-mid-frame" in faults.armed():
+            action = faults.socket_action("conn-mid-frame")
+            if action is not None:
+                # Deliver roughly half of what is buffered — cutting a
+                # response frame in the middle — then drop or freeze the
+                # connection so clients exercise their torn-read/timeout
+                # handling.
+                half = max(1, len(outbuf) // 2)
+                try:
+                    sent = connection.sock.send(outbuf[:half])
+                    del outbuf[:sent]
+                except OSError:
+                    pass
+                if action == "drop":
+                    self._drop_connection(connection)
+                else:
+                    connection.stalled = True
+                    self._reregister(connection)
+                return
         try:
             while outbuf:
                 sent = connection.sock.send(outbuf)
@@ -675,9 +756,11 @@ def _main(argv=None) -> int:
     """Serve the built-in demo database (for examples and integration tests)."""
     import argparse
     import json
+    import signal
     import sys
 
     from repro.service.demo import build_demo_router
+    from repro.storage import FSYNC_POLICIES, fault_registry_from_env, open_publication_storage
 
     parser = argparse.ArgumentParser(description=_main.__doc__)
     parser.add_argument("--host", default="127.0.0.1")
@@ -696,9 +779,41 @@ def _main(argv=None) -> int:
         action="store_true",
         help="disable the encoded-response cache",
     )
+    parser.add_argument(
+        "--storage-dir",
+        default=None,
+        help=(
+            "durable publication root: bootstrap the demo database into it on "
+            "first run, recover from its checkpoints + write-ahead logs on "
+            "every later run"
+        ),
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default="always",
+        help="WAL fsync policy (only meaningful with --storage-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint+compact a relation's WAL every N logged updates (0 = never)",
+    )
     args = parser.parse_args(argv)
 
-    router = build_demo_router(key_bits=args.key_bits, seed=args.seed)
+    faults = fault_registry_from_env()
+    storage = None
+    if args.storage_dir is not None:
+        router, storage = open_publication_storage(
+            args.storage_dir,
+            lambda: build_demo_router(key_bits=args.key_bits, seed=args.seed),
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+            faults=faults,
+        )
+    else:
+        router = build_demo_router(key_bits=args.key_bits, seed=args.seed)
     server = PublicationServer(
         router,
         host=args.host,
@@ -706,16 +821,28 @@ def _main(argv=None) -> int:
         max_workers=args.max_workers,
         worker_processes=args.worker_processes,
         response_cache=not args.no_response_cache,
+        storage=storage,
+        faults=faults,
     )
+
+    def _graceful(signum, frame):  # noqa: ARG001 - signal handler signature
+        server.request_stop()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
     host, port = server.start()
     print(f"PORT {port}", flush=True)
     print(
         "RELATIONS " + ",".join(name for name, _ in router.listing()),
         flush=True,
     )
+    if storage is not None:
+        print(f"STORAGE {storage.origin}", flush=True)
     try:
         server.serve_forever()
     finally:
+        if storage is not None:
+            storage.close()
         # Long-running-server observability: one cache-stats line on the way
         # out, so operators can see hit rates and confirm the bounds held.
         print(

@@ -1,0 +1,72 @@
+"""Durable publications: WAL, checkpoints, crash recovery, fault injection.
+
+The serving stack keeps shard state in RAM; this package makes an
+acknowledged owner update survive the process.  The design inherits the
+paper's trust model instead of adding a new one: the log's payloads are the
+already-owner-signed wire frames (:mod:`repro.storage.wal`), checkpoints
+carry owner-signed manifest rotations (:mod:`repro.storage.checkpoint`), and
+recovery re-verifies every signature while replaying through the live
+``apply_deltas`` path (:mod:`repro.storage.recovery`) — so whoever holds the
+disk can truncate history but never forge it.
+
+``python -m repro.storage.walctl`` inspects, verifies and repairs a storage
+root offline; :mod:`repro.storage.faults` is the deterministic failpoint
+registry the crash-test harness drives.
+"""
+
+from repro.storage.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    load_keys,
+    save_keys,
+    write_checkpoint,
+)
+from repro.storage.errors import (
+    CheckpointCorruptError,
+    RecoveryError,
+    StorageError,
+    WalCorruptError,
+)
+from repro.storage.faults import (
+    FAILPOINTS,
+    FaultInjected,
+    FaultRegistry,
+    fault_registry_from_env,
+)
+from repro.storage.recovery import rebuild_publication, recover_router
+from repro.storage.store import (
+    PublicationStorage,
+    open_publication_storage,
+)
+from repro.storage.wal import (
+    FSYNC_POLICIES,
+    WalScan,
+    WriteAheadLog,
+    iter_wal_records,
+    scan_wal,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointCorruptError",
+    "FAILPOINTS",
+    "FSYNC_POLICIES",
+    "FaultInjected",
+    "FaultRegistry",
+    "PublicationStorage",
+    "RecoveryError",
+    "StorageError",
+    "WalCorruptError",
+    "WalScan",
+    "WriteAheadLog",
+    "fault_registry_from_env",
+    "iter_wal_records",
+    "load_checkpoint",
+    "load_keys",
+    "open_publication_storage",
+    "rebuild_publication",
+    "recover_router",
+    "save_keys",
+    "scan_wal",
+    "write_checkpoint",
+]

@@ -1,0 +1,65 @@
+"""Typed errors of the durability subsystem.
+
+Everything here derives from :class:`~repro.core.errors.ReproError`, so the
+service layer's blanket "answer typed errors, never leak a traceback" policy
+covers storage failures for free.  The split mirrors the recovery pipeline:
+a :class:`WalCorruptError` names a byte offset in one log file, a
+:class:`CheckpointCorruptError` names a snapshot file, and a
+:class:`RecoveryError` means the *combination* of checkpoint and log cannot
+be replayed into a trustworthy shard (a tampered record, a sequence gap, an
+owner signature that fails) — recovery refuses to serve rather than guess.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "StorageError",
+    "WalCorruptError",
+    "CheckpointCorruptError",
+    "RecoveryError",
+]
+
+
+class StorageError(ReproError):
+    """Base class of every durability-layer failure."""
+
+
+class WalCorruptError(StorageError):
+    """A WAL record failed its CRC or framing checks mid-file.
+
+    A *partial final* record (torn tail: the process died mid-write) is not
+    an error — it is truncated on open.  This error means bytes *before* the
+    tail are damaged: bit rot, tampering, or an overwritten log.  ``offset``
+    is the file offset of the first bad record, so ``walctl repair`` can
+    truncate exactly there (after operator review — everything past the
+    offset is lost).
+    """
+
+    def __init__(self, message: str, path: str = "", offset: int = 0) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class CheckpointCorruptError(StorageError):
+    """A checkpoint file failed its CRC, framing or signature checks."""
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class RecoveryError(StorageError):
+    """Checkpoint + WAL cannot be replayed into a consistent shard.
+
+    Raised for a WAL record whose owner signature does not verify, whose
+    manifest id does not belong to the relation's rotation history, or whose
+    sequence leaves a gap — a tampered or truncated history is refused as a
+    whole instead of being partially applied.
+    """
+
+    def __init__(self, message: str, reason: str = "recovery-failed") -> None:
+        super().__init__(message)
+        self.reason = reason

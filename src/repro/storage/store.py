@@ -1,0 +1,378 @@
+"""On-disk layout and runtime handles of a durable publication.
+
+One :class:`PublicationStorage` owns a directory tree::
+
+    <root>/
+      storage.json                  shard -> hosted relation names
+      shards/<shard>/keys.json      per-relation owner signing keys (0600)
+      shards/<shard>/<rel>.ckpt     latest checkpoint (rows + signed rotation)
+      shards/<shard>/<rel>.wal      updates applied since that checkpoint
+
+The WAL is per shard in the sense of the directory — every relation of a
+shard logs under the shard's directory and shares its fsync policy — but
+segmented per relation, so recovery replays each relation's history as one
+strictly ordered sequence without cross-relation interleaving bookkeeping
+(relations are independent: the router locks per shard, and each relation's
+sequence is its own total order).
+
+Runtime API (called by :class:`~repro.service.handler.RequestHandler`, under
+the shard's write lock):
+
+* :meth:`log_update` — append the owner-signed ``UpdateRequest`` frame and
+  apply the fsync policy *before* the batch is applied or acknowledged.
+* :meth:`log_rotation` — append the resulting ``ManifestRotated`` frame and,
+  every ``checkpoint_every`` updates, snapshot the relation and compact its
+  log.
+
+Bootstrap (:meth:`PublicationStorage.create`) persists a freshly built
+router: keys, a genesis checkpoint per relation, an empty log.  Opening an
+existing root (:meth:`PublicationStorage.open`) only opens the log handles
+(truncating torn tails); rebuilding publishers and replaying history is
+:func:`repro.storage.recovery.recover_router`'s job — use
+:func:`open_publication_storage` for the one-call "bootstrap or recover"
+entry point the server uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.service.router import ShardRouter, ShardTarget
+from repro.storage.checkpoint import load_checkpoint, load_keys, save_keys, write_checkpoint
+from repro.storage.errors import StorageError
+from repro.storage.faults import FaultRegistry
+from repro.storage.wal import FSYNC_POLICIES, WriteAheadLog, _fsync_directory
+from repro.wire import encode
+from repro.wire.updates import ManifestRotated
+
+__all__ = [
+    "STORAGE_FORMAT",
+    "PublicationStorage",
+    "open_publication_storage",
+    "relation_file_stem",
+]
+
+STORAGE_FORMAT = 1
+
+_MANIFEST_FILE = "storage.json"
+_KEYS_FILE = "keys.json"
+_SHARDS_DIR = "shards"
+
+
+def relation_file_stem(name: str) -> str:
+    """A filesystem-safe stem for a hosting name (reversible, collision-free).
+
+    Alphanumerics, ``_`` and ``-`` pass through; anything else becomes
+    ``%XX``, so two distinct hosting names can never map to one file.
+    """
+    return "".join(
+        ch if ch.isalnum() or ch in "_-" else f"%{ord(ch):02X}" for ch in name
+    )
+
+
+class _RelationStorage:
+    """One relation's open log handle plus checkpoint bookkeeping."""
+
+    __slots__ = ("shard", "name", "wal", "checkpoint_path", "updates_since_checkpoint")
+
+    def __init__(self, shard: str, name: str, wal: WriteAheadLog, checkpoint_path: str) -> None:
+        self.shard = shard
+        self.name = name
+        self.wal = wal
+        self.checkpoint_path = checkpoint_path
+        self.updates_since_checkpoint = 0
+
+
+class PublicationStorage:
+    """Open handles over one durable publication root.
+
+    Parameters
+    ----------
+    root:
+        The storage directory.
+    fsync:
+        WAL durability policy (``always`` / ``batch`` / ``off``); see
+        :mod:`repro.storage.wal`.
+    checkpoint_every:
+        Snapshot + compact a relation's log after this many applied update
+        batches (0 disables automatic checkpoints; :meth:`checkpoint_now`
+        stays available).
+    faults:
+        Optional failpoint registry threaded into the WAL and checkpoint
+        writers (crash testing).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        fsync: str = "always",
+        checkpoint_every: int = 0,
+        faults: Optional[FaultRegistry] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync!r}; known: {FSYNC_POLICIES}")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.root = root
+        self.fsync_policy = fsync
+        self.checkpoint_every = checkpoint_every
+        self.faults = faults
+        self._lock = threading.Lock()
+        self._relations: Dict[str, _RelationStorage] = {}
+        self._layout: Dict[str, List[str]] = {}
+        self._closed = False
+        self.checkpoints_written = 0
+        #: How this handle came to be: ``"bootstrapped"`` (fresh root built
+        #: from a live router) or ``"recovered"`` (opened from an existing
+        #: root).  The demo server prints it so harnesses can assert which
+        #: path ran.
+        self.origin = "bootstrapped"
+
+    # -- layout helpers -------------------------------------------------------
+
+    def shard_dir(self, shard: str) -> str:
+        return os.path.join(self.root, _SHARDS_DIR, relation_file_stem(shard))
+
+    def keys_path(self, shard: str) -> str:
+        return os.path.join(self.shard_dir(shard), _KEYS_FILE)
+
+    def checkpoint_path(self, shard: str, relation: str) -> str:
+        return os.path.join(self.shard_dir(shard), relation_file_stem(relation) + ".ckpt")
+
+    def wal_path(self, shard: str, relation: str) -> str:
+        return os.path.join(self.shard_dir(shard), relation_file_stem(relation) + ".wal")
+
+    @property
+    def layout(self) -> Dict[str, List[str]]:
+        """shard -> hosted relation names, as recorded in ``storage.json``."""
+        return {shard: list(names) for shard, names in self._layout.items()}
+
+    @staticmethod
+    def exists(root: str) -> bool:
+        return os.path.exists(os.path.join(root, _MANIFEST_FILE))
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str,
+        router: ShardRouter,
+        fsync: str = "always",
+        checkpoint_every: int = 0,
+        faults: Optional[FaultRegistry] = None,
+    ) -> "PublicationStorage":
+        """Bootstrap ``root`` from a live router (fresh publication)."""
+        if cls.exists(root):
+            raise StorageError(f"storage root {root!r} is already initialised")
+        storage = cls(root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults)
+        os.makedirs(os.path.join(root, _SHARDS_DIR), exist_ok=True)
+        layout: Dict[str, List[str]] = {}
+        for shard_name, publisher in router.shards.items():
+            os.makedirs(storage.shard_dir(shard_name), exist_ok=True)
+            schemes = {}
+            for relation_name in sorted(publisher.database):
+                layout.setdefault(shard_name, []).append(relation_name)
+                signed = publisher.signed_relation(relation_name)
+                schemes[relation_name] = signed.signature_scheme
+                rotation = router.rotation(relation_name)
+                write_checkpoint(
+                    storage.checkpoint_path(shard_name, relation_name),
+                    relation_name,
+                    rotation,
+                    [dict(record.values) for record in signed.relation],
+                    faults=faults,
+                )
+                storage._open_relation(shard_name, relation_name)
+            save_keys(storage.keys_path(shard_name), schemes)
+        storage._layout = layout
+        manifest_path = os.path.join(root, _MANIFEST_FILE)
+        with open(manifest_path + ".tmp", "w") as handle:
+            json.dump(
+                {"format": STORAGE_FORMAT, "shards": layout},
+                handle,
+                indent=1,
+                sort_keys=True,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(manifest_path + ".tmp", manifest_path)
+        _fsync_directory(root)
+        return storage
+
+    @classmethod
+    def open(
+        cls,
+        root: str,
+        fsync: str = "always",
+        checkpoint_every: int = 0,
+        faults: Optional[FaultRegistry] = None,
+    ) -> "PublicationStorage":
+        """Open an initialised root: read the layout, open every log.
+
+        Opening a log truncates a torn tail; a corrupt log raises a typed
+        :class:`~repro.storage.errors.WalCorruptError` naming the offset.
+        """
+        manifest_path = os.path.join(root, _MANIFEST_FILE)
+        try:
+            with open(manifest_path, "r") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise StorageError(
+                f"storage root {root!r} is not initialised or unreadable: {error}"
+            ) from error
+        if document.get("format") != STORAGE_FORMAT:
+            raise StorageError(
+                f"storage root {root!r} has format {document.get('format')!r}; "
+                f"this build reads format {STORAGE_FORMAT}"
+            )
+        storage = cls(root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults)
+        storage.origin = "recovered"
+        storage._layout = {
+            shard: list(names) for shard, names in document.get("shards", {}).items()
+        }
+        for shard_name, names in storage._layout.items():
+            for relation_name in names:
+                storage._open_relation(shard_name, relation_name)
+        return storage
+
+    def _open_relation(self, shard: str, relation: str) -> _RelationStorage:
+        wal = WriteAheadLog(
+            self.wal_path(shard, relation), fsync=self.fsync_policy, faults=self.faults
+        )
+        entry = _RelationStorage(shard, relation, wal, self.checkpoint_path(shard, relation))
+        self._relations[relation] = entry
+        return entry
+
+    def relation(self, relation_name: str) -> _RelationStorage:
+        try:
+            return self._relations[relation_name]
+        except KeyError as error:
+            raise StorageError(
+                f"storage root {self.root!r} does not hold relation {relation_name!r}"
+            ) from error
+
+    def load_shard_keys(self, shard: str):
+        return load_keys(self.keys_path(shard))
+
+    def load_relation_checkpoint(self, shard: str, relation: str):
+        return load_checkpoint(self.checkpoint_path(shard, relation))
+
+    # -- the update path ------------------------------------------------------
+
+    def log_update(self, target: ShardTarget, frame: bytes) -> None:
+        """Append one owner-signed update frame; durable per the fsync policy.
+
+        Called *before* the batch is applied (and therefore before it is
+        acknowledged): under ``fsync="always"``, by the time the owner sees a
+        receipt the signed frame that produced it is on disk.
+        """
+        self.relation(target.relation_name).wal.append(frame)
+
+    def log_rotation(self, target: ShardTarget, rotation: ManifestRotated) -> None:
+        """Append the rotation a just-applied batch produced; maybe checkpoint.
+
+        Rotation records are advisory (recovery re-derives rotations
+        deterministically by replaying update frames); they let ``walctl``
+        verify the log offline and preserve rotation history across
+        checkpoint compaction.  Runs under the same shard lock as the apply,
+        so the log order equals the apply order.
+        """
+        entry = self.relation(target.relation_name)
+        entry.wal.append(encode(rotation))
+        entry.updates_since_checkpoint += 1
+        if self.checkpoint_every and entry.updates_since_checkpoint >= self.checkpoint_every:
+            self._checkpoint_entry(entry, target, rotation)
+
+    def checkpoint_now(self, target: ShardTarget, rotation: ManifestRotated) -> None:
+        """Snapshot one relation and compact its log (caller holds the lock).
+
+        ``rotation`` must be the relation's *current* owner-signed rotation
+        (``router.rotation(name)`` — which is also what the automatic
+        checkpoint path receives straight from the apply pipeline).
+        """
+        from repro.wire import manifest_id as _manifest_id
+
+        entry = self.relation(target.relation_name)
+        signed = target.publisher.signed_relation(target.relation_name)
+        if _manifest_id(rotation.manifest) != _manifest_id(signed.manifest):
+            raise StorageError(
+                f"checkpoint rotation for {target.relation_name!r} does not "
+                "describe the relation's current manifest"
+            )
+        self._checkpoint_entry(entry, target, rotation)
+
+    def _checkpoint_entry(
+        self, entry: _RelationStorage, target: ShardTarget, rotation: ManifestRotated
+    ) -> None:
+        signed = target.publisher.signed_relation(target.relation_name)
+        write_checkpoint(
+            entry.checkpoint_path,
+            target.relation_name,
+            rotation,
+            [dict(record.values) for record in signed.relation],
+            faults=self.faults,
+        )
+        # Compact only after the new checkpoint is durably in place: a crash
+        # between the two leaves checkpoint+full-log, whose replay verifies
+        # pre-checkpoint records against the rotation chain and skips them.
+        entry.wal.rewrite(())
+        entry.updates_since_checkpoint = 0
+        self.checkpoints_written += 1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force durability of every log (graceful-shutdown path)."""
+        with self._lock:
+            if self._closed:
+                return
+            for entry in self._relations.values():
+                entry.wal.sync()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for entry in self._relations.values():
+                entry.wal.close()
+
+    def __enter__(self) -> "PublicationStorage":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_publication_storage(
+    root: str,
+    build_router: Callable[[], ShardRouter],
+    fsync: str = "always",
+    checkpoint_every: int = 0,
+    faults: Optional[FaultRegistry] = None,
+) -> Tuple[ShardRouter, "PublicationStorage"]:
+    """Bootstrap-or-recover entry point: the ``storage_dir`` mode of the server.
+
+    An uninitialised ``root`` calls ``build_router()`` (fresh keys, fresh
+    data) and persists it; an initialised one ignores ``build_router`` and
+    rebuilds the router from checkpoints + WAL replay — resuming with the
+    *same* manifest ids, rotation history and applied-update registry as
+    before the crash (see :mod:`repro.storage.recovery`).
+    """
+    from repro.storage.recovery import recover_router
+
+    if not PublicationStorage.exists(root):
+        router = build_router()
+        storage = PublicationStorage.create(
+            root, router, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults
+        )
+        return router, storage
+    storage = PublicationStorage.open(
+        root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults
+    )
+    router = recover_router(storage)
+    return router, storage

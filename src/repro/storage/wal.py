@@ -1,0 +1,332 @@
+"""The write-ahead log: length-prefixed, CRC-checksummed wire frames on disk.
+
+One :class:`WriteAheadLog` holds one relation's update history since its last
+checkpoint, as a flat append-only file of *records*::
+
+    ┌────────────┬────────────┬─────────────────────────┐
+    │ length u32 │ crc32  u32 │ payload (length bytes)  │   repeated
+    └────────────┴────────────┴─────────────────────────┘
+
+The payload of every record is the canonical wire encoding of an existing
+artifact — an owner-signed :class:`~repro.wire.updates.UpdateRequest`
+(logged *before* the batch is applied) or the resulting
+:class:`~repro.wire.updates.ManifestRotated` (logged after).  Reusing the
+codec means the log needs no format of its own beyond this 8-byte framing,
+inherits the codec's strict decoding, and — because update frames carry the
+owner's signature over ``(manifest id, sequence, deltas)`` — makes the log
+**self-authenticating**: recovery re-verifies every record under the public
+key in the relation's manifest, so whoever holds the disk still cannot forge
+history (see :mod:`repro.storage.recovery`).
+
+**Durability policy** (``fsync``):
+
+=========  =================================================================
+``always``  fsync after every appended record *before* the caller proceeds —
+            an acknowledged update is durable.  The default.
+``batch``   fsync every :data:`BATCH_FSYNC_EVERY` records and on
+            :meth:`sync`/:meth:`close` — bounded loss window, much cheaper.
+``off``     never fsync (the OS flushes eventually) — benchmarking and
+            throwaway data only.
+=========  =================================================================
+
+**Torn tails vs corruption.**  A crash mid-append leaves a *partial final
+record* (short header or short payload); opening the log detects it and
+truncates it — by the ``always`` policy the torn record was never
+acknowledged, so dropping it is correct, and under ``batch``/``off`` the
+caller accepted that loss window.  A record that is complete but fails its
+CRC — or carries an impossible length — is *corruption* (bit rot or
+tampering), which is never truncated silently: :class:`WalCorruptError`
+names the offset and ``python -m repro.storage.walctl repair`` performs the
+explicit, backed-up truncation.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.errors import WalCorruptError
+from repro.storage.faults import FaultRegistry
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "BATCH_FSYNC_EVERY",
+    "MAX_RECORD_BYTES",
+    "WalScan",
+    "WriteAheadLog",
+    "iter_wal_records",
+    "scan_wal",
+]
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+#: Under the ``batch`` policy, fsync once per this many appended records.
+BATCH_FSYNC_EVERY = 32
+
+#: Hard cap on one record's payload; matches the service frame cap order of
+#: magnitude and turns a corrupted length prefix into a typed error instead
+#: of a gigabyte allocation.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+_HEADER_BYTES = 8
+
+
+def _crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """What :func:`scan_wal` found in one log file."""
+
+    #: File offset just past the last intact record.
+    valid_end: int
+    #: Number of intact records.
+    records: int
+    #: Bytes of partial final record past ``valid_end`` (0 = clean tail).
+    torn_bytes: int
+    #: Offset of the first *corrupt* (CRC/length-violating) record, or None.
+    corrupt_at: Optional[int]
+    #: Human-readable detail of the corruption, when ``corrupt_at`` is set.
+    corrupt_detail: str = ""
+
+
+def scan_wal(path: str) -> WalScan:
+    """Classify a log file's tail without raising.
+
+    Walks records from offset 0; stops at the first framing violation and
+    classifies it: bytes that *run out* mid-record are a torn tail, bytes
+    that are all present but inconsistent (bad CRC, impossible length) are
+    corruption.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return WalScan(valid_end=0, records=0, torn_bytes=0, corrupt_at=None)
+    offset = 0
+    records = 0
+    with open(path, "rb") as handle:
+        while True:
+            remaining = size - offset
+            if remaining == 0:
+                return WalScan(offset, records, 0, None)
+            if remaining < _HEADER_BYTES:
+                return WalScan(offset, records, remaining, None)
+            handle.seek(offset)
+            header = handle.read(_HEADER_BYTES)
+            length = int.from_bytes(header[:4], "big")
+            expected_crc = int.from_bytes(header[4:8], "big")
+            if length == 0 or length > MAX_RECORD_BYTES:
+                return WalScan(
+                    offset,
+                    records,
+                    0,
+                    offset,
+                    f"record at offset {offset} announces {length} bytes",
+                )
+            if remaining - _HEADER_BYTES < length:
+                return WalScan(offset, records, remaining, None)
+            payload = handle.read(length)
+            if _crc(payload) != expected_crc:
+                return WalScan(
+                    offset,
+                    records,
+                    0,
+                    offset,
+                    f"record at offset {offset} fails its CRC-32 check",
+                )
+            offset += _HEADER_BYTES + length
+            records += 1
+
+
+def iter_wal_records(path: str) -> Iterator[bytes]:
+    """Yield every intact record payload; raise on mid-file corruption.
+
+    A torn tail is skipped silently (the open path truncates it anyway); a
+    corrupt record raises :class:`WalCorruptError` *before* yielding anything
+    past it, so a caller can never consume records beyond damage.
+    """
+    scan = scan_wal(path)
+    if scan.corrupt_at is not None:
+        raise WalCorruptError(
+            f"{path}: {scan.corrupt_detail}", path=path, offset=scan.corrupt_at
+        )
+    with open(path, "rb") as handle:
+        offset = 0
+        while offset < scan.valid_end:
+            header = handle.read(_HEADER_BYTES)
+            length = int.from_bytes(header[:4], "big")
+            yield handle.read(length)
+            offset += _HEADER_BYTES + length
+
+
+def encode_record(payload: bytes) -> bytes:
+    """The on-disk framing of one payload."""
+    if not payload:
+        raise ValueError("a WAL record needs a payload")
+    if len(payload) > MAX_RECORD_BYTES:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds the record cap"
+        )
+    return (
+        len(payload).to_bytes(4, "big")
+        + _crc(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+class WriteAheadLog:
+    """One append-only log file with a configurable durability policy.
+
+    Opening the log scans it: a torn tail is truncated (and counted in
+    :attr:`truncated_tail_bytes` for observability), mid-file corruption
+    raises :class:`~repro.storage.errors.WalCorruptError`.  Not thread-safe —
+    the caller serialises appends (the service layer already holds the
+    shard's write lock across the whole update pipeline).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "always",
+        faults: Optional[FaultRegistry] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; known: {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync_policy = fsync
+        self._faults = faults
+        scan = scan_wal(path)
+        if scan.corrupt_at is not None:
+            raise WalCorruptError(
+                f"{path}: {scan.corrupt_detail}; run "
+                "'python -m repro.storage.walctl repair' to truncate it "
+                "explicitly",
+                path=path,
+                offset=scan.corrupt_at,
+            )
+        self.records = scan.records
+        self.truncated_tail_bytes = scan.torn_bytes
+        self._file = open(path, "ab")
+        if scan.torn_bytes:
+            self._file.truncate(scan.valid_end)
+            self._file.seek(scan.valid_end)
+        self._unsynced = 0
+        self.appends = 0
+        self.syncs = 0
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, payload: bytes) -> None:
+        """Append one record and apply the durability policy.
+
+        Under ``always`` the record is durable when this returns.  The
+        ``wal-mid-record`` failpoint crashes after half the record is on
+        disk (the torn-tail case); ``wal-before-fsync`` crashes after the
+        full write but before durability.
+        """
+        record = encode_record(payload)
+        faults = self._faults
+        if faults is not None:
+            entry = faults.armed().get("wal-mid-record")
+            if entry is not None:
+                action, remaining = entry
+                if remaining > 1:
+                    faults.hit("wal-mid-record")  # counts the hit, no fire yet
+                else:
+                    # This hit fires: persist exactly half the record first so
+                    # a "kill" leaves the honest torn tail on disk.
+                    half = max(1, len(record) // 2)
+                    self._file.write(record[:half])
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                    try:
+                        faults.hit("wal-mid-record")  # kills or raises
+                    finally:
+                        # An "error" action lands here with the typed error in
+                        # flight: back out the partial write so an in-process
+                        # caller that catches it keeps a clean log.
+                        end = self._file.tell() - half
+                        self._file.truncate(end)
+                        self._file.seek(end)
+                    return
+        self._file.write(record)
+        self._file.flush()
+        if faults is not None:
+            faults.hit("wal-before-fsync")
+        self.appends += 1
+        self.records += 1
+        self._unsynced += 1
+        if self.fsync_policy == "always":
+            self._fsync()
+        elif self.fsync_policy == "batch" and self._unsynced >= BATCH_FSYNC_EVERY:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._file.fileno())
+        self.syncs += 1
+        self._unsynced = 0
+
+    def sync(self) -> None:
+        """Force durability of everything appended so far (any policy)."""
+        self._file.flush()
+        if self._unsynced or self.fsync_policy == "off":
+            self._fsync()
+
+    # -- reading / compaction ------------------------------------------------
+
+    def replay(self) -> List[bytes]:
+        """Every intact record payload, oldest first."""
+        self._file.flush()
+        return list(iter_wal_records(self.path))
+
+    def rewrite(self, payloads: Sequence[bytes] = ()) -> None:
+        """Atomically replace the log's contents (checkpoint compaction).
+
+        The replacement is written to a sibling temp file, fsynced, and
+        renamed over the log — a crash anywhere leaves either the full old
+        log or the full new one, never a half state.
+        """
+        buffer = io.BytesIO()
+        for payload in payloads:
+            buffer.write(encode_record(payload))
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as tmp:
+            tmp.write(buffer.getvalue())
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        _fsync_directory(os.path.dirname(self.path))
+        self._file = open(self.path, "ab")
+        self.records = len(payloads)
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _fsync_directory(directory: str) -> None:
+    """Durably record a rename in its directory (best effort off-POSIX)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

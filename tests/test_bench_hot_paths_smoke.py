@@ -20,6 +20,7 @@ EXPECTED_WORKLOADS = {
     "publisher_repeated_range",
     "publisher_join",
     "verifier_repeated_check",
+    "wal_ingest",
 }
 
 

@@ -193,7 +193,7 @@ def test_streaming_owner_with_concurrent_verified_readers(owner):
 
 
 def test_forged_and_replayed_updates_rejected_while_live(owner, forged_scheme):
-    """Typed rejection of forged / replayed updates against a live server."""
+    """Typed rejection of forged / stale updates; replays answer idempotently."""
     relation = workload.generate_employees(12, seed=22, photo_bytes=8)
     database = owner.publish_database({"employees": relation})
     router = ShardRouter({"hr": Publisher(database.relations)})
@@ -214,8 +214,22 @@ def test_forged_and_replayed_updates_rejected_while_live(owner, forged_scheme):
             first = owner_client._request(genuine, object)
             assert first.rotation.manifest.sequence == 1
 
+            # Replaying the byte-identical frame is idempotent: the server
+            # answers the original receipt from its applied-update registry
+            # without re-applying (this is what makes lost-ack resends safe).
+            replayed = owner_client._request(genuine, object)
+            assert replayed == first
+            assert database["employees"].version == 1
+
+            # A *different* update signed against the superseded manifest is
+            # still a typed stale-update rejection, not a silent re-anchor.
+            stale = build_update_request(
+                owner.signature_scheme,
+                manifest,
+                (RecordDelta(kind="insert", values=_row(19, "stale")),),
+            )
             with pytest.raises(RemoteError) as excinfo:
-                owner_client._request(genuine, object)  # replay
+                owner_client._request(stale, object)
             assert excinfo.value.code == "StaleManifestError"
             assert excinfo.value.reason == "stale-update"
 

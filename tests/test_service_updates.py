@@ -209,7 +209,7 @@ def test_forged_owner_signature_is_typed_error(world, forged_scheme):
     assert world["signed"].version == 0  # nothing was applied
 
 
-def test_replayed_update_request_is_typed_error(world):
+def test_replayed_update_request_is_idempotent_stale_is_typed_error(world):
     with _owner_client(world) as owner_client:
         manifest = owner_client.manifest("employees")
         batch = (
@@ -223,9 +223,20 @@ def test_replayed_update_request_is_typed_error(world):
         )
         first = owner_client._request(request, object)
         assert first.rotation.manifest.sequence == 1
-        # Replaying the captured request addresses the superseded manifest id.
+        # Replaying the captured byte-identical request answers the original
+        # receipt from the applied-update registry without re-applying — the
+        # idempotency that makes lost-ack resends safe.
+        assert owner_client._request(request, object) == first
+        assert world["signed"].version == 1  # applied exactly once
+        # A *different* batch signed against the superseded manifest is still
+        # a typed stale-update rejection.
+        stale = build_update_request(
+            world["owner"].signature_scheme,
+            manifest,
+            (RecordDelta(kind="insert", values=_row(13, "late")),),
+        )
         with pytest.raises(RemoteError) as excinfo:
-            owner_client._request(request, object)
+            owner_client._request(stale, object)
     assert excinfo.value.code == "StaleManifestError"
     assert excinfo.value.reason == "stale-update"
     assert world["signed"].version == 1  # applied exactly once
