@@ -18,6 +18,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_scheme_comparison.py --smoke --output fresh.json
     python benchmarks/check_bench_floors.py fresh.json --schemes
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke --output fresh.json
+    python benchmarks/check_bench_floors.py fresh.json --scale
 """
 
 from __future__ import annotations
@@ -144,6 +147,72 @@ def _check_schemes(fresh: dict, failures: list) -> None:
             failures.append(f"scheme {required!r} reported a non-positive verify time")
 
 
+#: targets key -> (operation class, latency field) for the scale ceilings
+_SCALE_LATENCY_CEILINGS = {
+    "scale_point_p99_ms_max": "point",
+    "scale_range_p99_ms_max": "range",
+    "scale_update_p99_ms_max": "update",
+}
+
+
+def _check_scale(floors: dict, fresh: dict, failures: list) -> None:
+    """Gates on the zipfian scale workload (run with ``--scale``).
+
+    Latency gates are *ceilings* measured at the committed 10^5-row tier, so
+    a smoke run (fewer rows, same code paths) must also stay under them; the
+    ingest gate is a conservative rows/second minimum.  Smaller tiers being
+    faster is exactly the property that makes the smoke run a sound gate.
+    """
+    serving = fresh.get("workloads", {}).get("scale_serving")
+    if serving is None:
+        failures.append("fresh report is missing workload 'scale_serving'")
+        return
+    latency = serving.get("latency_ms", {})
+    for floor_key, op_class in _SCALE_LATENCY_CEILINGS.items():
+        ceiling = floors.get(floor_key)
+        if ceiling is None:
+            failures.append(f"committed report is missing ceiling {floor_key!r}")
+            continue
+        entry = latency.get(op_class)
+        if entry is None or not entry.get("count"):
+            failures.append(f"scale run served no {op_class!r} operations")
+            continue
+        p99 = entry.get("p99_ms", float("inf"))
+        status = "ok" if p99 <= ceiling else "REGRESSION"
+        print(
+            f"scale {op_class:<6s} p99 {p99:10.2f} ms  ceiling {ceiling:8.2f} ms  "
+            f"{status}"
+        )
+        if p99 > ceiling:
+            failures.append(
+                f"scale {op_class} p99 latency {p99:.2f} ms exceeded the "
+                f"{ceiling:.2f} ms ceiling"
+            )
+    ingest_floor = floors.get("scale_ingest_rows_per_sec_min")
+    ingest = serving.get("ingest", {})
+    rate = ingest.get("rows_per_sec", 0.0)
+    if ingest_floor is None:
+        failures.append("committed report is missing floor 'scale_ingest_rows_per_sec_min'")
+    else:
+        status = "ok" if rate >= ingest_floor else "REGRESSION"
+        print(
+            f"scale ingest   {rate:10.2f} rows/s  floor {ingest_floor:8.2f}        "
+            f"{status}"
+        )
+        if rate < ingest_floor:
+            failures.append(
+                f"scale ingest {rate:.2f} rows/s fell below the "
+                f"{ingest_floor:.2f} rows/s floor"
+            )
+    if serving.get("recovery", {}).get("streams_rows") is not True:
+        failures.append(
+            "scale recovery materialised the relation's rows instead of "
+            "streaming them from the store"
+        )
+    else:
+        print("scale recovery streams rows from disk  ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="freshly measured benchmark JSON report")
@@ -162,6 +231,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="gate on the scheme-comparison workload instead of the hot paths",
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="gate on the zipfian scale workload instead of the hot paths",
+    )
     args = parser.parse_args(argv)
 
     with open(args.floors, "r", encoding="utf-8") as handle:
@@ -174,6 +248,8 @@ def main(argv=None) -> int:
         _check_wire(fresh, failures)
     elif args.schemes:
         _check_schemes(fresh, failures)
+    elif args.scale:
+        _check_scale(floors, fresh, failures)
     else:
         _check_hot_paths(floors, fresh, failures)
 

@@ -32,6 +32,7 @@ from repro.db import workload
 from repro.db.query import Conjunction, Query, RangeCondition
 from repro.schemes import available_schemes, get_scheme
 from repro.service.client import VerifyingClient
+from repro.service.config import ServerConfig
 from repro.service.router import ShardRouter
 from repro.service.server import PublicationServer
 from repro.wire import encode
@@ -119,7 +120,7 @@ def run_scheme_benchmarks(
     router = ShardRouter(shards)
     per_scheme: Dict[str, Dict] = {}
 
-    with PublicationServer(router, max_workers=4) as server:
+    with PublicationServer(router, config=ServerConfig(max_workers=4)) as server:
         host, port = server.address
         for name, (hosting, publication, publisher) in worlds.items():
             scheme = get_scheme(name)

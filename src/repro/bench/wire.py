@@ -35,6 +35,7 @@ from repro.crypto.signature import SignatureScheme, rsa_scheme
 from repro.db import workload
 from repro.db.query import Conjunction, Query, RangeCondition
 from repro.service.client import VerifyingClient
+from repro.service.config import ServerConfig
 from repro.service.protocol import QueryRequest, recv_frame, send_message
 from repro.service.router import ShardRouter
 from repro.service.server import PublicationServer
@@ -182,7 +183,7 @@ def bench_service_throughput(
     }
 
     with PublicationServer(
-        router, max_workers=max(8, 2 * config.clients)
+        router, config=ServerConfig(max_workers=max(8, 2 * config.clients))
     ) as server:
         host, port = server.address
 
@@ -258,9 +259,11 @@ def bench_pooled_identity(
         frames: List[bytes] = []
         with PublicationServer(
             router,
-            max_workers=8,
-            worker_processes=worker_processes,
-            response_cache=False,
+            config=ServerConfig(
+                max_workers=8,
+                worker_processes=worker_processes,
+                response_cache=False,
+            ),
         ) as server:
             host, port = server.address
             with socket.create_connection((host, port), timeout=30) as sock:
@@ -281,7 +284,10 @@ def bench_pooled_identity(
 
     def pooled_rate() -> float:
         with PublicationServer(
-            router, max_workers=max(8, 2 * config.clients), worker_processes=2
+            router,
+            config=ServerConfig(
+                max_workers=max(8, 2 * config.clients), worker_processes=2
+            ),
         ) as server:
             host, port = server.address
             batch = [

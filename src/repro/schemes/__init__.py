@@ -23,6 +23,7 @@ an import line below.
 from repro.schemes.base import (
     CompletenessUnsupported,
     ProofScheme,
+    PublisherProtocol,
     SchemeMismatchError,
     SchemePublication,
     SchemePublisher,
@@ -50,6 +51,7 @@ from repro.schemes.vbtree import (
 __all__ = [
     "CompletenessUnsupported",
     "ProofScheme",
+    "PublisherProtocol",
     "SchemeMismatchError",
     "SchemePublication",
     "SchemePublisher",

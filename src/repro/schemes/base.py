@@ -40,7 +40,17 @@ serve range answers under such a scheme unless the caller explicitly opts in
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.core.errors import (
     ProofConstructionError,
@@ -61,6 +71,7 @@ __all__ = [
     "SchemeMismatchError",
     "UnknownSchemeError",
     "ProofScheme",
+    "PublisherProtocol",
     "SchemePublication",
     "SchemePublisher",
     "SchemeVerifier",
@@ -340,6 +351,43 @@ class SchemePublisher:
 
     def cache_stats(self) -> Dict[str, object]:
         return {}
+
+
+@runtime_checkable
+class PublisherProtocol(Protocol):
+    """The exact publisher surface the service stack consumes.
+
+    Every shard a :class:`~repro.service.router.ShardRouter` hosts — the
+    chain scheme's :class:`~repro.core.publisher.Publisher`, the generic
+    :class:`SchemePublisher`, or anything a future scheme supplies — is used
+    through precisely these five members, nothing more:
+
+    * :attr:`database` — relation name -> publication mapping; the handler
+      lists it and the worker pool walks it to prime per-process state,
+    * :meth:`signed_relation` — the live publication behind one relation
+      (manifests, rotation signatures, recovery hooks),
+    * :meth:`answer` / :meth:`answer_join` — proof-carrying query answers,
+    * :meth:`apply_deltas` — owner update batches, and
+    * :meth:`cache_stats` — proof-cache counters for the stats endpoint.
+
+    The protocol is ``runtime_checkable`` so tests can assert conformance of
+    every registered scheme's publisher with a plain ``isinstance`` check;
+    like all runtime protocols it checks member presence, not signatures —
+    the conformance test in ``tests/test_schemes.py`` exercises the real
+    signatures.
+    """
+
+    database: Mapping[str, object]
+
+    def signed_relation(self, name: str) -> object: ...
+
+    def answer(self, query: Query, role: Optional[str] = None) -> PublishedResult: ...
+
+    def answer_join(self, join, role: Optional[str] = None): ...
+
+    def apply_deltas(self, relation_name: str, deltas: Sequence) -> UpdateReceipt: ...
+
+    def cache_stats(self) -> Dict[str, object]: ...
 
 
 # ---------------------------------------------------------------------------

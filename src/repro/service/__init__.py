@@ -13,11 +13,13 @@ so querying clients can follow the data as it changes.
 """
 
 from repro.service.client import (
+    QuerySpec,
     ServiceConnection,
     VerifiedJoinResult,
     VerifiedResult,
     VerifyingClient,
 )
+from repro.service.config import ServerConfig, StorageConfig
 from repro.service.demo import build_demo_router, build_demo_world
 from repro.service.handler import RequestHandler
 from repro.service.owner import (
@@ -65,18 +67,21 @@ __all__ = [
     "ProofWorkerPool",
     "PublicationServer",
     "QueryRequest",
+    "QuerySpec",
     "RequestHandler",
     "QueryResponse",
     "RecordDelta",
     "RelationListing",
     "RemoteError",
     "RotationRequest",
+    "ServerConfig",
     "ServiceConnection",
     "ServiceError",
     "ServiceProtocolError",
     "ShardRouter",
     "ShardTarget",
     "StaleManifestError",
+    "StorageConfig",
     "UnknownManifestError",
     "UpdateRequest",
     "UpdateResponse",

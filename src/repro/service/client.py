@@ -37,13 +37,13 @@ from __future__ import annotations
 
 import socket
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.relational import RelationManifest
 from repro.core.report import VerificationReport
 from repro.core.verifier import ResultVerifier
 from repro.db.access_control import AccessControlPolicy
-from repro.db.query import JoinQuery, Query
+from repro.db.query import Conjunction, JoinQuery, Query, RangeCondition
 from repro.schemes import (
     CompletenessUnsupported,
     ProofScheme,
@@ -76,6 +76,7 @@ from repro.wire.errors import WireFormatError
 from repro.wire.updates import ManifestRotated, manifest_signing_message
 
 __all__ = [
+    "QuerySpec",
     "ServiceConnection",
     "VerifiedResult",
     "VerifiedJoinResult",
@@ -264,6 +265,68 @@ class ServiceConnection:
             self.close()
             raise ServiceProtocolError(f"connection failed: {error}") from None
         return responses
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One verifiable request, whatever its shape: range, point or join.
+
+    The single value object behind :meth:`VerifyingClient.execute` /
+    :meth:`~VerifyingClient.execute_many`; the historical ``query`` /
+    ``query_many`` / ``query_join`` methods are thin delegates over it.
+
+    ``allow_incomplete`` opts in to schemes that prove authenticity but not
+    completeness (typed :class:`~repro.schemes.CompletenessUnsupported`
+    otherwise); it has no meaning for joins, which are only served by
+    completeness-proving schemes in the first place.
+    """
+
+    query: Union[Query, JoinQuery]
+    role: Optional[str] = None
+    verify: bool = True
+    allow_incomplete: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, (Query, JoinQuery)):
+            raise TypeError(
+                f"QuerySpec.query must be a Query or JoinQuery, "
+                f"not {type(self.query).__name__}"
+            )
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.query, JoinQuery)
+
+    # -- constructors for the common shapes ----------------------------------
+
+    @classmethod
+    def range(
+        cls,
+        relation_name: str,
+        attribute: str,
+        low: Optional[int] = None,
+        high: Optional[int] = None,
+        **options,
+    ) -> "QuerySpec":
+        """A closed-range selection ``low <= attribute <= high`` (None = open)."""
+        return cls(
+            query=Query(
+                relation_name, Conjunction((RangeCondition(attribute, low, high),))
+            ),
+            **options,
+        )
+
+    @classmethod
+    def point(
+        cls, relation_name: str, attribute: str, value: int, **options
+    ) -> "QuerySpec":
+        """A point selection ``attribute == value`` (a degenerate range)."""
+        return cls.range(relation_name, attribute, value, value, **options)
+
+    @classmethod
+    def join(cls, join_query: JoinQuery, **options) -> "QuerySpec":
+        """A PK-FK join request."""
+        return cls(query=join_query, **options)
 
 
 @dataclass(frozen=True)
@@ -629,7 +692,100 @@ class VerifyingClient(ServiceConnection):
 
     # -- queries -------------------------------------------------------------
 
+    def execute(self, spec: QuerySpec) -> Union[VerifiedResult, VerifiedJoinResult]:
+        """Issue one :class:`QuerySpec` — range, point or join — and verify.
+
+        The single entry point behind :meth:`query` / :meth:`query_join`:
+        dispatches on the spec's query shape and returns a
+        :class:`VerifiedResult` (single relation) or
+        :class:`VerifiedJoinResult` (join).
+        """
+        if isinstance(spec.query, JoinQuery):
+            return self._execute_join(spec.query, role=spec.role, verify=spec.verify)
+        return self._execute_query(
+            spec.query,
+            role=spec.role,
+            verify=spec.verify,
+            allow_incomplete=spec.allow_incomplete,
+        )
+
+    def execute_many(self, specs: Sequence[QuerySpec]) -> List[VerifiedResult]:
+        """Issue many single-relation specs down one pipelined exchange.
+
+        All specs must share role/verify/allow_incomplete (one exchange, one
+        verification policy) and none may be a join — joins need their own
+        two-sided rotation handling and are served by :meth:`execute`.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        for spec in specs:
+            if spec.is_join:
+                raise ValueError(
+                    "execute_many serves single-relation specs; send joins "
+                    "through execute()"
+                )
+        head = specs[0]
+        for spec in specs[1:]:
+            if (spec.role, spec.verify, spec.allow_incomplete) != (
+                head.role,
+                head.verify,
+                head.allow_incomplete,
+            ):
+                raise ValueError(
+                    "execute_many specs must share role/verify/allow_incomplete"
+                )
+        return self._execute_query_many(
+            [spec.query for spec in specs],
+            role=head.role,
+            verify=head.verify,
+            allow_incomplete=head.allow_incomplete,
+        )
+
     def query(
+        self,
+        query: Query,
+        role: Optional[str] = None,
+        verify: bool = True,
+        allow_incomplete: bool = False,
+    ) -> VerifiedResult:
+        """Thin delegate: :meth:`execute` over a single-relation spec."""
+        return self.execute(
+            QuerySpec(
+                query=query,
+                role=role,
+                verify=verify,
+                allow_incomplete=allow_incomplete,
+            )
+        )
+
+    def query_many(
+        self,
+        queries: Sequence[Query],
+        role: Optional[str] = None,
+        verify: bool = True,
+        allow_incomplete: bool = False,
+    ) -> List[VerifiedResult]:
+        """Thin delegate: :meth:`execute_many` over uniform specs."""
+        return self.execute_many(
+            [
+                QuerySpec(
+                    query=query,
+                    role=role,
+                    verify=verify,
+                    allow_incomplete=allow_incomplete,
+                )
+                for query in queries
+            ]
+        )
+
+    def query_join(
+        self, join: JoinQuery, role: Optional[str] = None, verify: bool = True
+    ) -> VerifiedJoinResult:
+        """Thin delegate: :meth:`execute` over a join spec."""
+        return self.execute(QuerySpec(query=join, role=role, verify=verify))
+
+    def _execute_query(
         self,
         query: Query,
         role: Optional[str] = None,
@@ -787,7 +943,7 @@ class VerifyingClient(ServiceConnection):
             return None
         return manifest
 
-    def query_many(
+    def _execute_query_many(
         self,
         queries: Sequence[Query],
         role: Optional[str] = None,
@@ -878,7 +1034,7 @@ class VerifyingClient(ServiceConnection):
             )
         return results
 
-    def query_join(
+    def _execute_join(
         self, join: JoinQuery, role: Optional[str] = None, verify: bool = True
     ) -> VerifiedJoinResult:
         """Issue a PK-FK join query and verify completeness + authenticity.

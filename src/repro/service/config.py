@@ -1,0 +1,102 @@
+"""Frozen configuration objects for the serving stack.
+
+Every tunable of :class:`~repro.service.server.PublicationServer` and of the
+durable storage layer lives in one of two value objects instead of a kwarg
+sprawl:
+
+* :class:`ServerConfig` — socket binding and concurrency: bind address,
+  connection cap, proof-worker pool size, response cache, per-connection
+  pipelining cap.
+* :class:`StorageConfig` — durability: the storage root, the row backend
+  (``memory`` or ``sqlite``; see :data:`repro.storage.store.STORAGE_BACKENDS`),
+  the WAL fsync policy and the checkpoint cadence.
+
+Both are frozen dataclasses that validate on construction, so an invalid
+configuration fails where it is written, not where it is first used.  The
+legacy keyword arguments on :class:`PublicationServer` and
+:func:`~repro.storage.store.open_publication_storage` keep working for one
+release through a shim that emits :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.storage.store import STORAGE_BACKENDS
+from repro.storage.wal import FSYNC_POLICIES
+
+__all__ = ["ServerConfig", "StorageConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """How a :class:`~repro.service.server.PublicationServer` binds and scales.
+
+    Parameters mirror the historical keyword arguments; see the server class
+    for their full semantics.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Maximum concurrently open connections (historical name: the
+    #: thread-pool ancestor had one thread per connection).
+    max_workers: int = 8
+    #: Proof worker pool size; 0 constructs proofs inline on the event loop.
+    worker_processes: int = 0
+    #: Encoded-response cache for hot query/join frames.
+    response_cache: bool = True
+    #: Per-connection cap on parsed-but-unanswered pipelined frames; beyond
+    #: it the server stops reading that socket until responses drain.
+    max_pipelined_frames: int = 256
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ValueError(f"port {self.port} is not a TCP port")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.worker_processes < 0:
+            raise ValueError("worker_processes must be >= 0")
+        if self.max_pipelined_frames < 1:
+            raise ValueError("max_pipelined_frames must be >= 1")
+
+    def with_overrides(self, **fields) -> "ServerConfig":
+        """A copy with ``fields`` replaced (re-validated)."""
+        return replace(self, **fields)
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """How a publication root persists rows, digests and logs.
+
+    ``root`` may stay empty when the storage path is supplied separately
+    (e.g. a test that builds the directory itself);
+    :func:`~repro.storage.store.open_publication_storage` treats an empty
+    root as "use the positional argument".
+    """
+
+    root: str = ""
+    #: ``memory`` (rows in checkpoints, rebuilt in RAM on recovery) or
+    #: ``sqlite`` (rows + chain digests in a per-shard relation store,
+    #: recovery streams from disk).
+    backend: str = "memory"
+    #: WAL fsync policy: ``always`` / ``batch`` / ``off``.
+    fsync: str = "always"
+    #: Checkpoint + compact a relation's WAL every N applied updates
+    #: (0 = only explicit checkpoints).
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: {STORAGE_BACKENDS}"
+            )
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync!r}; known: {FSYNC_POLICIES}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+    def with_overrides(self, **fields) -> "StorageConfig":
+        """A copy with ``fields`` replaced (re-validated)."""
+        return replace(self, **fields)

@@ -20,6 +20,7 @@ bookkeeping on the update path.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Optional, Tuple
 
 from repro.cache import BoundedCache
@@ -155,6 +156,10 @@ class RequestHandler:
             if guards is not None:
                 cache.put(frame, (payload, guards), weight=len(payload) + len(frame))
         if isinstance(request, UpdateRequest):
+            # The durable twin of this registry entry (sqlite backend) was
+            # already written inside the apply's atomic store transaction —
+            # see _answer_update; the wire encoding is canonical, so the
+            # payload persisted there is byte-identical to this one.
             self.router.remember_applied_update(frame, payload)
         return HandledFrame(payload)
 
@@ -305,19 +310,45 @@ class RequestHandler:
                     f"update for {target.relation_name!r} is not signed by "
                     "the data owner"
                 )
+            if frame is None:
+                frame = encode(request)
             if storage is not None:
                 plan = plan_deltas(signed.schema, request.deltas)
                 simulate_deltas(signed.relation, plan)
-                storage.log_update(target, frame if frame is not None else encode(request))
-            receipt = target.publisher.apply_deltas(
-                target.relation_name, request.deltas
+                storage.log_update(target, frame)
+            # One atomic store transaction for the whole applied update:
+            # batch rows, rotation chain state and the durable original-ack
+            # either all commit or all roll back (see applied_update_scope).
+            outer_scope = (
+                storage.applied_update_scope(target)
+                if storage is not None
+                else nullcontext()
             )
-            rotation = self.router.record_rotation(target)
+            with outer_scope:
+                batch_scope = (
+                    storage.update_batch(target)
+                    if storage is not None
+                    else nullcontext()
+                )
+                with batch_scope:
+                    receipt = target.publisher.apply_deltas(
+                        target.relation_name, request.deltas
+                    )
+                rotation = self.router.record_rotation(target)
+                response = UpdateResponse(receipt=receipt, rotation=rotation)
+                if storage is not None:
+                    storage.log_rotation(target, rotation)
+                    storage.remember_applied_response(
+                        target.relation_name,
+                        request.sequence,
+                        frame,
+                        encode(response),
+                    )
             if storage is not None:
-                storage.log_rotation(target, rotation)
+                storage.maybe_checkpoint(target, rotation)
         self.updates_applied += 1
         if self.faults is not None:
             # "update-after-apply": the batch is applied and durable, but the
             # acknowledgement never reaches the owner.
             self.faults.hit("update-after-apply")
-        return UpdateResponse(receipt=receipt, rotation=rotation)
+        return response

@@ -39,6 +39,7 @@ import os
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.schemes.base import PublisherProtocol
 from repro.service.handler import RequestHandler
 from repro.wire import decode
 from repro.wire.updates import UpdateRequest
@@ -58,6 +59,17 @@ def _worker_main(handler: RequestHandler, conn) -> None:
     # logged the batch before broadcasting; workers just re-apply in memory.
     handler.storage = None
     handler.faults = None
+    # Disk-backed publications flip to worker mode: reads come from a pinned
+    # WAL snapshot (the master keeps committing underneath this fork), their
+    # own re-applied updates stay in RAM, and nothing is written back — the
+    # master's store is the single writer.
+    publisher: PublisherProtocol
+    for publisher in handler.router.shards.values():
+        for relation_name in publisher.database:
+            publication = publisher.signed_relation(relation_name)
+            hook = getattr(publication, "set_worker_mode", None)
+            if hook is not None:
+                hook()
     while True:
         try:
             message = conn.recv()

@@ -3,7 +3,8 @@
 A *shard* is one publisher — the chain scheme's
 :class:`~repro.core.publisher.Publisher` or any registered scheme's
 :class:`~repro.schemes.base.SchemePublisher` (the router is
-scheme-polymorphic: it consumes only the shared publisher surface, and each
+scheme-polymorphic: it consumes only the shared
+:class:`~repro.schemes.base.PublisherProtocol` surface, and each
 hosted relation's manifest carries its scheme tag inside the bytes the
 32-byte id commits to).  The router indexes every hosted relation by the
 :func:`repro.wire.manifest_id` of its manifest and dispatches incoming
@@ -37,9 +38,9 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Mapping, Optional, Tuple
 
 from repro.cache import BoundedCache
-from repro.core.publisher import Publisher
 from repro.core.relational import RelationManifest
 from repro.db.query import JoinQuery
+from repro.schemes.base import PublisherProtocol
 from repro.service.protocol import ServiceError, StaleManifestError
 from repro.wire import manifest_id
 from repro.wire.updates import ManifestRotated
@@ -71,17 +72,17 @@ class ShardTarget:
 
     shard_name: str
     relation_name: str
-    publisher: Publisher
+    publisher: PublisherProtocol
     lock: threading.Lock = field(compare=False)
 
 
 class ShardRouter:
     """Routes manifest ids to the shard publisher hosting them."""
 
-    def __init__(self, shards: Mapping[str, Publisher]) -> None:
+    def __init__(self, shards: Mapping[str, PublisherProtocol]) -> None:
         if not shards:
             raise ValueError("a shard router needs at least one shard")
-        self.shards: Dict[str, Publisher] = dict(shards)
+        self.shards: Dict[str, PublisherProtocol] = dict(shards)
         self._index_lock = threading.Lock()
         self._by_id: Dict[bytes, ShardTarget] = {}
         self._by_name: Dict[str, ShardTarget] = {}

@@ -42,9 +42,11 @@ import selectors
 import socket
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.service.config import ServerConfig
 from repro.service.handler import HandledFrame, RequestHandler
 from repro.service.pool import ProofWorkerPool
 from repro.service.protocol import (
@@ -62,10 +64,14 @@ from repro.wire.updates import UpdateRequest
 
 __all__ = ["PublicationServer"]
 
-#: Per-connection cap on queued (parsed but unanswered) pipelined frames;
-#: beyond it the server stops reading that socket until responses drain —
-#: backpressure instead of unbounded buffering.
+#: Default per-connection cap on queued (parsed but unanswered) pipelined
+#: frames; beyond it the server stops reading that socket until responses
+#: drain — backpressure instead of unbounded buffering.  Tunable per server
+#: via :attr:`repro.service.config.ServerConfig.max_pipelined_frames`.
 MAX_PIPELINED_FRAMES = 256
+
+#: Sentinel distinguishing "not passed" from any real legacy-kwarg value.
+_LEGACY_UNSET = object()
 
 _RECV_CHUNK = 256 * 1024
 
@@ -132,22 +138,15 @@ class PublicationServer:
     ----------
     router:
         The shard router naming every hosted relation.
-    host, port:
-        Bind address; port 0 picks a free port (read it back from
-        :attr:`address` after :meth:`start`).
-    max_workers:
-        Maximum concurrently open connections (the name is historical: the
-        thread-pool ancestor of this server had one thread per connection).
-        A connection beyond the cap is not silently parked: it immediately
-        receives a typed ``ErrorResponse(code="ServerBusy")`` and is closed,
-        so clients see overload instead of an unexplained hang.
-    worker_processes:
-        Size of the proof worker pool.  0 (default) constructs proofs inline
-        on the event loop; N > 0 forks N pre-warmed workers and fans
-        query/join frames out to them (requires a ``fork`` platform).
-    response_cache:
-        Enable the encoded-response cache for hot query/join frames
-        (rotation-invalidated; see :class:`~repro.service.handler.RequestHandler`).
+    config:
+        A :class:`~repro.service.config.ServerConfig`: bind address (port 0
+        picks a free port; read it back from :attr:`address` after
+        :meth:`start`), connection cap (a connection beyond it immediately
+        receives a typed ``ErrorResponse(code="ServerBusy")`` — overload,
+        never an unexplained hang), proof-worker pool size (0 constructs
+        proofs inline; N > 0 forks N pre-warmed workers, requires a ``fork``
+        platform), the encoded-response cache switch and the per-connection
+        pipelining cap.
     storage:
         Optional :class:`~repro.storage.store.PublicationStorage`: accepted
         update batches are write-ahead logged (and fsynced per the storage's
@@ -157,27 +156,60 @@ class PublicationServer:
     faults:
         Optional :class:`~repro.storage.faults.FaultRegistry` for
         deterministic crash/drop/stall injection (testing only).
+    host, port, max_workers, worker_processes, response_cache:
+        Deprecated keyword equivalents of the :class:`ServerConfig` fields;
+        they still work for one release (emitting ``DeprecationWarning``)
+        and override the matching ``config`` field when passed.
     """
 
     def __init__(
         self,
         router: ShardRouter,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        max_workers: int = 8,
-        worker_processes: int = 0,
-        response_cache: bool = True,
+        host=_LEGACY_UNSET,
+        port=_LEGACY_UNSET,
+        max_workers=_LEGACY_UNSET,
+        worker_processes=_LEGACY_UNSET,
+        response_cache=_LEGACY_UNSET,
         storage=None,
         faults=None,
+        config: Optional[ServerConfig] = None,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("host", host),
+                ("port", port),
+                ("max_workers", max_workers),
+                ("worker_processes", worker_processes),
+                ("response_cache", response_cache),
+            )
+            if value is not _LEGACY_UNSET
+        }
+        if legacy:
+            warnings.warn(
+                "PublicationServer keyword arguments "
+                f"{sorted(legacy)} are deprecated; pass "
+                "config=ServerConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is None:
+            config = ServerConfig(**legacy)
+        elif legacy:
+            config = config.with_overrides(**legacy)
+        self.config = config
         self.router = router
-        self._requested = (host, port)
-        self._max_connections = max_workers
-        self._worker_processes = worker_processes
+        self._requested = (config.host, config.port)
+        self._max_connections = config.max_workers
+        self._worker_processes = config.worker_processes
+        self._max_pipelined = config.max_pipelined_frames
         self.storage = storage
         self.faults = faults
         self.handler = RequestHandler(
-            router, response_cache=response_cache, storage=storage, faults=faults
+            router,
+            response_cache=config.response_cache,
+            storage=storage,
+            faults=faults,
         )
         self._listener: Optional[socket.socket] = None
         self._loop_thread: Optional[threading.Thread] = None
@@ -458,7 +490,7 @@ class PublicationServer:
         offset = 0
         total = len(inbuf)
         while not connection.closing:
-            if len(connection.pending) >= MAX_PIPELINED_FRAMES:
+            if len(connection.pending) >= self._max_pipelined:
                 connection.paused = True
                 break
             if total - offset < 4:
@@ -668,7 +700,7 @@ class PublicationServer:
             with self._stats_lock:
                 self.requests_served += served
                 self.errors_answered += errors
-        if connection.paused and len(pending) <= MAX_PIPELINED_FRAMES // 2:
+        if connection.paused and len(pending) <= self._max_pipelined // 2:
             connection.paused = False
             # Frames may already be buffered past the pause point; any
             # partial tail left after parsing starts a fresh stall window
@@ -759,8 +791,14 @@ def _main(argv=None) -> int:
     import signal
     import sys
 
+    from repro.service.config import StorageConfig
     from repro.service.demo import build_demo_router
-    from repro.storage import FSYNC_POLICIES, fault_registry_from_env, open_publication_storage
+    from repro.storage import (
+        FSYNC_POLICIES,
+        STORAGE_BACKENDS,
+        fault_registry_from_env,
+        open_publication_storage,
+    )
 
     parser = argparse.ArgumentParser(description=_main.__doc__)
     parser.add_argument("--host", default="127.0.0.1")
@@ -789,6 +827,15 @@ def _main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--storage-backend",
+        choices=STORAGE_BACKENDS,
+        default="memory",
+        help=(
+            "row backend for a *fresh* --storage-dir root (an existing root "
+            "keeps the backend it was created with)"
+        ),
+    )
+    parser.add_argument(
         "--fsync",
         choices=FSYNC_POLICIES,
         default="always",
@@ -805,24 +852,31 @@ def _main(argv=None) -> int:
     faults = fault_registry_from_env()
     storage = None
     if args.storage_dir is not None:
+        storage_config = StorageConfig(
+            root=args.storage_dir,
+            backend=args.storage_backend,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
         router, storage = open_publication_storage(
             args.storage_dir,
             lambda: build_demo_router(key_bits=args.key_bits, seed=args.seed),
-            fsync=args.fsync,
-            checkpoint_every=args.checkpoint_every,
             faults=faults,
+            config=storage_config,
         )
     else:
         router = build_demo_router(key_bits=args.key_bits, seed=args.seed)
     server = PublicationServer(
         router,
-        host=args.host,
-        port=args.port,
-        max_workers=args.max_workers,
-        worker_processes=args.worker_processes,
-        response_cache=not args.no_response_cache,
         storage=storage,
         faults=faults,
+        config=ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            worker_processes=args.worker_processes,
+            response_cache=not args.no_response_cache,
+        ),
     )
 
     def _graceful(signum, frame):  # noqa: ARG001 - signal handler signature

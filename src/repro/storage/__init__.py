@@ -33,8 +33,22 @@ from repro.storage.faults import (
     FaultRegistry,
     fault_registry_from_env,
 )
-from repro.storage.recovery import rebuild_publication, recover_router
+from repro.storage.recovery import (
+    rebuild_publication,
+    rebuild_stored_publication,
+    recover_router,
+)
+from repro.storage.relstore import (
+    ChainState,
+    RelationStore,
+    StoredRelation,
+    StoredSignedRelation,
+    build_stored_chain,
+    dump_publication,
+    stored_current_rotation,
+)
 from repro.storage.store import (
+    STORAGE_BACKENDS,
     PublicationStorage,
     open_publication_storage,
 )
@@ -47,6 +61,7 @@ from repro.storage.wal import (
 )
 
 __all__ = [
+    "ChainState",
     "Checkpoint",
     "CheckpointCorruptError",
     "FAILPOINTS",
@@ -55,18 +70,26 @@ __all__ = [
     "FaultRegistry",
     "PublicationStorage",
     "RecoveryError",
+    "RelationStore",
+    "STORAGE_BACKENDS",
     "StorageError",
+    "StoredRelation",
+    "StoredSignedRelation",
     "WalCorruptError",
     "WalScan",
     "WriteAheadLog",
+    "build_stored_chain",
+    "dump_publication",
     "fault_registry_from_env",
     "iter_wal_records",
     "load_checkpoint",
     "load_keys",
     "open_publication_storage",
     "rebuild_publication",
+    "rebuild_stored_publication",
     "recover_router",
     "save_keys",
     "scan_wal",
+    "stored_current_rotation",
     "write_checkpoint",
 ]

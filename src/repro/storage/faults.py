@@ -30,6 +30,9 @@ Registered points (see :data:`FAILPOINTS`):
 * ``conn-mid-frame``   — the server wrote part of a response frame.
 * ``checkpoint-before-swap`` — a checkpoint was written but not yet renamed
   into place (recovery must keep using the previous one).
+* ``relstore-before-commit`` — a sqlite-backed update batch is fully staged
+  but the outermost COMMIT has not run (kill-style crash tests: the store
+  rolls back to the previous update boundary and the WAL replays the rest).
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ FAILPOINTS = (
     "update-after-apply",
     "conn-mid-frame",
     "checkpoint-before-swap",
+    "relstore-before-commit",
 )
 
 FAULT_ACTIONS = ("kill", "error", "drop", "stall")

@@ -45,6 +45,7 @@ from repro.schemes import get_scheme
 from repro.service.router import ShardRouter, ShardTarget
 from repro.storage.checkpoint import Checkpoint
 from repro.storage.errors import RecoveryError
+from repro.storage.relstore import StoredSignedRelation, stored_current_rotation
 from repro.storage.store import PublicationStorage
 from repro.wire import decode, encode, manifest_id
 from repro.wire.updates import (
@@ -55,7 +56,7 @@ from repro.wire.updates import (
     update_signing_message,
 )
 
-__all__ = ["recover_router", "rebuild_publication"]
+__all__ = ["recover_router", "rebuild_publication", "rebuild_stored_publication"]
 
 
 def rebuild_publication(checkpoint: Checkpoint, signature_scheme):
@@ -99,6 +100,70 @@ def rebuild_publication(checkpoint: Checkpoint, signature_scheme):
     return publication
 
 
+def rebuild_stored_publication(
+    storage: PublicationStorage, shard: str, checkpoint: Checkpoint, signature_scheme
+):
+    """One relation served from its shard's relation store (sqlite backend).
+
+    The chain scheme *attaches*: identity index, digests and signatures
+    load from SQLite, rows fault in lazily, and nothing is re-signed — the
+    stored signatures are the owner's chain, so peak memory is a few dozen
+    bytes per row instead of the rows themselves.  The other registered
+    schemes stream their rows out of the store and republish (their proof
+    structures only exist in RAM).  The store may be *ahead* of the
+    checkpoint (it commits every update batch; checkpoints are periodic):
+    the publication resumes at the store's sequence, and the checkpoint's
+    owner-signed manifest id must still lie on the same history.
+    """
+    name = checkpoint.relation_name
+    manifest = checkpoint.rotation.manifest
+    if manifest.public_key != signature_scheme.verifier:
+        raise RecoveryError(
+            f"relation {name!r}: the persisted signing key does not match "
+            "the checkpointed manifest's public key",
+            reason="key-mismatch",
+        )
+    store = storage.relation_store(shard)
+    state = store.chain_state(name)
+    if state is None:
+        raise RecoveryError(
+            f"relation {name!r}: the shard's relation store holds no chain "
+            "state for it",
+            reason="store-missing",
+        )
+    scheme_tag = getattr(manifest, "scheme", "chain") or "chain"
+    if state.scheme != scheme_tag:
+        raise RecoveryError(
+            f"relation {name!r}: the relation store says scheme "
+            f"{state.scheme!r}, the checkpoint says {scheme_tag!r}",
+            reason="store-scheme-mismatch",
+        )
+    if state.sequence < manifest.sequence:
+        raise RecoveryError(
+            f"relation {name!r}: the relation store stopped at sequence "
+            f"{state.sequence}, behind its own checkpoint at "
+            f"{manifest.sequence}",
+            reason="store-behind-checkpoint",
+        )
+    hash_function = HashFunction(manifest.hash_name)
+    if scheme_tag == "chain":
+        publication = StoredSignedRelation(store, name, manifest, signature_scheme)
+    else:
+        relation = Relation.from_rows(manifest.schema, store.iter_row_values(name))
+        publication = get_scheme(scheme_tag).publish(
+            relation, signature_scheme, hash_function=hash_function
+        )
+    publication.restore_sequence(state.sequence)
+    expected = replace(publication.manifest, sequence=manifest.sequence)
+    if manifest_id(expected) != manifest_id(manifest):
+        raise RecoveryError(
+            f"relation {name!r}: the relation rebuilt from its store does "
+            "not reproduce the checkpointed manifest id",
+            reason="checkpoint-divergence",
+        )
+    return publication
+
+
 def _build_shard(
     storage: PublicationStorage, shard: str, names
 ) -> Dict[str, Union[SignedRelation, object]]:
@@ -118,7 +183,13 @@ def _build_shard(
                 f"{checkpoint.relation_name!r}",
                 reason="checkpoint-mislabelled",
             )
-        publications[name] = (checkpoint, rebuild_publication(checkpoint, signature_scheme))
+        if storage.backend == "sqlite":
+            publication = rebuild_stored_publication(
+                storage, shard, checkpoint, signature_scheme
+            )
+        else:
+            publication = rebuild_publication(checkpoint, signature_scheme)
+        publications[name] = (checkpoint, publication)
     return publications
 
 
@@ -143,23 +214,45 @@ def _make_publisher(shard: str, publications: Dict[str, object]):
 def recover_router(storage: PublicationStorage) -> ShardRouter:
     """Rebuild the full router from an opened storage root (see module doc)."""
     checkpoints: Dict[str, Checkpoint] = {}
+    shard_of: Dict[str, str] = {}
+    by_name: Dict[str, object] = {}
     shards = {}
     for shard, names in storage.layout.items():
         built = _build_shard(storage, shard, names)
         publications = {}
         for name, (checkpoint, publication) in built.items():
             checkpoints[name] = checkpoint
+            shard_of[name] = shard
+            by_name[name] = publication
             publications[name] = publication
         shards[shard] = _make_publisher(shard, publications)
     router = ShardRouter(shards)
-    # Seed rotation history from the checkpoints first: a relation whose WAL
-    # is empty must still answer RotationRequest with the rotation it had
-    # (its true previous id) rather than a re-derived genesis-style one.
+    # Seed rotation history first: a relation whose WAL is empty must still
+    # answer RotationRequest with the rotation it had (its true previous id)
+    # rather than a re-derived genesis-style one.  The memory backend's
+    # current rotation is the checkpoint's; the sqlite store may be ahead of
+    # the checkpoint, so its own stored (or re-derived) rotation wins there.
     for name, checkpoint in checkpoints.items():
-        router.restore_rotation(name, checkpoint.rotation)
+        if storage.backend == "sqlite":
+            rotation = stored_current_rotation(
+                storage.relation_store(shard_of[name]), name, by_name[name]
+            )
+        else:
+            rotation = checkpoint.rotation
+        router.restore_rotation(name, rotation)
     for shard, names in storage.layout.items():
         for name in names:
             _replay_relation(router, storage, name)
+    if storage.backend == "sqlite":
+        # The applied-update registry survives in the store (the in-memory
+        # replay above only re-registers frames the store had not yet
+        # committed); reload it so resubmitted batches from before the last
+        # checkpoint still get their original acknowledgement.
+        for shard, names in storage.layout.items():
+            store = storage.relation_store(shard)
+            for name in names:
+                for frame, response in store.applied_updates(name):
+                    router.remember_applied_update(frame, response)
     return router
 
 
@@ -175,7 +268,7 @@ def _replay_relation(router: ShardRouter, storage: PublicationStorage, name: str
                 reason="undecodable-record",
             ) from error
         if isinstance(artifact, UpdateRequest):
-            _replay_update(router, target, entry, artifact, frame)
+            _replay_update(router, storage, target, entry, artifact, frame)
         elif isinstance(artifact, ManifestRotated):
             _replay_rotation(router, target, artifact)
         else:
@@ -188,6 +281,7 @@ def _replay_relation(router: ShardRouter, storage: PublicationStorage, name: str
 
 def _replay_update(
     router: ShardRouter,
+    storage: PublicationStorage,
     target: ShardTarget,
     entry,
     request: UpdateRequest,
@@ -197,12 +291,17 @@ def _replay_update(
     signed = target.publisher.signed_relation(name)
     version = signed.version
     if request.sequence < version:
-        # Already inside the checkpoint (crash between checkpoint swap and
-        # log compaction).  Verify it belongs to this relation's history —
-        # the manifest at that sequence differs from the current one only in
-        # the sequence field — then skip.
+        # Already applied — inside the checkpoint (crash between checkpoint
+        # swap and log compaction) or, on the sqlite backend, committed to
+        # the relation store before the crash.  Verify it belongs to this
+        # relation's history — the manifest at that sequence differs from
+        # the current one only in the sequence field — then skip.
         historical = replace(signed.manifest, sequence=request.sequence)
         _verify_update_signature(name, historical, request)
+        if storage.backend == "sqlite":
+            # The store absorbed this batch but no checkpoint covers it yet;
+            # count it so the periodic checkpoint cadence is unchanged.
+            entry.updates_since_checkpoint += 1
         return
     if request.sequence > version:
         raise RecoveryError(
@@ -218,22 +317,26 @@ def _replay_update(
             reason="manifest-mismatch",
         )
     _verify_update_signature(name, signed.manifest, request)
-    try:
-        receipt = target.publisher.apply_deltas(name, request.deltas)
-    except Exception as error:
-        raise RecoveryError(
-            f"relation {name!r}: a logged, owner-signed batch fails to "
-            f"apply during replay: {error}",
-            reason="replay-apply-failed",
-        ) from error
-    rotation = router.record_rotation(target)
-    entry.updates_since_checkpoint += 1
-    # Re-derive the original acknowledgement (receipts and FDH signatures
-    # are deterministic) so a post-restart resubmission of this exact frame
-    # returns the byte-identical outcome instead of double-applying.
-    router.remember_applied_update(
-        frame, encode(UpdateResponse(receipt=receipt, rotation=rotation))
-    )
+    # Same atomicity as the live path: the re-applied batch and its
+    # re-derived acknowledgement commit to the store in one transaction.
+    with storage.applied_update_scope(target):
+        try:
+            with storage.update_batch(target):
+                receipt = target.publisher.apply_deltas(name, request.deltas)
+        except Exception as error:
+            raise RecoveryError(
+                f"relation {name!r}: a logged, owner-signed batch fails to "
+                f"apply during replay: {error}",
+                reason="replay-apply-failed",
+            ) from error
+        rotation = router.record_rotation(target)
+        entry.updates_since_checkpoint += 1
+        # Re-derive the original acknowledgement (receipts and FDH signatures
+        # are deterministic) so a post-restart resubmission of this exact
+        # frame returns the byte-identical outcome instead of double-applying.
+        response_payload = encode(UpdateResponse(receipt=receipt, rotation=rotation))
+        router.remember_applied_update(frame, response_payload)
+        storage.persist_replayed_update(target, rotation, request, frame, response_payload)
 
 
 def _verify_update_signature(name: str, manifest, request: UpdateRequest) -> None:

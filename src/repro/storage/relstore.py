@@ -1,0 +1,1119 @@
+"""Disk-backed relation + digest store: serve a signed relation without RAM rows.
+
+One SQLite file per shard (``relstore.db``) holds, per relation, the exact
+artifacts the chain-signature scheme serves — using the repo's
+schema-over-SQL idiom (three fixed tables keyed by relation name, not one
+SQL schema per relational schema):
+
+``entries``
+    One row per chain entry: the two domain delimiters and every record,
+    keyed by ``(relation, kind, key, fingerprint)`` so the natural SQLite
+    index *is* the relation's canonical sort order.  Records carry their
+    wire payload (a ``RecordDelta(kind="insert")`` frame, the same encoding
+    checkpoints use) plus the entry's precomputed ``g`` digest and its
+    FDH-RSA chain signature; delimiters carry digest + signature only.
+
+``chain_state``
+    Per relation: the manifest ``sequence`` the stored chain corresponds
+    to, the sequence it superseded (for re-deriving the current rotation
+    after a crash), the proof-scheme tag, and the latest owner-signed
+    ``ManifestRotated`` frame verbatim.
+
+``applied_updates``
+    The durable twin of the router's replayed-update registry: the last
+    ``N`` applied owner update frames and their encoded responses, so a
+    recovered server answers a retransmitted update byte-identically.
+
+**Trust boundary.**  Same stance as :mod:`repro.storage.checkpoint`: rows on
+disk are integrity-checked against owner-signed digests on load, not
+blindly trusted.  Every record faulted in from SQLite is re-fingerprinted
+and compared against the fingerprint under which it was filed — the same
+identity that orders the owner-signed chain — and the digests/signatures
+served alongside it are the owner-signed chain artifacts themselves, which
+every verifying client re-checks end to end.  Row integrity beyond that is
+a *crash-safety* property, not a security one: this reproduction's
+deployment model (:mod:`repro.service.owner`) already trusts the publisher
+host with the signing key, so a host that can edit ``relstore.db`` can
+equally re-sign what it edited.  What the store preserves against everyone
+*else* is what the paper promises: the WAL's update frames and the stored
+rotation are owner-signed, so a party holding only the disk can truncate
+history but never extend or alter it.
+
+**Crash semantics.**  All mutations run inside explicit ``BEGIN IMMEDIATE``
+transactions; a batch of deltas commits atomically with its chain-state
+bump, so a SIGKILL anywhere leaves the store at a whole update boundary and
+the WAL replays the rest.  The ``relstore-before-commit`` failpoint fires
+just before the outermost ``COMMIT`` and is meant for ``kill``-style crash
+tests (an ``error`` action rolls the store back while the in-memory chain
+keeps the mutation, deliberately modelling a torn process about to die).
+
+**Forked proof workers** call :meth:`StoredSignedRelation.set_worker_mode`:
+persistence is disabled, reads pin a WAL snapshot (one long-lived read
+transaction per worker process), and re-applied broadcast rows are kept in
+the unevictable pending cache — so a worker never depends on rows the
+master has since rewritten.  A worker that does hit an inconsistent read
+exits and is re-forked from the master's current state by the pool, which
+is the pool's designed recovery path for any worker crash.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.relational import (
+    ChainEntry,
+    RelationManifest,
+    SignedRelation,
+    build_chain_schemes,
+)
+from repro.core.relational import _LEFT_DELIMITER, _RECORD, _RIGHT_DELIMITER
+from repro.crypto.encoding import concat_digests, encode_many
+from repro.crypto.hashing import HashFunction, default_hash
+from repro.crypto.signature import SignatureScheme
+from repro.db.records import Record
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.storage.errors import StorageError
+from repro.storage.faults import FaultRegistry
+from repro.wire import decode, encode, manifest_id
+from repro.wire.updates import ManifestRotated, RecordDelta
+
+__all__ = [
+    "ChainState",
+    "RelationStore",
+    "StoredRelation",
+    "StoredSignedRelation",
+    "build_stored_chain",
+    "dump_publication",
+    "stored_current_rotation",
+]
+
+#: Storage kinds of the ``entries`` table, in chain order.
+KIND_LEFT = "left"
+KIND_RECORD = "record"
+KIND_RIGHT = "right"
+
+#: How many applied update frames the store remembers per relation —
+#: mirrors the router's in-memory replayed-update registry bound.
+MAX_APPLIED_REMEMBERED = 256
+
+#: Default size of a stored relation's faulted-record LRU cache.
+DEFAULT_RECORD_CACHE = 4096
+
+_SYNCHRONOUS = {"always": "FULL", "batch": "NORMAL", "off": "OFF"}
+
+_UNSET = object()
+
+
+def _signature_blob(signature: int) -> bytes:
+    return signature.to_bytes((signature.bit_length() + 7) // 8 or 1, "big")
+
+
+def _signature_int(blob: Optional[bytes]) -> int:
+    return int.from_bytes(blob or b"", "big")
+
+
+@dataclass(frozen=True)
+class ChainState:
+    """One relation's persisted manifest bookkeeping."""
+
+    sequence: int
+    #: Sequence the current rotation superseded; ``-1`` means genesis
+    #: (``previous_id == b""``).  Used to re-derive the rotation frame when
+    #: a crash tore the stored one.
+    previous_sequence: int
+    scheme: str
+    rotation: Optional[bytes]
+
+
+class RelationStore:
+    """One shard's SQLite store of rows, chain digests and manifest state.
+
+    Connections are opened lazily per process (a forked worker that
+    inherits this object transparently reconnects under its own pid) and
+    shared across threads — the service applies every mutation on its
+    single event-loop thread, and SQLite's serialized mode plus the
+    transaction lock below keep any stray concurrent reader safe.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "always",
+        faults: Optional[FaultRegistry] = None,
+    ) -> None:
+        if fsync not in _SYNCHRONOUS:
+            raise ValueError(f"unknown fsync policy {fsync!r}")
+        self.path = path
+        self.fsync = fsync
+        self.faults = faults
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid: Optional[int] = None
+        self._depth = 0
+        self._snapshot_reads = False
+        self._txn_lock = threading.RLock()
+
+    # -- connection management -------------------------------------------------
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._conn is None or self._pid != os.getpid():
+            # After a fork the inherited connection object is abandoned, not
+            # closed: closing it from the child could release the parent's
+            # file locks out from under it.
+            conn = sqlite3.connect(
+                self.path, isolation_level=None, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL").fetchone()
+            conn.execute(f"PRAGMA synchronous={_SYNCHRONOUS[self.fsync]}")
+            conn.execute("PRAGMA busy_timeout=5000")
+            conn.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS entries (
+                    relation    TEXT NOT NULL,
+                    kind        TEXT NOT NULL,
+                    key         INTEGER NOT NULL,
+                    fingerprint BLOB NOT NULL,
+                    payload     BLOB,
+                    digest      BLOB NOT NULL,
+                    signature   BLOB NOT NULL,
+                    PRIMARY KEY (relation, kind, key, fingerprint)
+                );
+                CREATE TABLE IF NOT EXISTS chain_state (
+                    relation          TEXT PRIMARY KEY,
+                    sequence          INTEGER NOT NULL,
+                    previous_sequence INTEGER NOT NULL,
+                    scheme            TEXT NOT NULL,
+                    rotation          BLOB
+                );
+                CREATE TABLE IF NOT EXISTS applied_updates (
+                    relation  TEXT NOT NULL,
+                    frame_sha BLOB NOT NULL,
+                    sequence  INTEGER NOT NULL,
+                    frame     BLOB NOT NULL,
+                    response  BLOB NOT NULL,
+                    PRIMARY KEY (relation, frame_sha)
+                );
+                """
+            )
+            self._conn = conn
+            self._pid = os.getpid()
+            self._depth = 0
+            if self._snapshot_reads:
+                conn.execute("BEGIN")
+                conn.execute("SELECT COUNT(*) FROM chain_state").fetchone()
+        return self._conn
+
+    def enable_snapshot_reads(self) -> None:
+        """Pin all reads to the current WAL snapshot (forked workers).
+
+        Opens a fresh connection immediately (discarding any inherited one)
+        and starts a read transaction that is never committed, so every
+        later fault-in sees the database exactly as it was now — the
+        master's subsequent commits are invisible, matching the worker's
+        own in-memory re-application of broadcast updates.
+        """
+        self._snapshot_reads = True
+        self._conn = None
+        _ = self.connection
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    def __getstate__(self):  # pragma: no cover - stores never cross spawn
+        state = dict(self.__dict__)
+        state["_conn"] = None
+        state["_pid"] = None
+        state["_txn_lock"] = None
+        return state
+
+    def __setstate__(self, state):  # pragma: no cover
+        self.__dict__.update(state)
+        self._txn_lock = threading.RLock()
+
+    # -- transactions ----------------------------------------------------------
+
+    def in_transaction(self) -> bool:
+        return self._depth > 0
+
+    @contextmanager
+    def transaction(self):
+        """Nesting-aware write transaction; outermost wins BEGIN/COMMIT."""
+        with self._txn_lock:
+            conn = self.connection
+            if self._depth == 0:
+                conn.execute("BEGIN IMMEDIATE")
+            self._depth += 1
+            try:
+                yield
+            except BaseException:
+                self._depth -= 1
+                if self._depth == 0:
+                    conn.execute("ROLLBACK")
+                raise
+            else:
+                self._depth -= 1
+                if self._depth == 0:
+                    if self.faults is not None:
+                        self.faults.hit("relstore-before-commit")
+                    conn.execute("COMMIT")
+
+    # -- entries ---------------------------------------------------------------
+
+    def clear_relation(self, relation: str) -> None:
+        """Drop the relation's rows and chain state ahead of a full re-dump.
+
+        The applied-update registry survives on purpose: it records
+        acknowledgements, not publication state, and a transitional re-dump
+        (every rotation of a non-stored publication) must not forget them.
+        """
+        with self.transaction():
+            conn = self.connection
+            conn.execute("DELETE FROM entries WHERE relation=?", (relation,))
+            conn.execute("DELETE FROM chain_state WHERE relation=?", (relation,))
+
+    def put_entry(
+        self,
+        relation: str,
+        kind: str,
+        key: int,
+        fingerprint: bytes,
+        *,
+        payload: Optional[bytes],
+        digest: bytes,
+        signature: int,
+    ) -> None:
+        self.connection.execute(
+            "INSERT INTO entries (relation, kind, key, fingerprint, payload, digest, signature)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT(relation, kind, key, fingerprint) DO UPDATE SET"
+            " payload=excluded.payload, digest=excluded.digest, signature=excluded.signature",
+            (relation, kind, key, fingerprint, payload, digest, _signature_blob(signature)),
+        )
+
+    def insert_entries(
+        self,
+        relation: str,
+        rows: Iterable[Tuple[str, int, bytes, Optional[bytes], bytes, int]],
+    ) -> None:
+        """Bulk-insert ``(kind, key, fingerprint, payload, digest, signature)``."""
+        self.connection.executemany(
+            "INSERT INTO entries (relation, kind, key, fingerprint, payload, digest, signature)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                (relation, kind, key, fingerprint, payload, digest, _signature_blob(signature))
+                for kind, key, fingerprint, payload, digest, signature in rows
+            ),
+        )
+
+    def set_entry_signature(
+        self, relation: str, kind: str, key: int, fingerprint: bytes, signature: int
+    ) -> None:
+        cursor = self.connection.execute(
+            "UPDATE entries SET signature=? WHERE relation=? AND kind=? AND key=? AND fingerprint=?",
+            (_signature_blob(signature), relation, kind, key, fingerprint),
+        )
+        if cursor.rowcount != 1:
+            raise StorageError(
+                f"relation {relation!r}: no stored {kind} entry at key {key} to re-sign"
+            )
+
+    def delete_entry(self, relation: str, kind: str, key: int, fingerprint: bytes) -> None:
+        cursor = self.connection.execute(
+            "DELETE FROM entries WHERE relation=? AND kind=? AND key=? AND fingerprint=?",
+            (relation, kind, key, fingerprint),
+        )
+        if cursor.rowcount != 1:
+            raise StorageError(
+                f"relation {relation!r}: no stored {kind} entry at key {key} to delete"
+            )
+
+    def load_record_index(self, relation: str) -> List[Tuple[int, bytes]]:
+        """All record identities ``(key, fingerprint)`` in canonical order."""
+        return [
+            (row[0], row[1])
+            for row in self.connection.execute(
+                "SELECT key, fingerprint FROM entries WHERE relation=? AND kind=?"
+                " ORDER BY key, fingerprint",
+                (relation, KIND_RECORD),
+            )
+        ]
+
+    def load_chain(self, relation: str) -> Tuple[List[bytes], List[int]]:
+        """(digests, signatures) in chain order: left, records, right."""
+        digests: List[bytes] = []
+        signatures: List[int] = []
+        conn = self.connection
+        for kind, order in ((KIND_LEFT, ""), (KIND_RECORD, " ORDER BY key, fingerprint"), (KIND_RIGHT, "")):
+            for row in conn.execute(
+                f"SELECT digest, signature FROM entries WHERE relation=? AND kind=?{order}",
+                (relation, kind),
+            ):
+                digests.append(row[0])
+                signatures.append(_signature_int(row[1]))
+        return digests, signatures
+
+    def count_chain_entries(self, relation: str) -> int:
+        """Total chain length on disk: delimiters plus record entries."""
+        row = self.connection.execute(
+            "SELECT COUNT(*) FROM entries WHERE relation=?", (relation,)
+        ).fetchone()
+        return int(row[0])
+
+    def load_entry_chain(
+        self, relation: str, kind: str, key: int, fingerprint: bytes
+    ) -> Tuple[bytes, int]:
+        """(digest, signature) of one chain entry, by identity."""
+        row = self.connection.execute(
+            "SELECT digest, signature FROM entries"
+            " WHERE relation=? AND kind=? AND key=? AND fingerprint=?",
+            (relation, kind, key, fingerprint),
+        ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"relation {relation!r}: no stored {kind} entry at key {key}"
+            )
+        return row[0], _signature_int(row[1])
+
+    def load_row_payload(self, relation: str, key: int, fingerprint: bytes) -> Optional[bytes]:
+        row = self.connection.execute(
+            "SELECT payload FROM entries WHERE relation=? AND kind=? AND key=? AND fingerprint=?",
+            (relation, KIND_RECORD, key, fingerprint),
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def iter_row_values(self, relation: str) -> Iterator[Dict[str, object]]:
+        """Stream the stored rows as plain dicts, in canonical order."""
+        for row in self.connection.execute(
+            "SELECT payload FROM entries WHERE relation=? AND kind=? ORDER BY key, fingerprint",
+            (relation, KIND_RECORD),
+        ):
+            delta = decode(row[0], expect=RecordDelta)
+            yield dict(delta.values)
+
+    def count_records(self, relation: str) -> int:
+        row = self.connection.execute(
+            "SELECT COUNT(*) FROM entries WHERE relation=? AND kind=?",
+            (relation, KIND_RECORD),
+        ).fetchone()
+        return int(row[0])
+
+    # -- chain state -----------------------------------------------------------
+
+    def set_chain_state(
+        self,
+        relation: str,
+        *,
+        sequence: Optional[int] = None,
+        previous_sequence: Optional[int] = None,
+        scheme: Optional[str] = None,
+        rotation=_UNSET,
+    ) -> None:
+        """Merge the given fields into the relation's chain state row."""
+        with self.transaction():
+            row = self.connection.execute(
+                "SELECT sequence, previous_sequence, scheme, rotation"
+                " FROM chain_state WHERE relation=?",
+                (relation,),
+            ).fetchone()
+            if row is None:
+                if sequence is None or scheme is None:
+                    raise StorageError(
+                        f"relation {relation!r} has no chain state yet; "
+                        "sequence and scheme are required to create it"
+                    )
+                merged = (
+                    sequence,
+                    -1 if previous_sequence is None else previous_sequence,
+                    scheme,
+                    None if rotation is _UNSET else rotation,
+                )
+            else:
+                merged = (
+                    row[0] if sequence is None else sequence,
+                    row[1] if previous_sequence is None else previous_sequence,
+                    row[2] if scheme is None else scheme,
+                    row[3] if rotation is _UNSET else rotation,
+                )
+            self.connection.execute(
+                "INSERT INTO chain_state (relation, sequence, previous_sequence, scheme, rotation)"
+                " VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT(relation) DO UPDATE SET sequence=excluded.sequence,"
+                " previous_sequence=excluded.previous_sequence, scheme=excluded.scheme,"
+                " rotation=excluded.rotation",
+                (relation, *merged),
+            )
+
+    def chain_state(self, relation: str) -> Optional[ChainState]:
+        row = self.connection.execute(
+            "SELECT sequence, previous_sequence, scheme, rotation FROM chain_state WHERE relation=?",
+            (relation,),
+        ).fetchone()
+        if row is None:
+            return None
+        return ChainState(
+            sequence=int(row[0]),
+            previous_sequence=int(row[1]),
+            scheme=str(row[2]),
+            rotation=row[3],
+        )
+
+    # -- applied updates -------------------------------------------------------
+
+    def remember_applied(
+        self, relation: str, frame_sha: bytes, sequence: int, frame: bytes, response: bytes
+    ) -> None:
+        with self.transaction():
+            conn = self.connection
+            conn.execute(
+                "INSERT INTO applied_updates (relation, frame_sha, sequence, frame, response)"
+                " VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT(relation, frame_sha) DO UPDATE SET"
+                " sequence=excluded.sequence, response=excluded.response",
+                (relation, frame_sha, sequence, frame, response),
+            )
+            conn.execute(
+                "DELETE FROM applied_updates WHERE relation=? AND frame_sha NOT IN"
+                " (SELECT frame_sha FROM applied_updates WHERE relation=?"
+                "  ORDER BY sequence DESC LIMIT ?)",
+                (relation, relation, MAX_APPLIED_REMEMBERED),
+            )
+
+    def applied_updates(self, relation: str) -> List[Tuple[bytes, bytes]]:
+        """(frame, response) pairs, oldest first."""
+        return [
+            (row[0], row[1])
+            for row in self.connection.execute(
+                "SELECT frame, response FROM applied_updates WHERE relation=?"
+                " ORDER BY sequence ASC",
+                (relation,),
+            )
+        ]
+
+
+# -- lazy record faulting ------------------------------------------------------
+
+
+class _RecordColumn:
+    """The ``_records`` list of a :class:`StoredRelation`, faulted from disk.
+
+    Shares the relation's ``_sort_keys`` list object: an index into the
+    column resolves to a record *identity* ``(key, fingerprint)``, which is
+    loaded from the store, integrity-checked against its fingerprint, and
+    kept in a bounded LRU cache.  Freshly inserted records sit in the
+    unevictable ``_pending`` overlay until their transaction commits (or
+    forever, in pinned worker mode).
+    """
+
+    __slots__ = (
+        "_store",
+        "_relation_name",
+        "_schema",
+        "_sort_keys",
+        "_cache",
+        "_cache_size",
+        "_pending",
+        "_pin_pending",
+        "faulted",
+    )
+
+    def __init__(
+        self,
+        store: RelationStore,
+        relation_name: str,
+        schema: Schema,
+        sort_keys: List[Tuple[int, bytes]],
+        cache_size: int = DEFAULT_RECORD_CACHE,
+    ) -> None:
+        self._store = store
+        self._relation_name = relation_name
+        self._schema = schema
+        self._sort_keys = sort_keys
+        self._cache: "OrderedDict[Tuple[int, bytes], Record]" = OrderedDict()
+        self._cache_size = max(1, cache_size)
+        self._pending: Dict[Tuple[int, bytes], Record] = {}
+        self._pin_pending = False
+        self.faulted = 0
+
+    def _materialise(self, identity: Tuple[int, bytes]) -> Record:
+        record = self._pending.get(identity)
+        if record is not None:
+            return record
+        record = self._cache.get(identity)
+        if record is not None:
+            self._cache.move_to_end(identity)
+            return record
+        key, fingerprint = identity
+        payload = self._store.load_row_payload(self._relation_name, key, fingerprint)
+        if payload is None:
+            raise StorageError(
+                f"relation {self._relation_name!r}: stored row for key {key} is missing"
+            )
+        delta = decode(payload, expect=RecordDelta)
+        record = Record(self._schema, dict(delta.values))
+        if record.fingerprint() != fingerprint:
+            raise StorageError(
+                f"relation {self._relation_name!r}: stored row for key {key} does not "
+                "match the fingerprint it was filed under"
+            )
+        self.faulted += 1
+        self._cache[identity] = record
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._sort_keys)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._materialise(identity) for identity in self._sort_keys[index]]
+        return self._materialise(self._sort_keys[index])
+
+    def __iter__(self) -> Iterator[Record]:
+        for identity in list(self._sort_keys):
+            yield self._materialise(identity)
+
+    def insert(self, position: int, record: Record) -> None:
+        # Called by Relation.insert *before* it updates _sort_keys, so the
+        # position cannot be resolved to an identity yet — the record is
+        # parked in the pending overlay under its own identity instead.
+        self._pending[(record.key, record.fingerprint())] = record
+
+    def pop(self, position: int) -> Record:
+        # Called by Relation.delete_at *before* it pops _sort_keys.
+        identity = self._sort_keys[position]
+        record = self._materialise(identity)
+        self._pending.pop(identity, None)
+        self._cache.pop(identity, None)
+        return record
+
+    def committed(self, identity: Tuple[int, bytes]) -> None:
+        """Move a pending insert into the evictable cache (post-commit)."""
+        if self._pin_pending:
+            return
+        record = self._pending.pop(identity, None)
+        if record is not None:
+            self._cache[identity] = record
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+
+class StoredRelation(Relation):
+    """A :class:`Relation` whose records live in a :class:`RelationStore`.
+
+    The sorted identity index (``_sort_keys``) is in RAM — bisection,
+    range bounds and duplicate checks never touch disk — while the records
+    themselves are faulted in on demand through :class:`_RecordColumn`.
+    """
+
+    def __init__(
+        self,
+        store: RelationStore,
+        relation_name: str,
+        schema: Schema,
+        cache_size: int = DEFAULT_RECORD_CACHE,
+    ) -> None:
+        self.schema = schema
+        self._sort_keys = store.load_record_index(relation_name)
+        self._records = _RecordColumn(
+            store, relation_name, schema, self._sort_keys, cache_size
+        )
+
+    @property
+    def records(self) -> Sequence[Record]:
+        """The records as a lazily-faulting, sliceable sequence view."""
+        return self._records
+
+
+# -- lazy chain components -----------------------------------------------------
+
+
+class _LazyComponents:
+    """The ``_components`` list of a stored chain, computed on first touch.
+
+    Component triples are only needed for entries that appear in an answer
+    window or get re-signed, so they start as ``None`` placeholders and are
+    reconstructed (faulting the record if necessary) when indexed.
+    """
+
+    __slots__ = ("_owner", "_memo")
+
+    def __init__(self, owner: "StoredSignedRelation", length: int) -> None:
+        self._owner = owner
+        self._memo: List[Optional[Tuple[bytes, bytes, bytes]]] = [None] * length
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __getitem__(self, index: int) -> Tuple[bytes, bytes, bytes]:
+        value = self._memo[index]
+        if value is None:
+            value = self._owner._components_at(index)
+            self._memo[index] = value
+        return value
+
+    def insert(self, index: int, value: Tuple[bytes, bytes, bytes]) -> None:
+        self._memo.insert(index, value)
+
+    def __delitem__(self, index: int) -> None:
+        del self._memo[index]
+
+
+#: placeholder for a chain value that still lives only on disk
+_UNLOADED = object()
+
+
+class _LazyChainColumn:
+    """One chain-aligned column (digests or signatures), faulted from disk.
+
+    Presents the list surface the chain mutators use — indexing, assignment,
+    ``insert``/``del`` and iteration — over ``_UNLOADED`` placeholders; a
+    faulted index asks the owning :class:`StoredSignedRelation` to load that
+    entry's digest *and* signature in one store read, so recovery holds eight
+    bytes per untouched entry instead of its digest and signature.
+    """
+
+    __slots__ = ("_owner", "_memo")
+
+    def __init__(self, owner: "StoredSignedRelation", length: int) -> None:
+        self._owner = owner
+        self._memo: List[object] = [_UNLOADED] * length
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def _resolve(self, index: int) -> int:
+        return index + len(self._memo) if index < 0 else index
+
+    def __getitem__(self, index: int):
+        index = self._resolve(index)
+        value = self._memo[index]
+        if value is _UNLOADED:
+            self._owner._fault_chain(index)
+            value = self._memo[index]
+        return value
+
+    def __setitem__(self, index: int, value) -> None:
+        self._memo[self._resolve(index)] = value
+
+    def insert(self, index: int, value) -> None:
+        self._memo.insert(index, value)
+
+    def __delitem__(self, index: int) -> None:
+        del self._memo[self._resolve(index)]
+
+    def __iter__(self):
+        for index in range(len(self._memo)):
+            yield self[index]
+
+
+class StoredSignedRelation(SignedRelation):
+    """A :class:`SignedRelation` served from a :class:`RelationStore`.
+
+    Construction attaches to an existing store: only the sorted identity
+    index (keys and fingerprints) loads eagerly; rows, chain digests,
+    signatures and component triples all fault in lazily, and nothing is
+    re-signed — the signatures on disk *are* the owner's chain.  Mutations
+    re-sign the usual window and persist the changed entries and chain
+    state in one SQLite transaction.
+    """
+
+    def __init__(
+        self,
+        store: RelationStore,
+        relation_name: str,
+        manifest: RelationManifest,
+        signature_scheme: SignatureScheme,
+        memoize: bool = True,
+        cache_size: int = DEFAULT_RECORD_CACHE,
+    ) -> None:
+        if manifest.scheme != "chain":
+            raise StorageError(
+                f"relation {relation_name!r}: stored chains serve the 'chain' scheme, "
+                f"manifest says {manifest.scheme!r}"
+            )
+        relation = StoredRelation(store, relation_name, manifest.schema, cache_size)
+        self.relation = relation
+        self.schema = manifest.schema
+        self.domain = self.schema.key_domain
+        self.hash_function = manifest.hash_function()
+        self.scheme_kind = manifest.scheme_kind
+        self.base = manifest.base
+        self.memoize = memoize
+        self._signature_scheme = signature_scheme
+        self.upper_scheme, self.lower_scheme = build_chain_schemes(
+            manifest.scheme_kind, self.domain, manifest.base, self.hash_function, memoize
+        )
+        self._manifest = None
+        self._store = store
+        self._name = relation_name
+        self._persist = True
+        self._entries = (
+            [ChainEntry(_LEFT_DELIMITER, self.domain.lower)]
+            + [ChainEntry(_RECORD, key) for key, _ in relation._sort_keys]
+            + [ChainEntry(_RIGHT_DELIMITER, self.domain.upper)]
+        )
+        stored = store.count_chain_entries(relation_name)
+        if stored != len(self._entries):
+            raise StorageError(
+                f"relation {relation_name!r}: store holds {stored} chain entries, "
+                f"the identity index implies {len(self._entries)}"
+            )
+        self._digests = _LazyChainColumn(self, len(self._entries))
+        self.signatures = _LazyChainColumn(self, len(self._entries))
+        self._components = _LazyComponents(self, len(self._entries))
+        self._version = 0
+        self._listeners = []
+
+    # -- lazy plumbing ---------------------------------------------------------
+
+    def _components_at(self, index: int) -> Tuple[bytes, bytes, bytes]:
+        entry = self._entries[index]
+        if entry.is_record and entry.record is None:
+            entry = ChainEntry(_RECORD, entry.key, self.relation[index - 1])
+        return self._entry_components(entry)
+
+    def _fault_chain(self, index: int) -> None:
+        kind, key, fingerprint = self._entry_identity(index)
+        digest, signature = self._store.load_entry_chain(
+            self._name, kind, key, fingerprint
+        )
+        # Fill only still-unloaded slots: a freshly re-signed (or inserted)
+        # in-memory value is newer than what a sibling-column fault read.
+        if self._digests._memo[index] is _UNLOADED:
+            self._digests._memo[index] = digest
+        if self.signatures._memo[index] is _UNLOADED:
+            self.signatures._memo[index] = signature
+
+    def _entry_identity(self, index: int) -> Tuple[str, int, bytes]:
+        if index == 0:
+            return (KIND_LEFT, self.domain.lower, b"")
+        if index == len(self._entries) - 1:
+            return (KIND_RIGHT, self.domain.upper, b"")
+        key, fingerprint = self.relation._sort_keys[index - 1]
+        return (KIND_RECORD, key, fingerprint)
+
+    def _persist_window(self, affected: Sequence[int], skip: Optional[int] = None) -> None:
+        for index in affected:
+            if index == skip:
+                continue
+            kind, key, fingerprint = self._entry_identity(index)
+            self._store.set_entry_signature(
+                self._name, kind, key, fingerprint, self.signatures[index]
+            )
+
+    def set_worker_mode(self) -> None:
+        """Switch to forked-proof-worker mode: read-only, snapshot-pinned."""
+        self._persist = False
+        self.relation._records._pin_pending = True
+        self._store.enable_snapshot_reads()
+
+    # -- persisted mutations ---------------------------------------------------
+
+    def insert_record(self, record):
+        position = self.relation.insert(record)
+        chain_index = self.record_chain_index(position)
+        inserted = self.relation[position]
+        components = self._entry_components(ChainEntry(_RECORD, inserted.key, inserted))
+        digest = concat_digests(*components)
+        # The entry is stored key-only: the record itself stays behind the
+        # faulting column, so long-running servers do not re-grow an
+        # in-memory copy of every row they ever inserted.
+        self._entries.insert(chain_index, ChainEntry(_RECORD, inserted.key))
+        self._components.insert(chain_index, components)
+        self._digests.insert(chain_index, digest)
+        self.signatures.insert(chain_index, 0)
+        identity = (inserted.key, inserted.fingerprint())
+        window = (chain_index - 1, chain_index, chain_index + 1)
+        if not self._persist:
+            receipt = self._resign_window(window, digests_recomputed=1)
+            self._notify(receipt.entries_affected)
+            return receipt
+        store = self._store
+        batched = store.in_transaction()
+        with store.transaction():
+            receipt = self._resign_window(window, digests_recomputed=1)
+            payload = encode(RecordDelta(kind="insert", values=inserted.as_dict()))
+            store.put_entry(
+                self._name,
+                KIND_RECORD,
+                identity[0],
+                identity[1],
+                payload=payload,
+                digest=digest,
+                signature=self.signatures[chain_index],
+            )
+            self._persist_window(receipt.entries_affected, skip=chain_index)
+            store.set_chain_state(
+                self._name,
+                sequence=self._version + 1,
+                previous_sequence=None if batched else self._version,
+            )
+        self.relation._records.committed(identity)
+        self._notify(receipt.entries_affected)
+        return receipt
+
+    def delete_record(self, record):
+        materialised = self.relation._coerce(record)
+        identity = (materialised.key, materialised.fingerprint())
+        position = self.relation.delete(materialised)
+        chain_index = self.record_chain_index(position)
+        removed_key = self._entries[chain_index].key
+        del self._entries[chain_index]
+        del self._components[chain_index]
+        del self._digests[chain_index]
+        del self.signatures[chain_index]
+        window = (chain_index - 1, chain_index)
+        if not self._persist:
+            receipt = self._resign_window(window, digests_recomputed=0)
+            self._notify(receipt.entries_affected, extra_keys=(removed_key,))
+            return receipt
+        store = self._store
+        batched = store.in_transaction()
+        with store.transaction():
+            receipt = self._resign_window(window, digests_recomputed=0)
+            store.delete_entry(self._name, KIND_RECORD, identity[0], identity[1])
+            self._persist_window(receipt.entries_affected)
+            store.set_chain_state(
+                self._name,
+                sequence=self._version + 1,
+                previous_sequence=None if batched else self._version,
+            )
+        self._notify(receipt.entries_affected, extra_keys=(removed_key,))
+        return receipt
+
+    def update_record(self, old, new):
+        if not self._persist:
+            return super().update_record(old, new)
+        store = self._store
+        batched = store.in_transaction()
+        version_before = self._version
+        with store.transaction():
+            receipt = super().update_record(old, new)
+            if not batched:
+                store.set_chain_state(
+                    self._name,
+                    sequence=self._version,
+                    previous_sequence=version_before,
+                )
+        return receipt
+
+
+# -- construction paths --------------------------------------------------------
+
+
+def dump_publication(
+    store: RelationStore,
+    relation_name: str,
+    publication,
+    rotation: ManifestRotated,
+) -> None:
+    """Mirror an in-memory publication's state into the store, byte-exactly.
+
+    For a chain publication the precomputed digests and signatures are
+    copied as-is (nothing is re-signed); for the other registered schemes
+    only the rows are stored and the scheme republishes from them on
+    recovery.
+    """
+    manifest = publication.manifest
+    domain = manifest.schema.key_domain
+    with store.transaction():
+        store.clear_relation(relation_name)
+        if isinstance(publication, SignedRelation):
+            digests = publication._digests
+            signatures = publication.signatures
+
+            def entry_rows():
+                yield (KIND_LEFT, domain.lower, b"", None, digests[0], signatures[0])
+                for position, record in enumerate(publication.relation):
+                    chain_index = position + 1
+                    payload = encode(RecordDelta(kind="insert", values=record.as_dict()))
+                    yield (
+                        KIND_RECORD,
+                        record.key,
+                        record.fingerprint(),
+                        payload,
+                        digests[chain_index],
+                        signatures[chain_index],
+                    )
+                yield (KIND_RIGHT, domain.upper, b"", None, digests[-1], signatures[-1])
+
+            store.insert_entries(relation_name, entry_rows())
+        else:
+            store.insert_entries(
+                relation_name,
+                (
+                    (
+                        KIND_RECORD,
+                        record.key,
+                        record.fingerprint(),
+                        encode(RecordDelta(kind="insert", values=record.as_dict())),
+                        b"",
+                        0,
+                    )
+                    for record in publication.relation
+                ),
+            )
+        store.set_chain_state(
+            relation_name,
+            sequence=publication.version,
+            previous_sequence=-1,
+            scheme=manifest.scheme,
+            rotation=encode(rotation),
+        )
+
+
+def build_stored_chain(
+    store: RelationStore,
+    relation_name: str,
+    schema: Schema,
+    rows: Iterable[Dict[str, object]],
+    signature_scheme: SignatureScheme,
+    scheme_kind: str = "optimized",
+    base: int = 2,
+    hash_function: Optional[HashFunction] = None,
+    memoize: bool = False,
+    batch_size: int = 512,
+) -> int:
+    """Stream ``rows`` (ascending by key) into a signed chain on disk.
+
+    Peak memory is O(``batch_size``): each entry's digest is computed once,
+    its chain message is derived as soon as its right neighbour's digest is
+    known (one entry of lag), and signatures are batch-signed and written
+    ``batch_size`` at a time.  Produces bytes identical to building a
+    :class:`~repro.core.relational.SignedRelation` over the same rows.
+    Returns the number of records stored.
+    """
+    hash_function = hash_function or default_hash()
+    domain = schema.key_domain
+    upper, lower = build_chain_schemes(scheme_kind, domain, base, hash_function, memoize)
+    manifest = RelationManifest(
+        schema=schema,
+        scheme_kind=scheme_kind,
+        base=base,
+        hash_name=hash_function.name,
+        public_key=signature_scheme.verifier,
+        sequence=0,
+        scheme="chain",
+    )
+    left_anchor = manifest.left_anchor()
+    right_anchor = manifest.right_anchor()
+
+    def delimiter_root(kind: str) -> bytes:
+        return hash_function.digest(encode_many(["delimiter-attributes", kind]))
+
+    def sentinel(tag: str, bound: int) -> bytes:
+        return hash_function.digest(encode_many([tag, bound]))
+
+    row_count = [0]
+
+    def entry_stream():
+        components = (
+            upper.commitment(domain.lower, domain.upper - domain.lower - 1),
+            sentinel("left-delimiter-lower", domain.lower),
+            delimiter_root(_LEFT_DELIMITER),
+        )
+        yield (KIND_LEFT, domain.lower, b"", None, concat_digests(*components))
+        previous_identity = None
+        for row in rows:
+            record = row if isinstance(row, Record) else Record(schema, dict(row))
+            identity = (record.key, record.fingerprint())
+            if previous_identity is not None and identity <= previous_identity:
+                raise StorageError(
+                    "build_stored_chain requires strictly ascending (key, fingerprint) rows"
+                )
+            previous_identity = identity
+            components = (
+                upper.commitment(record.key, domain.upper - record.key - 1),
+                lower.commitment(record.key, record.key - domain.lower - 1),
+                record.attribute_root(hash_function),
+            )
+            payload = encode(RecordDelta(kind="insert", values=record.as_dict()))
+            row_count[0] += 1
+            yield (KIND_RECORD, identity[0], identity[1], payload, concat_digests(*components))
+        components = (
+            sentinel("right-delimiter-upper", domain.upper),
+            lower.commitment(domain.upper, domain.upper - domain.lower - 1),
+            delimiter_root(_RIGHT_DELIMITER),
+        )
+        yield (KIND_RIGHT, domain.upper, b"", None, concat_digests(*components))
+
+    held_entries: List[Tuple[str, int, bytes, Optional[bytes], bytes]] = []
+    held_messages: List[bytes] = []
+
+    def flush() -> None:
+        signatures = signature_scheme.sign_batch(held_messages)
+        store.insert_entries(
+            relation_name,
+            (entry + (signature,) for entry, signature in zip(held_entries, signatures)),
+        )
+        held_entries.clear()
+        held_messages.clear()
+
+    with store.transaction():
+        store.clear_relation(relation_name)
+        before: Optional[bytes] = None
+        held = None
+        for entry in entry_stream():
+            if held is not None:
+                left = left_anchor if before is None else before
+                held_messages.append(hash_function.combine(left, held[4], entry[4]))
+                held_entries.append(held)
+                before = held[4]
+                if len(held_entries) >= batch_size:
+                    flush()
+            held = entry
+        left = left_anchor if before is None else before
+        held_messages.append(hash_function.combine(left, held[4], right_anchor))
+        held_entries.append(held)
+        flush()
+        store.set_chain_state(
+            relation_name,
+            sequence=0,
+            previous_sequence=-1,
+            scheme="chain",
+            rotation=None,
+        )
+    return row_count[0]
+
+
+def stored_current_rotation(
+    store: RelationStore, relation_name: str, publication
+) -> ManifestRotated:
+    """The relation's current owner-signed rotation, from or via the store.
+
+    Prefers the stored rotation frame verbatim; if a crash tore it (the
+    chain state committed but the rotation write did not land), re-derives
+    it from ``previous_sequence`` and re-signs — FDH-RSA is deterministic,
+    so the re-derived rotation is byte-identical to the lost one.
+    """
+    from dataclasses import replace
+
+    state = store.chain_state(relation_name)
+    if state is None:
+        raise StorageError(f"relation {relation_name!r} has no stored chain state")
+    manifest = publication.manifest
+    if state.rotation:
+        rotation = decode(state.rotation, expect=ManifestRotated)
+        if rotation.manifest.sequence == state.sequence and manifest_id(
+            rotation.manifest
+        ) == manifest_id(manifest):
+            return rotation
+    if state.previous_sequence >= 0:
+        previous_id = manifest_id(replace(manifest, sequence=state.previous_sequence))
+    else:
+        previous_id = b""
+    return ManifestRotated(
+        manifest=manifest,
+        previous_id=previous_id,
+        owner_signature=publication.sign_rotation(previous_id),
+    )

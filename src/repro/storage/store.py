@@ -3,10 +3,21 @@
 One :class:`PublicationStorage` owns a directory tree::
 
     <root>/
-      storage.json                  shard -> hosted relation names
+      storage.json                  shard -> hosted relation names, backend
       shards/<shard>/keys.json      per-relation owner signing keys (0600)
       shards/<shard>/<rel>.ckpt     latest checkpoint (rows + signed rotation)
       shards/<shard>/<rel>.wal      updates applied since that checkpoint
+      shards/<shard>/relstore.db    sqlite backend only: rows, chain digests,
+                                    signatures and manifest state
+                                    (:mod:`repro.storage.relstore`)
+
+Two row backends share this layout.  ``backend="memory"`` (the original) keeps
+every row in the checkpoint file and rebuilds relations fully in RAM on
+recovery.  ``backend="sqlite"`` keeps rows and chain artifacts in a per-shard
+:class:`~repro.storage.relstore.RelationStore`; checkpoints then carry only
+the owner-signed rotation (zero rows), recovery attaches to the store instead
+of materialising rows, and the WAL's role is unchanged — it replays whatever
+landed after the store's last committed update boundary.
 
 The WAL is per shard in the sense of the directory — every relation of a
 shard logs under the shard's directory and shares its fsync policy — but
@@ -35,20 +46,32 @@ entry point the server uses.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.relational import SignedRelation
+from repro.db.records import Record
+from repro.db.schema import Schema
 from repro.service.router import ShardRouter, ShardTarget
 from repro.storage.checkpoint import load_checkpoint, load_keys, save_keys, write_checkpoint
 from repro.storage.errors import StorageError
 from repro.storage.faults import FaultRegistry
+from repro.storage.relstore import (
+    KIND_RECORD,
+    RelationStore,
+    StoredSignedRelation,
+    dump_publication,
+)
 from repro.storage.wal import FSYNC_POLICIES, WriteAheadLog, _fsync_directory
-from repro.wire import encode
-from repro.wire.updates import ManifestRotated
+from repro.wire import decode, encode
+from repro.wire.updates import ManifestRotated, RecordDelta, UpdateRequest
 
 __all__ = [
+    "STORAGE_BACKENDS",
     "STORAGE_FORMAT",
     "PublicationStorage",
     "open_publication_storage",
@@ -57,9 +80,53 @@ __all__ = [
 
 STORAGE_FORMAT = 1
 
+STORAGE_BACKENDS = ("memory", "sqlite")
+
 _MANIFEST_FILE = "storage.json"
 _KEYS_FILE = "keys.json"
 _SHARDS_DIR = "shards"
+_RELSTORE_FILE = "relstore.db"
+
+
+def _apply_mirror_deltas(
+    store: RelationStore, relation_name: str, schema: Schema, deltas
+) -> None:
+    """Replay one applied batch's deltas into a mirrored row store.
+
+    Used for publications the store does not manage directly (the non-chain
+    schemes, which rebuild their proof structures from rows on recovery):
+    rows are mirrored, digests stay empty.
+    """
+    for delta in deltas:
+        if delta.kind == "insert":
+            record = Record(schema, dict(delta.values))
+            store.put_entry(
+                relation_name,
+                KIND_RECORD,
+                record.key,
+                record.fingerprint(),
+                payload=encode(RecordDelta(kind="insert", values=record.as_dict())),
+                digest=b"",
+                signature=0,
+            )
+        elif delta.kind == "delete":
+            record = Record(schema, dict(delta.values))
+            store.delete_entry(relation_name, KIND_RECORD, record.key, record.fingerprint())
+        elif delta.kind == "update":
+            old = Record(schema, dict(delta.old_values or {}))
+            new = Record(schema, dict(delta.values))
+            store.delete_entry(relation_name, KIND_RECORD, old.key, old.fingerprint())
+            store.put_entry(
+                relation_name,
+                KIND_RECORD,
+                new.key,
+                new.fingerprint(),
+                payload=encode(RecordDelta(kind="insert", values=new.as_dict())),
+                digest=b"",
+                signature=0,
+            )
+        else:
+            raise StorageError(f"cannot mirror a {delta.kind!r} delta")
 
 
 def relation_file_stem(name: str) -> str:
@@ -76,7 +143,14 @@ def relation_file_stem(name: str) -> str:
 class _RelationStorage:
     """One relation's open log handle plus checkpoint bookkeeping."""
 
-    __slots__ = ("shard", "name", "wal", "checkpoint_path", "updates_since_checkpoint")
+    __slots__ = (
+        "shard",
+        "name",
+        "wal",
+        "checkpoint_path",
+        "updates_since_checkpoint",
+        "pending_frame",
+    )
 
     def __init__(self, shard: str, name: str, wal: WriteAheadLog, checkpoint_path: str) -> None:
         self.shard = shard
@@ -84,6 +158,9 @@ class _RelationStorage:
         self.wal = wal
         self.checkpoint_path = checkpoint_path
         self.updates_since_checkpoint = 0
+        #: sqlite backend: the update frame logged for the batch currently
+        #: being applied, consumed by the rotation that concludes it.
+        self.pending_frame: Optional[bytes] = None
 
 
 class PublicationStorage:
@@ -103,6 +180,10 @@ class PublicationStorage:
     faults:
         Optional failpoint registry threaded into the WAL and checkpoint
         writers (crash testing).
+    backend:
+        ``"memory"`` (rows in checkpoints, relations rebuilt in RAM) or
+        ``"sqlite"`` (rows and chain artifacts in a per-shard
+        :class:`~repro.storage.relstore.RelationStore`).
     """
 
     def __init__(
@@ -111,17 +192,22 @@ class PublicationStorage:
         fsync: str = "always",
         checkpoint_every: int = 0,
         faults: Optional[FaultRegistry] = None,
+        backend: str = "memory",
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(f"unknown fsync policy {fsync!r}; known: {FSYNC_POLICIES}")
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if backend not in STORAGE_BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; known: {STORAGE_BACKENDS}")
         self.root = root
         self.fsync_policy = fsync
         self.checkpoint_every = checkpoint_every
         self.faults = faults
+        self.backend = backend
         self._lock = threading.Lock()
         self._relations: Dict[str, _RelationStorage] = {}
+        self._stores: Dict[str, RelationStore] = {}
         self._layout: Dict[str, List[str]] = {}
         self._closed = False
         self.checkpoints_written = 0
@@ -145,6 +231,24 @@ class PublicationStorage:
     def wal_path(self, shard: str, relation: str) -> str:
         return os.path.join(self.shard_dir(shard), relation_file_stem(relation) + ".wal")
 
+    def relstore_path(self, shard: str) -> str:
+        return os.path.join(self.shard_dir(shard), _RELSTORE_FILE)
+
+    def relation_store(self, shard: str) -> RelationStore:
+        """The shard's row/digest store (sqlite backend only), opened lazily."""
+        if self.backend != "sqlite":
+            raise StorageError(
+                f"storage root {self.root!r} uses the {self.backend!r} backend; "
+                "relation stores exist only under backend='sqlite'"
+            )
+        store = self._stores.get(shard)
+        if store is None:
+            store = RelationStore(
+                self.relstore_path(shard), fsync=self.fsync_policy, faults=self.faults
+            )
+            self._stores[shard] = store
+        return store
+
     @property
     def layout(self) -> Dict[str, List[str]]:
         """shard -> hosted relation names, as recorded in ``storage.json``."""
@@ -164,11 +268,24 @@ class PublicationStorage:
         fsync: str = "always",
         checkpoint_every: int = 0,
         faults: Optional[FaultRegistry] = None,
+        backend: str = "memory",
     ) -> "PublicationStorage":
-        """Bootstrap ``root`` from a live router (fresh publication)."""
+        """Bootstrap ``root`` from a live router (fresh publication).
+
+        Under ``backend="sqlite"`` the rows, chain digests and signatures
+        are mirrored byte-exactly into the shard's relation store (nothing
+        is re-signed) and the genesis checkpoints carry the owner-signed
+        rotation only.
+        """
         if cls.exists(root):
             raise StorageError(f"storage root {root!r} is already initialised")
-        storage = cls(root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults)
+        storage = cls(
+            root,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            backend=backend,
+        )
         os.makedirs(os.path.join(root, _SHARDS_DIR), exist_ok=True)
         layout: Dict[str, List[str]] = {}
         for shard_name, publisher in router.shards.items():
@@ -179,11 +296,18 @@ class PublicationStorage:
                 signed = publisher.signed_relation(relation_name)
                 schemes[relation_name] = signed.signature_scheme
                 rotation = router.rotation(relation_name)
+                if backend == "sqlite":
+                    rows: List[Dict[str, object]] = []
+                    dump_publication(
+                        storage.relation_store(shard_name), relation_name, signed, rotation
+                    )
+                else:
+                    rows = [dict(record.values) for record in signed.relation]
                 write_checkpoint(
                     storage.checkpoint_path(shard_name, relation_name),
                     relation_name,
                     rotation,
-                    [dict(record.values) for record in signed.relation],
+                    rows,
                     faults=faults,
                 )
                 storage._open_relation(shard_name, relation_name)
@@ -192,7 +316,7 @@ class PublicationStorage:
         manifest_path = os.path.join(root, _MANIFEST_FILE)
         with open(manifest_path + ".tmp", "w") as handle:
             json.dump(
-                {"format": STORAGE_FORMAT, "shards": layout},
+                {"format": STORAGE_FORMAT, "shards": layout, "backend": backend},
                 handle,
                 indent=1,
                 sort_keys=True,
@@ -229,7 +353,15 @@ class PublicationStorage:
                 f"storage root {root!r} has format {document.get('format')!r}; "
                 f"this build reads format {STORAGE_FORMAT}"
             )
-        storage = cls(root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults)
+        # The backend is a property of the root on disk, not of the caller.
+        backend = str(document.get("backend", "memory"))
+        storage = cls(
+            root,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            backend=backend,
+        )
         storage.origin = "recovered"
         storage._layout = {
             shard: list(names) for shard, names in document.get("shards", {}).items()
@@ -270,7 +402,60 @@ class PublicationStorage:
         acknowledged): under ``fsync="always"``, by the time the owner sees a
         receipt the signed frame that produced it is on disk.
         """
-        self.relation(target.relation_name).wal.append(frame)
+        entry = self.relation(target.relation_name)
+        entry.wal.append(frame)
+        if self.backend == "sqlite":
+            entry.pending_frame = frame
+
+    @contextmanager
+    def applied_update_scope(self, target: ShardTarget):
+        """One atomic store transaction around a whole applied update.
+
+        The live apply pipeline touches the relation store three times — the
+        batch's row/digest writes, the rotation chain state, and the durable
+        applied-update acknowledgement.  Grouping them under one outer
+        transaction (the store's transactions nest) makes the on-disk
+        invariant crash-proof: either the store holds the batch *and* can
+        hand a resubmitting owner its original acknowledgement, or it holds
+        neither and WAL replay re-applies the frame.  A kill between separate
+        transactions would otherwise strand an applied batch whose
+        resubmission can only answer "stale update".  No-op under the memory
+        backend.  Checkpoints must stay *outside* this scope: compacting the
+        WAL against store state that still might roll back would lose the
+        only replayable copy of the batch.
+        """
+        if self.backend != "sqlite":
+            yield
+            return
+        entry = self.relation(target.relation_name)
+        with self.relation_store(entry.shard).transaction():
+            yield
+
+    @contextmanager
+    def update_batch(self, target: ShardTarget):
+        """Transaction scope for applying one update batch (sqlite backend).
+
+        Wrapping ``publisher.apply_deltas`` in this context groups the
+        batch's per-record store writes into one SQLite transaction and
+        stamps the batch-level ``previous_sequence`` — so a crash rolls the
+        store back to a whole update boundary and the current rotation can
+        be re-derived exactly.  A no-op under the memory backend.
+        """
+        if self.backend != "sqlite":
+            yield
+            return
+        entry = self.relation(target.relation_name)
+        store = self.relation_store(entry.shard)
+        signed = target.publisher.signed_relation(target.relation_name)
+        version_before = signed.version
+        with store.transaction():
+            yield
+            if isinstance(signed, StoredSignedRelation):
+                store.set_chain_state(
+                    target.relation_name,
+                    sequence=signed.version,
+                    previous_sequence=version_before,
+                )
 
     def log_rotation(self, target: ShardTarget, rotation: ManifestRotated) -> None:
         """Append the rotation a just-applied batch produced; maybe checkpoint.
@@ -279,13 +464,111 @@ class PublicationStorage:
         deterministically by replaying update frames); they let ``walctl``
         verify the log offline and preserve rotation history across
         checkpoint compaction.  Runs under the same shard lock as the apply,
-        so the log order equals the apply order.
+        so the log order equals the apply order.  Under the sqlite backend
+        the rotation (and, for publications the store merely mirrors, the
+        batch's rows) is also committed to the relation store here.
         """
         entry = self.relation(target.relation_name)
         entry.wal.append(encode(rotation))
+        if self.backend == "sqlite":
+            self._persist_rotation_state(entry, target, rotation)
         entry.updates_since_checkpoint += 1
+
+    def maybe_checkpoint(self, target: ShardTarget, rotation: ManifestRotated) -> None:
+        """Checkpoint if the cadence came due (caller holds the shard lock).
+
+        Split from :meth:`log_rotation` so the live path can run it *after*
+        the :meth:`applied_update_scope` transaction commits — a checkpoint
+        compacts the WAL, which is only safe once the store state it
+        snapshots is durable.
+        """
+        entry = self.relation(target.relation_name)
         if self.checkpoint_every and entry.updates_since_checkpoint >= self.checkpoint_every:
             self._checkpoint_entry(entry, target, rotation)
+
+    def _persist_rotation_state(
+        self, entry: _RelationStorage, target: ShardTarget, rotation: ManifestRotated
+    ) -> None:
+        store = self.relation_store(entry.shard)
+        signed = target.publisher.signed_relation(target.relation_name)
+        pending = entry.pending_frame
+        entry.pending_frame = None
+        if isinstance(signed, StoredSignedRelation):
+            # Store-managed chain: rows/digests/signatures and the sequence
+            # were committed by the apply itself; file the rotation frame.
+            with store.transaction():
+                store.set_chain_state(target.relation_name, rotation=encode(rotation))
+            return
+        if isinstance(signed, SignedRelation):
+            # Transitional: an in-RAM chain serving over a sqlite root
+            # (``create()`` used directly, before the documented reopen
+            # through recovery).  Re-mirror the publication wholesale —
+            # correct, if not incremental.
+            dump_publication(store, target.relation_name, signed, rotation)
+            return
+        request = decode(pending, expect=UpdateRequest) if pending else None
+        with store.transaction():
+            if request is not None:
+                _apply_mirror_deltas(
+                    store, target.relation_name, signed.schema, request.deltas
+                )
+            store.set_chain_state(
+                target.relation_name,
+                sequence=rotation.manifest.sequence,
+                previous_sequence=None if request is None else request.sequence,
+                rotation=encode(rotation),
+            )
+
+    def remember_applied_response(
+        self, relation_name: str, sequence: int, frame: bytes, response: bytes
+    ) -> None:
+        """Durably mirror the router's replayed-update registry (sqlite only)."""
+        if self.backend != "sqlite":
+            return
+        entry = self.relation(relation_name)
+        self.relation_store(entry.shard).remember_applied(
+            relation_name, hashlib.sha256(frame).digest(), sequence, frame, response
+        )
+
+    def persist_replayed_update(
+        self,
+        target: ShardTarget,
+        rotation: ManifestRotated,
+        request: UpdateRequest,
+        frame: bytes,
+        response: bytes,
+    ) -> None:
+        """Recovery twin of :meth:`log_rotation` + :meth:`remember_applied_response`.
+
+        Called by WAL replay after re-applying a frame the store had not yet
+        committed: brings the relation store to the same state the live
+        path would have left, without re-appending to the WAL.
+        """
+        if self.backend != "sqlite":
+            return
+        entry = self.relation(target.relation_name)
+        store = self.relation_store(entry.shard)
+        signed = target.publisher.signed_relation(target.relation_name)
+        with store.transaction():
+            if isinstance(signed, StoredSignedRelation):
+                store.set_chain_state(target.relation_name, rotation=encode(rotation))
+            else:
+                _apply_mirror_deltas(
+                    store, target.relation_name, signed.schema, request.deltas
+                )
+                store.set_chain_state(
+                    target.relation_name,
+                    sequence=rotation.manifest.sequence,
+                    previous_sequence=request.sequence,
+                    rotation=encode(rotation),
+                )
+            store.remember_applied(
+                target.relation_name,
+                hashlib.sha256(frame).digest(),
+                request.sequence,
+                frame,
+                response,
+            )
 
     def checkpoint_now(self, target: ShardTarget, rotation: ManifestRotated) -> None:
         """Snapshot one relation and compact its log (caller holds the lock).
@@ -309,11 +592,18 @@ class PublicationStorage:
         self, entry: _RelationStorage, target: ShardTarget, rotation: ManifestRotated
     ) -> None:
         signed = target.publisher.signed_relation(target.relation_name)
+        if self.backend == "sqlite":
+            # Rows live in the relation store; the checkpoint's job reduces
+            # to filing the owner-signed rotation and compacting the WAL —
+            # O(1) instead of O(rows).
+            rows: List[Dict[str, object]] = []
+        else:
+            rows = [dict(record.values) for record in signed.relation]
         write_checkpoint(
             entry.checkpoint_path,
             target.relation_name,
             rotation,
-            [dict(record.values) for record in signed.relation],
+            rows,
             faults=self.faults,
         )
         # Compact only after the new checkpoint is durably in place: a crash
@@ -340,6 +630,9 @@ class PublicationStorage:
             self._closed = True
             for entry in self._relations.values():
                 entry.wal.close()
+            for store in self._stores.values():
+                store.close()
+            self._stores.clear()
 
     def __enter__(self) -> "PublicationStorage":
         return self
@@ -354,6 +647,8 @@ def open_publication_storage(
     fsync: str = "always",
     checkpoint_every: int = 0,
     faults: Optional[FaultRegistry] = None,
+    backend: str = "memory",
+    config=None,
 ) -> Tuple[ShardRouter, "PublicationStorage"]:
     """Bootstrap-or-recover entry point: the ``storage_dir`` mode of the server.
 
@@ -362,14 +657,41 @@ def open_publication_storage(
     rebuilds the router from checkpoints + WAL replay — resuming with the
     *same* manifest ids, rotation history and applied-update registry as
     before the crash (see :mod:`repro.storage.recovery`).
+
+    A fresh sqlite root is bootstrapped and then immediately reopened
+    through recovery, so the router this returns serves chain relations
+    from the store (lazy row faulting) rather than from the RAM copies the
+    bootstrap dumped.  On an existing root the backend recorded in
+    ``storage.json`` wins over the ``backend`` argument.
+
+    ``config`` may be a :class:`repro.service.config.StorageConfig` (or any
+    object with ``root``/``fsync``/``checkpoint_every``/``backend``
+    attributes); its fields then override the individual arguments.
     """
     from repro.storage.recovery import recover_router
 
+    if config is not None:
+        root = config.root or root
+        fsync = config.fsync
+        checkpoint_every = config.checkpoint_every
+        backend = config.backend
     if not PublicationStorage.exists(root):
         router = build_router()
         storage = PublicationStorage.create(
-            root, router, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults
+            root,
+            router,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            backend=backend,
         )
+        if backend == "sqlite":
+            storage.close()
+            storage = PublicationStorage.open(
+                root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults
+            )
+            router = recover_router(storage)
+            storage.origin = "bootstrapped"
         return router, storage
     storage = PublicationStorage.open(
         root, fsync=fsync, checkpoint_every=checkpoint_every, faults=faults

@@ -1,0 +1,53 @@
+"""Tier-1 smoke mode of the zipfian scale benchmark.
+
+Runs the full scale harness (``benchmarks/bench_scale.py``) at scaled-down
+sizes, so every ordinary ``pytest`` run re-checks that streaming ingest,
+recovery re-attach and the zipfian serving mix produce a well-formed report
+— the same code paths the 10^5/10^6-row tiers measure.
+"""
+
+import random
+
+from repro.bench.scale import (
+    SMOKE_SCALE_CONFIG,
+    ZipfianKeys,
+    run_scale_benchmarks,
+)
+
+
+def test_zipfian_generator_is_seeded_and_skewed():
+    zipf = ZipfianKeys(1000, 0.99, random.Random(5))
+    draws = [zipf.next_key() for _ in range(3000)]
+    assert all(1 <= key <= 1000 for key in draws)
+    # Deterministic for a fixed seed.
+    again = ZipfianKeys(1000, 0.99, random.Random(5))
+    assert [again.next_key() for _ in range(3000)] == draws
+    # Skew: the most popular key must draw far more than the uniform share
+    # (3 draws), and the hot set must still be scattered across the space.
+    counts = {}
+    for key in draws:
+        counts[key] = counts.get(key, 0) + 1
+    top = sorted(counts.values(), reverse=True)
+    assert top[0] > 100
+    hottest = sorted(counts, key=counts.get, reverse=True)[:10]
+    assert max(hottest) - min(hottest) > 100, "hot keys should be scrambled"
+
+
+def test_scale_smoke_report():
+    report = run_scale_benchmarks(SMOKE_SCALE_CONFIG)
+    serving = report["workloads"]["scale_serving"]
+
+    assert serving["rows"] == SMOKE_SCALE_CONFIG.rows
+    ingest = serving["ingest"]
+    assert ingest["rows"] == SMOKE_SCALE_CONFIG.rows
+    assert ingest["rows_per_sec"] > 0
+
+    recovery = serving["recovery"]
+    assert recovery["streams_rows"] is True
+    assert recovery["seconds"] >= 0
+
+    latency = serving["latency_ms"]
+    total = sum(entry["count"] for entry in latency.values())
+    assert total == SMOKE_SCALE_CONFIG.operations
+    for entry in latency.values():
+        assert 0 < entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]

@@ -13,6 +13,10 @@ owner key persisted in the shard's ``keys.json``), so the crashed run, the
 resubmission and the shadow run all push the *same bytes* — which is also
 what makes resubmission after a lost acknowledgement exercise the
 applied-update registry rather than re-signing around it.
+
+The whole matrix runs twice — once per storage backend (``memory`` rebuilds
+rows from checkpoints, ``sqlite`` streams them from the relation store) — and
+the sqlite lane adds its own failpoint inside the store's transaction commit.
 """
 
 from __future__ import annotations
@@ -70,15 +74,29 @@ CRASH_MATRIX = {
     "checkpoint-before-swap": ("checkpoint-before-swap:kill", 1),
 }
 
+#: Failpoints that only fire when rows live in the sqlite relation store.
+#: ``relstore-before-commit`` fires once per applied update (the whole
+#: update commits in one outer store transaction), so ``@2`` kills the
+#: server with update 1 fully durable and update 2 rolled back to the WAL —
+#: recovery must re-apply exactly the rolled-back half.
+SQLITE_ONLY = {
+    "relstore-before-commit": ("relstore-before-commit:kill@2", 0),
+}
+
 
 def test_every_registered_failpoint_is_in_the_matrix():
-    assert set(CRASH_MATRIX) == set(FAILPOINTS)
+    assert set(CRASH_MATRIX) | set(SQLITE_ONLY) == set(FAILPOINTS)
 
 
 # -- driving real server processes ---------------------------------------------
 
 
-def _spawn(storage_dir: str, fault: str = "", checkpoint_every: int = 0):
+def _spawn(
+    storage_dir: str,
+    fault: str = "",
+    checkpoint_every: int = 0,
+    backend: str = "memory",
+):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
@@ -97,6 +115,10 @@ def _spawn(storage_dir: str, fault: str = "", checkpoint_every: int = 0):
     ]
     if checkpoint_every:
         command += ["--checkpoint-every", str(checkpoint_every)]
+    if backend != "memory":
+        # Only a *fresh* root consults the flag; an existing root keeps the
+        # backend it was bootstrapped with, so re-spawns are backend-stable.
+        command += ["--storage-backend", backend]
     process = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
@@ -169,11 +191,17 @@ def _crash_row_count(port: int) -> int:
 # -- the shared fixtures: one bootstrap, one pre-signed stream, one shadow -----
 
 
+@pytest.fixture(scope="module", params=["memory", "sqlite"])
+def backend(request):
+    """The whole matrix runs once per storage backend."""
+    return request.param
+
+
 @pytest.fixture(scope="module")
-def seed_dir(tmp_path_factory):
+def seed_dir(backend, tmp_path_factory):
     """A storage root bootstrapped by a real server run, shut down cleanly."""
-    root = tmp_path_factory.mktemp("crash-seed") / "pub"
-    process, _, origin = _spawn(str(root))
+    root = tmp_path_factory.mktemp(f"crash-seed-{backend}") / "pub"
+    process, _, origin = _spawn(str(root), backend=backend)
     assert origin == "bootstrapped"
     _terminate(process)
     return root
@@ -223,11 +251,13 @@ def shadow_state(seed_dir, signed_requests, tmp_path_factory):
 # -- the matrix ----------------------------------------------------------------
 
 
-@pytest.mark.parametrize("failpoint", sorted(CRASH_MATRIX))
+@pytest.mark.parametrize("failpoint", sorted({**CRASH_MATRIX, **SQLITE_ONLY}))
 def test_sigkill_at_failpoint_recovers_byte_identically(
-    failpoint, seed_dir, signed_requests, shadow_state, tmp_path
+    failpoint, backend, seed_dir, signed_requests, shadow_state, tmp_path
 ):
-    fault, checkpoint_every = CRASH_MATRIX[failpoint]
+    if failpoint in SQLITE_ONLY and backend != "sqlite":
+        pytest.skip("failpoint lives inside the sqlite relation store")
+    fault, checkpoint_every = {**CRASH_MATRIX, **SQLITE_ONLY}[failpoint]
     root = tmp_path / "pub"
     shutil.copytree(seed_dir, root)
 

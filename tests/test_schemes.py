@@ -28,6 +28,7 @@ from repro.db import workload
 from repro.db.query import Conjunction, Projection, Query, RangeCondition
 from repro.schemes import (
     CompletenessUnsupported,
+    PublisherProtocol,
     SchemeMismatchError,
     UnknownSchemeError,
     available_schemes,
@@ -38,6 +39,7 @@ from repro.service import (
     OwnerClient,
     PublicationServer,
     RemoteError,
+    ServerConfig,
     ShardRouter,
     VerifyingClient,
 )
@@ -74,7 +76,7 @@ def scheme_world(request, signature_scheme):
     """One live server per scheme, hosting the same employee workload."""
     publication, publisher = _publish(request.param, signature_scheme)
     router = ShardRouter({"shard": publisher})
-    with PublicationServer(router, max_workers=4) as server:
+    with PublicationServer(router, config=ServerConfig(max_workers=4)) as server:
         host, port = server.address
         yield request.param, publication, publisher, server, host, port
 
@@ -105,6 +107,35 @@ def test_scheme_capabilities():
     assert not get_scheme("devanbu").supports_joins
     assert not get_scheme("naive").proves_completeness
     assert not get_scheme("vbtree").proves_completeness
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_every_scheme_publisher_satisfies_publisher_protocol(
+    scheme_name, signature_scheme
+):
+    """Conformance: the surface the service duck-types against is explicit.
+
+    ``handler.py`` / ``pool.py`` / ``router.py`` consume shard publishers
+    through :class:`~repro.schemes.PublisherProtocol` exactly; every
+    registered scheme's publisher must satisfy it (the protocol is
+    ``runtime_checkable``, so ``isinstance`` checks member presence).
+    """
+    _, publisher = _publish(scheme_name, signature_scheme)
+    assert isinstance(publisher, PublisherProtocol)
+    # Spot-check the members actually bind (presence, not just annotation).
+    assert "employees" in publisher.database
+    assert publisher.signed_relation("employees") is not None
+    assert isinstance(publisher.cache_stats(), dict)
+
+
+def test_publisher_protocol_rejects_partial_surfaces():
+    class _NotAPublisher:
+        database = {}
+
+        def answer(self, query, role=None):  # pragma: no cover - never called
+            raise NotImplementedError
+
+    assert not isinstance(_NotAPublisher(), PublisherProtocol)
 
 
 def test_manifests_carry_their_scheme_tag(signature_scheme):
@@ -355,7 +386,7 @@ def test_join_refused_under_schemes_without_join_proofs(signature_scheme):
 
     publication, publisher = _publish("vbtree", signature_scheme)
     router = ShardRouter({"shard": publisher})
-    with PublicationServer(router, max_workers=2) as server:
+    with PublicationServer(router, config=ServerConfig(max_workers=2)) as server:
         host, port = server.address
         with VerifyingClient(host, port) as client:
             client.fetch_manifest("employees")
@@ -377,7 +408,7 @@ def test_mixed_scheme_shards_behind_one_server(signature_scheme):
         shards[name] = scheme.make_publisher({hosting: publication})
         publications[hosting] = publication
     router = ShardRouter(shards)
-    with PublicationServer(router, max_workers=4) as server:
+    with PublicationServer(router, config=ServerConfig(max_workers=4)) as server:
         host, port = server.address
         with VerifyingClient(host, port) as client:
             for name in available_schemes():

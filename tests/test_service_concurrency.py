@@ -29,6 +29,7 @@ from repro.service import (
     PublicationServer,
     RecordDelta,
     RemoteError,
+    ServerConfig,
     ShardRouter,
     VerifyingClient,
     build_update_request,
@@ -111,7 +112,9 @@ def test_streaming_owner_with_concurrent_verified_readers(owner):
     errors = []
     done = threading.Event()
 
-    with PublicationServer(router, max_workers=READERS + 2) as server:
+    with PublicationServer(
+        router, config=ServerConfig(max_workers=READERS + 2)
+    ) as server:
         host, port = server.address
 
         def reader():

@@ -26,6 +26,7 @@ from repro.service import (
     QueryResponse,
     RelationListing,
     RemoteError,
+    ServerConfig,
     ServiceError,
     VerifyingClient,
     build_demo_world,
@@ -46,7 +47,9 @@ def demo_world():
 
 @pytest.fixture(scope="module")
 def live_server(demo_world):
-    with PublicationServer(demo_world.router, max_workers=6) as server:
+    with PublicationServer(
+        demo_world.router, config=ServerConfig(max_workers=6)
+    ) as server:
         yield server
 
 
@@ -125,7 +128,9 @@ def test_mismatched_manifest_id_is_typed_error(client, live_server):
 
 def test_overloaded_server_refuses_with_typed_error(demo_world):
     """Connections beyond the worker cap get ServerBusy, not a silent hang."""
-    with PublicationServer(demo_world.router, max_workers=1) as server:
+    with PublicationServer(
+        demo_world.router, config=ServerConfig(max_workers=1)
+    ) as server:
         host, port = server.address
         with VerifyingClient(host, port) as first:
             assert first.query(SALARY_RANGE).rows  # occupies the only slot

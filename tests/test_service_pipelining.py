@@ -21,6 +21,7 @@ from repro.service import (
     PublicationServer,
     RecordDelta,
     RemoteError,
+    ServerConfig,
     VerifyingClient,
     build_demo_world,
 )
@@ -43,7 +44,9 @@ def world():
 
 @pytest.fixture()
 def server(world):
-    with PublicationServer(world.router, max_workers=16) as live:
+    with PublicationServer(
+        world.router, config=ServerConfig(max_workers=16)
+    ) as live:
         yield live
 
 

@@ -25,6 +25,7 @@ from repro.service import (
     PublicationServer,
     QueryRequest,
     RemoteError,
+    ServerConfig,
     VerifyingClient,
     build_demo_world,
 )
@@ -57,8 +58,9 @@ def test_pooled_answers_byte_identical_to_inline(world):
         frames = []
         with PublicationServer(
             world.router,
-            worker_processes=worker_processes,
-            response_cache=False,
+            config=ServerConfig(
+                worker_processes=worker_processes, response_cache=False
+            ),
         ) as server:
             host, port = server.address
             with VerifyingClient(host, port) as client:
@@ -75,7 +77,9 @@ def test_pooled_answers_byte_identical_to_inline(world):
 
 
 def test_pooled_query_verifies(world):
-    with PublicationServer(world.router, worker_processes=2) as server:
+    with PublicationServer(
+        world.router, config=ServerConfig(worker_processes=2)
+    ) as server:
         host, port = server.address
         with VerifyingClient(
             host, port, trusted_manifests=dict(world.manifests)
@@ -98,7 +102,9 @@ def test_update_visible_immediately_after_push(world):
     the broadcast, so a query issued *after* ``push`` returns — on any
     worker — must reflect the delta and carry the rotated manifest id.
     """
-    with PublicationServer(world.router, worker_processes=2) as server:
+    with PublicationServer(
+        world.router, config=ServerConfig(worker_processes=2)
+    ) as server:
         host, port = server.address
         with OwnerClient(
             host, port, signature_scheme=world.owner.signature_scheme
@@ -132,7 +138,9 @@ def test_update_visible_immediately_after_push(world):
 
 def test_worker_crash_is_typed_error_not_hang(world):
     """SIGKILLing workers mid-query yields WorkerCrashed, then recovery."""
-    with PublicationServer(world.router, worker_processes=2) as server:
+    with PublicationServer(
+        world.router, config=ServerConfig(worker_processes=2)
+    ) as server:
         host, port = server.address
         pids = server._pool.worker_pids()
         assert all(pid for pid in pids)
@@ -177,7 +185,9 @@ def test_worker_crash_is_typed_error_not_hang(world):
 
 def test_crash_during_update_broadcast_does_not_wedge_owner(world):
     """An update raced by worker crashes still completes for the owner."""
-    with PublicationServer(world.router, worker_processes=2) as server:
+    with PublicationServer(
+        world.router, config=ServerConfig(worker_processes=2)
+    ) as server:
         host, port = server.address
         pids = server._pool.worker_pids()
 

@@ -20,6 +20,7 @@ from repro.service import (
     PublicationServer,
     RecordDelta,
     RemoteError,
+    ServerConfig,
     ServiceError,
     ShardRouter,
     StaleManifestError,
@@ -55,7 +56,7 @@ def world(owner):
     relation = _build_relation()
     database = owner.publish_database({"employees": relation})
     router = ShardRouter({"hr": Publisher(database.relations)})
-    with PublicationServer(router, max_workers=6) as server:
+    with PublicationServer(router, config=ServerConfig(max_workers=6)) as server:
         yield {
             "owner": owner,
             "relation": relation,

@@ -44,6 +44,7 @@ from repro.service import (
     PublicationServer,
     RecordDelta,
     RemoteError,
+    ServerConfig,
     ShardRouter,
     VerifyingClient,
 )
@@ -90,7 +91,7 @@ class LiveUpdateMachine(RuleBasedStateMachine):
         )
         database = owner.publish_database({"items": relation})
         router = ShardRouter({"shard": Publisher(database.relations)})
-        self.server = PublicationServer(router, max_workers=4)
+        self.server = PublicationServer(router, config=ServerConfig(max_workers=4))
         host, port = self.server.start()
         self.owner_client = OwnerClient(host, port, _SCHEME)
         # The genesis manifest arrives through the "authenticated channel":
