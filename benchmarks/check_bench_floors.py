@@ -72,10 +72,12 @@ def _check_wire(fresh: dict, failures: list) -> None:
     """Gates on the wire/service workloads (run with ``--wire``).
 
     Absolute requests/sec depend on the runner, so the CI gate checks the
-    machine-independent invariants: pooled answers byte-identical, and
-    decode at least as fast as a conservative fraction of encode (the seed's
-    decoder ran at ~0.36x of encode; the zero-copy cursor must stay at or
-    above 0.55x even on a noisy runner).
+    machine-independent invariants: pooled answers byte-identical, decode at
+    least as fast as a conservative fraction of encode (the seed's decoder
+    ran at ~0.36x of encode; the zero-copy cursor must stay at or above
+    0.55x even on a noisy runner), and the freshness-attestation check
+    costing at most 5% of verified throughput (one signature verify and a
+    handful of integer comparisons per answer).
     """
     workloads = fresh.get("workloads", {})
     pool = workloads.get("service_pool")
@@ -105,6 +107,27 @@ def _check_wire(fresh: dict, failures: list) -> None:
     service = workloads.get("service_throughput")
     if service is None:
         failures.append("fresh report is missing workload 'service_throughput'")
+    else:
+        verified = service.get("requests_per_sec_verified", 0.0)
+        fresh_rate = service.get("requests_per_sec_verified_fresh")
+        if fresh_rate is None:
+            failures.append(
+                "fresh report is missing 'requests_per_sec_verified_fresh' "
+                "(freshness-enforcing service workload)"
+            )
+        else:
+            ratio = fresh_rate / verified if verified else 0.0
+            status = "ok" if ratio >= 0.95 else "REGRESSION"
+            print(
+                f"service_throughput           fresh/verified {ratio:7.2f}   "
+                f"floor  0.95   {status}"
+            )
+            if ratio < 0.95:
+                failures.append(
+                    f"freshness-enforcing throughput fell to {ratio:.2f}x of "
+                    "plain verified throughput (the attestation-check floor "
+                    "is 0.95x)"
+                )
 
 
 def _check_schemes(fresh: dict, failures: list) -> None:

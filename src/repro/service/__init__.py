@@ -19,17 +19,22 @@ from repro.service.client import (
     VerifiedResult,
     VerifyingClient,
 )
-from repro.service.config import ServerConfig, StorageConfig
+from repro.service.config import FreshnessPolicy, ServerConfig, StorageConfig
 from repro.service.demo import build_demo_router, build_demo_world
 from repro.service.handler import RequestHandler
 from repro.service.owner import (
     OwnerClient,
+    build_attestation,
     build_update_request,
     delta_sequence_cost,
 )
 from repro.service.pool import ProofWorkerPool
 from repro.service.protocol import (
+    AttestationAck,
+    AttestationPush,
+    AttestationRequest,
     ErrorResponse,
+    FreshnessAttestation,
     JoinRequest,
     JoinResponse,
     ListRelationsRequest,
@@ -46,15 +51,27 @@ from repro.service.protocol import (
     RotationRequest,
     ServiceError,
     ServiceProtocolError,
+    StaleAnswerError,
     StaleManifestError,
     UpdateRequest,
     UpdateResponse,
 )
-from repro.service.router import ShardRouter, ShardTarget, UnknownManifestError
+from repro.service.router import (
+    EvictedManifestError,
+    ShardRouter,
+    ShardTarget,
+    UnknownManifestError,
+)
 from repro.service.server import PublicationServer
 
 __all__ = [
+    "AttestationAck",
+    "AttestationPush",
+    "AttestationRequest",
     "ErrorResponse",
+    "EvictedManifestError",
+    "FreshnessAttestation",
+    "FreshnessPolicy",
     "JoinRequest",
     "JoinResponse",
     "ListRelationsRequest",
@@ -80,6 +97,7 @@ __all__ = [
     "ServiceProtocolError",
     "ShardRouter",
     "ShardTarget",
+    "StaleAnswerError",
     "StaleManifestError",
     "StorageConfig",
     "UnknownManifestError",
@@ -88,6 +106,7 @@ __all__ = [
     "VerifiedJoinResult",
     "VerifiedResult",
     "VerifyingClient",
+    "build_attestation",
     "build_demo_router",
     "build_demo_world",
     "build_update_request",

@@ -29,8 +29,25 @@ client's pinned id, the client fetches the latest
 trust root it already holds (same owner key, valid rotation signature,
 strictly increasing sequence), re-pins, and retries the query — so a caller
 just sees a verified answer, attributed via
-:attr:`VerifiedResult.manifest_sequence` to the data version it reflects
-(advisory with respect to freshness; see :class:`VerifiedResult`).
+:attr:`VerifiedResult.manifest_sequence` to the data version it reflects.
+
+**Bounded staleness.**  Chain signatures prove authenticity and completeness
+but never bind *when*: a publisher replaying a captured pre-rotation answer
+under the current manifest id used to present stale-but-genuine data as
+current.  A client constructed with a
+:class:`~repro.service.config.FreshnessPolicy` closes that hole: every
+verified answer must carry an owner-signed
+:class:`~repro.wire.updates.FreshnessAttestation` binding the attributed
+``(manifest_id, sequence)`` plus a freshness epoch and validity window, and
+the client refuses — with a typed
+:class:`~repro.service.protocol.StaleAnswerError` — answers whose
+attestation is missing, mismatched, forged, expired, older than the policy's
+``max_staleness``, or regressed behind a ``(sequence, epoch)`` this client
+already accepted.  The policy's clock is injectable, and the guarantee is
+honest about its limits: it is bounded by clock skew against the owner, and
+an *active* in-path attacker who splices the live current attestation onto a
+stale answer frame is not stopped (binding every answer to its attestation
+would require the owner to re-sign the data itself per epoch).
 """
 
 from __future__ import annotations
@@ -51,6 +68,7 @@ from repro.schemes import (
     SchemeVerifier,
     scheme_of,
 )
+from repro.service.config import FreshnessPolicy
 from repro.service.protocol import (
     ErrorResponse,
     JoinRequest,
@@ -66,6 +84,7 @@ from repro.service.protocol import (
     RotationRequest,
     ServiceError,
     ServiceProtocolError,
+    StaleAnswerError,
     StaleManifestError,
     recv_message,
     send_message,
@@ -73,7 +92,12 @@ from repro.service.protocol import (
 from repro.service.retry import RetriesExhausted, RetryPolicy
 from repro.wire import manifest_id
 from repro.wire.errors import WireFormatError
-from repro.wire.updates import ManifestRotated, manifest_signing_message
+from repro.wire.updates import (
+    FreshnessAttestation,
+    ManifestRotated,
+    attestation_signing_message,
+    manifest_signing_message,
+)
 
 __all__ = [
     "QuerySpec",
@@ -334,14 +358,18 @@ class VerifiedResult:
     """A query answer that passed (or skipped, if so asked) verification.
 
     ``manifest_id`` / ``manifest_sequence`` name the manifest the answer was
-    verified against.  The attribution is *advisory*, like everything about
-    freshness in the paper's model: chain signatures prove authenticity and
-    completeness of the rows but do not bind the sequence, so a publisher
-    (or in-path attacker) replaying a pre-rotation answer under the current
-    id presents stale-but-genuine data as current.  Verification still
-    rejects any *fabricated* or *tampered* rows; bounding staleness would
-    need owner-side freshness (e.g. signed timestamps), which the paper
-    leaves out of scope.
+    verified against.  Chain signatures alone leave that attribution
+    advisory — they prove authenticity and completeness of the rows but do
+    not bind the sequence.  A client configured with a
+    :class:`~repro.service.config.FreshnessPolicy` upgrades it to a bounded
+    guarantee: ``attestation`` then holds the owner-signed
+    :class:`~repro.wire.updates.FreshnessAttestation` that bound this exact
+    ``(manifest_id, sequence)`` within the policy's staleness window, and a
+    replayed pre-rotation answer is refused with a typed
+    :class:`~repro.service.protocol.StaleAnswerError` instead of being
+    returned.  The bound is as good as the skew between the policy clock and
+    the owner's; without a policy (or with ``verify=False``) no freshness is
+    checked and ``attestation`` is whatever the server stamped.
     """
 
     rows: Tuple[Dict[str, object], ...]
@@ -349,12 +377,14 @@ class VerifiedResult:
     proof: object = None
     manifest_id: bytes = b""
     manifest_sequence: int = 0
+    attestation: Optional[FreshnessAttestation] = None
 
 
 @dataclass(frozen=True)
 class VerifiedJoinResult:
-    """Like :class:`VerifiedResult`, with per-side snapshot attribution
-    (equally advisory with respect to freshness)."""
+    """Like :class:`VerifiedResult`, with per-side snapshot attribution and
+    per-side freshness attestations (each side is bounded independently when
+    a :class:`~repro.service.config.FreshnessPolicy` is configured)."""
 
     rows: Tuple[Dict[str, object], ...]
     left_rows: Tuple[Dict[str, object], ...]
@@ -364,6 +394,8 @@ class VerifiedJoinResult:
     right_manifest_id: bytes = b""
     left_manifest_sequence: int = 0
     right_manifest_sequence: int = 0
+    left_attestation: Optional[FreshnessAttestation] = None
+    right_attestation: Optional[FreshnessAttestation] = None
 
 
 class VerifyingClient(ServiceConnection):
@@ -408,6 +440,14 @@ class VerifyingClient(ServiceConnection):
         set, a rotation-chase that exhausts its bound also surfaces as a
         typed :class:`~repro.service.retry.RetriesExhausted` carrying the
         underlying stale-manifest error.
+    freshness:
+        A :class:`~repro.service.config.FreshnessPolicy` enabling bounded
+        staleness: every verified answer must then carry an owner-signed
+        freshness attestation for the attributed manifest, issued within
+        ``freshness.max_staleness`` seconds by ``freshness.clock``'s
+        judgement, or the answer raises a typed
+        :class:`~repro.service.protocol.StaleAnswerError`.  ``None``
+        (the default) keeps the paper's original advisory-freshness model.
     """
 
     def __init__(
@@ -419,9 +459,15 @@ class VerifyingClient(ServiceConnection):
         trusted_manifests: Optional[Dict[str, RelationManifest]] = None,
         expected_ids: Optional[Dict[str, bytes]] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        freshness: Optional[FreshnessPolicy] = None,
     ) -> None:
         super().__init__(host, port, timeout=timeout, retry_policy=retry_policy)
         self.policy = policy
+        self.freshness = freshness
+        #: Highest (sequence, epoch) this client accepted per relation: a
+        #: later answer may never present an older freshness state, even
+        #: inside the staleness window (anti-rollback).
+        self._freshness_seen: Dict[str, Tuple[int, int]] = {}
         self._listing: Optional[Dict[str, bytes]] = None
         self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
         self._pinned_ids: Dict[str, bytes] = {
@@ -611,6 +657,88 @@ class VerifyingClient(ServiceConnection):
         return self.scheme_verifier_for(relation_name).verify(
             query, rows, proof, role=role
         )
+
+    # -- freshness -----------------------------------------------------------
+
+    def _check_freshness(
+        self,
+        relation_name: str,
+        manifest: RelationManifest,
+        identifier: bytes,
+        attestation: Optional[FreshnessAttestation],
+    ) -> None:
+        """Enforce the configured :class:`FreshnessPolicy` on one answer.
+
+        ``manifest`` / ``identifier`` are the snapshot the answer is being
+        attributed to; the attestation must bind exactly that
+        ``(manifest_id, sequence)``, verify under the owner key the trust
+        root pins, sit inside its own validity window *and* the policy's
+        staleness bound by the policy clock, and never regress behind a
+        ``(sequence, epoch)`` this client already accepted for the relation.
+        Every decision reads time through ``policy.clock`` only.
+        """
+        policy = self.freshness
+        if policy is None:
+            return
+        if attestation is None:
+            raise StaleAnswerError(
+                f"answer for {relation_name!r} carries no freshness "
+                "attestation; the publisher has not proven the snapshot is "
+                "current",
+                reason="no-attestation",
+            )
+        if attestation.manifest_id != identifier:
+            raise StaleAnswerError(
+                f"freshness attestation for {relation_name!r} binds a "
+                "different manifest id than the answer is attributed to",
+                reason="attestation-mismatch",
+            )
+        if attestation.sequence != manifest.sequence:
+            raise StaleAnswerError(
+                f"freshness attestation for {relation_name!r} names sequence "
+                f"{attestation.sequence}, but the attributed manifest is at "
+                f"{manifest.sequence}",
+                reason="attestation-mismatch",
+            )
+        message = attestation_signing_message(
+            attestation.manifest_id,
+            attestation.sequence,
+            attestation.epoch,
+            attestation.issued_at_ms,
+            attestation.not_after_ms,
+        )
+        if not manifest.public_key.verify(message, attestation.owner_signature):
+            raise StaleAnswerError(
+                f"freshness attestation for {relation_name!r} is not signed "
+                "by the pinned owner key",
+                reason="attestation-forged",
+            )
+        now_ms = policy.now_ms()
+        if now_ms > attestation.not_after_ms:
+            raise StaleAnswerError(
+                f"freshness attestation for {relation_name!r} expired "
+                f"{now_ms - attestation.not_after_ms}ms ago; the owner has "
+                "not re-attested the snapshot",
+                reason="attestation-expired",
+            )
+        age_ms = now_ms - attestation.issued_at_ms
+        if age_ms > policy.max_staleness_ms:
+            raise StaleAnswerError(
+                f"freshness attestation for {relation_name!r} was issued "
+                f"{age_ms}ms ago, beyond this client's "
+                f"{policy.max_staleness_ms}ms staleness bound",
+                reason="attestation-stale",
+            )
+        state = (attestation.sequence, attestation.epoch)
+        seen = self._freshness_seen.get(relation_name)
+        if seen is not None and state < seen:
+            raise StaleAnswerError(
+                f"freshness attestation for {relation_name!r} regressed to "
+                f"(sequence, epoch) {state} behind the already-accepted "
+                f"{seen}",
+                reason="attestation-regressed",
+            )
+        self._freshness_seen[relation_name] = state
 
     # -- manifest rotation ---------------------------------------------------
 
@@ -845,6 +973,10 @@ class VerifyingClient(ServiceConnection):
                         continue  # stamp already evicted server-side; retry
                     report = None
                     if verify:
+                        self._check_freshness(
+                            name, stamped, response.manifest_id,
+                            response.attestation,
+                        )
                         report = self._verify_answer(
                             name, query, response.rows, response.proof,
                             role, allow_incomplete,
@@ -855,9 +987,14 @@ class VerifyingClient(ServiceConnection):
                         proof=response.proof,
                         manifest_id=response.manifest_id,
                         manifest_sequence=stamped.sequence,
+                        attestation=response.attestation,
                     )
             report = None
             if verify:
+                self._check_freshness(
+                    name, self._manifests[name], identifier,
+                    response.attestation,
+                )
                 report = self._verify_answer(
                     name, query, response.rows, response.proof,
                     role, allow_incomplete,
@@ -868,6 +1005,7 @@ class VerifyingClient(ServiceConnection):
                 proof=response.proof,
                 manifest_id=identifier,
                 manifest_sequence=self._manifests[name].sequence,
+                attestation=response.attestation,
             )
         self._chase_exhausted(
             StaleManifestError(
@@ -988,6 +1126,7 @@ class VerifyingClient(ServiceConnection):
             name = query.relation_name
             identifier = self._pinned_ids[name]
             sequence = None
+            stamp_manifest: Optional[RelationManifest] = None
             if response.manifest_id and response.manifest_id != identifier:
                 # The relation rotated under the pipeline: authenticate the
                 # rotation; if the answer was built under the refreshed pin
@@ -1013,8 +1152,15 @@ class VerifyingClient(ServiceConnection):
                         continue
                     identifier = response.manifest_id
                     sequence = stamped.sequence
+                    stamp_manifest = stamped
             report = None
             if verify:
+                self._check_freshness(
+                    name,
+                    stamp_manifest or self._manifests[name],
+                    identifier,
+                    response.attestation,
+                )
                 report = self._verify_answer(
                     name, query, response.rows, response.proof,
                     role, allow_incomplete,
@@ -1030,6 +1176,7 @@ class VerifyingClient(ServiceConnection):
                         if sequence is None
                         else sequence
                     ),
+                    attestation=response.attestation,
                 )
             )
         return results
@@ -1080,6 +1227,18 @@ class VerifyingClient(ServiceConnection):
                 continue  # rotated again while refreshing; ask afresh
             report = None
             if verify:
+                self._check_freshness(
+                    join.left_relation,
+                    self._manifests[join.left_relation],
+                    left_id,
+                    response.left_attestation,
+                )
+                self._check_freshness(
+                    join.right_relation,
+                    self._manifests[join.right_relation],
+                    right_id,
+                    response.right_attestation,
+                )
                 report = self.verifier.verify_join(
                     join, response.rows, response.proof, response.left_rows, role=role
                 )
@@ -1096,6 +1255,8 @@ class VerifyingClient(ServiceConnection):
                 right_manifest_sequence=self._manifests[
                     join.right_relation
                 ].sequence,
+                left_attestation=response.left_attestation,
+                right_attestation=response.right_attestation,
             )
         self._chase_exhausted(
             StaleManifestError(

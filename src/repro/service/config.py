@@ -10,8 +10,11 @@ sprawl:
 * :class:`StorageConfig` — durability: the storage root, the row backend
   (``memory`` or ``sqlite``; see :data:`repro.storage.store.STORAGE_BACKENDS`),
   the WAL fsync policy and the checkpoint cadence.
+* :class:`FreshnessPolicy` — the client-side bounded-staleness contract: how
+  old an owner-signed freshness attestation may be before an answer is
+  refused, and the clock that judges it.
 
-Both are frozen dataclasses that validate on construction, so an invalid
+All are frozen dataclasses that validate on construction, so an invalid
 configuration fails where it is written, not where it is first used.  The
 legacy keyword arguments on :class:`PublicationServer` and
 :func:`~repro.storage.store.open_publication_storage` keep working for one
@@ -20,12 +23,50 @@ release through a shim that emits :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.storage.store import STORAGE_BACKENDS
 from repro.storage.wal import FSYNC_POLICIES
 
-__all__ = ["ServerConfig", "StorageConfig"]
+__all__ = ["FreshnessPolicy", "ServerConfig", "StorageConfig"]
+
+
+@dataclass(frozen=True)
+class FreshnessPolicy:
+    """How stale an answer a :class:`~repro.service.client.VerifyingClient` accepts.
+
+    ``max_staleness`` bounds, in seconds, how long ago the owner must have
+    issued the freshness attestation stamped on an answer; answers whose
+    attestation is missing, expired, older than the bound, mismatched against
+    the attributed manifest, or regressed behind an already-accepted epoch
+    raise a typed :class:`~repro.service.protocol.StaleAnswerError`.
+
+    ``clock`` supplies the current unix time in float seconds and defaults to
+    :func:`time.time`.  It is injectable on purpose: every freshness decision
+    goes through it (no verification path reads the wall clock directly), so
+    tests pin a fake clock and exercise expiry deterministically — and the
+    honest caveat is that in production the guarantee is only as good as the
+    skew between this clock and the owner's.
+    """
+
+    max_staleness: float = 30.0
+    clock: Callable[[], float] = field(default=time.time, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_staleness <= 0:
+            raise ValueError("max_staleness must be a positive number of seconds")
+        if not callable(self.clock):
+            raise ValueError("clock must be a callable returning float seconds")
+
+    def now_ms(self) -> int:
+        """The policy clock's current time in integer milliseconds."""
+        return int(self.clock() * 1000)
+
+    @property
+    def max_staleness_ms(self) -> int:
+        return int(self.max_staleness * 1000)
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,9 @@ from repro.cache import BoundedCache
 from repro.core.errors import ReproError
 from repro.core.publisher import plan_deltas, simulate_deltas
 from repro.service.protocol import (
+    AttestationAck,
+    AttestationPush,
+    AttestationRequest,
     ErrorResponse,
     JoinRequest,
     JoinResponse,
@@ -40,12 +43,18 @@ from repro.service.protocol import (
     RelationListing,
     RotationRequest,
     ServiceProtocolError,
+    StaleAnswerError,
     StaleManifestError,
 )
 from repro.service.router import ShardRouter
 from repro.wire import decode, encode
 from repro.wire.errors import WireFormatError
-from repro.wire.updates import UpdateRequest, UpdateResponse, update_signing_message
+from repro.wire.updates import (
+    FreshnessAttestation,
+    UpdateRequest,
+    UpdateResponse,
+    update_signing_message,
+)
 
 __all__ = ["RequestHandler", "HandledFrame"]
 
@@ -141,6 +150,23 @@ class RequestHandler:
             replayed = self.router.replayed_update_response(frame)
             if replayed is not None:
                 return HandledFrame(replayed, broadcast=False)
+        if isinstance(request, AttestationPush):
+            # Handled outside dispatch() so the idempotent re-push case can
+            # suppress the pool broadcast: an attestation the router already
+            # stores changed nothing, and re-broadcasting it would make every
+            # worker refuse it as a regression.
+            try:
+                response, applied = self._answer_attestation_push(request)
+            except ReproError as error:
+                return HandledFrame(self._error_payload(error), True)
+            except Exception as error:  # noqa: BLE001 - never leak a traceback
+                return HandledFrame(
+                    self._error_payload(
+                        error, code="InternalError", reason="internal-error"
+                    ),
+                    True,
+                )
+            return HandledFrame(encode(response), broadcast=applied)
         try:
             response = self.dispatch(request, frame=frame)
         except ReproError as error:
@@ -179,26 +205,59 @@ class RequestHandler:
 
     # -- response cache -----------------------------------------------------
 
-    def _guards_for(self, request, response) -> Optional[Tuple[Tuple[str, bytes], ...]]:
-        """The (relation, manifest id) pairs a cached response depends on.
+    @staticmethod
+    def _attestation_key(
+        attestation: Optional[FreshnessAttestation],
+    ) -> Optional[Tuple[int, int]]:
+        return (
+            None
+            if attestation is None
+            else (attestation.sequence, attestation.epoch)
+        )
+
+    def _guards_for(self, request, response) -> Optional[Tuple[tuple, ...]]:
+        """The (relation, manifest id, attestation state) triples a cached
+        response depends on.
 
         Only query/join answers are cached: they are the hot path, they are
         deterministic for a given snapshot, and their staleness is exactly
-        "the manifest id the answer was stamped with is no longer current".
+        "the manifest id (or freshness attestation) the answer was stamped
+        with is no longer current".  The attestation state is part of the
+        guard because an owner epoch refresh changes the stamp without
+        rotating the manifest — a cached pre-refresh answer must not keep
+        serving the older attestation.
         """
         if isinstance(request, QueryRequest) and isinstance(response, QueryResponse):
-            return ((request.query.relation_name, response.manifest_id),)
+            return (
+                (
+                    request.query.relation_name,
+                    response.manifest_id,
+                    self._attestation_key(response.attestation),
+                ),
+            )
         if isinstance(request, JoinRequest) and isinstance(response, JoinResponse):
             return (
-                (request.join.left_relation, response.left_manifest_id),
-                (request.join.right_relation, response.right_manifest_id),
+                (
+                    request.join.left_relation,
+                    response.left_manifest_id,
+                    self._attestation_key(response.left_attestation),
+                ),
+                (
+                    request.join.right_relation,
+                    response.right_manifest_id,
+                    self._attestation_key(response.right_attestation),
+                ),
             )
         return None
 
-    def _guards_current(self, guards: Tuple[Tuple[str, bytes], ...]) -> bool:
-        current_id = self.router.current_id
+    def _guards_current(self, guards: Tuple[tuple, ...]) -> bool:
+        router = self.router
         try:
-            return all(current_id(name) == identifier for name, identifier in guards)
+            return all(
+                router.current_id(name) == identifier
+                and router.attestation_state(name) == attestation_key
+                for name, identifier, attestation_key in guards
+            )
         except ReproError:
             return False
 
@@ -229,6 +288,22 @@ class RequestHandler:
             return self._answer_update(request, frame=frame)
         if isinstance(request, RotationRequest):
             return self.router.rotation(request.relation_name)
+        if isinstance(request, AttestationPush):
+            response, _ = self._answer_attestation_push(request)
+            return response
+        if isinstance(request, AttestationRequest):
+            attestation = self.router.attestation_for(request.relation_name)
+            if attestation is None:
+                # Raises the typed unknown-manifest error for a bogus name;
+                # a known relation the owner never attested gets the typed
+                # freshness miss instead.
+                self.router.current_id(request.relation_name)
+                raise StaleAnswerError(
+                    f"relation {request.relation_name!r} has no stored "
+                    "freshness attestation",
+                    reason="no-attestation",
+                )
+            return attestation
         raise ServiceProtocolError(
             f"{type(request).__name__} is not a request message"
         )
@@ -248,10 +323,12 @@ class RequestHandler:
             # exactly one snapshot.
             result = target.publisher.answer(request.query, role=request.role)
             current_id = self.router.current_id(target.relation_name)
+            attestation = self.router.attestation_for(target.relation_name)
         return QueryResponse(
             rows=tuple(dict(row) for row in result.rows),
             proof=result.proof,
             manifest_id=current_id,
+            attestation=attestation,
         )
 
     def _answer_join(self, request: JoinRequest) -> JoinResponse:
@@ -262,12 +339,16 @@ class RequestHandler:
             result = target.publisher.answer_join(request.join, role=request.role)
             left_id = self.router.current_id(request.join.left_relation)
             right_id = self.router.current_id(request.join.right_relation)
+            left_attestation = self.router.attestation_for(request.join.left_relation)
+            right_attestation = self.router.attestation_for(request.join.right_relation)
         return JoinResponse(
             rows=tuple(dict(row) for row in result.rows),
             left_rows=tuple(dict(row) for row in result.left_rows),
             proof=result.proof,
             left_manifest_id=left_id,
             right_manifest_id=right_id,
+            left_attestation=left_attestation,
+            right_attestation=right_attestation,
         )
 
     def _answer_update(
@@ -337,7 +418,13 @@ class RequestHandler:
                 rotation = self.router.record_rotation(target)
                 response = UpdateResponse(receipt=receipt, rotation=rotation)
                 if storage is not None:
-                    storage.log_rotation(target, rotation)
+                    # The rotation re-stamped the relation's freshness
+                    # attestation (if one is in force); persist them together
+                    # so recovery resumes the freshness chain.
+                    attestation = self.router.attestation_for(
+                        target.relation_name
+                    )
+                    storage.log_rotation(target, rotation, attestation)
                     storage.remember_applied_response(
                         target.relation_name,
                         request.sequence,
@@ -345,10 +432,39 @@ class RequestHandler:
                         encode(response),
                     )
             if storage is not None:
-                storage.maybe_checkpoint(target, rotation)
+                storage.maybe_checkpoint(target, rotation, attestation)
         self.updates_applied += 1
         if self.faults is not None:
             # "update-after-apply": the batch is applied and durable, but the
             # acknowledgement never reaches the owner.
             self.faults.hit("update-after-apply")
         return response
+
+    def _answer_attestation_push(
+        self, request: AttestationPush
+    ) -> Tuple[AttestationAck, bool]:
+        """Validate, store and durably log one owner freshness attestation.
+
+        Returns ``(ack, applied)``; ``applied`` is False for a byte-identical
+        re-push (nothing logged, nothing to broadcast to pool workers).  The
+        acknowledgement is only produced after the WAL append returns, so an
+        acked attestation survives a crash (same durable-before-ack contract
+        as updates); the re-stamped attestations produced by rotations are
+        *derived* state and deliberately not logged — deterministic signing
+        re-derives them byte-identically during replay.
+        """
+        attestation = request.attestation
+        target = self.router.route(attestation.manifest_id)
+        storage = self.storage
+        with target.lock:
+            applied = self.router.store_attestation(target, attestation)
+            if applied and storage is not None:
+                storage.log_attestation(target, attestation)
+        return (
+            AttestationAck(
+                relation_name=target.relation_name,
+                sequence=attestation.sequence,
+                epoch=attestation.epoch,
+            ),
+            applied,
+        )

@@ -30,10 +30,15 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import time
+
 from repro.core.relational import RelationManifest, UpdateReceipt
 from repro.crypto.signature import SignatureScheme
 from repro.service.client import ServiceConnection
 from repro.service.protocol import (
+    AttestationAck,
+    AttestationPush,
+    AttestationRequest,
     ErrorResponse,
     ManifestRequest,
     ManifestResponse,
@@ -43,15 +48,22 @@ from repro.service.protocol import (
 )
 from repro.wire import manifest_id
 from repro.wire.updates import (
+    FreshnessAttestation,
     ManifestRotated,
     RecordDelta,
     UpdateRequest,
     UpdateResponse,
+    attestation_signing_message,
     manifest_signing_message,
     update_signing_message,
 )
 
-__all__ = ["OwnerClient", "build_update_request", "delta_sequence_cost"]
+__all__ = [
+    "OwnerClient",
+    "build_attestation",
+    "build_update_request",
+    "delta_sequence_cost",
+]
 
 
 def build_update_request(
@@ -74,6 +86,40 @@ def build_update_request(
         manifest_id=identifier,
         sequence=manifest.sequence,
         deltas=batch,
+        owner_signature=signature,
+    )
+
+
+def build_attestation(
+    scheme: SignatureScheme,
+    manifest: RelationManifest,
+    epoch: int,
+    issued_at_ms: int,
+    lifetime_ms: int,
+) -> FreshnessAttestation:
+    """Sign a freshness claim for one exact manifest (data version).
+
+    Exposed as a free function, like :func:`build_update_request`, so tests
+    can build genuine, forged and replayed attestations explicitly;
+    :meth:`OwnerClient.attest` is this plus the exchange, epoch tracking and
+    acknowledgement validation.
+    """
+    identifier = manifest_id(manifest)
+    signature = scheme.sign(
+        attestation_signing_message(
+            identifier,
+            manifest.sequence,
+            epoch,
+            issued_at_ms,
+            issued_at_ms + lifetime_ms,
+        )
+    )
+    return FreshnessAttestation(
+        manifest_id=identifier,
+        sequence=manifest.sequence,
+        epoch=epoch,
+        issued_at_ms=issued_at_ms,
+        not_after_ms=issued_at_ms + lifetime_ms,
         owner_signature=signature,
     )
 
@@ -112,6 +158,10 @@ class OwnerClient(ServiceConnection):
         of batches) has since been exceeded does the resubmission surface as
         a typed stale-update error, which ``retry_stale`` then resolves by
         re-fetching and re-signing.
+    clock:
+        The clock freshness attestations are issued under (float unix
+        seconds; defaults to :func:`time.time`).  Injectable so tests issue
+        and expire attestations deterministically.
     """
 
     def __init__(
@@ -121,10 +171,15 @@ class OwnerClient(ServiceConnection):
         signature_scheme: SignatureScheme,
         timeout: float = 10.0,
         retry_policy=None,
+        clock=time.time,
     ) -> None:
         super().__init__(host, port, timeout=timeout, retry_policy=retry_policy)
         self.signature_scheme = signature_scheme
+        self.clock = clock
         self._manifests: Dict[str, RelationManifest] = {}
+        # Relation -> the last freshness epoch this owner pushed; a restarted
+        # owner process re-seeds from the server's stored attestation.
+        self._epochs: Dict[str, int] = {}
 
     # -- manifest tracking ---------------------------------------------------
 
@@ -266,6 +321,80 @@ class OwnerClient(ServiceConnection):
             self._manifests[relation_name] = response.rotation.manifest
             results.append(response)
         return results
+
+    # -- freshness attestations ----------------------------------------------
+
+    def fetch_attestation(
+        self, relation_name: str
+    ) -> Optional[FreshnessAttestation]:
+        """The attestation the server currently serves, or None if never attested."""
+        try:
+            return self._request(
+                AttestationRequest(relation_name), FreshnessAttestation
+            )
+        except RemoteError as error:
+            if error.reason == "no-attestation":
+                return None
+            raise
+
+    def attest(
+        self,
+        relation_name: str,
+        lifetime: float = 30.0,
+        retry_stale: bool = True,
+    ) -> FreshnessAttestation:
+        """Issue and push a fresh attestation of the relation's current state.
+
+        Signs a :class:`FreshnessAttestation` over the tracked manifest's
+        (id, sequence) with the next freshness epoch, valid for ``lifetime``
+        seconds from the owner clock's *now*, and pushes it to the publisher.
+        Meant to be called on a cadence shorter than ``lifetime``: each call
+        refreshes the bounded-staleness window that freshness-enforcing
+        clients check answers against.
+
+        ``retry_stale`` recovers once from the two benign races: the relation
+        rotated underneath the tracked manifest (re-fetch and re-sign), or
+        this owner process restarted and its epoch counter fell behind the
+        server's stored attestation (re-seed from the server and re-sign).
+        """
+        manifest = self.manifest(relation_name)
+        epoch = self._epochs.get(relation_name, 0) + 1
+        attestation = build_attestation(
+            self.signature_scheme,
+            manifest,
+            epoch,
+            int(self.clock() * 1000),
+            int(lifetime * 1000),
+        )
+        try:
+            ack = self._request(AttestationPush(attestation), AttestationAck)
+        except RemoteError as error:
+            stale_reasons = ("stale-attestation", "attestation-regressed")
+            if not retry_stale or error.reason not in stale_reasons:
+                raise
+            manifest = self.refresh_manifest(relation_name)
+            stored = self.fetch_attestation(relation_name)
+            if stored is not None:
+                epoch = max(epoch, stored.epoch + 1)
+            attestation = build_attestation(
+                self.signature_scheme,
+                manifest,
+                epoch,
+                int(self.clock() * 1000),
+                int(lifetime * 1000),
+            )
+            ack = self._request(AttestationPush(attestation), AttestationAck)
+        if (
+            ack.relation_name != relation_name
+            or ack.sequence != attestation.sequence
+            or ack.epoch != attestation.epoch
+        ):
+            raise ServiceError(
+                f"attestation acknowledgement for {relation_name!r} does not "
+                "match the attestation that was pushed"
+            )
+        self._epochs[relation_name] = attestation.epoch
+        return attestation
 
     # -- convenience single-record operations --------------------------------
 

@@ -41,6 +41,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.schemes.base import PublisherProtocol
 from repro.service.handler import RequestHandler
+from repro.service.protocol import AttestationPush
 from repro.wire import decode
 from repro.wire.updates import UpdateRequest
 
@@ -88,8 +89,12 @@ def _worker_main(handler: RequestHandler, conn) -> None:
         elif kind == "u":
             _, epoch, frame = message
             try:
-                request = decode(frame, expect=UpdateRequest)
-                handler.dispatch(request)
+                request = decode(frame)
+                if not isinstance(request, (UpdateRequest, AttestationPush)):
+                    raise TypeError(
+                        f"unexpected broadcast frame {type(request).__name__}"
+                    )
+                handler.dispatch(request, frame=frame)
             except Exception:  # noqa: BLE001 - master already applied/validated
                 # The master applied this batch successfully before
                 # broadcasting; a failure here means this copy diverged and

@@ -25,6 +25,9 @@ The message set:
 ``UpdateResponse``        merged receipt + the manifest rotation it caused
 ``RotationRequest``       fetch the latest authenticated rotation of a relation
 ``ManifestRotated``       the rotation notification (owner-signed)
+``AttestationPush``       an owner-signed freshness attestation for a relation
+``AttestationAck``        the publisher's confirmation of a stored attestation
+``AttestationRequest``    fetch the latest stored attestation of a relation
 ``ErrorResponse``         typed failure (code / reason / message)
 ====================  =======================================================
 
@@ -51,6 +54,7 @@ from repro.wire import codec, decode, encode
 from repro.wire.primitives import MAX_FIELD_BYTES
 from repro.wire.updates import (  # noqa: F401 - re-exported protocol messages
     MANIFEST_ID_SIZE,
+    FreshnessAttestation,
     ManifestRotated,
     RecordDelta,
     UpdateRequest,
@@ -63,6 +67,7 @@ __all__ = [
     "ServiceError",
     "ServiceProtocolError",
     "StaleManifestError",
+    "StaleAnswerError",
     "OwnerAuthError",
     "RemoteError",
     "ListRelationsRequest",
@@ -79,6 +84,10 @@ __all__ = [
     "RecordDelta",
     "ManifestRotated",
     "RotationRequest",
+    "FreshnessAttestation",
+    "AttestationPush",
+    "AttestationAck",
+    "AttestationRequest",
     "ErrorResponse",
     "encode_frame",
     "send_message",
@@ -117,6 +126,26 @@ class StaleManifestError(ServiceError):
     """
 
     def __init__(self, message: str, reason: str = "stale-manifest") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class StaleAnswerError(ServiceError):
+    """An answer failed the bounded-staleness freshness check.
+
+    Raised client-side when a :class:`VerifyingClient` configured with a
+    :class:`~repro.service.config.FreshnessPolicy` receives an answer whose
+    freshness attestation is missing (``"no-attestation"``), addresses a
+    different manifest id or sequence than the answer was attributed to
+    (``"attestation-mismatch"`` — the stale-replay case), fails the owner
+    signature (``"attestation-forged"``), expired (``"attestation-expired"``),
+    was issued longer ago than the client's bound (``"attestation-stale"``),
+    or regressed behind a previously accepted ``(sequence, epoch)``
+    (``"attestation-regressed"``).  Raised server-side for attestation pushes
+    that do not advance the stored freshness epoch.
+    """
+
+    def __init__(self, message: str, reason: str = "stale-answer") -> None:
         super().__init__(message)
         self.reason = reason
 
@@ -208,11 +237,18 @@ class QueryResponse:
     pinned id differs knows the relation rotated underneath it and refreshes
     before trusting the rows to any snapshot.  Empty means the server predates
     live updates (legacy), in which case staleness detection is unavailable.
+
+    ``attestation`` is the relation's latest owner-signed freshness
+    attestation, captured under the same lock; ``None`` when the owner never
+    attested.  Freshness-enforcing clients require it to match
+    ``manifest_id`` exactly — that is what stops a captured pre-rotation
+    answer from being re-served under the current id.
     """
 
     rows: Tuple[Dict[str, object], ...]
     proof: Optional[object]
     manifest_id: bytes = b""
+    attestation: Optional[FreshnessAttestation] = None
 
 
 @dataclass(frozen=True)
@@ -234,6 +270,8 @@ class JoinResponse:
     proof: Optional[JoinQueryProof]
     left_manifest_id: bytes = b""
     right_manifest_id: bytes = b""
+    left_attestation: Optional[FreshnessAttestation] = None
+    right_attestation: Optional[FreshnessAttestation] = None
 
 
 @dataclass(frozen=True)
@@ -243,6 +281,41 @@ class RotationRequest:
     Sent by a client that detected a manifest-id mismatch on an answer; the
     response is a :class:`~repro.wire.updates.ManifestRotated` whose signature
     the client checks against the public key it already pinned.
+    """
+
+    relation_name: str
+
+
+@dataclass(frozen=True)
+class AttestationPush:
+    """An owner pushing a fresh :class:`FreshnessAttestation` to the publisher.
+
+    The attestation must address the relation's *current* manifest id and
+    sequence, verify under the relation's owner key, and strictly advance the
+    stored ``(sequence, epoch)`` order — otherwise the push is refused with a
+    typed error and the stored attestation is untouched.
+    """
+
+    attestation: FreshnessAttestation
+
+
+@dataclass(frozen=True)
+class AttestationAck:
+    """Confirmation that a pushed attestation is now the one being served."""
+
+    relation_name: str
+    sequence: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class AttestationRequest:
+    """Fetch the latest stored attestation of one relation.
+
+    Lets a restarted owner learn the epoch it must exceed, and lets auditors
+    check what freshness claim a publisher currently serves.  Answered with
+    the :class:`FreshnessAttestation` itself, or a typed ``"no-attestation"``
+    error when the owner never attested this relation.
     """
 
     relation_name: str
@@ -288,6 +361,7 @@ codec.register_artifact(
         # Devanbu expansions, naive signature lists, VB-tree covers).
         ("proof", codec.OptionalField(codec.UnionField(*registered_vo_types()))),
         ("manifest_id", codec.BYTES),
+        ("attestation", codec.OptionalField(codec.NestedField(FreshnessAttestation))),
     ],
 )
 codec.register_artifact(
@@ -309,6 +383,8 @@ codec.register_artifact(
         ("proof", codec.OptionalField(codec.NestedField(JoinQueryProof))),
         ("left_manifest_id", codec.BYTES),
         ("right_manifest_id", codec.BYTES),
+        ("left_attestation", codec.OptionalField(codec.NestedField(FreshnessAttestation))),
+        ("right_attestation", codec.OptionalField(codec.NestedField(FreshnessAttestation))),
     ],
 )
 codec.register_artifact(
@@ -321,6 +397,23 @@ codec.register_artifact(
 )
 codec.register_artifact(
     0x4A, ManifestByIdRequest, [("manifest_id", codec.BYTES)]
+)
+codec.register_artifact(
+    0x4B,
+    AttestationPush,
+    [("attestation", codec.NestedField(FreshnessAttestation))],
+)
+codec.register_artifact(
+    0x4C,
+    AttestationAck,
+    [
+        ("relation_name", codec.STR),
+        ("sequence", codec.INT),
+        ("epoch", codec.INT),
+    ],
+)
+codec.register_artifact(
+    0x4D, AttestationRequest, [("relation_name", codec.STR)]
 )
 
 

@@ -41,17 +41,39 @@ from repro.cache import BoundedCache
 from repro.core.relational import RelationManifest
 from repro.db.query import JoinQuery
 from repro.schemes.base import PublisherProtocol
-from repro.service.protocol import ServiceError, StaleManifestError
+from repro.service.protocol import (
+    OwnerAuthError,
+    ServiceError,
+    StaleAnswerError,
+    StaleManifestError,
+)
 from repro.wire import manifest_id
-from repro.wire.updates import ManifestRotated
+from repro.wire.updates import (
+    FreshnessAttestation,
+    ManifestRotated,
+    attestation_signing_message,
+)
 
-__all__ = ["ShardTarget", "ShardRouter", "UnknownManifestError"]
+__all__ = [
+    "ShardTarget",
+    "ShardRouter",
+    "UnknownManifestError",
+    "EvictedManifestError",
+]
 
 #: How many superseded manifest ids (and their manifests) are kept resolvable
 #: per relation.  Bounds server memory under a long update stream; a client
 #: pinned further back than this many rotations gets a typed
-#: UnknownManifestError and must re-obtain a trust root out of band.
+#: EvictedManifestError and must re-obtain a trust root out of band.
 MAX_SUPERSEDED_PER_RELATION = 64
+
+#: How many *evicted* superseded ids are still remembered (id only, no
+#: manifest) per relation.  Costs 32 bytes + a name reference each, and turns
+#: "I have never heard of this id" into the honest, actionable "this id
+#: existed but rotated out of the served window" for clients that pinned an
+#: id-only trust root long ago.  Beyond this window the router genuinely no
+#: longer knows the id and answers unknown-manifest.
+MAX_EVICTED_REMEMBERED = 1024
 
 #: How many applied update batches the router remembers (frame digest ->
 #: encoded UpdateResponse).  An owner that times out waiting for an ack and
@@ -64,6 +86,20 @@ MAX_APPLIED_UPDATES_REMEMBERED = 256
 
 class UnknownManifestError(ServiceError):
     """No hosted relation matches the requested manifest id or name."""
+
+
+class EvictedManifestError(UnknownManifestError):
+    """A manifest id that *did* exist but rotated out of the served window.
+
+    Subclasses :class:`UnknownManifestError` so existing handling still
+    treats it as a routing failure, but carries the machine-readable reason
+    ``"superseded-evicted"``: the client's pinned id is not bogus, it is
+    merely older than the :data:`MAX_SUPERSEDED_PER_RELATION` most recent
+    rotations, and the fix is to re-obtain a trust root (a newer manifest or
+    id) out of band rather than to suspect a mis-routed request.
+    """
+
+    reason = "superseded-evicted"
 
 
 @dataclass(frozen=True)
@@ -93,7 +129,15 @@ class ShardRouter:
         # relation by MAX_SUPERSEDED_PER_RELATION (oldest evicted first).
         self._superseded: Dict[bytes, str] = {}
         self._superseded_order: Dict[str, Deque[bytes]] = {}
+        # Ids evicted from the superseded window: id -> hosting name, bounded
+        # per relation by MAX_EVICTED_REMEMBERED.  Lets lookups answer the
+        # typed EvictedManifestError instead of a generic unknown-manifest.
+        self._evicted: Dict[bytes, str] = {}
+        self._evicted_order: Dict[str, Deque[bytes]] = {}
         self._rotations: Dict[str, ManifestRotated] = {}
+        # Hosting name -> the latest owner-signed freshness attestation; the
+        # relation simply has none until the owner first pushes one.
+        self._attestations: Dict[str, FreshnessAttestation] = {}
         # id -> the manifest that hashes to it (current and retained
         # superseded).  A manifest is self-authenticating relative to its id,
         # so serving historical manifests lets id-only-pinned clients
@@ -142,12 +186,20 @@ class ShardRouter:
 
     def manifest_by_id(self, identifier: bytes) -> RelationManifest:
         """The manifest hashing to ``identifier`` — current *or* superseded."""
+        key = bytes(identifier)
         with self._index_lock:
-            manifest = self._manifests_by_id.get(bytes(identifier))
+            manifest = self._manifests_by_id.get(key)
+            evicted_name = self._evicted.get(key) if manifest is None else None
         if manifest is None:
+            if evicted_name is not None:
+                raise EvictedManifestError(
+                    f"manifest id {key.hex()[:16]}… of relation "
+                    f"{evicted_name!r} rotated out of the served history "
+                    f"window ({MAX_SUPERSEDED_PER_RELATION} rotations); "
+                    "re-obtain a newer trust root"
+                )
             raise UnknownManifestError(
-                f"no hosted relation ever had manifest id "
-                f"{bytes(identifier).hex()[:16]}…"
+                f"no hosted relation ever had manifest id {key.hex()[:16]}…"
             )
         return manifest
 
@@ -175,7 +227,14 @@ class ShardRouter:
                 name = self._superseded.get(key)
                 if name is not None:
                     target = self._by_name.get(name)
+            evicted_name = self._evicted.get(key) if target is None else None
         if target is None:
+            if evicted_name is not None:
+                raise EvictedManifestError(
+                    f"manifest id {key.hex()[:16]}… of relation "
+                    f"{evicted_name!r} rotated out of the served history "
+                    "window; re-obtain a newer trust root"
+                )
             raise UnknownManifestError(
                 f"no hosted relation has manifest id {key.hex()[:16]}…"
             )
@@ -193,6 +252,7 @@ class ShardRouter:
         with self._index_lock:
             target = self._by_id.get(key)
             stale_name = self._superseded.get(key)
+            evicted_name = self._evicted.get(key)
         if target is not None:
             return target
         if stale_name is not None:
@@ -201,6 +261,12 @@ class ShardRouter:
                 "superseded by a rotation; re-fetch the manifest and re-sign "
                 "the update",
                 reason="stale-update",
+            )
+        if evicted_name is not None:
+            raise EvictedManifestError(
+                f"manifest id {key.hex()[:16]}… of relation {evicted_name!r} "
+                "rotated out of the served history window; re-fetch the "
+                "manifest and re-sign the update"
             )
         raise UnknownManifestError(
             f"no hosted relation has manifest id {key.hex()[:16]}…"
@@ -260,12 +326,47 @@ class ShardRouter:
                 evicted = order.popleft()
                 self._superseded.pop(evicted, None)
                 self._manifests_by_id.pop(evicted, None)
+                # Remember the evicted id (32 bytes, no manifest) so lookups
+                # can answer the typed superseded-evicted error instead of
+                # claiming the id never existed.
+                self._evicted[evicted] = name
+                evicted_order = self._evicted_order.setdefault(name, deque())
+                evicted_order.append(evicted)
+                while len(evicted_order) > MAX_EVICTED_REMEMBERED:
+                    self._evicted.pop(evicted_order.popleft(), None)
+            attestation = self._attestations.get(name)
         rotation = ManifestRotated(
             manifest=new_manifest,
             previous_id=old_id,
             owner_signature=signed.sign_rotation(old_id),
         )
         self._rotations[name] = rotation
+        if attestation is not None:
+            # Re-bind the in-force attestation to the rotated manifest so the
+            # freshness chain survives updates without an owner round trip.
+            # Epoch and the validity window are carried over verbatim — the
+            # publisher can keep freshness *continuous* across rotations it
+            # was authorized to apply (the owner signed the update), but can
+            # never extend the owner-granted window.  FDH-RSA signing is
+            # deterministic, so WAL replay re-derives re-stamps byte-for-byte.
+            restamped = FreshnessAttestation(
+                manifest_id=new_id,
+                sequence=new_manifest.sequence,
+                epoch=attestation.epoch,
+                issued_at_ms=attestation.issued_at_ms,
+                not_after_ms=attestation.not_after_ms,
+                owner_signature=signed.signature_scheme.sign(
+                    attestation_signing_message(
+                        new_id,
+                        new_manifest.sequence,
+                        attestation.epoch,
+                        attestation.issued_at_ms,
+                        attestation.not_after_ms,
+                    )
+                ),
+            )
+            with self._index_lock:
+                self._attestations[name] = restamped
         return rotation
 
     def restore_rotation(self, relation_name: str, rotation: ManifestRotated) -> None:
@@ -292,6 +393,121 @@ class ShardRouter:
                     "the relation's current manifest"
                 )
             self._rotations[relation_name] = rotation
+
+    # -- freshness attestations ----------------------------------------------
+
+    def attestation_for(self, relation_name: str) -> Optional[FreshnessAttestation]:
+        """The latest stored attestation of a relation, or ``None``."""
+        with self._index_lock:
+            return self._attestations.get(relation_name)
+
+    def attestation_state(self, relation_name: str) -> Optional[Tuple[int, int]]:
+        """The stored attestation's ``(sequence, epoch)``, or ``None``.
+
+        Freshness advances lexicographically over this pair; it keys the
+        handler's response-cache guards so cached answers are invalidated by
+        an epoch refresh even when no rotation happened.
+        """
+        with self._index_lock:
+            attestation = self._attestations.get(relation_name)
+        if attestation is None:
+            return None
+        return (attestation.sequence, attestation.epoch)
+
+    def _validate_attestation(
+        self, target: ShardTarget, attestation: FreshnessAttestation
+    ) -> None:
+        """Check an attestation against the relation's *current* state.
+
+        Must be called with ``target.lock`` held.  Verifies that the
+        attestation addresses the current manifest id and sequence and that
+        the owner signature holds under the relation's pinned key.  No clock
+        is consulted — expiry is the *client's* judgement; the server's job is
+        only to never serve a claim the owner key did not make.
+        """
+        name = target.relation_name
+        signed = target.publisher.signed_relation(name)
+        current = manifest_id(signed.manifest)
+        if bytes(attestation.manifest_id) != current:
+            raise StaleManifestError(
+                f"attestation for {name!r} addresses manifest id "
+                f"{bytes(attestation.manifest_id).hex()[:16]}…, but the current "
+                f"id is {current.hex()[:16]}…; re-fetch the manifest and "
+                "re-attest",
+                reason="stale-attestation",
+            )
+        if attestation.sequence != signed.manifest.sequence:
+            raise StaleManifestError(
+                f"attestation for {name!r} claims sequence "
+                f"{attestation.sequence}, but the current manifest is at "
+                f"sequence {signed.manifest.sequence}",
+                reason="stale-attestation",
+            )
+        message = attestation_signing_message(
+            attestation.manifest_id,
+            attestation.sequence,
+            attestation.epoch,
+            attestation.issued_at_ms,
+            attestation.not_after_ms,
+        )
+        if not signed.manifest.public_key.verify(
+            message, attestation.owner_signature
+        ):
+            raise OwnerAuthError(
+                f"attestation for {name!r} is not signed by the relation's "
+                "owner key",
+                reason="bad-attestation-signature",
+            )
+
+    def store_attestation(
+        self, target: ShardTarget, attestation: FreshnessAttestation
+    ) -> bool:
+        """Validate and store an owner-pushed attestation; ``True`` if stored.
+
+        Must be called with ``target.lock`` held.  Returns ``False`` for a
+        byte-identical re-push (an owner retrying an unacked push) — already
+        stored, nothing to log or broadcast.  A push that does not strictly
+        advance the stored ``(sequence, epoch)`` order is refused with a
+        typed :class:`StaleAnswerError` so a captured old attestation can
+        never roll freshness back.
+        """
+        self._validate_attestation(target, attestation)
+        name = target.relation_name
+        with self._index_lock:
+            stored = self._attestations.get(name)
+            if stored is not None:
+                if stored == attestation:
+                    return False
+                new_key = (attestation.sequence, attestation.epoch)
+                old_key = (stored.sequence, stored.epoch)
+                if new_key <= old_key:
+                    raise StaleAnswerError(
+                        f"attestation for {name!r} at (sequence, epoch) "
+                        f"{new_key} does not advance the stored {old_key}",
+                        reason="attestation-regressed",
+                    )
+            self._attestations[name] = attestation
+        return True
+
+    def restore_attestation(
+        self, relation_name: str, attestation: FreshnessAttestation
+    ) -> None:
+        """Seed the attestation of a *recovered* relation.
+
+        Like :meth:`restore_rotation`: recovery calls this with the
+        attestation it loaded from durable state (or replayed from the WAL),
+        after the publisher was rebuilt, so the attestation must describe the
+        relation's current manifest and verify under the owner key.
+        """
+        target = self._by_name.get(relation_name)
+        if target is None:
+            raise UnknownManifestError(
+                f"no hosted relation is named {relation_name!r}"
+            )
+        with target.lock:
+            self._validate_attestation(target, attestation)
+            with self._index_lock:
+                self._attestations[relation_name] = attestation
 
     # -- idempotent owner resubmission ---------------------------------------
 

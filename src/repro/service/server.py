@@ -50,6 +50,7 @@ from repro.service.config import ServerConfig
 from repro.service.handler import HandledFrame, RequestHandler
 from repro.service.pool import ProofWorkerPool
 from repro.service.protocol import (
+    AttestationPush,
     ErrorResponse,
     JoinRequest,
     MAX_FRAME_BYTES,
@@ -552,18 +553,22 @@ class PublicationServer:
                 self._pool_slots[request_id] = (connection, slot)
                 pool.submit(request_id, frame)
                 return
-            if cls is UpdateRequest:
+            if cls is UpdateRequest or cls is AttestationPush:
                 handled = self.handler.handle_frame(frame)
                 slot = _Slot()
                 connection.pending.append(slot)
                 if handled.is_error or not handled.broadcast:
                     # Errors were never applied; non-broadcast responses come
-                    # from the applied-update registry — the workers already
-                    # applied that batch when it first landed.
+                    # from the applied-update registry (or an idempotent
+                    # attestation re-push) — the workers already applied that
+                    # mutation when it first landed.
                     slot.complete(handled)
                     return
                 # Applied by the master: propagate to every forked worker and
                 # hold the owner's response until all copies acknowledged.
+                # Attestation pushes ride the same coherence path — workers
+                # stamp answers from their own router state, which must match
+                # the master's for pooled answers to stay byte-identical.
                 epoch, outstanding = pool.broadcast_update(frame)
                 if outstanding == 0:
                     slot.complete(handled)

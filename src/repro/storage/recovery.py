@@ -47,11 +47,14 @@ from repro.storage.checkpoint import Checkpoint
 from repro.storage.errors import RecoveryError
 from repro.storage.relstore import StoredSignedRelation, stored_current_rotation
 from repro.storage.store import PublicationStorage
+from repro.service.protocol import ServiceError
 from repro.wire import decode, encode, manifest_id
 from repro.wire.updates import (
+    FreshnessAttestation,
     ManifestRotated,
     UpdateRequest,
     UpdateResponse,
+    attestation_signing_message,
     manifest_signing_message,
     update_signing_message,
 )
@@ -240,6 +243,14 @@ def recover_router(storage: PublicationStorage) -> ShardRouter:
         else:
             rotation = checkpoint.rotation
         router.restore_rotation(name, rotation)
+        if storage.backend == "sqlite":
+            # The store tracks the latest (possibly rotation re-stamped)
+            # freshness attestation in chain state; seed it before WAL
+            # replay so replayed updates re-stamp the same chain the live
+            # server was carrying.
+            state = storage.relation_store(shard_of[name]).chain_state(name)
+            if state is not None and state.attestation:
+                _restore_attestation(router, name, state.attestation)
     for shard, names in storage.layout.items():
         for name in names:
             _replay_relation(router, storage, name)
@@ -254,6 +265,26 @@ def recover_router(storage: PublicationStorage) -> ShardRouter:
                 for frame, response in store.applied_updates(name):
                     router.remember_applied_update(frame, response)
     return router
+
+
+def _restore_attestation(router: ShardRouter, name: str, blob: bytes) -> None:
+    """Decode and restore one persisted attestation; typed errors only."""
+    try:
+        attestation = decode(blob, expect=FreshnessAttestation)
+    except Exception as error:
+        raise RecoveryError(
+            f"relation {name!r}: the stored freshness attestation does not "
+            f"decode: {error}",
+            reason="undecodable-attestation",
+        ) from error
+    try:
+        router.restore_attestation(name, attestation)
+    except ServiceError as error:
+        raise RecoveryError(
+            f"relation {name!r}: the stored freshness attestation does not "
+            f"verify against the recovered state: {error}",
+            reason="forged-attestation",
+        ) from error
 
 
 def _replay_relation(router: ShardRouter, storage: PublicationStorage, name: str) -> None:
@@ -271,10 +302,13 @@ def _replay_relation(router: ShardRouter, storage: PublicationStorage, name: str
             _replay_update(router, storage, target, entry, artifact, frame)
         elif isinstance(artifact, ManifestRotated):
             _replay_rotation(router, target, artifact)
+        elif isinstance(artifact, FreshnessAttestation):
+            _replay_attestation(router, target, artifact)
         else:
             raise RecoveryError(
                 f"relation {name!r}: WAL holds a {type(artifact).__name__} "
-                "frame; only update requests and rotations belong in the log",
+                "frame; only update requests, rotations and freshness "
+                "attestations belong in the log",
                 reason="foreign-record",
             )
 
@@ -336,7 +370,14 @@ def _replay_update(
         # frame returns the byte-identical outcome instead of double-applying.
         response_payload = encode(UpdateResponse(receipt=receipt, rotation=rotation))
         router.remember_applied_update(frame, response_payload)
-        storage.persist_replayed_update(target, rotation, request, frame, response_payload)
+        storage.persist_replayed_update(
+            target,
+            rotation,
+            request,
+            frame,
+            response_payload,
+            attestation=router.attestation_for(name),
+        )
 
 
 def _verify_update_signature(name: str, manifest, request: UpdateRequest) -> None:
@@ -355,6 +396,68 @@ def _verify_update_signature(name: str, manifest, request: UpdateRequest) -> Non
             "is not signed by the data owner — the log was tampered with",
             reason="forged-record",
         )
+
+
+def _replay_attestation(
+    router: ShardRouter, target: ShardTarget, attestation: FreshnessAttestation
+) -> None:
+    """Replay one owner-pushed freshness attestation from the WAL.
+
+    An attestation at the replayed-to version (and ahead of any already
+    seeded freshness state) is restored through the router's own
+    validation — id match, sequence match, owner signature.  One behind
+    the version or behind the seeded state was superseded (by a later
+    update the store absorbed, or by the chain state recovery seeded):
+    it is signature-verified against the relation's manifest history and
+    skipped, exactly like pre-checkpoint update leftovers.  One *ahead*
+    of the version cannot exist in an untampered log.
+    """
+    name = target.relation_name
+    signed = target.publisher.signed_relation(name)
+    version = signed.version
+    if attestation.sequence > version:
+        raise RecoveryError(
+            f"relation {name!r}: WAL holds a freshness attestation for "
+            f"sequence {attestation.sequence} without the update that "
+            "produced it",
+            reason="attestation-without-update",
+        )
+    current = router.attestation_state(name)
+    if attestation.sequence < version or (
+        current is not None
+        and (attestation.sequence, attestation.epoch) <= current
+    ):
+        historical = replace(signed.manifest, sequence=attestation.sequence)
+        if manifest_id(historical) != attestation.manifest_id:
+            raise RecoveryError(
+                f"relation {name!r}: a logged freshness attestation does "
+                "not chain to this relation's manifest history",
+                reason="attestation-mismatch",
+            )
+        message = attestation_signing_message(
+            attestation.manifest_id,
+            attestation.sequence,
+            attestation.epoch,
+            attestation.issued_at_ms,
+            attestation.not_after_ms,
+        )
+        if not signed.manifest.public_key.verify(
+            message, attestation.owner_signature
+        ):
+            raise RecoveryError(
+                f"relation {name!r}: a logged freshness attestation is not "
+                "signed by the data owner — the log was tampered with",
+                reason="forged-attestation",
+            )
+        return
+    try:
+        router.restore_attestation(name, attestation)
+    except ServiceError as error:
+        raise RecoveryError(
+            f"relation {name!r}: a logged freshness attestation does not "
+            f"verify against the recovered state: {error}",
+            reason="forged-attestation",
+        ) from error
 
 
 def _replay_rotation(

@@ -130,6 +130,11 @@ class ChainState:
     previous_sequence: int
     scheme: str
     rotation: Optional[bytes]
+    #: Encoded :class:`~repro.wire.updates.FreshnessAttestation` in force
+    #: when the state was written (the rotation re-stamped one), or ``None``
+    #: when the owner never pushed one.  Recovery seeds the router's
+    #: freshness chain from it.
+    attestation: Optional[bytes] = None
 
 
 class RelationStore:
@@ -190,7 +195,8 @@ class RelationStore:
                     sequence          INTEGER NOT NULL,
                     previous_sequence INTEGER NOT NULL,
                     scheme            TEXT NOT NULL,
-                    rotation          BLOB
+                    rotation          BLOB,
+                    attestation       BLOB
                 );
                 CREATE TABLE IF NOT EXISTS applied_updates (
                     relation  TEXT NOT NULL,
@@ -202,6 +208,12 @@ class RelationStore:
                 );
                 """
             )
+            try:
+                # Roots written before freshness attestations existed lack
+                # the column; adding it is the only schema migration.
+                conn.execute("ALTER TABLE chain_state ADD COLUMN attestation BLOB")
+            except sqlite3.OperationalError:
+                pass
             self._conn = conn
             self._pid = os.getpid()
             self._depth = 0
@@ -416,11 +428,12 @@ class RelationStore:
         previous_sequence: Optional[int] = None,
         scheme: Optional[str] = None,
         rotation=_UNSET,
+        attestation=_UNSET,
     ) -> None:
         """Merge the given fields into the relation's chain state row."""
         with self.transaction():
             row = self.connection.execute(
-                "SELECT sequence, previous_sequence, scheme, rotation"
+                "SELECT sequence, previous_sequence, scheme, rotation, attestation"
                 " FROM chain_state WHERE relation=?",
                 (relation,),
             ).fetchone()
@@ -435,6 +448,7 @@ class RelationStore:
                     -1 if previous_sequence is None else previous_sequence,
                     scheme,
                     None if rotation is _UNSET else rotation,
+                    None if attestation is _UNSET else attestation,
                 )
             else:
                 merged = (
@@ -442,19 +456,22 @@ class RelationStore:
                     row[1] if previous_sequence is None else previous_sequence,
                     row[2] if scheme is None else scheme,
                     row[3] if rotation is _UNSET else rotation,
+                    row[4] if attestation is _UNSET else attestation,
                 )
             self.connection.execute(
-                "INSERT INTO chain_state (relation, sequence, previous_sequence, scheme, rotation)"
-                " VALUES (?, ?, ?, ?, ?)"
+                "INSERT INTO chain_state"
+                " (relation, sequence, previous_sequence, scheme, rotation, attestation)"
+                " VALUES (?, ?, ?, ?, ?, ?)"
                 " ON CONFLICT(relation) DO UPDATE SET sequence=excluded.sequence,"
                 " previous_sequence=excluded.previous_sequence, scheme=excluded.scheme,"
-                " rotation=excluded.rotation",
+                " rotation=excluded.rotation, attestation=excluded.attestation",
                 (relation, *merged),
             )
 
     def chain_state(self, relation: str) -> Optional[ChainState]:
         row = self.connection.execute(
-            "SELECT sequence, previous_sequence, scheme, rotation FROM chain_state WHERE relation=?",
+            "SELECT sequence, previous_sequence, scheme, rotation, attestation"
+            " FROM chain_state WHERE relation=?",
             (relation,),
         ).fetchone()
         if row is None:
@@ -464,6 +481,7 @@ class RelationStore:
             previous_sequence=int(row[1]),
             scheme=str(row[2]),
             rotation=row[3],
+            attestation=row[4],
         )
 
     # -- applied updates -------------------------------------------------------

@@ -34,6 +34,9 @@ the shard's write lock):
 * :meth:`log_rotation` — append the resulting ``ManifestRotated`` frame and,
   every ``checkpoint_every`` updates, snapshot the relation and compact its
   log.
+* :meth:`log_attestation` — append an owner-pushed
+  ``FreshnessAttestation`` frame (and track it in sqlite chain state), so
+  recovery resumes the freshness chain exactly where the crash left it.
 
 Bootstrap (:meth:`PublicationStorage.create`) persists a freshly built
 router: keys, a genesis checkpoint per relation, an empty log.  Opening an
@@ -68,7 +71,12 @@ from repro.storage.relstore import (
 )
 from repro.storage.wal import FSYNC_POLICIES, WriteAheadLog, _fsync_directory
 from repro.wire import decode, encode
-from repro.wire.updates import ManifestRotated, RecordDelta, UpdateRequest
+from repro.wire.updates import (
+    FreshnessAttestation,
+    ManifestRotated,
+    RecordDelta,
+    UpdateRequest,
+)
 
 __all__ = [
     "STORAGE_BACKENDS",
@@ -407,6 +415,29 @@ class PublicationStorage:
         if self.backend == "sqlite":
             entry.pending_frame = frame
 
+    def log_attestation(
+        self, target: ShardTarget, attestation: FreshnessAttestation
+    ) -> None:
+        """Append one owner-pushed freshness attestation; durable per policy.
+
+        Called under the shard lock *before* the push is acknowledged, so an
+        acked attestation survives a crash.  Only owner pushes are logged:
+        the re-stamps :meth:`~repro.service.router.ShardRouter.record_rotation`
+        derives on rotation use deterministic (FDH) signing, so WAL replay
+        re-derives them byte-identically from the last pushed attestation
+        plus the update frames that follow it.  Under the sqlite backend the
+        chain state additionally tracks the latest (possibly re-stamped)
+        attestation via :meth:`log_rotation`'s ``attestation`` parameter.
+        """
+        entry = self.relation(target.relation_name)
+        entry.wal.append(encode(attestation))
+        if self.backend == "sqlite":
+            store = self.relation_store(entry.shard)
+            with store.transaction():
+                store.set_chain_state(
+                    target.relation_name, attestation=encode(attestation)
+                )
+
     @contextmanager
     def applied_update_scope(self, target: ShardTarget):
         """One atomic store transaction around a whole applied update.
@@ -457,7 +488,12 @@ class PublicationStorage:
                     previous_sequence=version_before,
                 )
 
-    def log_rotation(self, target: ShardTarget, rotation: ManifestRotated) -> None:
+    def log_rotation(
+        self,
+        target: ShardTarget,
+        rotation: ManifestRotated,
+        attestation: Optional[FreshnessAttestation] = None,
+    ) -> None:
         """Append the rotation a just-applied batch produced; maybe checkpoint.
 
         Rotation records are advisory (recovery re-derives rotations
@@ -466,15 +502,23 @@ class PublicationStorage:
         checkpoint compaction.  Runs under the same shard lock as the apply,
         so the log order equals the apply order.  Under the sqlite backend
         the rotation (and, for publications the store merely mirrors, the
-        batch's rows) is also committed to the relation store here.
+        batch's rows) is also committed to the relation store here;
+        ``attestation`` is the relation's current (rotation re-stamped)
+        freshness attestation, tracked in chain state alongside the rotation
+        so recovery resumes the freshness chain without re-deriving it.
         """
         entry = self.relation(target.relation_name)
         entry.wal.append(encode(rotation))
         if self.backend == "sqlite":
-            self._persist_rotation_state(entry, target, rotation)
+            self._persist_rotation_state(entry, target, rotation, attestation)
         entry.updates_since_checkpoint += 1
 
-    def maybe_checkpoint(self, target: ShardTarget, rotation: ManifestRotated) -> None:
+    def maybe_checkpoint(
+        self,
+        target: ShardTarget,
+        rotation: ManifestRotated,
+        attestation: Optional[FreshnessAttestation] = None,
+    ) -> None:
         """Checkpoint if the cadence came due (caller holds the shard lock).
 
         Split from :meth:`log_rotation` so the live path can run it *after*
@@ -484,20 +528,31 @@ class PublicationStorage:
         """
         entry = self.relation(target.relation_name)
         if self.checkpoint_every and entry.updates_since_checkpoint >= self.checkpoint_every:
-            self._checkpoint_entry(entry, target, rotation)
+            self._checkpoint_entry(entry, target, rotation, attestation)
 
     def _persist_rotation_state(
-        self, entry: _RelationStorage, target: ShardTarget, rotation: ManifestRotated
+        self,
+        entry: _RelationStorage,
+        target: ShardTarget,
+        rotation: ManifestRotated,
+        attestation: Optional[FreshnessAttestation] = None,
     ) -> None:
         store = self.relation_store(entry.shard)
         signed = target.publisher.signed_relation(target.relation_name)
         pending = entry.pending_frame
         entry.pending_frame = None
+        attestation_state = {} if attestation is None else {
+            "attestation": encode(attestation)
+        }
         if isinstance(signed, StoredSignedRelation):
             # Store-managed chain: rows/digests/signatures and the sequence
             # were committed by the apply itself; file the rotation frame.
             with store.transaction():
-                store.set_chain_state(target.relation_name, rotation=encode(rotation))
+                store.set_chain_state(
+                    target.relation_name,
+                    rotation=encode(rotation),
+                    **attestation_state,
+                )
             return
         if isinstance(signed, SignedRelation):
             # Transitional: an in-RAM chain serving over a sqlite root
@@ -505,6 +560,11 @@ class PublicationStorage:
             # through recovery).  Re-mirror the publication wholesale —
             # correct, if not incremental.
             dump_publication(store, target.relation_name, signed, rotation)
+            if attestation_state:
+                with store.transaction():
+                    store.set_chain_state(
+                        target.relation_name, **attestation_state
+                    )
             return
         request = decode(pending, expect=UpdateRequest) if pending else None
         with store.transaction():
@@ -517,6 +577,7 @@ class PublicationStorage:
                 sequence=rotation.manifest.sequence,
                 previous_sequence=None if request is None else request.sequence,
                 rotation=encode(rotation),
+                **attestation_state,
             )
 
     def remember_applied_response(
@@ -537,21 +598,31 @@ class PublicationStorage:
         request: UpdateRequest,
         frame: bytes,
         response: bytes,
+        attestation: Optional[FreshnessAttestation] = None,
     ) -> None:
         """Recovery twin of :meth:`log_rotation` + :meth:`remember_applied_response`.
 
         Called by WAL replay after re-applying a frame the store had not yet
         committed: brings the relation store to the same state the live
         path would have left, without re-appending to the WAL.
+        ``attestation`` is the re-stamped freshness attestation the replayed
+        rotation derived, if one was in force.
         """
         if self.backend != "sqlite":
             return
         entry = self.relation(target.relation_name)
         store = self.relation_store(entry.shard)
         signed = target.publisher.signed_relation(target.relation_name)
+        attestation_state = {} if attestation is None else {
+            "attestation": encode(attestation)
+        }
         with store.transaction():
             if isinstance(signed, StoredSignedRelation):
-                store.set_chain_state(target.relation_name, rotation=encode(rotation))
+                store.set_chain_state(
+                    target.relation_name,
+                    rotation=encode(rotation),
+                    **attestation_state,
+                )
             else:
                 _apply_mirror_deltas(
                     store, target.relation_name, signed.schema, request.deltas
@@ -561,6 +632,7 @@ class PublicationStorage:
                     sequence=rotation.manifest.sequence,
                     previous_sequence=request.sequence,
                     rotation=encode(rotation),
+                    **attestation_state,
                 )
             store.remember_applied(
                 target.relation_name,
@@ -570,12 +642,20 @@ class PublicationStorage:
                 response,
             )
 
-    def checkpoint_now(self, target: ShardTarget, rotation: ManifestRotated) -> None:
+    def checkpoint_now(
+        self,
+        target: ShardTarget,
+        rotation: ManifestRotated,
+        attestation: Optional[FreshnessAttestation] = None,
+    ) -> None:
         """Snapshot one relation and compact its log (caller holds the lock).
 
         ``rotation`` must be the relation's *current* owner-signed rotation
         (``router.rotation(name)`` — which is also what the automatic
-        checkpoint path receives straight from the apply pipeline).
+        checkpoint path receives straight from the apply pipeline), and
+        ``attestation`` its current freshness attestation
+        (``router.attestation_for(name)``), which compaction must carry
+        forward or recovery would forget the freshness chain.
         """
         from repro.wire import manifest_id as _manifest_id
 
@@ -586,10 +666,14 @@ class PublicationStorage:
                 f"checkpoint rotation for {target.relation_name!r} does not "
                 "describe the relation's current manifest"
             )
-        self._checkpoint_entry(entry, target, rotation)
+        self._checkpoint_entry(entry, target, rotation, attestation)
 
     def _checkpoint_entry(
-        self, entry: _RelationStorage, target: ShardTarget, rotation: ManifestRotated
+        self,
+        entry: _RelationStorage,
+        target: ShardTarget,
+        rotation: ManifestRotated,
+        attestation: Optional[FreshnessAttestation] = None,
     ) -> None:
         signed = target.publisher.signed_relation(target.relation_name)
         if self.backend == "sqlite":
@@ -609,7 +693,13 @@ class PublicationStorage:
         # Compact only after the new checkpoint is durably in place: a crash
         # between the two leaves checkpoint+full-log, whose replay verifies
         # pre-checkpoint records against the rotation chain and skips them.
-        entry.wal.rewrite(())
+        # The current freshness attestation (re-stamped to the checkpointed
+        # manifest) is the one WAL record compaction must preserve: it is
+        # the head of the freshness chain, not derivable from the rotation.
+        if attestation is None:
+            entry.wal.rewrite(())
+        else:
+            entry.wal.rewrite((encode(attestation),))
         entry.updates_since_checkpoint = 0
         self.checkpoints_written += 1
 

@@ -13,8 +13,9 @@ public keys embedded in the owner-signed manifests):
     the rotation re-checked), then walks every WAL record: CRC framing,
     strict decode, manifest-id chaining (each record must address the
     manifest its predecessor produced), contiguous sequence numbers, and the
-    owner signature on every update and rotation.  Exit 0 only if the whole
-    root verifies; each failure prints one ``FAIL`` line.
+    owner signature on every update, rotation and freshness attestation.
+    Exit 0 only if the whole root verifies; each failure prints one ``FAIL``
+    line.
 
 ``repair <root> [--force]``
     Truncate damaged log tails explicitly, keeping a ``.bak`` copy of every
@@ -42,8 +43,10 @@ from repro.storage.store import PublicationStorage
 from repro.storage.wal import iter_wal_records, scan_wal
 from repro.wire import decode, manifest_id
 from repro.wire.updates import (
+    FreshnessAttestation,
     ManifestRotated,
     UpdateRequest,
+    attestation_signing_message,
     manifest_signing_message,
     update_signing_message,
 )
@@ -149,6 +152,29 @@ def _verify_relation(storage: PublicationStorage, shard: str, name: str) -> List
             )
             if not manifest.public_key.verify(message, artifact.owner_signature):
                 failures.append(f"{where}: rotation signature does not verify")
+                break
+        elif isinstance(artifact, FreshnessAttestation):
+            # Freshness attestations interleave with the update stream but
+            # never advance the sequence: each must bind a manifest on this
+            # relation's history and carry a valid owner signature.
+            expected = replace(manifest, sequence=artifact.sequence)
+            if manifest_id(expected) != artifact.manifest_id:
+                failures.append(
+                    f"{where}: attestation manifest outside this relation's "
+                    "history"
+                )
+                break
+            message = attestation_signing_message(
+                artifact.manifest_id,
+                artifact.sequence,
+                artifact.epoch,
+                artifact.issued_at_ms,
+                artifact.not_after_ms,
+            )
+            if not manifest.public_key.verify(message, artifact.owner_signature):
+                failures.append(
+                    f"{where}: attestation signature does not verify"
+                )
                 break
         else:
             failures.append(

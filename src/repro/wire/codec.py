@@ -100,7 +100,10 @@ __all__ = [
 #: tag (part of the manifest id), per-scheme VO artifacts are registered from
 #: the scheme modules (:mod:`repro.schemes`), and a query response's proof
 #: field is a union over every registered scheme's VO type.
-WIRE_VERSION = 3
+#: Version 4 added owner-signed freshness: the ``FreshnessAttestation``
+#: artifact, attestation stamps on query/join responses, and the attestation
+#: push/fetch service messages (:mod:`repro.service.protocol`).
+WIRE_VERSION = 4
 _MAGIC = b"PV"
 
 

@@ -5,19 +5,22 @@ The paper's Section 6.3 update scheme runs in-process
 this module gives it a wire form so a *remote* owner can mutate a deployed
 publisher:
 
-====================  =======================================================
-``RecordDelta``        one insert / delete / update of a single record
-``UpdateRequest``      a signed batch of deltas against one manifest id
-``UpdateResponse``     the merged receipt plus the rotation it caused
-``ManifestRotated``    the rotated manifest, authenticated by the owner key
-====================  =======================================================
+=======================  ====================================================
+``RecordDelta``           one insert / delete / update of a single record
+``UpdateRequest``         a signed batch of deltas against one manifest id
+``UpdateResponse``        the merged receipt plus the rotation it caused
+``ManifestRotated``       the rotated manifest, authenticated by the owner key
+``FreshnessAttestation``  a short-lived owner claim that a manifest is current
+=======================  ====================================================
 
 Authentication is by *owner signature*, never by transport identity: an
 ``UpdateRequest`` signs the (manifest id, sequence, deltas) triple under the
-same key that signs the chain, and a ``ManifestRotated`` signs the superseded
-id plus the new manifest's canonical bytes.  Both messages are domain
-separated (:data:`UPDATE_SIGNING_PREFIX` / :data:`ROTATION_SIGNING_PREFIX`)
-so neither can be replayed as a chain signature or as each other.
+same key that signs the chain, a ``ManifestRotated`` signs the superseded
+id plus the new manifest's canonical bytes, and a ``FreshnessAttestation``
+signs the (manifest id, sequence, epoch, validity window) tuple.  All three
+messages are domain separated (:data:`UPDATE_SIGNING_PREFIX` /
+:data:`ROTATION_SIGNING_PREFIX` / :data:`ATTESTATION_SIGNING_PREFIX`) so
+none can be replayed as a chain signature or as each other.
 
 Replay protection falls out of manifest rotation: the signed manifest id
 names the exact data version a delta batch applies to, and applying the batch
@@ -25,6 +28,14 @@ rotates that id — so a captured ``UpdateRequest`` re-sent later addresses a
 superseded id and is rejected with a typed error, and a captured
 ``ManifestRotated`` re-presented later fails the client's strictly-increasing
 sequence check.
+
+``FreshnessAttestation`` closes the stale-*snapshot* replay in the same
+style: chain signatures never bind the serving-time manifest ``sequence``,
+so a pre-rotation answer re-served under the current id used to verify.
+The attestation binds (manifest id, sequence, epoch) under the owner key
+with a bounded validity window; an answer stamped with an attestation for a
+superseded id/sequence — or none at all — fails the client's freshness
+check with a typed ``StaleAnswerError`` instead of passing silently.
 """
 
 from __future__ import annotations
@@ -40,10 +51,12 @@ from repro.wire.errors import WireFormatError
 __all__ = [
     "DELTA_KINDS",
     "MANIFEST_ID_SIZE",
+    "FreshnessAttestation",
     "RecordDelta",
     "UpdateRequest",
     "UpdateResponse",
     "ManifestRotated",
+    "attestation_signing_message",
     "update_signing_message",
     "manifest_signing_message",
 ]
@@ -59,6 +72,7 @@ DELTA_KINDS = ("insert", "delete", "update")
 #: which signs raw digest concatenations of a different shape).
 UPDATE_SIGNING_PREFIX = b"PV2-update|"
 ROTATION_SIGNING_PREFIX = b"PV2-rotation|"
+ATTESTATION_SIGNING_PREFIX = b"PV4-freshness|"
 
 
 @dataclass(frozen=True)
@@ -120,6 +134,33 @@ class UpdateResponse:
     rotation: ManifestRotated
 
 
+@dataclass(frozen=True)
+class FreshnessAttestation:
+    """A short-lived owner claim that one exact manifest is the current one.
+
+    ``manifest_id`` and ``sequence`` pin the data version being attested;
+    ``epoch`` is a per-relation refresh counter so repeated attestations of
+    the same sequence are totally ordered (freshness advances lexicographically
+    over ``(sequence, epoch)``); ``issued_at_ms`` / ``not_after_ms`` bound the
+    validity window in integer unix milliseconds.  ``owner_signature`` signs
+    :func:`attestation_signing_message` under the relation's owner key, with
+    its own domain prefix so the signature can never double as an update,
+    rotation, or chain signature.
+
+    When a manifest rotates, the publisher re-binds the in-force attestation
+    to the new (id, sequence) pair *without* extending the owner-granted
+    window: ``epoch``, ``issued_at_ms`` and ``not_after_ms`` are carried over
+    verbatim, so a stalled owner still goes visibly stale on schedule.
+    """
+
+    manifest_id: bytes
+    sequence: int
+    epoch: int
+    issued_at_ms: int
+    not_after_ms: int
+    owner_signature: int
+
+
 def update_signing_message(
     manifest_id: bytes, sequence: int, deltas: Tuple[RecordDelta, ...]
 ) -> bytes:
@@ -136,6 +177,30 @@ def update_signing_message(
         owner_signature=0,
     )
     return UPDATE_SIGNING_PREFIX + encode(unsigned)
+
+
+def attestation_signing_message(
+    manifest_id: bytes,
+    sequence: int,
+    epoch: int,
+    issued_at_ms: int,
+    not_after_ms: int,
+) -> bytes:
+    """The canonical byte string a :class:`FreshnessAttestation` covers.
+
+    Like :func:`update_signing_message`, built by encoding the artifact with
+    a zeroed signature slot: the signed bytes are the strict wire form of the
+    whole claim, so there is no second serialisation to drift.
+    """
+    unsigned = FreshnessAttestation(
+        manifest_id=bytes(manifest_id),
+        sequence=sequence,
+        epoch=epoch,
+        issued_at_ms=issued_at_ms,
+        not_after_ms=not_after_ms,
+        owner_signature=0,
+    )
+    return ATTESTATION_SIGNING_PREFIX + encode(unsigned)
 
 
 def manifest_signing_message(
@@ -192,6 +257,17 @@ def _post_rotation(rotation: ManifestRotated) -> None:
     _check(rotation.owner_signature >= 1, "owner signature must be positive")
 
 
+def _post_attestation(attestation: FreshnessAttestation) -> None:
+    _check(attestation.sequence >= 0, "negative attestation sequence")
+    _check(attestation.epoch >= 1, "attestation epoch must be positive")
+    _check(attestation.issued_at_ms >= 0, "negative attestation issue time")
+    _check(
+        attestation.not_after_ms >= attestation.issued_at_ms,
+        "attestation expires before it was issued",
+    )
+    _check(attestation.owner_signature >= 1, "owner signature must be positive")
+
+
 _ROW = codec.MapField(codec.STR, codec.SCALAR)
 
 codec.register_artifact(
@@ -235,4 +311,18 @@ codec.register_artifact(
         ("receipt", codec.NestedField(UpdateReceipt)),
         ("rotation", codec.NestedField(ManifestRotated)),
     ],
+)
+
+codec.register_artifact(
+    0x34,
+    FreshnessAttestation,
+    [
+        ("manifest_id", codec.FixedBytesField(MANIFEST_ID_SIZE)),
+        ("sequence", codec.INT),
+        ("epoch", codec.INT),
+        ("issued_at_ms", codec.INT),
+        ("not_after_ms", codec.INT),
+        ("owner_signature", codec.INT),
+    ],
+    post=_post_attestation,
 )

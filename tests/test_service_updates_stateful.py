@@ -12,13 +12,20 @@ model alongside.  Invariants checked on every step:
   authenticated refresh path (key continuity + rotation signature + strictly
   increasing sequence);
 * rejected mutations (duplicate inserts, deletes of absent records) are typed
-  errors and leave both the server and the model untouched.
+  errors and leave both the server and the model untouched;
+* a replay adversary (an in-path proxy serving captured pre-rotation answers
+  re-stamped to the current manifest id) is always refused by the
+  freshness-enforcing client with a typed :class:`StaleAnswerError`, while
+  the genuine attested path keeps serving.
 
 The machine talks to the server over real sockets; nothing reaches into
 publisher state except the final owner-side self-check.
 """
 
+import socket
+import threading
 from collections import Counter
+from dataclasses import replace
 
 import pytest
 from hypothesis import settings
@@ -40,14 +47,18 @@ from repro.db.query import Conjunction, Query, RangeCondition
 from repro.db.relation import Relation
 from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
 from repro.service import (
+    FreshnessPolicy,
     OwnerClient,
     PublicationServer,
     RecordDelta,
     RemoteError,
     ServerConfig,
     ShardRouter,
+    StaleAnswerError,
     VerifyingClient,
 )
+from repro.service.protocol import QueryRequest, QueryResponse, recv_frame, send_message
+from repro.wire import decode, encode, manifest_id
 
 #: One shared key pair for every machine instance: RSA generation dominates
 #: run time and exercises no additional update-pipeline code.
@@ -72,12 +83,87 @@ def _row(key: int, label: str):
     return {"k": key, "label": label}
 
 
+_FULL_RANGE = Query("items", Conjunction((RangeCondition("k", 1, 1023),)))
+
+
+def _read_exact(sock, count):
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(sock):
+    header = _read_exact(sock, 4)
+    if header is None:
+        return None
+    return _read_exact(sock, int.from_bytes(header, "big"))
+
+
+class _ReplayAdversary(threading.Thread):
+    """An in-path proxy: transparent normally, but while ``stale_frame`` is
+    set it substitutes that captured answer for every query response."""
+
+    def __init__(self, upstream):
+        super().__init__(daemon=True)
+        self.upstream = upstream
+        self.stale_frame = None
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.listener.settimeout(0.2)
+        self.address = self.listener.getsockname()
+        self._stopping = threading.Event()
+
+    def run(self):
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                with conn, socket.create_connection(
+                    self.upstream, timeout=10
+                ) as up:
+                    while True:
+                        frame = _read_frame(conn)
+                        if frame is None:
+                            break
+                        up.sendall(len(frame).to_bytes(4, "big") + frame)
+                        reply = _read_frame(up)
+                        if reply is None:
+                            break
+                        stale = self.stale_frame
+                        if stale is not None and isinstance(
+                            decode(reply), QueryResponse
+                        ):
+                            reply = stale
+                        conn.sendall(len(reply).to_bytes(4, "big") + reply)
+            except OSError:
+                continue
+
+    def stop(self):
+        self._stopping.set()
+        self.join(timeout=5)
+        self.listener.close()
+
+
 class LiveUpdateMachine(RuleBasedStateMachine):
     def __init__(self):
         super().__init__()
         self.server = None
         self.owner_client = None
         self.client = None
+        self.fresh_client = None
+        self.adversary = None
+        self.captured = []
 
     @initialize(
         seed_rows=st.lists(
@@ -99,6 +185,19 @@ class LiveUpdateMachine(RuleBasedStateMachine):
         self.client = VerifyingClient(
             host, port, trusted_manifests=dict(database.manifests)
         )
+        # The replay adversary sits between the freshness-enforcing client
+        # and the server; the owner attests once, rotations re-stamp.
+        self.owner_client.attest("items", lifetime=3600.0)
+        self.adversary = _ReplayAdversary((host, port))
+        self.adversary.start()
+        self.fresh_client = VerifyingClient(
+            self.adversary.address[0],
+            self.adversary.address[1],
+            trusted_manifests=dict(database.manifests),
+            freshness=FreshnessPolicy(max_staleness=3600.0),
+        )
+        #: Captured (version, raw answer frame) pairs for later replay.
+        self.captured = []
         # Shadow model: multiset of (key, label) rows, plus the data version.
         self.model = Counter((k, label) for k, label in seed_rows)
         self.version = 0
@@ -108,6 +207,10 @@ class LiveUpdateMachine(RuleBasedStateMachine):
             self.owner_client.close()
         if self.client is not None:
             self.client.close()
+        if getattr(self, "fresh_client", None) is not None:
+            self.fresh_client.close()
+        if getattr(self, "adversary", None) is not None:
+            self.adversary.stop()
         if self.server is not None:
             self.server.stop()
 
@@ -211,6 +314,59 @@ class LiveUpdateMachine(RuleBasedStateMachine):
         assert got == self._model_rows(low, high)
         if result.proof is not None:
             assert result.report is not None
+
+    # -- the replay adversary ------------------------------------------------
+
+    @precondition(lambda self: self.server is not None)
+    @rule()
+    def capture_answer(self):
+        """The adversary records a genuine, attested answer off the wire."""
+        current = manifest_id(self.owner_client.manifest("items"))
+        with socket.create_connection(self.server.address, timeout=10) as sock:
+            send_message(
+                sock, QueryRequest(manifest_id=current, query=_FULL_RANGE)
+            )
+            frame = recv_frame(sock)
+        assert isinstance(decode(frame), QueryResponse)
+        self.captured.append((self.version, frame))
+        del self.captured[:-8]
+
+    @precondition(lambda self: self.server is not None)
+    @rule()
+    def refresh_attestation(self):
+        attestation = self.owner_client.attest("items", lifetime=3600.0)
+        assert attestation.sequence == self.version
+
+    @precondition(
+        lambda self: self.captured
+        and self.captured[0][0] < self.version
+    )
+    @rule()
+    def stale_replay_is_refused(self):
+        """Serving a captured pre-rotation answer under the *current* id must
+        raise a typed StaleAnswerError — and only while the adversary is in
+        the path; the genuine attested answer then still serves."""
+        _, frame = next(
+            (v, f) for v, f in self.captured if v < self.version
+        )
+        current = manifest_id(self.owner_client.manifest("items"))
+        doctored = replace(decode(frame), manifest_id=current)
+        self.adversary.stale_frame = encode(doctored)
+        try:
+            with pytest.raises(StaleAnswerError) as excinfo:
+                self.fresh_client.query(_FULL_RANGE)
+            # The captured attestation binds the pre-rotation manifest
+            # (mismatch); a pre-attestation capture carries none at all.
+            assert excinfo.value.reason in (
+                "no-attestation",
+                "attestation-mismatch",
+                "attestation-regressed",
+            )
+        finally:
+            self.adversary.stale_frame = None
+        result = self.fresh_client.query(_FULL_RANGE)
+        assert result.attestation is not None
+        assert result.manifest_sequence == self.version
 
     # -- invariants ----------------------------------------------------------
 

@@ -225,6 +225,14 @@ def build_vectors():
     update_response = updates.UpdateResponse(
         receipt=receipt, rotation=manifest_rotated
     )
+    attestation = updates.FreshnessAttestation(
+        manifest_id=_digest(24),
+        sequence=7,
+        epoch=3,
+        issued_at_ms=1_700_000_000_000,
+        not_after_ms=1_700_000_030_000,
+        owner_signature=0xFEED_FACE,
+    )
     query = Query(
         "employees",
         Conjunction(
@@ -272,6 +280,7 @@ def build_vectors():
         "update_request": update_request,
         "manifest_rotated": manifest_rotated,
         "update_response": update_response,
+        "freshness_attestation": attestation,
         "query": query,
         "join_query": join_query,
         # service protocol envelopes share the registry and the guarantees
@@ -289,6 +298,18 @@ def build_vectors():
             proof=range_proof,
             manifest_id=_digest(21),
         ),
+        # wire v4: answers may carry the owner-signed freshness attestation
+        "svc_query_response_attested": protocol.QueryResponse(
+            rows=({"salary": 4200, "name": "Alice"},),
+            proof=range_proof,
+            manifest_id=_digest(24),
+            attestation=attestation,
+        ),
+        "svc_attestation_push": protocol.AttestationPush(attestation),
+        "svc_attestation_ack": protocol.AttestationAck(
+            relation_name="employees", sequence=7, epoch=3
+        ),
+        "svc_attestation_request": protocol.AttestationRequest("employees"),
         # the proof field is a union over registered scheme VO types: pin the
         # encoding of a baseline-scheme answer too
         "svc_query_response_vbtree": protocol.QueryResponse(
@@ -344,18 +365,19 @@ def test_golden_vector(name):
 
 
 def test_previous_wire_version_rejected_with_typed_error():
-    """A v2 frame is refused with a typed version error, never mis-decoded.
+    """A v3 frame is refused with a typed version error, never mis-decoded.
 
-    Wire version 3 added the manifest ``scheme`` tag and the per-scheme VO
-    union, so a v2 frame's body layout differs; decoding must stop at the
-    envelope with ``reason == "bad-version"`` rather than producing garbage.
+    Wire version 4 added owner-signed freshness (the attestation artifact
+    and the attestation stamps on answers), so a v3 frame's body layout
+    differs; decoding must stop at the envelope with
+    ``reason == "bad-version"`` rather than producing garbage.
     """
     from repro.wire.errors import WireFormatError
 
     for name, artifact in build_vectors().items():
         blob = bytearray(encode(artifact))
-        assert blob[2] == 3, "vectors must be encoded at WIRE_VERSION 3"
-        blob[2] = 2  # re-stamp the envelope as the previous format version
+        assert blob[2] == 4, "vectors must be encoded at WIRE_VERSION 4"
+        blob[2] = 3  # re-stamp the envelope as the previous format version
         with pytest.raises(WireFormatError) as excinfo:
             decode(bytes(blob))
         assert excinfo.value.reason == "bad-version", name
@@ -363,7 +385,7 @@ def test_previous_wire_version_rejected_with_typed_error():
 
 def test_future_wire_version_rejected_with_typed_error():
     blob = bytearray(encode(build_vectors()["relation_manifest"]))
-    blob[2] = 4
+    blob[2] = 5
     from repro.wire.errors import WireFormatError
 
     with pytest.raises(WireFormatError) as excinfo:

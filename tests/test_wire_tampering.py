@@ -468,3 +468,90 @@ def _assert_equivalent_statement(scheme_name, rows, proof, got_rows, got_proof):
     assert got_proof.leaf_range == proof.leaf_range and got_proof.fanout == proof.fanout, (
         "a flip changed the cover derivation inputs yet rebuilt the same digests"
     )
+
+
+# -- freshness attestations (the bounded-staleness pipeline) ------------------
+#
+# Contract, extended to the freshness layer: a byte flip in an
+# AttestationPush must never *store* on the server (real dispatch path), and
+# a flip in the attestation a response carries must never pass a
+# freshness-enforcing client's check — both reject with typed errors.
+
+from repro.service import (  # noqa: E402
+    AttestationPush,
+    FreshnessPolicy,
+    StaleAnswerError,
+    build_attestation,
+)
+from repro.service.protocol import AttestationAck, ErrorResponse  # noqa: E402
+from repro.wire.updates import FreshnessAttestation  # noqa: E402
+
+_ATT_NOW_MS = 1_700_000_000_000
+
+
+def test_tampered_attestation_push_never_stores(update_world, owner):
+    """Flipped attestation pushes are refused by the real server dispatch."""
+    database, router, server, batch, request = update_world
+    manifest = database["employees"].manifest
+    attestation = build_attestation(
+        owner.signature_scheme, manifest, 1, _ATT_NOW_MS, 60_000
+    )
+    blob = encode(AttestationPush(attestation))
+    handled = server.handler.handle_frame(blob)
+    assert not handled.is_error, "the untampered push must store"
+    baseline = encode(router.attestation_for("employees"))
+
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=7):
+            tampered = (
+                blob[:offset] + bytes((blob[offset] ^ mask,)) + blob[offset + 1 :]
+            )
+            handled = server.handler.handle_frame(tampered)
+            if handled.is_error:
+                assert isinstance(decode(handled.payload), ErrorResponse)
+                continue
+            response = decode(handled.payload)
+            assert not isinstance(response, AttestationAck), (
+                f"flipping byte {offset} with mask {mask:#x} of an "
+                "attestation push was acknowledged"
+            )
+    assert encode(router.attestation_for("employees")) == baseline, (
+        "a tampered push changed the stored attestation"
+    )
+
+
+def test_tampered_attestation_refused_by_freshness_check(update_world, owner):
+    """Flips in a served attestation never pass the client's freshness check."""
+    database, router, server, batch, request = update_world
+    manifest = database["employees"].manifest
+    identifier = manifest_id(manifest)
+    attestation = build_attestation(
+        owner.signature_scheme, manifest, 1, _ATT_NOW_MS, 60_000
+    )
+    policy = FreshnessPolicy(
+        max_staleness=30.0, clock=lambda: _ATT_NOW_MS / 1000 + 5.0
+    )
+    client = VerifyingClient(
+        "127.0.0.1",
+        9,  # never connected: the freshness check is wire-free
+        trusted_manifests={"employees": manifest},
+        freshness=policy,
+    )
+    client._check_freshness("employees", manifest, identifier, attestation)
+
+    blob = encode(attestation)
+    for mask in _MASKS:
+        for offset in _sample_offsets(len(blob), step=5):
+            tampered = (
+                blob[:offset] + bytes((blob[offset] ^ mask,)) + blob[offset + 1 :]
+            )
+            try:
+                artifact = decode(tampered)
+            except WireFormatError:
+                continue  # codec-layer rejection: typed, expected
+            if not isinstance(artifact, FreshnessAttestation):
+                continue  # tampering changed the artifact type: visible
+            with pytest.raises(StaleAnswerError):
+                client._check_freshness(
+                    "employees", manifest, identifier, artifact
+                )
