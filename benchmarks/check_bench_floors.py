@@ -75,9 +75,11 @@ def _check_wire(fresh: dict, failures: list) -> None:
     machine-independent invariants: pooled answers byte-identical, decode at
     least as fast as a conservative fraction of encode (the seed's decoder
     ran at ~0.36x of encode; the zero-copy cursor must stay at or above
-    0.55x even on a noisy runner), and the freshness-attestation check
-    costing at most 5% of verified throughput (one signature verify and a
-    handful of integer comparisons per answer).
+    0.55x even on a noisy runner), the freshness-attestation check costing
+    at most 5% of verified throughput (one signature verify and a handful of
+    integer comparisons per answer), and the replica group retaining at
+    least half its healthy verified request rate through an abrupt
+    single-replica kill — with zero unverified answers accepted.
     """
     workloads = fresh.get("workloads", {})
     pool = workloads.get("service_pool")
@@ -128,6 +130,29 @@ def _check_wire(fresh: dict, failures: list) -> None:
                     "plain verified throughput (the attestation-check floor "
                     "is 0.95x)"
                 )
+    availability = workloads.get("replica_failover_availability")
+    if availability is None:
+        failures.append(
+            "fresh report is missing workload 'replica_failover_availability'"
+        )
+    else:
+        ratio = availability.get("availability_ratio", 0.0)
+        status = "ok" if ratio >= 0.5 else "REGRESSION"
+        print(
+            f"replica_failover             avail ratio {ratio:9.2f}   "
+            f"floor  0.50   {status}"
+        )
+        if ratio < 0.5:
+            failures.append(
+                f"verified availability through a single-replica kill fell to "
+                f"{ratio:.2f}x of the healthy rate (the floor is 0.5x)"
+            )
+        unverified = availability.get("unverified_answers")
+        if unverified != 0:
+            failures.append(
+                f"the failover workload accepted {unverified} unverified "
+                "answer(s); every accepted answer must be verified"
+            )
 
 
 def _check_schemes(fresh: dict, failures: list) -> None:

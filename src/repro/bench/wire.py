@@ -61,6 +61,9 @@ class WireBenchConfig:
     codec_rounds: int = 200
     clients: int = 4
     requests_per_client: int = 25
+    #: Duration of each availability-measurement phase (healthy / degraded)
+    #: of the replica-failover workload, in seconds.
+    availability_phase_seconds: float = 1.0
 
 
 #: Scaled-down configuration for the tier-1 smoke test.
@@ -70,6 +73,7 @@ SMOKE_WIRE_CONFIG = WireBenchConfig(
     codec_rounds=20,
     clients=2,
     requests_per_client=4,
+    availability_phase_seconds=0.3,
 )
 
 _SALARY_LOW, _SALARY_HIGH = 1, 99_999
@@ -356,6 +360,129 @@ def bench_pooled_identity(
     }
 
 
+def bench_replica_availability(
+    scheme: SignatureScheme, config: WireBenchConfig
+) -> Dict[str, object]:
+    """Verified availability of a replica group while one replica dies.
+
+    A durable primary plus two replicas (bootstrapped from the primary's
+    snapshot, kept current by :class:`ReplicationFollower` threads) serve a
+    :class:`FailoverClient` issuing verified reads in a closed loop.  The
+    verified request rate is measured over a healthy phase, then a replica is
+    stopped abruptly and the same loop runs again: the ratio of the two rates
+    is the availability the group retains through a single-replica failure,
+    and CI gates on it staying above 0.5x (see
+    ``benchmarks/check_bench_floors.py``).
+
+    ``unverified_answers`` is structural, not sampled: every answer the loop
+    counts passed full client-side verification (any other outcome raises and
+    is counted as a lost request instead), so any nonzero value is a harness
+    bug and the floor check treats it as a failure.
+    """
+    import tempfile
+
+    from repro.service.failover import FailoverClient, FailoverExhausted
+    from repro.service.replication import (
+        ReplicationFollower,
+        bootstrap_replica_root,
+    )
+    from repro.storage import open_publication_storage
+
+    def build_router() -> ShardRouter:
+        _, publisher, _ = _employee_world(scheme, config)
+        return ShardRouter({"bench": publisher})
+
+    query = _selectivity_query(config.selectivities[0])
+    seconds = config.availability_phase_seconds
+    report: Dict[str, object] = {
+        "replicas": 2,
+        "phase_seconds": seconds,
+        "unverified_answers": 0,
+    }
+
+    def measure(client: FailoverClient) -> Dict[str, float]:
+        answered = 0
+        lost = 0
+        deadline = time.perf_counter() + seconds
+        start = time.perf_counter()
+        while time.perf_counter() < deadline:
+            try:
+                client.query(query)
+                answered += 1
+            except FailoverExhausted:
+                lost += 1
+        elapsed = time.perf_counter() - start
+        return {
+            "verified_rps": round(answered / elapsed, 2) if elapsed else 0.0,
+            "lost_requests": lost,
+        }
+
+    with tempfile.TemporaryDirectory() as scratch:
+        primary_router, primary_storage = open_publication_storage(
+            f"{scratch}/primary", build_router, fsync="off"
+        )
+        servers = []
+        followers = []
+        storages = [primary_storage]
+        try:
+            primary = PublicationServer(
+                primary_router,
+                storage=primary_storage,
+                config=ServerConfig(max_workers=16),
+            )
+            servers.append(primary)
+            host, port = primary.start()
+            endpoints = [(host, port)]
+            for index in range(2):
+                root = f"{scratch}/replica{index}"
+                bootstrap_replica_root(host, port, root)
+                replica_router, replica_storage = open_publication_storage(
+                    root, build_router, fsync="off"
+                )
+                storages.append(replica_storage)
+                replica = PublicationServer(
+                    replica_router,
+                    storage=replica_storage,
+                    config=ServerConfig(max_workers=16, read_only=True),
+                )
+                servers.append(replica)
+                endpoints.append(replica.start())
+                followers.append(
+                    ReplicationFollower(
+                        replica, host, port, poll_interval=0.05
+                    ).start()
+                )
+            with FailoverClient(
+                endpoints, open_seconds=max(5.0, 10 * seconds)
+            ) as client:
+                client.relations()  # connect + warm before timing
+                healthy = measure(client)
+                # Abrupt single-replica failure: the last replica goes away
+                # mid-workload and the client must keep answering verified.
+                followers[-1].stop()
+                servers[-1].stop()
+                degraded = measure(client)
+                report["failovers"] = client.failovers
+            report["healthy_rps"] = healthy["verified_rps"]
+            report["degraded_rps"] = degraded["verified_rps"]
+            report["lost_requests"] = (
+                healthy["lost_requests"] + degraded["lost_requests"]
+            )
+            report["availability_ratio"] = (
+                round(degraded["verified_rps"] / healthy["verified_rps"], 3)
+                if healthy["verified_rps"]
+                else 0.0
+            )
+        finally:
+            for follower in followers:
+                follower.stop()
+            for server in servers:
+                server.stop()
+            for storage in storages:
+                storage.close()
+    return report
+
+
 def run_wire_benchmarks(config: WireBenchConfig = WireBenchConfig()) -> Dict:
     """Run the wire/service workloads and return a report fragment."""
     scheme = rsa_scheme(bits=config.key_bits)
@@ -366,5 +493,8 @@ def run_wire_benchmarks(config: WireBenchConfig = WireBenchConfig()) -> Dict:
             "wire_codec_throughput": bench_codec_throughput(scheme, config),
             "service_throughput": bench_service_throughput(scheme, config),
             "service_pool": bench_pooled_identity(scheme, config),
+            "replica_failover_availability": bench_replica_availability(
+                scheme, config
+            ),
         },
     }

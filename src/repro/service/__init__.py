@@ -12,6 +12,12 @@ streams signed insert/delete/update deltas, rotating each relation's manifest
 so querying clients can follow the data as it changes.
 """
 
+from repro.service.chaos import (
+    CHAOS_FAULTS,
+    ChaosProxy,
+    ChaosRegistry,
+    chaos_registry_from_env,
+)
 from repro.service.client import (
     QuerySpec,
     ServiceConnection,
@@ -21,6 +27,7 @@ from repro.service.client import (
 )
 from repro.service.config import FreshnessPolicy, ServerConfig, StorageConfig
 from repro.service.demo import build_demo_router, build_demo_world
+from repro.service.failover import EndpointPool, FailoverClient, FailoverExhausted
 from repro.service.handler import RequestHandler
 from repro.service.owner import (
     OwnerClient,
@@ -33,6 +40,7 @@ from repro.service.protocol import (
     AttestationAck,
     AttestationPush,
     AttestationRequest,
+    ConnectionRefusedTransportError,
     ErrorResponse,
     FreshnessAttestation,
     JoinRequest,
@@ -48,14 +56,29 @@ from repro.service.protocol import (
     RecordDelta,
     RelationListing,
     RemoteError,
+    ReplicaFrames,
+    ReplicaFramesRequest,
+    ReplicaSnapshot,
+    ReplicaSnapshotRequest,
+    ReplicationStatus,
+    ReplicationStatusRequest,
+    ResetTransportError,
     RotationRequest,
     ServiceError,
     ServiceProtocolError,
     StaleAnswerError,
     StaleManifestError,
+    TimeoutTransportError,
+    TransportError,
     UpdateRequest,
     UpdateResponse,
 )
+from repro.service.replication import (
+    ReplicationError,
+    ReplicationFollower,
+    bootstrap_replica_root,
+)
+from repro.service.retry import RetriesExhausted, RetryPolicy
 from repro.service.router import (
     EvictedManifestError,
     ShardRouter,
@@ -68,8 +91,15 @@ __all__ = [
     "AttestationAck",
     "AttestationPush",
     "AttestationRequest",
+    "CHAOS_FAULTS",
+    "ChaosProxy",
+    "ChaosRegistry",
+    "ConnectionRefusedTransportError",
+    "EndpointPool",
     "ErrorResponse",
     "EvictedManifestError",
+    "FailoverClient",
+    "FailoverExhausted",
     "FreshnessAttestation",
     "FreshnessPolicy",
     "JoinRequest",
@@ -90,6 +120,17 @@ __all__ = [
     "RecordDelta",
     "RelationListing",
     "RemoteError",
+    "ReplicaFrames",
+    "ReplicaFramesRequest",
+    "ReplicaSnapshot",
+    "ReplicaSnapshotRequest",
+    "ReplicationError",
+    "ReplicationFollower",
+    "ReplicationStatus",
+    "ReplicationStatusRequest",
+    "ResetTransportError",
+    "RetriesExhausted",
+    "RetryPolicy",
     "RotationRequest",
     "ServerConfig",
     "ServiceConnection",
@@ -100,15 +141,19 @@ __all__ = [
     "StaleAnswerError",
     "StaleManifestError",
     "StorageConfig",
+    "TimeoutTransportError",
+    "TransportError",
     "UnknownManifestError",
     "UpdateRequest",
     "UpdateResponse",
     "VerifiedJoinResult",
     "VerifiedResult",
     "VerifyingClient",
+    "bootstrap_replica_root",
     "build_attestation",
     "build_demo_router",
     "build_demo_world",
     "build_update_request",
+    "chaos_registry_from_env",
     "delta_sequence_cost",
 ]

@@ -1,0 +1,342 @@
+"""An in-path TCP chaos proxy for partition/latency/loss testing.
+
+A :class:`ChaosProxy` sits between a client and a real server socket and
+forwards bytes in both directions until a fault armed in its
+:class:`ChaosRegistry` tells it otherwise.  The registry mirrors the
+:mod:`repro.storage.faults` failpoint idiom — a small named-fault registry,
+armable from the environment — but deliberately lives in its own namespace
+(``REPRO_CHAOS``, :data:`CHAOS_FAULTS`): storage failpoints are *crash sites
+inside the process*, chaos faults are *conditions on the wire*, and the
+storage registry's exhaustive-coverage test stays meaningful only if the two
+sets never mix.
+
+The fault vocabulary (``fault`` or ``fault:value`` in specs):
+
+===================  ========================================================
+``latency``          delay every forwarded chunk by ``value`` seconds
+                     (default 0.2)
+``trickle``          forward server→client traffic one byte per ``value``
+                     seconds (default 0.01) — the slow-loris read
+``blackhole``        silently drop all bytes in both directions; connections
+                     stay open, peers see pure stall
+``reset``            tear down both sides with an RST (``SO_LINGER`` 0) on
+                     the next forwarded chunk
+``partition-up``     drop client→server bytes only (requests vanish,
+                     responses to earlier requests still flow)
+``partition-down``   drop server→client bytes only (the server keeps
+                     serving, its answers/acks vanish — the lost-ack case)
+===================  ========================================================
+
+Faults are armed and disarmed at runtime (thread-safe) or via the
+``REPRO_CHAOS`` environment variable (comma-separated specs, parsed by
+:func:`chaos_registry_from_env`).  Everything the proxy does is deterministic
+given the armed set — the ``seed`` parameter exists so future probabilistic
+faults stay reproducible, and today's faults use no randomness at all.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CHAOS_FAULTS",
+    "ENV_VAR",
+    "ChaosProxy",
+    "ChaosRegistry",
+    "chaos_registry_from_env",
+]
+
+#: Every fault the proxy understands; specs naming anything else are refused.
+CHAOS_FAULTS: Tuple[str, ...] = (
+    "latency",
+    "trickle",
+    "blackhole",
+    "reset",
+    "partition-up",
+    "partition-down",
+)
+
+#: Environment variable consulted by :func:`chaos_registry_from_env`.
+ENV_VAR = "REPRO_CHAOS"
+
+#: Default parameter per fault that takes one (seconds).
+_DEFAULT_VALUES = {"latency": 0.2, "trickle": 0.01}
+
+
+class ChaosRegistry:
+    """Thread-safe registry of armed network faults.
+
+    Unlike storage failpoints (fire once, then disarm), chaos faults are
+    *conditions*: armed means in force for every byte until disarmed.
+    ``hits`` counts, per fault, how many forwarded chunks the fault acted on.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.hits: Dict[str, int] = {fault: 0 for fault in CHAOS_FAULTS}
+
+    def arm(self, fault: str, value: Optional[float] = None) -> None:
+        if fault not in CHAOS_FAULTS:
+            raise ValueError(f"unknown chaos fault {fault!r}; known: {CHAOS_FAULTS}")
+        if value is None:
+            value = _DEFAULT_VALUES.get(fault, 0.0)
+        if value < 0:
+            raise ValueError(f"chaos fault value must be >= 0, got {value}")
+        with self._lock:
+            self._armed[fault] = float(value)
+
+    def disarm(self, fault: str) -> None:
+        with self._lock:
+            self._armed.pop(fault, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._armed.clear()
+
+    def armed(self) -> Dict[str, float]:
+        """A snapshot of the armed faults and their values."""
+        with self._lock:
+            return dict(self._armed)
+
+    def value(self, fault: str) -> Optional[float]:
+        """The fault's value if armed, else None (and counts the hit)."""
+        with self._lock:
+            if fault not in self._armed:
+                return None
+            self.hits[fault] += 1
+            return self._armed[fault]
+
+
+def chaos_registry_from_env(environ=None) -> ChaosRegistry:
+    """Build a registry from ``REPRO_CHAOS`` (``fault`` or ``fault:value``).
+
+    Malformed specs raise :class:`ValueError` — a chaos run that silently
+    ignores a typo'd fault would pass for the wrong reason.
+    """
+    import os
+
+    registry = ChaosRegistry()
+    raw = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    for spec in filter(None, (part.strip() for part in raw.split(","))):
+        fault, _, value_text = spec.partition(":")
+        value: Optional[float] = None
+        if value_text:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"malformed {ENV_VAR} spec {spec!r}: value must be a number"
+                ) from None
+        registry.arm(fault, value)
+    return registry
+
+
+class ChaosProxy:
+    """A TCP forwarder that injects the registry's armed faults in-path.
+
+    One accept thread plus two pump threads per proxied connection (one per
+    direction).  Start/stop are idempotent; the bound address is available as
+    :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        faults: Optional[ChaosRegistry] = None,
+        seed: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self.port = port
+        self.faults = faults if faults is not None else ChaosRegistry()
+        self.seed = seed
+        self._rand = random.Random(seed)
+        self.bytes_forwarded = 0
+        self.bytes_dropped = 0
+        self.resets_injected = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("the proxy is not started")
+        return self.host, self.port
+
+    def start(self) -> Tuple[str, int]:
+        if self._listener is not None:
+            return self.address
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.host, self.port = listener.getsockname()
+        self._listener = listener
+        self._stopping.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"chaos-proxy-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            # A thread blocked in accept() is not woken by close() alone;
+            # poke it with a throwaway connection so it observes the stop.
+            try:
+                socket.create_connection((self.host, self.port), timeout=1).close()
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for sock in connections:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the data path -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set() and listener is not None:
+            try:
+                client, _ = listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=10
+                )
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._connections += [client, upstream]
+            for src, dst, direction in (
+                (client, upstream, "up"),
+                (upstream, client, "down"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, direction, client, upstream),
+                    daemon=True,
+                ).start()
+
+    @staticmethod
+    def _hard_close(sock: socket.socket) -> None:
+        """Close with an RST instead of a FIN (SO_LINGER, zero timeout)."""
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        direction: str,
+        client: socket.socket,
+        upstream: socket.socket,
+    ) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    data = src.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    # Honest half-close: let in-flight traffic the other way
+                    # finish draining.
+                    try:
+                        dst.shutdown(socket.SHUT_WR)
+                    except OSError:
+                        pass
+                    return
+                if self.faults.value("reset") is not None:
+                    self.resets_injected += 1
+                    self._hard_close(client)
+                    self._hard_close(upstream)
+                    return
+                if (
+                    self.faults.value("blackhole") is not None
+                    or (
+                        direction == "up"
+                        and self.faults.value("partition-up") is not None
+                    )
+                    or (
+                        direction == "down"
+                        and self.faults.value("partition-down") is not None
+                    )
+                ):
+                    self.bytes_dropped += len(data)
+                    continue
+                latency = self.faults.value("latency")
+                if latency:
+                    time.sleep(latency)
+                trickle = self.faults.value("trickle")
+                if direction == "down" and trickle:
+                    try:
+                        for offset in range(len(data)):
+                            dst.sendall(data[offset : offset + 1])
+                            self.bytes_forwarded += 1
+                            if trickle:
+                                time.sleep(trickle)
+                            if self._stopping.is_set():
+                                return
+                            # Re-consult mid-chunk so disarming takes effect
+                            # without waiting out a large frame.
+                            trickle = self.faults.value("trickle")
+                    except OSError:
+                        break
+                    continue
+                try:
+                    dst.sendall(data)
+                except OSError:
+                    break
+                self.bytes_forwarded += len(data)
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass

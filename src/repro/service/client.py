@@ -70,6 +70,7 @@ from repro.schemes import (
 )
 from repro.service.config import FreshnessPolicy
 from repro.service.protocol import (
+    ConnectionRefusedTransportError,
     ErrorResponse,
     JoinRequest,
     JoinResponse,
@@ -81,11 +82,13 @@ from repro.service.protocol import (
     QueryResponse,
     RelationListing,
     RemoteError,
+    ResetTransportError,
     RotationRequest,
     ServiceError,
     ServiceProtocolError,
     StaleAnswerError,
     StaleManifestError,
+    TimeoutTransportError,
     recv_message,
     send_message,
 )
@@ -151,9 +154,25 @@ class ServiceConnection:
 
     def connect(self) -> "ServiceConnection":
         if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except socket.timeout:
+                raise TimeoutTransportError(
+                    f"timed out after {self.timeout}s connecting to "
+                    f"{self.host}:{self.port}"
+                ) from None
+            except (ConnectionRefusedError, ConnectionAbortedError) as error:
+                raise ConnectionRefusedTransportError(
+                    f"connection to {self.host}:{self.port} refused: {error}"
+                ) from None
+            except OSError as error:
+                # Unreachable host/network and friends: nobody answered
+                # there either, so classify with the refused/fail-over type.
+                raise ConnectionRefusedTransportError(
+                    f"cannot connect to {self.host}:{self.port}: {error}"
+                ) from None
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return self
 
@@ -191,18 +210,21 @@ class ServiceConnection:
             response = recv_message(self._sock)
         except socket.timeout:
             self.close()
-            raise ServiceProtocolError(
+            raise TimeoutTransportError(
                 f"timed out after {self.timeout}s waiting for the server"
             ) from None
         except (ServiceProtocolError, WireFormatError):
             self.close()
             raise
+        except (ConnectionResetError, BrokenPipeError) as error:
+            self.close()
+            raise ResetTransportError(f"connection reset: {error}") from None
         except OSError as error:
             self.close()
             raise ServiceProtocolError(f"connection failed: {error}") from None
         if response is None:
             self.close()
-            raise ServiceProtocolError("server closed the connection")
+            raise ResetTransportError("server closed the connection")
         if isinstance(response, ErrorResponse):
             raise RemoteError(response.code, response.reason, response.message)
         if not isinstance(response, expect):
@@ -273,18 +295,21 @@ class ServiceConnection:
                 if len(responses) < needed:
                     chunk = self._sock.recv(262144)
                     if not chunk:
-                        raise ServiceProtocolError(
+                        raise ResetTransportError(
                             "server closed the connection mid-pipeline"
                         )
                     buffer += chunk
         except socket.timeout:
             self.close()
-            raise ServiceProtocolError(
+            raise TimeoutTransportError(
                 f"timed out after {self.timeout}s waiting for the server"
             ) from None
         except (ServiceProtocolError, WireFormatError):
             self.close()
             raise
+        except (ConnectionResetError, BrokenPipeError) as error:
+            self.close()
+            raise ResetTransportError(f"connection reset: {error}") from None
         except OSError as error:
             self.close()
             raise ServiceProtocolError(f"connection failed: {error}") from None

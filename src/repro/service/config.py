@@ -89,6 +89,11 @@ class ServerConfig:
     #: Per-connection cap on parsed-but-unanswered pipelined frames; beyond
     #: it the server stops reading that socket until responses drain.
     max_pipelined_frames: int = 256
+    #: Serve reads only: direct owner updates and attestation pushes are
+    #: refused with a typed ``ReadOnlyReplica`` error.  Set on replica
+    #: servers, whose state mutates exclusively through the replication
+    #: follower (see :mod:`repro.service.replication`).
+    read_only: bool = False
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):

@@ -41,6 +41,9 @@ from repro.service.protocol import (
     QueryRequest,
     QueryResponse,
     RelationListing,
+    ReplicaFramesRequest,
+    ReplicaSnapshotRequest,
+    ReplicationStatusRequest,
     RotationRequest,
     ServiceProtocolError,
     StaleAnswerError,
@@ -101,6 +104,7 @@ class RequestHandler:
         response_cache_max_bytes: int = _RESPONSE_CACHE_MAX_BYTES,
         storage=None,
         faults=None,
+        read_only: bool = False,
     ) -> None:
         self.router = router
         self._response_cache: Optional[BoundedCache] = (
@@ -117,6 +121,9 @@ class RequestHandler:
         #: Optional failpoint registry (crash testing); see
         #: :mod:`repro.storage.faults`.
         self.faults = faults
+        #: Read replicas refuse direct mutations; their state advances only
+        #: through :meth:`apply_replicated_frame` (the replication follower).
+        self.read_only = read_only
         self.updates_applied = 0
 
     # -- frame-level entry point --------------------------------------------
@@ -141,6 +148,23 @@ class RequestHandler:
             request = decode(frame)
         except (WireFormatError, ServiceProtocolError) as error:
             return HandledFrame(self._error_payload(error), True, close_after=True)
+        if self.read_only and isinstance(request, (UpdateRequest, AttestationPush)):
+            # A replica's state advances only through the replication
+            # follower; a direct mutation here would fork it from the
+            # primary's owner-signed history.
+            return HandledFrame(
+                encode(
+                    ErrorResponse(
+                        code="ReadOnlyReplica",
+                        reason="read-only-replica",
+                        message=(
+                            "this server is a read replica; send updates and "
+                            "attestations to the primary"
+                        ),
+                    )
+                ),
+                True,
+            )
         if isinstance(request, UpdateRequest):
             # Idempotent resubmission: a batch this router already applied
             # (same canonical frame bytes — the owner signature covers them)
@@ -304,6 +328,18 @@ class RequestHandler:
                     reason="no-attestation",
                 )
             return attestation
+        if isinstance(request, ReplicationStatusRequest):
+            from repro.service.replication import answer_replication_status
+
+            return answer_replication_status(self.router, request)
+        if isinstance(request, ReplicaFramesRequest):
+            from repro.service.replication import answer_replica_frames
+
+            return answer_replica_frames(self.router, self.storage, request)
+        if isinstance(request, ReplicaSnapshotRequest):
+            from repro.service.replication import answer_replica_snapshot
+
+            return answer_replica_snapshot(self.router, self.storage)
         raise ServiceProtocolError(
             f"{type(request).__name__} is not a request message"
         )
@@ -439,6 +475,33 @@ class RequestHandler:
             # acknowledgement never reaches the owner.
             self.faults.hit("update-after-apply")
         return response
+
+    def apply_replicated_frame(self, frame: bytes):
+        """Apply one replicated owner frame through the live verified path.
+
+        The replication follower's entry point: the exact pipeline
+        :meth:`handle_frame` runs for a primary's owner traffic — signature
+        verification, WAL logging, delta application, rotation — but with the
+        read-only refusal bypassed (the follower *is* the replica's one
+        writer) and without touching the encoded-response cache, which has no
+        internal lock and belongs to the event-loop thread.  Raises the same
+        typed errors the primary would have raised; an already-applied frame
+        returns its original outcome via the applied-update registry.
+        """
+        request = decode(frame)
+        if isinstance(request, UpdateRequest):
+            replayed = self.router.replayed_update_response(frame)
+            if replayed is not None:
+                return decode(replayed)
+            response = self._answer_update(request, frame=frame)
+            self.router.remember_applied_update(frame, encode(response))
+            return response
+        if isinstance(request, AttestationPush):
+            response, _ = self._answer_attestation_push(request)
+            return response
+        raise ServiceProtocolError(
+            f"{type(request).__name__} is not a replicable frame"
+        )
 
     def _answer_attestation_push(
         self, request: AttestationPush

@@ -66,6 +66,10 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "ServiceError",
     "ServiceProtocolError",
+    "TransportError",
+    "ConnectionRefusedTransportError",
+    "ResetTransportError",
+    "TimeoutTransportError",
     "StaleManifestError",
     "StaleAnswerError",
     "OwnerAuthError",
@@ -88,6 +92,12 @@ __all__ = [
     "AttestationPush",
     "AttestationAck",
     "AttestationRequest",
+    "ReplicationStatusRequest",
+    "ReplicationStatus",
+    "ReplicaFramesRequest",
+    "ReplicaFrames",
+    "ReplicaSnapshotRequest",
+    "ReplicaSnapshot",
     "ErrorResponse",
     "encode_frame",
     "send_message",
@@ -113,6 +123,29 @@ class ServiceError(ReproError):
 
 class ServiceProtocolError(ServiceError):
     """The byte stream violated the framing/protocol contract."""
+
+
+class TransportError(ServiceProtocolError):
+    """A classified transport-level failure (see subclasses).
+
+    Subclassing :class:`ServiceProtocolError` keeps every existing caller and
+    :class:`~repro.service.retry.RetryPolicy` working unchanged; the value of
+    the subclasses is that a failover-aware caller can tell *retry this
+    endpoint* (a timeout may be a transient stall) from *fail over now* (a
+    refused connect means nobody is listening there).
+    """
+
+
+class ConnectionRefusedTransportError(TransportError):
+    """Nobody is listening at the endpoint (ECONNREFUSED / unreachable)."""
+
+
+class ResetTransportError(TransportError):
+    """The peer reset or closed the connection mid-exchange."""
+
+
+class TimeoutTransportError(TransportError):
+    """The peer accepted the request but never answered within the timeout."""
 
 
 class StaleManifestError(ServiceError):
@@ -330,6 +363,87 @@ class ErrorResponse:
     message: str = ""
 
 
+# -- replication messages (see repro.service.replication) -------------------
+#
+# Replicas need no trust establishment: everything a primary ships below is
+# either owner-signed wire frames (which the replica re-verifies through the
+# same path crash recovery uses) or raw storage files whose contents are
+# themselves owner-signed checkpoints and WAL frames.  A lying primary can
+# only produce a replica that fails verification — never one that serves a
+# forged answer.
+
+
+@dataclass(frozen=True)
+class ReplicationStatusRequest:
+    """Ask a server for one relation's applied ``(sequence, epoch)``.
+
+    Works against primaries and replicas alike; comparing the two is how
+    replication lag is observed (and what the chaos tests poll to decide a
+    replica has caught up).
+    """
+
+    relation_name: str
+
+
+@dataclass(frozen=True)
+class ReplicationStatus:
+    """A relation's applied high-water mark: manifest sequence + freshness epoch.
+
+    ``epoch`` is 0 when the owner never attested the relation.
+    """
+
+    relation_name: str
+    sequence: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ReplicaFramesRequest:
+    """Ask a primary for the owner-signed WAL frames from ``after_sequence`` on.
+
+    ``after_sequence`` is the requesting replica's applied sequence; the
+    primary answers with every retained update frame at or beyond it (plus
+    freshness attestations, which carry no sequence cost).
+    """
+
+    relation_name: str
+    after_sequence: int
+
+
+@dataclass(frozen=True)
+class ReplicaFrames:
+    """The primary's WAL suffix as raw owner-signed frames.
+
+    ``base_sequence`` is the earliest sequence the primary can still replay
+    from its WAL (its checkpoint floor).  A replica whose applied sequence is
+    *below* it cannot catch up incrementally — the primary has compacted past
+    it — and must re-bootstrap from a fresh snapshot.
+    """
+
+    relation_name: str
+    base_sequence: int
+    frames: Tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshotRequest:
+    """Ask a primary for a full storage snapshot (fresh-join bootstrap)."""
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """A storage root as ``(relative path, bytes)`` pairs.
+
+    Checkpoints and WAL files are owner-signed content the replica re-verifies
+    during recovery; ``keys.json`` rides along because this deployment trusts
+    publisher hosts with the signing key (see the scope note in
+    :mod:`repro.service.owner`) — replicas re-sign rotations exactly like the
+    primary does.
+    """
+
+    files: Tuple[Tuple[str, bytes], ...]
+
+
 _ROW = codec.MapField(codec.STR, codec.SCALAR)
 
 codec.register_artifact(0x40, ListRelationsRequest, [])
@@ -414,6 +528,38 @@ codec.register_artifact(
 )
 codec.register_artifact(
     0x4D, AttestationRequest, [("relation_name", codec.STR)]
+)
+codec.register_artifact(
+    0x4E, ReplicationStatusRequest, [("relation_name", codec.STR)]
+)
+codec.register_artifact(
+    0x4F,
+    ReplicationStatus,
+    [
+        ("relation_name", codec.STR),
+        ("sequence", codec.INT),
+        ("epoch", codec.INT),
+    ],
+)
+codec.register_artifact(
+    0x53,
+    ReplicaFramesRequest,
+    [("relation_name", codec.STR), ("after_sequence", codec.INT)],
+)
+codec.register_artifact(
+    0x54,
+    ReplicaFrames,
+    [
+        ("relation_name", codec.STR),
+        ("base_sequence", codec.INT),
+        ("frames", codec.TupleField(codec.BYTES)),
+    ],
+)
+codec.register_artifact(0x55, ReplicaSnapshotRequest, [])
+codec.register_artifact(
+    0x56,
+    ReplicaSnapshot,
+    [("files", codec.TupleField(codec.PairField(codec.STR, codec.BYTES)))],
 )
 
 

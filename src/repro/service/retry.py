@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Optional
+from typing import Callable, FrozenSet, Optional, Tuple
 
 from repro.service.protocol import (
     RemoteError,
@@ -82,6 +82,23 @@ class RetryPolicy:
     retryable_codes:
         :class:`~repro.service.protocol.RemoteError` codes considered
         transient.
+    deadline:
+        Total wall-clock budget in seconds across *all* attempts (their
+        backoff included).  Once the budget cannot fit another backoff +
+        attempt start, the policy stops early and raises
+        :class:`RetriesExhausted` — ``max_attempts`` bounds work, the
+        deadline bounds latency, and whichever is hit first wins.  ``None``
+        (the default) keeps the historical attempts-only behaviour.
+    no_retry_errors:
+        Error types that are *never* retried even when their base class is
+        retryable.  This is how a failover-aware caller makes
+        :class:`~repro.service.protocol.ConnectionRefusedTransportError`
+        (nobody is listening — fail over now) skip the backoff loop while
+        timeouts and resets (possibly transient) still retry.
+    clock:
+        Monotonic-seconds source for the deadline; injectable so the budget
+        is deterministically testable (same pattern as
+        :class:`~repro.service.config.FreshnessPolicy`).
     """
 
     max_attempts: int = 4
@@ -91,6 +108,9 @@ class RetryPolicy:
     jitter: float = 0.5
     attempt_timeout: Optional[float] = None
     retryable_codes: FrozenSet[str] = field(default_factory=lambda: DEFAULT_RETRYABLE_CODES)
+    deadline: Optional[float] = None
+    no_retry_errors: Tuple[type, ...] = ()
+    clock: Callable[[], float] = field(default=time.monotonic, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -101,11 +121,17 @@ class RetryPolicy:
             raise ValueError("the backoff multiplier must be >= 1")
         if not 0 <= self.jitter <= 1:
             raise ValueError("jitter is a fraction of the delay (0..1)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("the retry deadline must be a positive number of seconds")
+        if not callable(self.clock):
+            raise ValueError("clock must be a callable returning monotonic seconds")
 
     # -- classification ------------------------------------------------------
 
     def retryable(self, error: Exception) -> bool:
         """Whether ``error`` describes a transient failure (see module doc)."""
+        if self.no_retry_errors and isinstance(error, self.no_retry_errors):
+            return False
         if isinstance(error, RemoteError):
             return error.code in self.retryable_codes
         return isinstance(error, ServiceProtocolError)
@@ -132,14 +158,23 @@ class RetryPolicy:
         """Run ``operation`` under this policy.
 
         Non-retryable errors propagate unchanged on any attempt; retryable
-        ones are re-tried after backoff until :attr:`max_attempts` is spent,
-        then wrapped in a typed :class:`RetriesExhausted`.
+        ones are re-tried after backoff until :attr:`max_attempts` — or the
+        wall-clock :attr:`deadline` — is spent, then wrapped in a typed
+        :class:`RetriesExhausted`.
         """
         last_error: Optional[Exception] = None
+        started = self.clock() if self.deadline is not None else 0.0
+        attempts = 0
         for attempt in range(1, self.max_attempts + 1):
             delay = self.backoff(attempt, rand)
+            if self.deadline is not None and attempt > 1:
+                # The budget must still fit the backoff; an attempt that
+                # could not even start in time is not attempted at all.
+                if (self.clock() - started) + delay >= self.deadline:
+                    break
             if delay:
                 sleep(delay)
+            attempts = attempt
             try:
                 return operation()
             except Exception as error:  # noqa: BLE001 - classified right below
@@ -147,8 +182,13 @@ class RetryPolicy:
                     raise
                 last_error = error
         assert last_error is not None
+        budget = (
+            ""
+            if self.deadline is None or attempts == self.max_attempts
+            else f" within the {self.deadline}s retry budget"
+        )
         raise RetriesExhausted(
-            f"{self.max_attempts} attempt(s) failed; last error: {last_error}",
-            attempts=self.max_attempts,
+            f"{attempts} attempt(s) failed{budget}; last error: {last_error}",
+            attempts=attempts,
             last_error=last_error,
         ) from last_error

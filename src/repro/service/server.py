@@ -211,6 +211,7 @@ class PublicationServer:
             response_cache=config.response_cache,
             storage=storage,
             faults=faults,
+            read_only=config.read_only,
         )
         self._listener: Optional[socket.socket] = None
         self._loop_thread: Optional[threading.Thread] = None
@@ -852,7 +853,39 @@ def _main(argv=None) -> int:
         default=0,
         help="checkpoint+compact a relation's WAL every N logged updates (0 = never)",
     )
+    parser.add_argument(
+        "--replicate-from",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "run as a read-only replica of the primary at HOST:PORT: bootstrap "
+            "--storage-dir from its snapshot when empty, then continuously "
+            "apply its owner-signed WAL frames (requires --storage-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        help="replication poll interval in seconds (with --replicate-from)",
+    )
     args = parser.parse_args(argv)
+
+    primary = None
+    if args.replicate_from is not None:
+        if args.storage_dir is None:
+            parser.error("--replicate-from requires --storage-dir")
+        host_text, _, port_text = args.replicate_from.rpartition(":")
+        try:
+            primary = (host_text, int(port_text))
+        except ValueError:
+            parser.error("--replicate-from must be HOST:PORT")
+        from repro.service.replication import (
+            ReplicationFollower,
+            bootstrap_replica_root,
+        )
+
+        bootstrap_replica_root(primary[0], primary[1], args.storage_dir)
 
     faults = fault_registry_from_env()
     storage = None
@@ -881,6 +914,7 @@ def _main(argv=None) -> int:
             max_workers=args.max_workers,
             worker_processes=args.worker_processes,
             response_cache=not args.no_response_cache,
+            read_only=primary is not None,
         ),
     )
 
@@ -897,9 +931,17 @@ def _main(argv=None) -> int:
     )
     if storage is not None:
         print(f"STORAGE {storage.origin}", flush=True)
+    follower = None
+    if primary is not None:
+        follower = ReplicationFollower(
+            server, primary[0], primary[1], poll_interval=args.poll_interval
+        ).start()
+        print(f"REPLICATING {primary[0]}:{primary[1]}", flush=True)
     try:
         server.serve_forever()
     finally:
+        if follower is not None:
+            follower.stop()
         if storage is not None:
             storage.close()
         # Long-running-server observability: one cache-stats line on the way

@@ -7,6 +7,10 @@ public keys embedded in the owner-signed manifests):
 ``inspect <root>``
     JSON summary: per relation, the checkpoint's sequence and row count and
     the WAL's record count, torn-tail bytes and corruption offset (if any).
+    With ``--replication``, also each relation's applied replication mark —
+    the ``(sequence, epoch)`` a server over this root would answer to a
+    ``ReplicationStatusRequest`` — computed offline by walking the WAL
+    forward from the checkpoint.
 
 ``verify <root>``
     Full offline verification.  Loads every checkpoint (owner signature over
@@ -62,6 +66,25 @@ def _layout(root: str):
     return storage, document.get("shards", {})
 
 
+def _replication_mark(storage: PublicationStorage, shard: str, name: str):
+    """The applied ``(sequence, epoch)`` mark a server over this root would
+    report via ``ReplicationStatusRequest``: the checkpoint's sequence walked
+    forward through the WAL's updates, plus the highest logged attestation
+    epoch."""
+    checkpoint = load_checkpoint(storage.checkpoint_path(shard, name))
+    sequence = checkpoint.sequence
+    epoch = 0
+    for frame in iter_wal_records(storage.wal_path(shard, name)):
+        artifact = decode(frame)
+        if isinstance(artifact, UpdateRequest):
+            sequence = artifact.sequence + delta_sequence_cost(artifact.deltas)
+        elif isinstance(artifact, ManifestRotated):
+            sequence = artifact.sequence
+        elif isinstance(artifact, FreshnessAttestation):
+            epoch = max(epoch, artifact.epoch)
+    return {"applied_sequence": sequence, "epoch": epoch}
+
+
 def _cmd_inspect(args) -> int:
     storage, layout = _layout(args.root)
     report = {"root": args.root, "shards": {}}
@@ -87,6 +110,11 @@ def _cmd_inspect(args) -> int:
             if scan.corrupt_at is not None:
                 entry["wal"]["corrupt_at"] = scan.corrupt_at
                 entry["wal"]["corrupt_detail"] = scan.corrupt_detail
+            if args.replication:
+                try:
+                    entry["replication"] = _replication_mark(storage, shard, name)
+                except (CheckpointCorruptError, WalCorruptError) as error:
+                    entry["replication"] = {"error": str(error)}
             entries[name] = entry
         report["shards"][shard] = entries
     json.dump(report, sys.stdout, indent=1, sort_keys=True)
@@ -240,6 +268,15 @@ def main(argv=None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
     inspect = commands.add_parser("inspect", help="JSON summary of a storage root")
     inspect.add_argument("root")
+    inspect.add_argument(
+        "--replication",
+        action="store_true",
+        help=(
+            "also report each relation's applied replication mark — the "
+            "(sequence, epoch) a server over this root would serve — next to "
+            "its WAL head"
+        ),
+    )
     inspect.set_defaults(func=_cmd_inspect)
     verify = commands.add_parser("verify", help="verify checkpoints and WAL chains")
     verify.add_argument("root")

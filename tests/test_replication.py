@@ -1,0 +1,339 @@
+"""Verifiable replica groups, in-process: bootstrap, catch-up, observability.
+
+A replica needs no trust establishment — it replays the primary's
+owner-signed WAL frames through the same signature-verified pipeline crash
+recovery uses, so these suites check the replication *mechanics*: snapshot
+bootstrap, continuous catch-up of updates and freshness attestations,
+byte-identical served answers, the read-only write fence, the
+compaction-gap resync signal, and the ``walctl inspect --replication``
+offline view of the applied mark.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import shutil
+import socket
+import time
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.core.publisher import Publisher
+from repro.db import workload
+from repro.db.query import Conjunction, Query, RangeCondition
+from repro.service import (
+    FreshnessPolicy,
+    OwnerClient,
+    PublicationServer,
+    RemoteError,
+    ReplicationStatus,
+    ReplicationStatusRequest,
+    ServerConfig,
+    ShardRouter,
+    VerifyingClient,
+)
+from repro.service.protocol import QueryRequest, recv_frame, send_message
+from repro.service.replication import (
+    ReplicationError,
+    ReplicationFollower,
+    bootstrap_replica_root,
+)
+from repro.storage import open_publication_storage, walctl
+
+FULL_RANGE = Query(
+    "employees", Conjunction((RangeCondition("salary", 0, 10_000_000),))
+)
+
+
+def _refuse_bootstrap() -> ShardRouter:
+    raise AssertionError(
+        "a replica root must exist after bootstrap; the factory must not run"
+    )
+
+
+def _wait(predicate, timeout: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _raw_answer(address, identifier: bytes) -> bytes:
+    """The raw full-range answer frame — the byte-identity comparison surface."""
+    with socket.create_connection(address, timeout=10) as sock:
+        send_message(sock, QueryRequest(manifest_id=identifier, query=FULL_RANGE))
+        frame = recv_frame(sock)
+    assert frame is not None
+    return frame
+
+
+def _status(address, name: str = "employees") -> ReplicationStatus:
+    with socket.create_connection(address, timeout=10) as sock:
+        send_message(sock, ReplicationStatusRequest(relation_name=name))
+        reply = recv_frame(sock)
+    from repro.wire import decode
+
+    status = decode(reply)
+    assert isinstance(status, ReplicationStatus)
+    return status
+
+
+@pytest.fixture()
+def primary(owner, tmp_path):
+    """A durable primary server over a fresh employees relation."""
+    relation = workload.generate_employees(12, seed=23, photo_bytes=8)
+
+    def build() -> ShardRouter:
+        database = owner.publish_database({"employees": relation})
+        return ShardRouter({"hr": Publisher(database.relations)})
+
+    router, storage = open_publication_storage(
+        str(tmp_path / "primary"), build, fsync="off"
+    )
+    server = PublicationServer(
+        router, storage=storage, config=ServerConfig(max_workers=16)
+    )
+    host, port = server.start()
+    yield {
+        "router": router,
+        "storage": storage,
+        "server": server,
+        "address": (host, port),
+        "root": str(tmp_path / "primary"),
+        "scheme": owner.signature_scheme,
+    }
+    server.stop()
+    storage.close()
+
+
+def _spawn_replica(primary_world, root: str, poll_interval: float = 0.02):
+    host, port = primary_world["address"]
+    bootstrap_replica_root(host, port, root)
+    router, storage = open_publication_storage(root, _refuse_bootstrap, fsync="off")
+    server = PublicationServer(
+        router, storage=storage, config=ServerConfig(max_workers=16, read_only=True)
+    )
+    server.start()
+    follower = ReplicationFollower(
+        server, host, port, poll_interval=poll_interval
+    ).start()
+    return {
+        "router": router,
+        "storage": storage,
+        "server": server,
+        "address": server.address,
+        "root": root,
+        "follower": follower,
+    }
+
+
+def _stop_replica(replica) -> None:
+    replica["follower"].stop()
+    replica["server"].stop()
+    replica["storage"].close()
+
+
+def _sequences_match(primary_world, replica) -> bool:
+    return (
+        replica["router"].manifest_by_name("employees").sequence
+        == primary_world["router"].manifest_by_name("employees").sequence
+    )
+
+
+def _row(salary: int, tag: str):
+    return {
+        "salary": salary,
+        "emp_id": f"rep-{tag}",
+        "name": str(tag),
+        "dept": 3,
+        "photo": bytes([salary % 251]) * 8,
+    }
+
+
+def test_bootstrap_recovers_and_serves_byte_identical(primary, tmp_path):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    try:
+        # Same manifest id on both sides: recovery re-derived the primary's
+        # signed state from the shipped root, signatures re-checked.
+        identifier = primary["router"].current_id("employees")
+        assert replica["router"].current_id("employees") == identifier
+        assert _raw_answer(replica["address"], identifier) == _raw_answer(
+            primary["address"], identifier
+        )
+    finally:
+        _stop_replica(replica)
+
+
+def test_bootstrap_is_idempotent_on_an_existing_root(primary, tmp_path):
+    root = str(tmp_path / "replica")
+    host, port = primary["address"]
+    assert bootstrap_replica_root(host, port, root) is True
+    assert bootstrap_replica_root(host, port, root) is False
+
+
+def test_live_updates_replicate_and_answers_stay_byte_identical(
+    primary, tmp_path
+):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    host, port = primary["address"]
+    try:
+        with OwnerClient(host, port, primary["scheme"]) as owner_client:
+            for index in range(5):
+                owner_client.insert("employees", _row(5_000 + index, f"u{index}"))
+        assert _wait(lambda: _sequences_match(primary, replica))
+        assert replica["follower"].applied_frames >= 5
+        assert replica["follower"].last_error is None
+        identifier = primary["router"].current_id("employees")
+        assert _raw_answer(replica["address"], identifier) == _raw_answer(
+            primary["address"], identifier
+        )
+        # The replicated rows are served verified to a real client.
+        with VerifyingClient(*replica["address"]) as client:
+            rows = client.query(FULL_RANGE).rows
+        assert any(row["emp_id"] == "rep-u4" for row in rows)
+    finally:
+        _stop_replica(replica)
+
+
+def test_replication_status_is_observable_over_the_wire(primary, tmp_path):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    host, port = primary["address"]
+    try:
+        before = _status(replica["address"])
+        assert before.epoch == 0
+        with OwnerClient(host, port, primary["scheme"]) as owner_client:
+            owner_client.insert("employees", _row(7_500, "status"))
+            owner_client.attest("employees", lifetime=3600.0)
+        assert _wait(
+            lambda: _status(replica["address"])
+            == _status(primary["address"])
+        )
+        after = _status(replica["address"])
+        assert after.sequence > before.sequence
+        assert after.epoch == 1
+        assert replica["follower"].status()["employees"] == (
+            after.sequence,
+            after.epoch,
+        )
+    finally:
+        _stop_replica(replica)
+
+
+def test_replicated_attestations_satisfy_freshness_clients(primary, tmp_path):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    host, port = primary["address"]
+    try:
+        with OwnerClient(host, port, primary["scheme"]) as owner_client:
+            owner_client.attest("employees", lifetime=3600.0)
+        assert _wait(lambda: _status(replica["address"]).epoch == 1)
+        policy = FreshnessPolicy(max_staleness=3600.0)
+        with VerifyingClient(*replica["address"], freshness=policy) as client:
+            result = client.query(FULL_RANGE)
+        assert result.attestation is not None
+        assert result.attestation.epoch == 1
+    finally:
+        _stop_replica(replica)
+
+
+def test_replica_refuses_direct_writes(primary, tmp_path):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    try:
+        with OwnerClient(
+            *replica["address"], signature_scheme=primary["scheme"]
+        ) as owner_client:
+            with pytest.raises(RemoteError) as excinfo:
+                owner_client.insert("employees", _row(9_999, "fenced"))
+            assert excinfo.value.code == "ReadOnlyReplica"
+            with pytest.raises(RemoteError) as excinfo:
+                owner_client.attest("employees", retry_stale=False)
+            assert excinfo.value.code == "ReadOnlyReplica"
+    finally:
+        _stop_replica(replica)
+
+
+def test_catchup_after_follower_disconnect(primary, tmp_path):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    host, port = primary["address"]
+    try:
+        replica["follower"].stop()  # the replica goes dark
+        with OwnerClient(host, port, primary["scheme"]) as owner_client:
+            for index in range(4):
+                owner_client.insert("employees", _row(6_000 + index, f"d{index}"))
+        assert not _sequences_match(primary, replica)
+        # A fresh follower catches up from where the replica stopped — no
+        # special mode, catch-up IS the poll loop.
+        replica["follower"] = ReplicationFollower(
+            replica["server"], host, port, poll_interval=0.02
+        ).start()
+        assert _wait(lambda: _sequences_match(primary, replica))
+        identifier = primary["router"].current_id("employees")
+        assert _raw_answer(replica["address"], identifier) == _raw_answer(
+            primary["address"], identifier
+        )
+    finally:
+        _stop_replica(replica)
+
+
+def test_compaction_gap_demands_resync(primary, tmp_path):
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    host, port = primary["address"]
+    router, storage = primary["router"], primary["storage"]
+    try:
+        replica["follower"].stop()
+        with OwnerClient(host, port, primary["scheme"]) as owner_client:
+            for index in range(3):
+                owner_client.insert("employees", _row(8_000 + index, f"g{index}"))
+        # Checkpoint + compact the primary's WAL: the update frames the
+        # stalled replica still needs are gone.
+        # rotation()/attestation_for() take target.lock themselves — fetch
+        # them before holding it (the lock is not reentrant).
+        rotation = router.rotation("employees")
+        attestation = router.attestation_for("employees")
+        target = router.route(router.current_id("employees"))
+        with target.lock:
+            storage.checkpoint_now(target, rotation, attestation)
+        follower = ReplicationFollower(
+            replica["server"], host, port, poll_interval=0.02
+        )
+        replica["follower"] = follower
+        follower.start()
+        assert _wait(lambda: follower.needs_resync)
+        assert isinstance(follower.last_error, ReplicationError)
+        assert follower.last_error.reason == "replication-gap"
+        # The operator's remedy: re-bootstrap from a fresh snapshot.
+        follower.stop()
+        replica["server"].stop()
+        replica["storage"].close()
+        shutil.rmtree(replica["root"])
+        fresh = _spawn_replica(primary, replica["root"])
+        replica.update(fresh)
+        assert _wait(lambda: _sequences_match(primary, replica))
+    finally:
+        _stop_replica(replica)
+
+
+def test_walctl_inspect_reports_the_replication_mark(primary, tmp_path):
+    host, port = primary["address"]
+    with OwnerClient(host, port, primary["scheme"]) as owner_client:
+        owner_client.insert("employees", _row(4_321, "mark"))
+        owner_client.attest("employees", lifetime=3600.0)
+    primary["storage"].sync()
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = walctl.main(["inspect", primary["root"], "--replication"])
+    assert code == 0
+    report = json.loads(buffer.getvalue())
+    mark = report["shards"]["hr"]["employees"]["replication"]
+    assert mark["applied_sequence"] == (
+        primary["router"].manifest_by_name("employees").sequence
+    )
+    assert mark["epoch"] == 1
+    # Without the flag the key is absent — the report shape is unchanged.
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        walctl.main(["inspect", primary["root"]])
+    assert "replication" not in json.loads(buffer.getvalue())["shards"]["hr"]["employees"]

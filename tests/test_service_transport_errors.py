@@ -1,0 +1,187 @@
+"""Typed transport errors and the retry budget.
+
+Failover needs to know *why* an exchange failed: a refused connection means
+nobody is listening (fail over now, retrying is pointless), a reset means the
+peer died mid-exchange (a retry may land on a recovered server), and a
+timeout means the peer accepted work it never answered.  These suites pin the
+classification on real sockets and the :class:`RetryPolicy` deadline that
+turns "bounded attempts" into "bounded wall-clock".
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import ServiceConnection
+from repro.service.protocol import (
+    ConnectionRefusedTransportError,
+    ListRelationsRequest,
+    RelationListing,
+    ResetTransportError,
+    ServiceProtocolError,
+    TimeoutTransportError,
+    TransportError,
+)
+from repro.service.retry import RetriesExhausted, RetryPolicy
+
+
+def _dead_port() -> int:
+    """A port that was just bound and released — nothing listens on it."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _Acceptor:
+    """A server that accepts connections and then follows one behaviour."""
+
+    def __init__(self, behaviour: str) -> None:
+        self.behaviour = behaviour
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._accepted = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            if self.behaviour == "close-after-request":
+                try:
+                    sock.recv(65536)  # consume the request, answer nothing
+                except OSError:
+                    pass
+                sock.close()
+            else:  # "silent": accept, read, never answer
+                self._accepted.append(sock)
+
+    def close(self) -> None:
+        self._listener.close()
+        for sock in self._accepted:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def test_refused_connection_is_typed():
+    connection = ServiceConnection("127.0.0.1", _dead_port(), timeout=2.0)
+    with pytest.raises(ConnectionRefusedTransportError) as excinfo:
+        connection._request(ListRelationsRequest(), RelationListing)
+    # The subclass hierarchy is part of the contract: existing handlers that
+    # catch ServiceProtocolError keep working.
+    assert isinstance(excinfo.value, TransportError)
+    assert isinstance(excinfo.value, ServiceProtocolError)
+
+
+def test_timeout_is_typed():
+    acceptor = _Acceptor("silent")
+    try:
+        connection = ServiceConnection("127.0.0.1", acceptor.port, timeout=0.2)
+        with pytest.raises(TimeoutTransportError) as excinfo:
+            connection._request(ListRelationsRequest(), RelationListing)
+        assert isinstance(excinfo.value, TransportError)
+        connection.close()
+    finally:
+        acceptor.close()
+
+
+def test_peer_close_mid_exchange_is_typed_reset():
+    acceptor = _Acceptor("close-after-request")
+    try:
+        connection = ServiceConnection("127.0.0.1", acceptor.port, timeout=2.0)
+        with pytest.raises(ResetTransportError):
+            connection._request(ListRelationsRequest(), RelationListing)
+        connection.close()
+    finally:
+        acceptor.close()
+
+
+def test_transport_errors_are_retryable_by_default():
+    policy = RetryPolicy()
+    for error in (
+        ConnectionRefusedTransportError("x"),
+        ResetTransportError("x"),
+        TimeoutTransportError("x"),
+    ):
+        assert policy.retryable(error)
+
+
+def test_no_retry_errors_skip_the_backoff_loop():
+    policy = RetryPolicy(
+        max_attempts=5, no_retry_errors=(ConnectionRefusedTransportError,)
+    )
+    calls = []
+
+    def refused():
+        calls.append(1)
+        raise ConnectionRefusedTransportError("nobody home")
+
+    # Propagates unchanged after exactly one attempt — not RetriesExhausted.
+    with pytest.raises(ConnectionRefusedTransportError):
+        policy.run(refused, sleep=lambda _: None)
+    assert len(calls) == 1
+    # Sibling transport errors still retry to exhaustion.
+    assert policy.retryable(ResetTransportError("x"))
+
+
+def test_deadline_bounds_wall_clock_not_just_attempts():
+    clock = {"now": 0.0}
+    slept = []
+
+    def fake_sleep(seconds: float) -> None:
+        slept.append(seconds)
+        clock["now"] += seconds
+
+    attempts = []
+
+    def always_reset():
+        attempts.append(1)
+        clock["now"] += 0.4  # each attempt burns 0.4s of budget
+        raise ResetTransportError("boom")
+
+    policy = RetryPolicy(
+        max_attempts=10,
+        base_delay=0.1,
+        multiplier=1.0,
+        jitter=0.0,
+        deadline=1.0,
+        clock=lambda: clock["now"],
+    )
+    with pytest.raises(RetriesExhausted) as excinfo:
+        policy.run(always_reset, sleep=fake_sleep)
+    # Attempt 1 at t=0 -> 0.4; backoff 0.1 fits (0.5), attempt 2 -> 0.9.
+    # The next backoff would end at 1.0 >= deadline, so the policy stops at
+    # 2 attempts despite max_attempts=10.
+    assert len(attempts) == 2
+    assert excinfo.value.attempts == 2
+    assert "retry budget" in str(excinfo.value)
+    assert isinstance(excinfo.value.last_error, ResetTransportError)
+
+
+def test_deadline_untouched_message_when_attempts_exhaust_first():
+    policy = RetryPolicy(
+        max_attempts=2, base_delay=0.0, jitter=0.0, deadline=60.0
+    )
+    with pytest.raises(RetriesExhausted) as excinfo:
+        policy.run(
+            lambda: (_ for _ in ()).throw(ResetTransportError("boom")),
+            sleep=lambda _: None,
+        )
+    # Attempts ran out inside the budget: the message stays the historical
+    # attempts-only text.
+    assert "retry budget" not in str(excinfo.value)
+    assert excinfo.value.attempts == 2
+
+
+def test_deadline_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(clock="not-callable")  # type: ignore[arg-type]
