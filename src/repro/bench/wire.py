@@ -428,14 +428,16 @@ def bench_replica_availability(
             primary = PublicationServer(
                 primary_router,
                 storage=primary_storage,
-                config=ServerConfig(max_workers=16),
+                config=ServerConfig(max_workers=16, serve_replication=True),
             )
             servers.append(primary)
             host, port = primary.start()
             endpoints = [(host, port)]
             for index in range(2):
                 root = f"{scratch}/replica{index}"
-                bootstrap_replica_root(host, port, root)
+                bootstrap_replica_root(
+                    host, port, root, keys_from=f"{scratch}/primary"
+                )
                 replica_router, replica_storage = open_publication_storage(
                     root, build_router, fsync="off"
                 )

@@ -70,6 +70,7 @@ from repro.service.protocol import (
     StaleManifestError,
     TimeoutTransportError,
     TransportError,
+    UnreachableTransportError,
     UpdateRequest,
     UpdateResponse,
 )
@@ -143,6 +144,7 @@ __all__ = [
     "StorageConfig",
     "TimeoutTransportError",
     "TransportError",
+    "UnreachableTransportError",
     "UnknownManifestError",
     "UpdateRequest",
     "UpdateResponse",

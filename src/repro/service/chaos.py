@@ -161,6 +161,9 @@ class ChaosProxy:
         self.faults = faults if faults is not None else ChaosRegistry()
         self.seed = seed
         self._rand = random.Random(seed)
+        # Incremented under self._lock: each proxied connection runs two
+        # pump threads, and '+=' is not atomic in Python — unguarded
+        # increments would lose counts the chaos assertions read back.
         self.bytes_forwarded = 0
         self.bytes_dropped = 0
         self.resets_injected = 0
@@ -293,7 +296,8 @@ class ChaosProxy:
                         pass
                     return
                 if self.faults.value("reset") is not None:
-                    self.resets_injected += 1
+                    with self._lock:
+                        self.resets_injected += 1
                     self._hard_close(client)
                     self._hard_close(upstream)
                     return
@@ -308,7 +312,8 @@ class ChaosProxy:
                         and self.faults.value("partition-down") is not None
                     )
                 ):
-                    self.bytes_dropped += len(data)
+                    with self._lock:
+                        self.bytes_dropped += len(data)
                     continue
                 latency = self.faults.value("latency")
                 if latency:
@@ -318,7 +323,8 @@ class ChaosProxy:
                     try:
                         for offset in range(len(data)):
                             dst.sendall(data[offset : offset + 1])
-                            self.bytes_forwarded += 1
+                            with self._lock:
+                                self.bytes_forwarded += 1
                             if trickle:
                                 time.sleep(trickle)
                             if self._stopping.is_set():
@@ -333,7 +339,8 @@ class ChaosProxy:
                     dst.sendall(data)
                 except OSError:
                     break
-                self.bytes_forwarded += len(data)
+                with self._lock:
+                    self.bytes_forwarded += len(data)
         finally:
             for sock in (src, dst):
                 try:

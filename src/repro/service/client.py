@@ -53,6 +53,7 @@ would require the owner to re-sign the data itself per epoch).
 from __future__ import annotations
 
 import socket
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -89,6 +90,7 @@ from repro.service.protocol import (
     StaleAnswerError,
     StaleManifestError,
     TimeoutTransportError,
+    UnreachableTransportError,
     recv_message,
     send_message,
 )
@@ -167,10 +169,16 @@ class ServiceConnection:
                 raise ConnectionRefusedTransportError(
                     f"connection to {self.host}:{self.port} refused: {error}"
                 ) from None
+            except socket.gaierror as error:
+                raise UnreachableTransportError(
+                    f"cannot resolve {self.host!r}: {error}"
+                ) from None
             except OSError as error:
-                # Unreachable host/network and friends: nobody answered
-                # there either, so classify with the refused/fail-over type.
-                raise ConnectionRefusedTransportError(
+                # ENETUNREACH, EHOSTUNREACH, EACCES and friends: the host was
+                # never reached, which is a different (and possibly
+                # transient) condition than a live host refusing — keep it
+                # retryable instead of opening circuits on resolver hiccups.
+                raise UnreachableTransportError(
                     f"cannot connect to {self.host}:{self.port}: {error}"
                 ) from None
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -491,8 +499,12 @@ class VerifyingClient(ServiceConnection):
         self.freshness = freshness
         #: Highest (sequence, epoch) this client accepted per relation: a
         #: later answer may never present an older freshness state, even
-        #: inside the staleness window (anti-rollback).
+        #: inside the staleness window (anti-rollback).  A FailoverClient
+        #: shares one dict (and its lock) across every per-endpoint client,
+        #: so the floor is monotonic for the whole replica group even under
+        #: concurrent hedged reads.
         self._freshness_seen: Dict[str, Tuple[int, int]] = {}
+        self._freshness_lock = threading.Lock()
         self._listing: Optional[Dict[str, bytes]] = None
         self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
         self._pinned_ids: Dict[str, bytes] = {
@@ -755,15 +767,20 @@ class VerifyingClient(ServiceConnection):
                 reason="attestation-stale",
             )
         state = (attestation.sequence, attestation.epoch)
-        seen = self._freshness_seen.get(relation_name)
-        if seen is not None and state < seen:
-            raise StaleAnswerError(
-                f"freshness attestation for {relation_name!r} regressed to "
-                f"(sequence, epoch) {state} behind the already-accepted "
-                f"{seen}",
-                reason="attestation-regressed",
-            )
-        self._freshness_seen[relation_name] = state
+        # Compare-and-advance under the floor's lock: with the dict shared
+        # across a replica group's clients (and hedged reads racing on two
+        # threads), an unsynchronized check-then-set could let a lower state
+        # overwrite a higher one — exactly the rollback the floor forbids.
+        with self._freshness_lock:
+            seen = self._freshness_seen.get(relation_name)
+            if seen is not None and state < seen:
+                raise StaleAnswerError(
+                    f"freshness attestation for {relation_name!r} regressed to "
+                    f"(sequence, epoch) {state} behind the already-accepted "
+                    f"{seen}",
+                    reason="attestation-regressed",
+                )
+            self._freshness_seen[relation_name] = state
 
     # -- manifest rotation ---------------------------------------------------
 

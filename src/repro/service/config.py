@@ -94,6 +94,14 @@ class ServerConfig:
     #: servers, whose state mutates exclusively through the replication
     #: follower (see :mod:`repro.service.replication`).
     read_only: bool = False
+    #: Serve the replication feed (``ReplicaFramesRequest`` /
+    #: ``ReplicaSnapshotRequest``) to peers.  Off by default: a snapshot is
+    #: the entire storage root and the frame feed is every relation's full
+    #: update history, so acting as a replication source is an explicit
+    #: operator decision, not an ambient capability of every server.
+    #: ``ReplicationStatusRequest`` (the applied ``(sequence, epoch)`` mark)
+    #: stays answerable regardless — it is observability, not data.
+    serve_replication: bool = False
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):

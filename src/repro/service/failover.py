@@ -75,12 +75,17 @@ class FailoverExhausted(ServiceError):
 
 
 class _Health:
-    __slots__ = ("failures", "state", "opened_at")
+    __slots__ = ("failures", "state", "opened_at", "probing_at")
 
     def __init__(self) -> None:
         self.failures = 0
         self.state = "closed"  # "closed" | "open" (half-open is derived)
         self.opened_at = 0.0
+        #: When a half-open probe was handed out (None = no probe in flight).
+        #: Cleared by record_success/record_failure; a probe whose outcome is
+        #: never recorded (e.g. an abandoned hedge racer) expires after
+        #: open_seconds so the endpoint cannot get stuck unprobeable.
+        self.probing_at: Optional[float] = None
 
 
 class EndpointPool:
@@ -126,9 +131,13 @@ class EndpointPool:
 
         Half-open probes first (one cheap failure at most, instant
         re-admission on success), then closed endpoints in round-robin
-        rotation.  When *everything* is open and inside its window, all
-        endpoints are returned anyway: refusing to try at all would turn a
-        transient outage into a self-inflicted one.
+        rotation.  Probes are **single-flight**: handing out a half-open
+        index claims it, so concurrent readers do not all pile onto a
+        still-broken endpoint — they skip it and go straight to the healthy
+        rotation while one caller pays for the probe.  When *everything* is
+        open and inside its window (or claimed), all endpoints are returned
+        anyway: refusing to try at all would turn a transient outage into a
+        self-inflicted one.
         """
         with self._lock:
             now = self.clock()
@@ -138,6 +147,12 @@ class EndpointPool:
                 if health.state == "closed":
                     closed.append(index)
                 elif now - health.opened_at >= self.open_seconds:
+                    if (
+                        health.probing_at is not None
+                        and now - health.probing_at < self.open_seconds
+                    ):
+                        continue  # another caller's probe is in flight
+                    health.probing_at = now
                     probes.append(index)
             if closed:
                 turn = self._rotation % len(closed)
@@ -153,11 +168,13 @@ class EndpointPool:
             health = self._health[index]
             health.failures = 0
             health.state = "closed"
+            health.probing_at = None
 
     def record_failure(self, index: int) -> None:
         with self._lock:
             health = self._health[index]
             health.failures += 1
+            health.probing_at = None
             if health.failures >= self.failure_threshold:
                 health.state = "open"
                 health.opened_at = self.clock()
@@ -221,13 +238,18 @@ class FailoverClient:
         self._expected_ids = expected_ids
         self._freshness = freshness
         #: One anti-rollback floor for the whole group: relation name ->
-        #: highest verified (sequence, epoch), shared by reference with every
-        #: per-endpoint VerifyingClient.
+        #: highest verified (sequence, epoch), shared by reference — along
+        #: with the lock that makes its compare-and-advance atomic — with
+        #: every per-endpoint VerifyingClient.
         self._freshness_seen: Dict[str, Tuple[int, int]] = {}
+        self._freshness_lock = threading.Lock()
         self._clients: Dict[int, VerifyingClient] = {}
         self._client_locks = [threading.Lock() for _ in self.endpoints]
         self._lock = threading.Lock()
         self._latencies: deque = deque(maxlen=64)
+        # Monotonic counters, incremented under self._lock: '+=' is not
+        # atomic, and concurrent hedged reads would otherwise lose counts
+        # that bench/chaos assertions read back.
         self.failovers = 0
         self.hedges_fired = 0
         self.hedge_wins = 0
@@ -262,10 +284,12 @@ class FailoverClient:
         self.close()
 
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            counters = (self.failovers, self.hedges_fired, self.hedge_wins)
         return {
-            "failovers": self.failovers,
-            "hedges_fired": self.hedges_fired,
-            "hedge_wins": self.hedge_wins,
+            "failovers": counters[0],
+            "hedges_fired": counters[1],
+            "hedge_wins": counters[2],
             "endpoint_states": {
                 self.endpoints[index]: self.pool.state(index)
                 for index in range(len(self.endpoints))
@@ -313,6 +337,7 @@ class FailoverClient:
                     freshness=self._freshness,
                 )
                 client._freshness_seen = self._freshness_seen
+                client._freshness_lock = self._freshness_lock
                 self._clients[index] = client
             return client
 
@@ -364,7 +389,8 @@ class FailoverClient:
                 if self._should_failover(error):
                     self.pool.record_failure(index)
                     failures.append((self.endpoints[index], error))
-                    self.failovers += 1
+                    with self._lock:
+                        self.failovers += 1
                     continue
                 # A semantic answer from a healthy endpoint.
                 self.pool.record_success(index)
@@ -413,21 +439,24 @@ class FailoverClient:
                     timeout=deadline if hedge_pending else None
                 )
             except queue.Empty:
-                self.hedges_fired += 1
+                with self._lock:
+                    self.hedges_fired += 1
                 launch(candidates[next_candidate])
                 next_candidate += 1
                 continue
             if error is None:
                 self.pool.record_success(index)
                 if len(launched) > 1 and index != launched[0]:
-                    self.hedge_wins += 1
+                    with self._lock:
+                        self.hedge_wins += 1
                 return result
             if not self._should_failover(error):
                 self.pool.record_success(index)
                 raise error
             self.pool.record_failure(index)
             failures.append((self.endpoints[index], error))
-            self.failovers += 1
+            with self._lock:
+                self.failovers += 1
             if len(launched) - len(failures) > 0:
                 continue  # another racer is still in flight
             if next_candidate < len(candidates):

@@ -105,6 +105,7 @@ class RequestHandler:
         storage=None,
         faults=None,
         read_only: bool = False,
+        serve_replication: bool = False,
     ) -> None:
         self.router = router
         self._response_cache: Optional[BoundedCache] = (
@@ -124,6 +125,9 @@ class RequestHandler:
         #: Read replicas refuse direct mutations; their state advances only
         #: through :meth:`apply_replicated_frame` (the replication follower).
         self.read_only = read_only
+        #: Serving the replication feed (WAL frames, storage snapshots) is
+        #: an explicit opt-in; see ServerConfig.serve_replication.
+        self.serve_replication = serve_replication
         self.updates_applied = 0
 
     # -- frame-level entry point --------------------------------------------
@@ -333,16 +337,37 @@ class RequestHandler:
 
             return answer_replication_status(self.router, request)
         if isinstance(request, ReplicaFramesRequest):
+            self._require_replication_serving()
             from repro.service.replication import answer_replica_frames
 
             return answer_replica_frames(self.router, self.storage, request)
         if isinstance(request, ReplicaSnapshotRequest):
+            self._require_replication_serving()
             from repro.service.replication import answer_replica_snapshot
 
             return answer_replica_snapshot(self.router, self.storage)
         raise ServiceProtocolError(
             f"{type(request).__name__} is not a request message"
         )
+
+    def _require_replication_serving(self) -> None:
+        """Refuse replication-feed requests unless the operator opted in.
+
+        The snapshot is the entire storage root and the frame feed is every
+        relation's full update history; neither passes through the per-query
+        controls, so serving them must be a deliberate
+        ``ServerConfig(serve_replication=True)`` decision — never something
+        any unauthenticated peer can trigger on any server.
+        """
+        if not self.serve_replication:
+            from repro.service.replication import ReplicationError
+
+            raise ReplicationError(
+                "this server does not serve the replication feed; start the "
+                "primary with ServerConfig(serve_replication=True) (or "
+                "--serve-replication) to opt in",
+                reason="replication-disabled",
+            )
 
     def _answer_query(self, request: QueryRequest) -> QueryResponse:
         target = self.router.route(request.manifest_id)

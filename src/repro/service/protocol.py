@@ -68,6 +68,7 @@ __all__ = [
     "ServiceProtocolError",
     "TransportError",
     "ConnectionRefusedTransportError",
+    "UnreachableTransportError",
     "ResetTransportError",
     "TimeoutTransportError",
     "StaleManifestError",
@@ -137,7 +138,19 @@ class TransportError(ServiceProtocolError):
 
 
 class ConnectionRefusedTransportError(TransportError):
-    """Nobody is listening at the endpoint (ECONNREFUSED / unreachable)."""
+    """Nobody is listening at the endpoint (ECONNREFUSED / ECONNABORTED)."""
+
+
+class UnreachableTransportError(TransportError):
+    """The endpoint could not be reached at all — DNS failure, unroutable
+    network, or a kindred transient :class:`OSError` on connect.
+
+    Distinct from :class:`ConnectionRefusedTransportError` on purpose: a
+    refused connect proves a reachable host with nobody listening (retrying
+    the same endpoint is pointless), while a resolver hiccup or an
+    ENETUNREACH may clear on the next attempt — so this class stays
+    retryable under the default policies.
+    """
 
 
 class ResetTransportError(TransportError):
@@ -427,7 +440,12 @@ class ReplicaFrames:
 
 @dataclass(frozen=True)
 class ReplicaSnapshotRequest:
-    """Ask a primary for a full storage snapshot (fresh-join bootstrap)."""
+    """Ask a primary for a full storage snapshot (fresh-join bootstrap).
+
+    Served only when the primary was started with
+    ``ServerConfig(serve_replication=True)`` — snapshot shipping is an
+    explicit operator opt-in, never an ambient capability of every server.
+    """
 
 
 @dataclass(frozen=True)
@@ -435,10 +453,11 @@ class ReplicaSnapshot:
     """A storage root as ``(relative path, bytes)`` pairs.
 
     Checkpoints and WAL files are owner-signed content the replica re-verifies
-    during recovery; ``keys.json`` rides along because this deployment trusts
-    publisher hosts with the signing key (see the scope note in
-    :mod:`repro.service.owner`) — replicas re-sign rotations exactly like the
-    primary does.
+    during recovery, so nothing in the snapshot is trusted as-is.  The
+    per-relation owner *signing* keys (``keys.json``) never travel on this
+    channel: they are provisioned out-of-band (see
+    :func:`~repro.service.replication.bootstrap_replica_root`), and a
+    snapshot that names a key file is refused by the receiving side.
     """
 
     files: Tuple[Tuple[str, bytes], ...]

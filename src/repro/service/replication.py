@@ -25,6 +25,16 @@ makes a replica literally *continuous recovery from the network*:
   (:func:`bootstrap_replica_root`) and recovers it locally through
   :func:`~repro.storage.recovery.recover_router`, signatures re-checked.
 
+Two things deliberately stay *out* of band of this protocol.  Serving frames
+and snapshots is an operator opt-in
+(``ServerConfig(serve_replication=True)``), not an ambient capability: a
+snapshot is the primary's entire storage root, so handing it to any peer
+that asks would sidestep every per-query control.  And the per-relation
+owner *signing* keys (``shards/<shard>/keys.json``) never travel on the
+replication channel at all — a replica that re-stamps rotations gets its
+keys through a trusted local path (``keys_from``), and a snapshot that tries
+to deliver a key file is refused by the receiving side.
+
 Lag is observable: every server answers ``ReplicationStatusRequest`` with its
 applied ``(sequence, epoch)`` high-water mark, and ``walctl inspect
 --replication`` computes the same mark offline from a storage root.
@@ -141,13 +151,17 @@ def answer_replica_frames(
 
 
 def answer_replica_snapshot(router, storage) -> ReplicaSnapshot:
-    """The whole storage root as ``(relative path, bytes)`` pairs.
+    """The storage root's *public* files as ``(relative path, bytes)`` pairs.
 
     Every relation's checkpoint + WAL pair is read under its shard lock, so
     each relation's files are a consistent cut of its history (the WAL frames
-    chain from exactly the checkpointed manifest).  Restricted to the
-    ``memory`` backend: a live sqlite relation store cannot be copied as a
-    flat file mid-transaction.
+    chain from exactly the checkpointed manifest).  The per-relation owner
+    signing keys (``keys.json``) are **never** included: everything shipped
+    here is owner-signed public content, while the keys would let any peer
+    forge owner updates and attestations — replicas obtain them out-of-band
+    (see :func:`bootstrap_replica_root`).  Restricted to the ``memory``
+    backend: a live sqlite relation store cannot be copied as a flat file
+    mid-transaction.
     """
     if storage is None:
         raise ReplicationError(
@@ -168,7 +182,6 @@ def answer_replica_snapshot(router, storage) -> ReplicaSnapshot:
 
     files = [_read(os.path.join(root, "storage.json"))]
     for shard, names in sorted(storage.layout.items()):
-        files.append(_read(storage.keys_path(shard)))
         for name in sorted(names):
             target = router.route(router.current_id(name))
             with target.lock:
@@ -186,34 +199,76 @@ def bootstrap_replica_root(
     primary_host: str,
     primary_port: int,
     root: str,
+    keys_from: Optional[str] = None,
     timeout: float = 10.0,
 ) -> bool:
     """Materialise a fresh replica storage root from the primary's snapshot.
 
     Returns True when a snapshot was fetched and written, False when ``root``
-    already holds a storage root (catch-up handles the rest).  Nothing here
-    is trusted as-is: the written checkpoints and WAL frames are owner-signed
-    content that :func:`~repro.storage.recovery.recover_router` re-verifies
-    when the replica server opens the root.
+    already holds a storage root (catch-up handles the rest).  Nothing
+    fetched is trusted as-is: the written checkpoints and WAL frames are
+    owner-signed content that :func:`~repro.storage.recovery.recover_router`
+    re-verifies when the replica server opens the root.
+
+    The owner *signing* keys are the one thing never fetched from the
+    primary: a snapshot entry naming a key file is refused outright, and a
+    fresh bootstrap instead requires ``keys_from`` — a trusted local storage
+    root (typically mounted, copied by the operator, or the primary's own
+    root in single-host tests) whose per-shard ``keys.json`` files are
+    installed into the replica with mode 0600.
     """
     from repro.storage.store import PublicationStorage
 
     if PublicationStorage.exists(root):
         return False
+    if keys_from is None:
+        raise ReplicationError(
+            "a fresh replica bootstrap needs keys_from: owner signing keys "
+            "are provisioned out-of-band from a trusted path, never fetched "
+            "from the primary",
+            reason="keys-required",
+        )
     with ServiceConnection(primary_host, primary_port, timeout=timeout) as connection:
         snapshot = connection._request(ReplicaSnapshotRequest(), ReplicaSnapshot)
+    shards = set()
     for relative, payload in snapshot.files:
         if os.path.isabs(relative) or ".." in relative.split("/"):
             raise ReplicationError(
                 f"snapshot names an unsafe path {relative!r}",
                 reason="snapshot-unsafe-path",
             )
-        path = os.path.join(root, *relative.split("/"))
+        if os.path.basename(relative) == "keys.json":
+            # Signing keys must never arrive over the network; a primary
+            # (or whatever answered in its place) shipping one is hostile
+            # or misconfigured either way.
+            raise ReplicationError(
+                f"snapshot tries to deliver a signing key file {relative!r}; "
+                "replica keys are provisioned out-of-band only",
+                reason="snapshot-delivers-keys",
+            )
+        parts = relative.split("/")
+        if len(parts) >= 2 and parts[0] == "shards":
+            shards.add(parts[1])
+        path = os.path.join(root, *parts)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         with open(path, "wb") as handle:
             handle.write(payload)
-        if os.path.basename(path) == "keys.json":
-            os.chmod(path, 0o600)
+    for shard in sorted(shards):
+        source = os.path.join(keys_from, "shards", shard, "keys.json")
+        target = os.path.join(root, "shards", shard, "keys.json")
+        try:
+            with open(source, "rb") as handle:
+                key_bytes = handle.read()
+        except OSError as error:
+            raise ReplicationError(
+                f"keys_from path {keys_from!r} holds no signing keys for "
+                f"shard {shard!r} ({error})",
+                reason="keys-missing",
+            ) from error
+        descriptor = os.open(target, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(key_bytes)
+        os.chmod(target, 0o600)
     return True
 
 

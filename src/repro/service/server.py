@@ -212,6 +212,7 @@ class PublicationServer:
             storage=storage,
             faults=faults,
             read_only=config.read_only,
+            serve_replication=config.serve_replication,
         )
         self._listener: Optional[socket.socket] = None
         self._loop_thread: Optional[threading.Thread] = None
@@ -860,7 +861,27 @@ def _main(argv=None) -> int:
         help=(
             "run as a read-only replica of the primary at HOST:PORT: bootstrap "
             "--storage-dir from its snapshot when empty, then continuously "
-            "apply its owner-signed WAL frames (requires --storage-dir)"
+            "apply its owner-signed WAL frames (requires --storage-dir; a "
+            "fresh bootstrap also requires --keys-from)"
+        ),
+    )
+    parser.add_argument(
+        "--keys-from",
+        default=None,
+        metavar="PATH",
+        help=(
+            "trusted local storage root whose per-shard signing keys "
+            "(shards/*/keys.json) are installed into a freshly bootstrapped "
+            "replica; keys are never fetched over the replication channel"
+        ),
+    )
+    parser.add_argument(
+        "--serve-replication",
+        action="store_true",
+        help=(
+            "serve the replication feed (WAL frames + storage snapshots) to "
+            "replicas; off by default because the feed bypasses per-query "
+            "controls — enable it on primaries only"
         ),
     )
     parser.add_argument(
@@ -885,7 +906,9 @@ def _main(argv=None) -> int:
             bootstrap_replica_root,
         )
 
-        bootstrap_replica_root(primary[0], primary[1], args.storage_dir)
+        bootstrap_replica_root(
+            primary[0], primary[1], args.storage_dir, keys_from=args.keys_from
+        )
 
     faults = fault_registry_from_env()
     storage = None
@@ -915,6 +938,7 @@ def _main(argv=None) -> int:
             worker_processes=args.worker_processes,
             response_cache=not args.no_response_cache,
             read_only=primary is not None,
+            serve_replication=args.serve_replication,
         ),
     )
 

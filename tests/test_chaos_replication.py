@@ -67,7 +67,11 @@ FULL_RANGE = Query(
 # -- driving the group ---------------------------------------------------------
 
 
-def _spawn(storage_dir: str, replicate_from: int | None = None):
+def _spawn(
+    storage_dir: str,
+    replicate_from: int | None = None,
+    keys_from: str | None = None,
+):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
@@ -83,13 +87,20 @@ def _spawn(storage_dir: str, replicate_from: int | None = None):
         "--storage-dir",
         storage_dir,
     ]
-    if replicate_from is not None:
+    if replicate_from is None:
+        # The primary is the group's replication source — an explicit opt-in.
+        command += ["--serve-replication"]
+    else:
         command += [
             "--replicate-from",
             f"127.0.0.1:{replicate_from}",
             "--poll-interval",
             "0.05",
         ]
+    if keys_from is not None:
+        # Signing keys never travel over the replication feed; a fresh
+        # replica gets them from the primary's root on this shared host.
+        command += ["--keys-from", keys_from]
     process = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
@@ -128,7 +139,9 @@ def group(tmp_path):
         ports = [primary_port]
         for index in range(2):
             replica, port = _spawn(
-                str(tmp_path / f"replica-{index}"), replicate_from=primary_port
+                str(tmp_path / f"replica-{index}"),
+                replicate_from=primary_port,
+                keys_from=str(tmp_path / "primary"),
             )
             processes.append(replica)
             ports.append(port)

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import shutil
 import socket
+import stat
 import time
 from contextlib import redirect_stdout
 
@@ -95,7 +97,9 @@ def primary(owner, tmp_path):
         str(tmp_path / "primary"), build, fsync="off"
     )
     server = PublicationServer(
-        router, storage=storage, config=ServerConfig(max_workers=16)
+        router,
+        storage=storage,
+        config=ServerConfig(max_workers=16, serve_replication=True),
     )
     host, port = server.start()
     yield {
@@ -112,7 +116,7 @@ def primary(owner, tmp_path):
 
 def _spawn_replica(primary_world, root: str, poll_interval: float = 0.02):
     host, port = primary_world["address"]
-    bootstrap_replica_root(host, port, root)
+    bootstrap_replica_root(host, port, root, keys_from=primary_world["root"])
     router, storage = open_publication_storage(root, _refuse_bootstrap, fsync="off")
     server = PublicationServer(
         router, storage=storage, config=ServerConfig(max_workers=16, read_only=True)
@@ -171,8 +175,91 @@ def test_bootstrap_recovers_and_serves_byte_identical(primary, tmp_path):
 def test_bootstrap_is_idempotent_on_an_existing_root(primary, tmp_path):
     root = str(tmp_path / "replica")
     host, port = primary["address"]
-    assert bootstrap_replica_root(host, port, root) is True
+    assert bootstrap_replica_root(host, port, root, keys_from=primary["root"]) is True
+    # An existing root returns False without touching the network, so the
+    # out-of-band keys are not needed again.
     assert bootstrap_replica_root(host, port, root) is False
+
+
+def test_snapshot_never_ships_signing_keys(primary, tmp_path):
+    """The snapshot answer must not contain ``keys.json`` — the private
+    owner signing keys would let any network peer forge owner updates — and
+    a bootstrapped replica gets its keys from the trusted ``keys_from``
+    path instead, installed with mode 0600."""
+    from repro.service.replication import answer_replica_snapshot
+
+    snapshot = answer_replica_snapshot(primary["router"], primary["storage"])
+    assert snapshot.files  # the snapshot still ships the data files
+    assert all(
+        os.path.basename(relative) != "keys.json"
+        for relative, _ in snapshot.files
+    )
+    root = str(tmp_path / "replica")
+    host, port = primary["address"]
+    assert bootstrap_replica_root(host, port, root, keys_from=primary["root"])
+    key_path = os.path.join(root, "shards", "hr", "keys.json")
+    source_path = os.path.join(primary["root"], "shards", "hr", "keys.json")
+    with open(source_path, "rb") as handle:
+        expected = handle.read()
+    with open(key_path, "rb") as handle:
+        assert handle.read() == expected
+    assert stat.S_IMODE(os.stat(key_path).st_mode) == 0o600
+
+
+def test_bootstrap_requires_out_of_band_keys(primary, tmp_path):
+    host, port = primary["address"]
+    with pytest.raises(ReplicationError) as excinfo:
+        bootstrap_replica_root(host, port, str(tmp_path / "replica"))
+    assert excinfo.value.reason == "keys-required"
+
+
+def test_bootstrap_refuses_a_snapshot_that_delivers_keys(
+    primary, tmp_path, monkeypatch
+):
+    """A primary (or an impostor answering as one) that ships a key file in
+    its snapshot is refused — replica keys arrive out-of-band only."""
+    from repro.service import replication
+    from repro.service.protocol import ReplicaSnapshot
+
+    monkeypatch.setattr(
+        replication.ServiceConnection,
+        "_request",
+        lambda self, message, expect: ReplicaSnapshot(
+            files=(("shards/hr/keys.json", b"{}"),)
+        ),
+    )
+    host, port = primary["address"]
+    with pytest.raises(ReplicationError) as excinfo:
+        bootstrap_replica_root(
+            host, port, str(tmp_path / "replica"), keys_from=primary["root"]
+        )
+    assert excinfo.value.reason == "snapshot-delivers-keys"
+
+
+def test_replication_feed_is_an_explicit_opt_in(primary, tmp_path):
+    """A server not started with ``serve_replication=True`` refuses frame
+    and snapshot requests (replicas qualify: they serve reads, not the
+    feed), while the observability-only status request still answers."""
+    from repro.service.protocol import (
+        ReplicaFramesRequest,
+        ReplicaSnapshotRequest,
+    )
+    from repro.wire import decode
+
+    replica = _spawn_replica(primary, str(tmp_path / "replica"))
+    try:
+        for request in (
+            ReplicaFramesRequest(relation_name="employees", after_sequence=0),
+            ReplicaSnapshotRequest(),
+        ):
+            with socket.create_connection(replica["address"], timeout=10) as sock:
+                send_message(sock, request)
+                reply = decode(recv_frame(sock))
+            assert reply.code == "ReplicationError"
+            assert reply.reason == "replication-disabled"
+        assert _status(replica["address"]).relation_name == "employees"
+    finally:
+        _stop_replica(replica)
 
 
 def test_live_updates_replicate_and_answers_stay_byte_identical(

@@ -137,6 +137,37 @@ def test_pool_returns_everything_when_all_circuits_are_open():
     assert pool.candidates() == [0, 1]
 
 
+def test_pool_half_open_probe_is_single_flight():
+    """One caller claims the half-open probe; concurrent callers skip the
+    still-suspect endpoint instead of stampeding it."""
+    clock = _Clock(0.0)
+    pool = EndpointPool(
+        [("a", 1), ("b", 2)], failure_threshold=1, open_seconds=5.0, clock=clock
+    )
+    pool.record_failure(0)
+    clock.advance(5.0)
+    assert pool.candidates()[0] == 0  # the first caller claims the probe
+    assert pool.candidates() == [1]  # concurrent callers leave it alone
+    pool.record_failure(0)  # the probe failed: the circuit re-opens...
+    clock.advance(5.0)
+    assert pool.candidates()[0] == 0  # ...and the claim was released
+
+
+def test_pool_abandoned_probe_claim_expires():
+    """A racer that never reports an outcome (an abandoned hedge losing its
+    race) must not wedge the endpoint out of rotation forever: the claim
+    ages out after another open window."""
+    clock = _Clock(0.0)
+    pool = EndpointPool(
+        [("a", 1), ("b", 2)], failure_threshold=1, open_seconds=5.0, clock=clock
+    )
+    pool.record_failure(0)
+    clock.advance(5.0)
+    assert pool.candidates()[0] == 0
+    clock.advance(5.0)  # the claim expires with no recorded outcome
+    assert pool.candidates()[0] == 0
+
+
 # -- the failover client over live servers ------------------------------------
 
 
@@ -288,6 +319,18 @@ def test_hedged_read_wins_on_a_slow_endpoint(group):
             # Wait out the slow racer before tearing the proxy down, so its
             # connection teardown is orderly.
             time.sleep(1.0)
+
+
+def test_endpoint_clients_share_one_freshness_floor_and_lock(group):
+    """Every per-endpoint client advances the same anti-rollback floor under
+    the same lock — hedged racers on two endpoints cannot interleave the
+    check-then-set and roll an accepted ``(sequence, epoch)`` backwards."""
+    with FailoverClient(group["addresses"]) as client:
+        first = client._client(0)
+        second = client._client(1)
+        assert first._freshness_seen is second._freshness_seen
+        assert first._freshness_lock is second._freshness_lock
+        assert first._freshness_lock is client._freshness_lock
 
 
 def test_writes_stay_pinned_to_the_primary(group):

@@ -8,6 +8,7 @@ classification on real sockets and the :class:`RetryPolicy` deadline that
 turns "bounded attempts" into "bounded wall-clock".
 """
 
+import errno
 import socket
 import threading
 
@@ -22,6 +23,7 @@ from repro.service.protocol import (
     ServiceProtocolError,
     TimeoutTransportError,
     TransportError,
+    UnreachableTransportError,
 )
 from repro.service.retry import RetriesExhausted, RetryPolicy
 
@@ -101,6 +103,35 @@ def test_peer_close_mid_exchange_is_typed_reset():
         connection.close()
     finally:
         acceptor.close()
+
+
+@pytest.mark.parametrize(
+    "raised",
+    [
+        socket.gaierror(socket.EAI_NONAME, "Name or service not known"),
+        OSError(errno.ENETUNREACH, "Network is unreachable"),
+    ],
+    ids=["dns-failure", "network-unreachable"],
+)
+def test_never_reached_endpoints_are_typed_unreachable(monkeypatch, raised):
+    """DNS failures and unroutable networks mean the endpoint was never
+    *reached* — a different (and possibly transient) condition than a live
+    host refusing, so they get their own retryable type instead of
+    masquerading as ``ConnectionRefusedTransportError``."""
+
+    def never_reached(address, timeout=None):
+        raise raised
+
+    monkeypatch.setattr(socket, "create_connection", never_reached)
+    connection = ServiceConnection("no-such-host.invalid", 9, timeout=2.0)
+    with pytest.raises(UnreachableTransportError) as excinfo:
+        connection._request(ListRelationsRequest(), RelationListing)
+    assert isinstance(excinfo.value, TransportError)
+    assert not isinstance(excinfo.value, ConnectionRefusedTransportError)
+    # Under a refused-excluding policy (the FailoverClient default) the
+    # unreachable endpoint still earns its retries.
+    policy = RetryPolicy(no_retry_errors=(ConnectionRefusedTransportError,))
+    assert policy.retryable(excinfo.value)
 
 
 def test_transport_errors_are_retryable_by_default():
