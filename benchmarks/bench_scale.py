@@ -114,6 +114,7 @@ def main(argv=None) -> int:
             report = json.load(handle)
     report.setdefault("workloads", {}).update(fragment["workloads"])
     report["scale_config"] = fragment["config"]
+    report["crypto_backend"] = fragment["crypto_backend"]
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -87,7 +87,9 @@ def main(argv=None) -> int:
         with open(args.output, "r", encoding="utf-8") as handle:
             report = json.load(handle)
     report.setdefault("workloads", {}).update(fragment["workloads"])
+    report.setdefault("targets", {}).update(fragment.get("targets", {}))
     report["wire_config"] = fragment["config"]
+    report["crypto_backend"] = fragment["crypto_backend"]
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

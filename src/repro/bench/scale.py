@@ -36,6 +36,7 @@ import tracemalloc
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro.crypto.backend import backend_stats
 from repro.crypto.signature import SignatureScheme, rsa_scheme
 from repro.db.query import Conjunction, Query, RangeCondition
 from repro.db.schema import Attribute, AttributeType, KeyDomain, Schema
@@ -360,6 +361,7 @@ def run_scale_benchmarks(
 
     return {
         "config": asdict(config),
+        "crypto_backend": backend_stats(),
         "workloads": {
             "scale_serving": {
                 "rows": config.rows,

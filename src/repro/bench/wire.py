@@ -31,6 +31,7 @@ from typing import Dict, List
 from repro.core.publisher import Publisher
 from repro.core.relational import SignedRelation
 from repro.core.verifier import ResultVerifier
+from repro.crypto.backend import backend_stats
 from repro.crypto.signature import SignatureScheme, rsa_scheme
 from repro.db import workload
 from repro.db.query import Conjunction, Query, RangeCondition
@@ -72,7 +73,10 @@ SMOKE_WIRE_CONFIG = WireBenchConfig(
     selectivities=(0.05, 0.20),
     codec_rounds=20,
     clients=2,
-    requests_per_client=4,
+    # Large enough that each throughput measurement runs for ~100ms: the
+    # verified/fresh *ratio* is floor-gated in CI, and with only a handful
+    # of requests per run the thread-spawn + connect cost drowns the signal.
+    requests_per_client=24,
     availability_phase_seconds=0.3,
 )
 
@@ -490,6 +494,12 @@ def run_wire_benchmarks(config: WireBenchConfig = WireBenchConfig()) -> Dict:
     scheme = rsa_scheme(bits=config.key_bits)
     return {
         "config": asdict(config),
+        "crypto_backend": backend_stats(),
+        # Deliberately conservative absolute floor (the committed full run
+        # serves ~400 verified req/s): it catches an order-of-magnitude
+        # collapse of the verified serving path on any runner without being
+        # sensitive to machine speed.
+        "targets": {"wire_verified_requests_per_sec_min": 40.0},
         "workloads": {
             "wire_vo_sizes": bench_vo_sizes(scheme, config),
             "wire_codec_throughput": bench_codec_throughput(scheme, config),

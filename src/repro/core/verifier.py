@@ -38,6 +38,7 @@ from repro.crypto.aggregate import (
     find_invalid_signature,
     verify_aggregate,
 )
+from repro.crypto.backend import backend_stats
 from repro.crypto.rsa import fdh_cache_stats
 from repro.crypto.encoding import concat_digests, encode_many
 from repro.crypto.hashing import HASH_COUNTER
@@ -103,11 +104,15 @@ class ResultVerifier:
         ``fdh`` is the module-wide full-domain-hash representative memo (the
         dominant verification cache: every chain message's representative is
         hashed once and reused across answers); ``chain_schemes`` counts the
-        per-manifest persistent schemes this verifier holds.
+        per-manifest persistent schemes this verifier holds;
+        ``crypto_backend`` reports which arithmetic backend (gmpy2 or pure
+        Python) is serving the modular exponentiations and how many per-key
+        verification contexts are cached.
         """
         return {
             "fdh": fdh_cache_stats(),
             "chain_schemes": {"size": len(self._scheme_cache)},
+            "crypto_backend": backend_stats(),
         }
 
     @classmethod

@@ -15,6 +15,11 @@ from repro.crypto.aggregate import (
     aggregate_signatures,
     verify_aggregate,
 )
+from repro.crypto.backend import (
+    active_backend,
+    backend_name,
+    backend_stats,
+)
 from repro.crypto.hashing import (
     HashChain,
     HashFunction,
@@ -29,6 +34,9 @@ __all__ = [
     "AggregateSignature",
     "aggregate_signatures",
     "verify_aggregate",
+    "active_backend",
+    "backend_name",
+    "backend_stats",
     "HashChain",
     "HashFunction",
     "IteratedHasher",

@@ -62,7 +62,13 @@ import secrets
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.crypto.rsa import RSAPublicKey, SIGN_COUNTER, full_domain_hash
+from repro.crypto.backend import key_context, powmod
+from repro.crypto.rsa import (
+    RSAPublicKey,
+    SIGN_COUNTER,
+    full_domain_hash,
+    full_domain_hash_many,
+)
 
 __all__ = [
     "AggregateSignature",
@@ -142,10 +148,14 @@ def verify_aggregate(
         return False
     if len(set(message_list)) != len(message_list):
         return False
+    modulus = public_key.modulus
     expected = 1
-    for message in message_list:
-        expected = (expected * public_key.message_representative(message)) % public_key.modulus
-    return pow(aggregate.value, public_key.exponent, public_key.modulus) == expected
+    for representative in full_domain_hash_many(
+        message_list, modulus, public_key.hash_name
+    ):
+        expected = (expected * representative) % modulus
+    context = key_context(modulus, public_key.exponent)
+    return context.pow_verify(aggregate.value) == expected
 
 
 def batch_verify_signatures(
@@ -179,31 +189,33 @@ def batch_verify_signatures(
     for signature in signatures:
         if not 0 < signature < modulus:
             return False
+    context = key_context(modulus, public_key.exponent)
     if weight_bits == 0 and len(set(messages)) != len(messages):
         # Screening is only sound for distinct messages; duplicates are
         # verified one by one (the slow-but-always-correct path).
         return all(
-            pow(signature, public_key.exponent, modulus)
+            context.pow_verify(signature)
             == full_domain_hash(message, modulus, hash_name)
             for message, signature in zip(messages, signatures)
         )
     if weight_bits == 0:
         accumulated = 1
         expected = 1
-        for message, signature in zip(messages, signatures):
+        representatives = full_domain_hash_many(messages, modulus, hash_name)
+        for signature, representative in zip(signatures, representatives):
             accumulated = (accumulated * signature) % modulus
-            expected = (expected * full_domain_hash(message, modulus, hash_name)) % modulus
-        return pow(accumulated, public_key.exponent, modulus) == expected
+            expected = (expected * representative) % modulus
+        return context.pow_verify(accumulated) == expected
     accumulated = 1
     expected = 1
-    for message, signature in zip(messages, signatures):
+    representatives = full_domain_hash_many(messages, modulus, hash_name)
+    for signature, representative in zip(signatures, representatives):
         # Uniform over [1, 2^k]: non-zero with all k bits random, so the
         # small-exponents error bound stays the advertised 2^-weight_bits.
         weight = secrets.randbits(weight_bits) + 1
-        accumulated = (accumulated * pow(signature, weight, modulus)) % modulus
-        representative = full_domain_hash(message, modulus, hash_name)
-        expected = (expected * pow(representative, weight, modulus)) % modulus
-    return pow(accumulated, public_key.exponent, modulus) == expected
+        accumulated = (accumulated * powmod(signature, weight, modulus)) % modulus
+        expected = (expected * powmod(representative, weight, modulus)) % modulus
+    return context.pow_verify(accumulated) == expected
 
 
 def find_invalid_signature(

@@ -505,6 +505,13 @@ class VerifyingClient(ServiceConnection):
         #: concurrent hedged reads.
         self._freshness_seen: Dict[str, Tuple[int, int]] = {}
         self._freshness_lock = threading.Lock()
+        #: Attestation signatures this client already verified, keyed by the
+        #: full signed tuple + owner key.  The same attestation rides every
+        #: answer until the owner re-attests, so re-running the RSA verify
+        #: per answer is pure waste; only the (deterministic) signature check
+        #: is memoized — the expiry/staleness/rollback decisions below read
+        #: the clock and floor every time.  Bounded FIFO.
+        self._attestations_verified: Dict[Tuple, bool] = {}
         self._listing: Optional[Dict[str, bytes]] = None
         self._manifests: Dict[str, RelationManifest] = dict(trusted_manifests or {})
         self._pinned_ids: Dict[str, bytes] = {
@@ -737,19 +744,37 @@ class VerifyingClient(ServiceConnection):
                 f"{manifest.sequence}",
                 reason="attestation-mismatch",
             )
-        message = attestation_signing_message(
+        signature_key = (
             attestation.manifest_id,
             attestation.sequence,
             attestation.epoch,
             attestation.issued_at_ms,
             attestation.not_after_ms,
+            attestation.owner_signature,
+            manifest.public_key.modulus,
+            manifest.public_key.exponent,
         )
-        if not manifest.public_key.verify(message, attestation.owner_signature):
-            raise StaleAnswerError(
-                f"freshness attestation for {relation_name!r} is not signed "
-                "by the pinned owner key",
-                reason="attestation-forged",
+        if not self._attestations_verified.get(signature_key):
+            message = attestation_signing_message(
+                attestation.manifest_id,
+                attestation.sequence,
+                attestation.epoch,
+                attestation.issued_at_ms,
+                attestation.not_after_ms,
             )
+            if not manifest.public_key.verify(message, attestation.owner_signature):
+                raise StaleAnswerError(
+                    f"freshness attestation for {relation_name!r} is not signed "
+                    "by the pinned owner key",
+                    reason="attestation-forged",
+                )
+            # Only successful verifications are memoized, so a forged
+            # attestation is re-checked (and re-rejected) every time.
+            if len(self._attestations_verified) >= 64:
+                self._attestations_verified.pop(
+                    next(iter(self._attestations_verified))
+                )
+            self._attestations_verified[signature_key] = True
         now_ms = policy.now_ms()
         if now_ms > attestation.not_after_ms:
             raise StaleAnswerError(

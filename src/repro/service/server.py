@@ -46,6 +46,7 @@ import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.crypto.backend import backend_stats
 from repro.service.config import ServerConfig
 from repro.service.handler import HandledFrame, RequestHandler
 from repro.service.pool import ProofWorkerPool
@@ -338,6 +339,7 @@ class PublicationServer:
         for shard_name, publisher in self.router.shards.items():
             shards[shard_name] = publisher.cache_stats()
         stats["shards"] = shards
+        stats["crypto_backend"] = backend_stats()
         return stats
 
     # -- the event loop -----------------------------------------------------

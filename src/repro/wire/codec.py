@@ -353,10 +353,25 @@ class _Tuple(_Field):
         # Hot path: one label for every element (the element index would cost
         # a string format per field and only ever shows up in error text).
         length = reader.count(what)
-        inner_read = self.inner.read
+        inner = self.inner
+        # Digest and signature tuples are homogeneous runs on real traffic;
+        # the reader batch-decodes them with one compiled struct pass.
+        if type(inner) is _Bytes:
+            return tuple(reader.bytes_run(length, what))
+        if type(inner) is _Int:
+            return tuple(reader.int_run(length, what))
+        inner_read = inner.read
         return tuple([inner_read(reader, what) for _ in range(length)])
 
     def emit(self, label_expr, bindings):
+        if type(self.inner) is _Bytes:
+            return (
+                f"tuple(reader.bytes_run(reader.count({label_expr}), {label_expr}))"
+            )
+        if type(self.inner) is _Int:
+            return (
+                f"tuple(reader.int_run(reader.count({label_expr}), {label_expr}))"
+            )
         inner = self.inner.emit(label_expr, bindings)
         return (
             f"tuple([{inner} for _ in range(reader.count({label_expr}))])"

@@ -20,6 +20,8 @@ the payload.
 
 from __future__ import annotations
 
+import struct
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.crypto.encoding import (
@@ -34,6 +36,24 @@ __all__ = ["WireWriter", "WireReader"]
 
 #: Upper bound on any single length prefix (also the service frame cap).
 MAX_FIELD_BYTES = 64 * 1024 * 1024
+
+#: One compiled big-endian u32, shared by every prefix read: a single C-level
+#: ``unpack_from`` replaces the slice + ``int.from_bytes`` pair on the hottest
+#: line of the decoder.
+_U32 = struct.Struct(">I").unpack_from
+
+
+@lru_cache(maxsize=128)
+def _run_struct(length: int) -> struct.Struct:
+    """The compiled ``(u32 prefix, length-byte payload)`` item layout.
+
+    A homogeneous run of length-prefixed fields (digest tuples, signature
+    tuples) is a fixed-stride byte array; one :meth:`struct.Struct.iter_unpack`
+    over the whole window replaces a Python-level loop of prefix reads and
+    slices.  Cached per payload length — real traffic uses a handful (32-byte
+    digests, modulus-sized signatures).
+    """
+    return struct.Struct(f">I{length}s")
 
 #: Decoded spellings of short wire strings (attribute/relation names repeat
 #: on every row of every answer).  Fills up to the cap and then stops
@@ -172,7 +192,7 @@ class WireReader:
         if stop > self._end:
             self._fail_short(4, what)
         self._offset = stop
-        return int.from_bytes(self._data[offset:stop], "big")
+        return _U32(self._data, offset)[0]
 
     def bool_(self, what="bool") -> bool:
         offset = self._offset
@@ -195,7 +215,7 @@ class WireReader:
         end = self._end
         if stop > end:
             self._fail_short(4, what)
-        length = int.from_bytes(self._data[offset:stop], "big")
+        length = _U32(self._data, offset)[0]
         if length > MAX_FIELD_BYTES:
             raise WireFormatError(
                 f"length prefix of {what} exceeds the {MAX_FIELD_BYTES}-byte cap",
@@ -271,7 +291,7 @@ class WireReader:
         if stop > end:
             self._fail_short(4, what)
         data = self._data
-        length = int.from_bytes(data[offset:stop], "big")
+        length = _U32(data, offset)[0]
         payload_stop = stop + length
         if length > MAX_FIELD_BYTES or payload_stop > end:
             raw = self.bytes_(what)  # raises the canonical typed error
@@ -348,7 +368,7 @@ class WireReader:
         if stop > end:
             self._offset = offset
             self._fail_short(4, what)
-        size = int.from_bytes(data[offset:stop], "big")
+        size = _U32(data, offset)[0]
         payload_stop = stop + size
         if size > MAX_FIELD_BYTES or payload_stop > end:
             self._offset = offset
@@ -369,7 +389,7 @@ class WireReader:
         if stop > self._end:
             self._fail_short(4, what)
         self._offset = stop
-        value = int.from_bytes(self._data[offset:stop], "big")
+        value = _U32(self._data, offset)[0]
         if value > self._end - stop:
             raise WireFormatError(
                 f"{what} of {value} exceeds the "
@@ -392,6 +412,59 @@ class WireReader:
             )
         return value == 1
 
+    # -- vectorized run decoders ---------------------------------------------
+    #
+    # A tuple of digests or signatures is, on real traffic, a *homogeneous*
+    # run: every element has the same length prefix (32-byte digests,
+    # modulus-sized signature magnitudes), so the whole run is a fixed-stride
+    # byte array.  These readers batch-decode such runs with one compiled
+    # ``struct`` iter_unpack over the window instead of a Python-level
+    # prefix-read-and-slice per element.  Any deviation from the homogeneous
+    # shape — mixed lengths, a non-canonical integer, a truncated tail —
+    # abandons the batch *without consuming anything* and re-decodes the run
+    # through the strict per-element primitives, so the accepted byte
+    # language and every error reason stay exactly canonical.
+
+    def bytes_run(self, count: int, what="bytes") -> List[bytes]:
+        """Decode ``count`` consecutive length-prefixed byte fields."""
+        data = self._data
+        offset = self._offset
+        if count and offset + 4 <= self._end:
+            first = _U32(data, offset)[0]
+            stop = offset + (4 + first) * count
+            if first <= MAX_FIELD_BYTES and stop <= self._end:
+                pairs = list(_run_struct(first).iter_unpack(data[offset:stop]))
+                if all(pair[0] == first for pair in pairs):
+                    self._offset = stop
+                    return [pair[1] for pair in pairs]
+        return [self.bytes_(what) for _ in range(count)]
+
+    def int_run(self, count: int, what="int") -> List[int]:
+        """Decode ``count`` consecutive sign+magnitude integer fields.
+
+        The batch path handles the overwhelmingly common shape — equal-width
+        non-negative canonical integers (signature tuples under one modulus).
+        Anything else (negative values, mixed widths, non-canonical bytes)
+        falls back to the strict per-element decoder.
+        """
+        data = self._data
+        offset = self._offset
+        if count and offset + 4 <= self._end:
+            first = _U32(data, offset)[0]
+            stop = offset + (4 + first) * count
+            if 2 <= first <= MAX_FIELD_BYTES and stop <= self._end:
+                pairs = list(_run_struct(first).iter_unpack(data[offset:stop]))
+                if all(
+                    pair[0] == first
+                    and pair[1][0] == 0
+                    and (first == 2 or pair[1][1] != 0)
+                    for pair in pairs
+                ):
+                    self._offset = stop
+                    from_bytes = int.from_bytes
+                    return [from_bytes(pair[1][1:], "big") for pair in pairs]
+        return [self.int_(what) for _ in range(count)]
+
 
 # -- fused map reader generation ---------------------------------------------
 #
@@ -407,7 +480,7 @@ stop = offset + 4
 if stop > end:
     self._offset = offset
     self._fail_short(4, what)
-size = int.from_bytes(data[offset:stop], "big")
+size = _U32(data, offset)[0]
 key_stop = stop + size
 if size > MAX_FIELD_BYTES or key_stop > end:
     self._offset = offset
@@ -442,7 +515,7 @@ stop = offset + 4
 if stop > end:
     self._offset = offset
     self._fail_short(4, what)
-size = int.from_bytes(data[offset:stop], "big")
+size = _U32(data, offset)[0]
 value_stop = stop + size
 if size > MAX_FIELD_BYTES or value_stop > end:
     self._offset = offset
@@ -510,7 +583,7 @@ def {name}(self, what="map"):
     stop = offset + 4
     if stop > end:
         self._fail_short(4, what)
-    length = int.from_bytes(data[offset:stop], "big")
+    length = _U32(data, offset)[0]
     if length > end - stop:
         self._offset = stop
         raise WireFormatError(
@@ -543,6 +616,7 @@ def _generate_fused_map_readers() -> None:
         "_SHORT_STR_MEMO": _SHORT_STR_MEMO,
         "_SHORT_STR_MEMO_MAX": _SHORT_STR_MEMO_MAX,
         "_MISSING": _MISSING,
+        "_U32": _U32,
         "decode_value": decode_value,
     }
     for name, doc, value_block in (
